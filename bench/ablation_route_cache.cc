@@ -1,0 +1,84 @@
+// Ablation (paper section IV-B): "preferential route caching strategies
+// based on packet size or packet frequency may provide significant
+// improvements in packet throughput".
+//
+// Workload: the game server's 22 client routes (tiny packets, enormous
+// packet counts) mixed with web-like cross traffic (many short flows of
+// big packets). Sweep cache sizes and compare policies.
+#include <iomanip>
+
+#include "common.h"
+
+#include "router/route_cache.h"
+#include "router/routing_table.h"
+#include "sim/random.h"
+
+int main() {
+  using namespace gametrace;
+  const auto scale = core::ExperimentScale::FromEnv(600.0);
+  bench::PrintScaleBanner("Ablation - route cache policies (paper section IV-B)",
+                          scale.duration, scale.full);
+
+  // Generate the access stream once: game packets from the simulated
+  // server (destination = client IP on the outbound path) interleaved with
+  // web-like lookups.
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> accesses;
+  {
+    auto cfg = game::GameConfig::ScaledDefaults(scale.duration);
+    sim::Rng web_rng(99);
+    trace::CallbackSink sink([&](const net::PacketRecord& r) {
+      if (r.direction != net::Direction::kServerToClient) return;
+      accesses.emplace_back(r.client_ip.value(), r.app_bytes);
+      // ~1 web-like lookup per 4 game packets: short flows (1-12 packets)
+      // to effectively-unique destinations with 300-1400 B packets.
+      if (web_rng.NextDouble() < 0.25) {
+        const auto dst = static_cast<std::uint32_t>(0xC0000000u | web_rng.NextBelow(1 << 22));
+        const auto packets = 1 + web_rng.NextBelow(12);
+        for (std::uint64_t p = 0; p < packets; ++p) {
+          accesses.emplace_back(dst,
+                                static_cast<std::uint16_t>(300 + web_rng.NextBelow(1100)));
+        }
+      }
+    });
+    core::RunServerTrace(cfg, sink);
+  }
+  std::cout << "# access stream: " << core::FormatCount(accesses.size()) << " lookups\n";
+
+  // A populated FIB gives the miss penalty in trie-node visits.
+  router::RoutingTable fib;
+  sim::Rng fib_rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    fib.Insert(net::Ipv4Prefix(net::Ipv4Address(static_cast<std::uint32_t>(fib_rng())),
+                               8 + static_cast<int>(fib_rng.NextBelow(17))),
+               static_cast<std::uint32_t>(i));
+  }
+  fib.Insert(net::Ipv4Prefix(net::Ipv4Address(0u), 0), 0);  // default route
+
+  std::cout << "\n  cache size | " << std::setw(10) << "LRU" << std::setw(12) << "LFU"
+            << std::setw(16) << "small-pkt-pref" << std::setw(14) << "freq-pref"
+            << "   (hit rate)\n";
+  for (std::size_t capacity : {8, 16, 32, 64, 256}) {
+    std::cout << "  " << std::setw(10) << capacity << " |";
+    for (const auto policy :
+         {router::CachePolicy::kLru, router::CachePolicy::kLfu,
+          router::CachePolicy::kSmallPacketPreferential,
+          router::CachePolicy::kFrequencyPreferential}) {
+      router::RouteCache cache(capacity, policy);
+      for (const auto& [dst, bytes] : accesses) {
+        if (!cache.Access(dst, bytes)) {
+          // Miss: pay the full trie walk (kept for realism/throughput
+          // accounting; the FIB lookup result is not needed here).
+          (void)fib.Lookup(net::Ipv4Address(dst));
+        }
+      }
+      std::cout << std::setw(13) << core::FormatDouble(cache.hit_rate() * 100.0, 1) + "%";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout <<
+      "\nExpected: at small cache sizes the preferential policies hold the 22\n"
+      "game routes against web churn and beat plain LRU - the paper's\n"
+      "conjecture. With large caches every policy converges.\n";
+  return 0;
+}

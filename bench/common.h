@@ -1,0 +1,55 @@
+// Shared plumbing for the bench binaries that regenerate the paper's
+// tables and figures.
+//
+// Every bench simulates a scaled window by default (seconds of wall clock)
+// and honours GAMETRACE_FULL=1 / GAMETRACE_DURATION=<s> to run the paper's
+// entire 626,477 s week. Scaling shortens the simulated window only: the
+// tick, map, session and size mechanisms are untouched, so every *shape*
+// reported by the paper is preserved; totals scale with duration.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/characterizer.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "game/config.h"
+
+namespace gametrace::bench {
+
+struct CharacterizedRun {
+  double duration;
+  bool full;
+  core::CharacterizationReport report;
+  game::CsServer::Stats stats;
+  stats::TimeSeries players;
+};
+
+// Runs the calibrated server workload for the resolved duration and the
+// full analysis pipeline over it.
+inline CharacterizedRun RunCharacterized(double default_duration,
+                                         core::CharacterizationOptions options = {}) {
+  const auto scale = core::ExperimentScale::FromEnv(default_duration);
+  const auto config = game::GameConfig::ScaledDefaults(scale.duration);
+  core::Characterizer characterizer(options);
+  auto result = core::RunServerTrace(config, characterizer);
+  return CharacterizedRun{scale.duration, scale.full, characterizer.Finish(scale.duration),
+                          result.stats, std::move(result.players)};
+}
+
+inline void PrintScaleBanner(const std::string& experiment, double duration, bool full) {
+  std::cout << "### " << experiment << "\n"
+            << "### simulated duration: " << core::FormatDuration(duration)
+            << (full ? " (paper-scale week)"
+                     : " (scaled; set GAMETRACE_FULL=1 for the full week)")
+            << "\n";
+}
+
+// Prints a "paper vs measured" comparison row.
+inline void Compare(const std::string& what, const std::string& paper,
+                    const std::string& measured) {
+  std::cout << "  " << what << ": paper " << paper << "  |  measured " << measured << "\n";
+}
+
+}  // namespace gametrace::bench

@@ -1,0 +1,26 @@
+// Figure 1: per-minute total bandwidth of the server.
+//
+// Paper shape: hovers around 800-900 kbps for the whole week with heavy
+// short-term variation; dips at map changes and the three outages.
+#include "common.h"
+
+#include "net/units.h"
+
+int main() {
+  using namespace gametrace;
+  auto run = bench::RunCharacterized(21600.0);
+  bench::PrintScaleBanner("Figure 1 - per-minute bandwidth", run.duration, run.full);
+
+  const auto bw_kbps = run.report.minute_bytes_in.Plus(run.report.minute_bytes_out)
+                           .Rate()
+                           .Scaled(8.0 / 1e3);
+  core::PrintSeries(std::cout, bw_kbps, "total bandwidth (kbps) per minute", 400);
+
+  std::cout << "\nPaper-vs-measured:\n";
+  bench::Compare("Long-term level", "~800-900 kbps",
+                 core::FormatDouble(bw_kbps.Mean(), 0) + " kbps mean");
+  bench::Compare("Short-term variation", "large",
+                 "min " + core::FormatDouble(bw_kbps.Min(), 0) + " / max " +
+                     core::FormatDouble(bw_kbps.Max(), 0) + " kbps");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 2: per-minute total packet load of the server.
+//
+// Paper shape: ~700-800 pps long-term with heavy short-term variation.
+#include "common.h"
+
+int main() {
+  using namespace gametrace;
+  auto run = bench::RunCharacterized(21600.0);
+  bench::PrintScaleBanner("Figure 2 - per-minute packet load", run.duration, run.full);
+
+  const auto pps =
+      run.report.minute_packets_in.Plus(run.report.minute_packets_out).Rate();
+  core::PrintSeries(std::cout, pps, "total packet load (pkts/sec) per minute", 400);
+
+  std::cout << "\nPaper-vs-measured:\n";
+  bench::Compare("Long-term level", "~700-800 pps",
+                 core::FormatDouble(pps.Mean(), 0) + " pps mean");
+  bench::Compare("Peak", "~1000-1200 pps", core::FormatDouble(pps.Max(), 0) + " pps");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 3: per-minute number of players for the entire trace.
+//
+// Paper shape: hovers near the 22-slot cap with heavy short-term churn;
+// dips around the three outages that recover over minutes.
+#include "common.h"
+
+int main() {
+  using namespace gametrace;
+  auto run = bench::RunCharacterized(43200.0);
+  bench::PrintScaleBanner("Figure 3 - players over time", run.duration, run.full);
+
+  core::PrintSeries(std::cout, run.players, "players (sampled per minute)", 400);
+
+  std::cout << "\nPaper-vs-measured:\n";
+  bench::Compare("Mean players", "~18 (883 kbps / 40 kbps per player / 22 slots)",
+                 core::FormatDouble(run.players.Mean(), 1));
+  bench::Compare("Ceiling", "22 slots", core::FormatDouble(run.players.Max(), 0));
+  bench::Compare("Short-term variation", "large",
+                 "min " + core::FormatDouble(run.players.Min(), 0));
+  bench::Compare("Peak players ever (ground truth)", "can exceed slots across a minute",
+                 std::to_string(run.stats.peak_players));
+  return 0;
+}

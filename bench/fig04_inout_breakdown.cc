@@ -1,0 +1,38 @@
+// Figure 4: per-minute incoming and outgoing bandwidth and packet load.
+//
+// Paper shape: incoming packet load exceeds outgoing, while outgoing
+// bandwidth exceeds incoming (the server broadcasts bigger packets).
+#include "common.h"
+
+#include "net/units.h"
+
+int main() {
+  using namespace gametrace;
+  auto run = bench::RunCharacterized(21600.0);
+  bench::PrintScaleBanner("Figure 4 - in/out bandwidth and packet load", run.duration,
+                          run.full);
+
+  const auto& r = run.report;
+  core::PrintSeries(std::cout, r.minute_bytes_in.Rate().Scaled(8.0 / 1e3),
+                    "(a) incoming bandwidth (kbps)", 200);
+  core::PrintSeries(std::cout, r.minute_bytes_out.Rate().Scaled(8.0 / 1e3),
+                    "(b) outgoing bandwidth (kbps)", 200);
+  core::PrintSeries(std::cout, r.minute_packets_in.Rate(), "(c) incoming packet load (pps)",
+                    200);
+  core::PrintSeries(std::cout, r.minute_packets_out.Rate(),
+                    "(d) outgoing packet load (pps)", 200);
+
+  const double in_bps = r.minute_bytes_in.Rate().Scaled(8.0).Mean();
+  const double out_bps = r.minute_bytes_out.Rate().Scaled(8.0).Mean();
+  const double in_pps = r.minute_packets_in.Rate().Mean();
+  const double out_pps = r.minute_packets_out.Rate().Mean();
+  std::cout << "\nPaper-vs-measured:\n";
+  bench::Compare("Incoming pps > outgoing pps", "yes (437 vs 361)",
+                 core::FormatDouble(in_pps, 0) + " vs " + core::FormatDouble(out_pps, 0) +
+                     (in_pps > out_pps ? " (yes)" : " (NO)"));
+  bench::Compare("Outgoing bw > incoming bw", "yes (542 vs 341 kbps)",
+                 core::FormatDouble(net::Kbps(out_bps), 0) + " vs " +
+                     core::FormatDouble(net::Kbps(in_bps), 0) + " kbps" +
+                     (out_bps > in_bps ? " (yes)" : " (NO)"));
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 11: histogram of mean bandwidth across all sessions longer than
+// 30 s.
+//
+// Paper shape: "the overwhelming majority of flows are pegged at modem
+// rates or below"; a handful of high-rate ("l337") players reach
+// ~100-150 kbps.
+#include "common.h"
+
+int main() {
+  using namespace gametrace;
+  auto run = bench::RunCharacterized(43200.0);
+  bench::PrintScaleBanner("Figure 11 - client bandwidth histogram", run.duration, run.full);
+
+  const auto& hist = run.report.session_bandwidth;
+  core::PrintHistogram(std::cout, hist, "sessions per bandwidth bin (bits/sec)",
+                       /*cdf=*/false, /*normalized=*/false);
+
+  // Mass accounting against the 56 kbps modem barrier.
+  const auto cdf = hist.Cdf();
+  const auto barrier_bin = static_cast<std::size_t>(56000.0 / hist.bin_width());
+  const double below = cdf[std::min(barrier_bin, hist.bin_count() - 1)];
+  std::cout << "\nPaper-vs-measured:\n";
+  bench::Compare("Mode of the histogram", "at/below modem rates (40-56 kbps)",
+                 core::FormatDouble(hist.bin_center(hist.ModeBin()) / 1e3, 1) + " kbps");
+  bench::Compare("Sessions at/below 56 kbps", "overwhelming majority",
+                 core::FormatDouble(below * 100.0, 1) + "%");
+  bench::Compare("Tail beyond 56 kbps", "a handful of l337 players to ~150 kbps",
+                 core::FormatDouble((1.0 - below) * 100.0, 1) + "% reaching up to " +
+                     core::FormatDouble(hist.Quantile(0.999) / 1e3, 0) + " kbps");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 12: probability density functions of application packet sizes -
+// (a) all packets, (b) inbound vs outbound.
+//
+// Paper shape: almost all packets under 200 B (plot truncated at 500 B);
+// inbound is an extremely narrow peak at ~40 B, outbound a wide spread
+// around a much larger mean.
+#include "common.h"
+
+int main() {
+  using namespace gametrace;
+  auto run = bench::RunCharacterized(7200.0);
+  bench::PrintScaleBanner("Figure 12 - packet size PDFs", run.duration, run.full);
+
+  core::PrintHistogram(std::cout, run.report.size_total, "(a) all packets: PDF (1 B bins)");
+  core::PrintHistogram(std::cout, run.report.size_in, "(b) inbound: PDF");
+  core::PrintHistogram(std::cout, run.report.size_out, "(b) outbound: PDF");
+
+  const auto& in = run.report.size_in;
+  const auto& out = run.report.size_out;
+  const auto in_pdf = in.Pdf();
+  const auto total_cdf = run.report.size_total.Cdf();
+  std::cout << "\nPaper-vs-measured:\n";
+  bench::Compare("Inbound peak location", "~40 B",
+                 core::FormatDouble(in.bin_center(in.ModeBin()), 0) + " B");
+  bench::Compare("Inbound peak height", "~0.09", core::FormatDouble(in_pdf[in.ModeBin()], 3));
+  bench::Compare("Outbound mean", "129.51 B", core::FormatDouble(out.ApproxMean(), 1) + " B");
+  bench::Compare("Packets under 200 B", "almost all",
+                 core::FormatDouble(total_cdf[199] * 100.0, 1) + "%");
+  bench::Compare("Packets beyond 500 B", "negligible",
+                 core::FormatCount(run.report.size_total.overflow()));
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 13: cumulative distribution functions of application packet
+// sizes (inbound, outbound, total).
+//
+// Paper shape: almost all inbound packets smaller than 60 B; outbound mass
+// spread between 0 and 300 B; far below the >400 B means of contemporary
+// Internet-exchange traffic.
+#include "common.h"
+
+int main() {
+  using namespace gametrace;
+  auto run = bench::RunCharacterized(7200.0);
+  bench::PrintScaleBanner("Figure 13 - packet size CDFs", run.duration, run.full);
+
+  core::PrintHistogram(std::cout, run.report.size_in, "inbound CDF", /*cdf=*/true);
+  core::PrintHistogram(std::cout, run.report.size_out, "outbound CDF", /*cdf=*/true);
+  core::PrintHistogram(std::cout, run.report.size_total, "total CDF", /*cdf=*/true);
+
+  const auto cdf_in = run.report.size_in.Cdf();
+  const auto cdf_out = run.report.size_out.Cdf();
+  std::cout << "\nPaper-vs-measured:\n";
+  bench::Compare("Inbound below 60 B", "almost all",
+                 core::FormatDouble(cdf_in[59] * 100.0, 2) + "%");
+  bench::Compare("Outbound spread", "0-300 B holds most mass",
+                 core::FormatDouble(cdf_out[299] * 100.0, 1) + "% below 300 B");
+  bench::Compare("Mean vs IX traffic", "game mean 80 B vs >400 B at exchanges",
+                 core::FormatDouble(run.report.summary.mean_packet_size(), 1) + " B");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) of the hot paths: workload
+// generation, stream analysis, trie lookup and route-cache access.
+#include <benchmark/benchmark.h>
+
+#include "core/characterizer.h"
+#include "core/experiment.h"
+#include "game/config.h"
+#include "router/route_cache.h"
+#include "router/routing_table.h"
+#include "sim/random.h"
+#include "stats/variance_time.h"
+#include "trace/aggregator.h"
+#include "trace/capture.h"
+
+namespace {
+
+using namespace gametrace;
+
+// End-to-end workload generation throughput (packets simulated per second
+// of wall clock).
+void BM_WorkloadGeneration(benchmark::State& state) {
+  const double duration = static_cast<double>(state.range(0));
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    auto cfg = game::GameConfig::ScaledDefaults(duration);
+    trace::CountingSink sink;
+    const auto result = core::RunServerTrace(cfg, sink);
+    packets += result.stats.packets_emitted;
+    benchmark::DoNotOptimize(sink.packets());
+  }
+  state.counters["packets/s"] =
+      benchmark::Counter(static_cast<double>(packets), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(60)->Arg(300)->Unit(benchmark::kMillisecond);
+
+// Full analysis pipeline cost per packet.
+void BM_CharacterizerPipeline(benchmark::State& state) {
+  auto cfg = game::GameConfig::ScaledDefaults(60.0);
+  trace::VectorSink capture;
+  core::RunServerTrace(cfg, capture);
+  const auto& records = capture.records();
+  for (auto _ : state) {
+    core::Characterizer characterizer;
+    for (const auto& r : records) characterizer.OnPacket(r);
+    auto report = characterizer.Finish(60.0);
+    benchmark::DoNotOptimize(report.summary.total_packets());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records.size()) * state.iterations());
+}
+BENCHMARK(BM_CharacterizerPipeline)->Unit(benchmark::kMillisecond);
+
+// Just the binning aggregator (the per-packet hot path of Figures 1-10).
+void BM_LoadAggregator(benchmark::State& state) {
+  auto cfg = game::GameConfig::ScaledDefaults(60.0);
+  trace::VectorSink capture;
+  core::RunServerTrace(cfg, capture);
+  const auto& records = capture.records();
+  for (auto _ : state) {
+    trace::LoadAggregator agg(0.010);
+    for (const auto& r : records) agg.OnPacket(r);
+    benchmark::DoNotOptimize(agg.packets_in().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records.size()) * state.iterations());
+}
+BENCHMARK(BM_LoadAggregator)->Unit(benchmark::kMillisecond);
+
+// Variance-time computation over a day of 10 ms bins.
+void BM_VarianceTime(benchmark::State& state) {
+  sim::Rng rng(1);
+  stats::TimeSeries series(0.0, 0.01);
+  const auto bins = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < bins; ++i) {
+    series.Add(static_cast<double>(i) * 0.01, (i % 5 == 0) ? 18.0 : rng.NextDouble());
+  }
+  for (auto _ : state) {
+    auto plot = stats::ComputeVarianceTime(series);
+    benchmark::DoNotOptimize(plot.points.size());
+  }
+}
+BENCHMARK(BM_VarianceTime)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+// LPM trie lookups against a 100k-route FIB.
+void BM_TrieLookup(benchmark::State& state) {
+  router::RoutingTable fib;
+  sim::Rng rng(2);
+  for (int i = 0; i < 100000; ++i) {
+    fib.Insert(net::Ipv4Prefix(net::Ipv4Address(static_cast<std::uint32_t>(rng())),
+                               8 + static_cast<int>(rng.NextBelow(17))),
+               static_cast<std::uint32_t>(i));
+  }
+  sim::Rng probe_rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fib.Lookup(net::Ipv4Address(static_cast<std::uint32_t>(probe_rng()))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieLookup);
+
+// Route-cache access under game traffic, per policy.
+void BM_RouteCacheAccess(benchmark::State& state) {
+  const auto policy = static_cast<router::CachePolicy>(state.range(0));
+  router::RouteCache cache(64, policy);
+  sim::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.Access(static_cast<std::uint32_t>(rng.NextBelow(22)), 130));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(router::PolicyName(policy)));
+}
+BENCHMARK(BM_RouteCacheAccess)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// NAT-device simulation throughput.
+void BM_NatExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cfg = core::NatExperimentConfig::Defaults();
+    cfg.duration = 60.0;
+    cfg.game.trace_duration = 60.0;
+    cfg.game.maps.map_duration = 120.0;
+    const auto result = core::RunNatExperiment(cfg);
+    benchmark::DoNotOptimize(result.device.packets(router::Segment::kNatToServer));
+  }
+}
+BENCHMARK(BM_NatExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

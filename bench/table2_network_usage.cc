@@ -1,0 +1,44 @@
+// Table II: network usage information (wire bytes: headers included).
+//
+// Paper values (full week): 500 M packets (273.8 M in / 226.2 M out);
+// 64.42 GB; 798.11 pkts/sec (437.12 in / 360.99 out); 883 kbps mean
+// bandwidth (341 in / 542 out).
+#include "common.h"
+
+#include "net/units.h"
+
+int main() {
+  using namespace gametrace;
+  auto run = bench::RunCharacterized(21600.0);
+  bench::PrintScaleBanner("Table II - network usage information", run.duration, run.full);
+  const auto& s = run.report.summary;
+
+  core::TableReport table("TABLE II: NETWORK USAGE INFORMATION");
+  table.AddCount("Total Packets", s.total_packets());
+  table.AddCount("Total Packets In", s.packets_in());
+  table.AddCount("Total Packets Out", s.packets_out());
+  table.AddRow("Total Bytes", core::FormatGigabytes(s.wire_bytes_total()));
+  table.AddRow("Total Bytes In", core::FormatGigabytes(s.wire_bytes_in()));
+  table.AddRow("Total Bytes Out", core::FormatGigabytes(s.wire_bytes_out()));
+  table.AddValue("Mean Packet Load", s.mean_packet_load(), "pkts/sec");
+  table.AddValue("Mean Packet Load In", s.mean_packet_load_in(), "pkts/sec");
+  table.AddValue("Mean Packet Load Out", s.mean_packet_load_out(), "pkts/sec");
+  table.AddValue("Mean Bandwidth", net::Kbps(s.mean_bandwidth_bps()), "kbs", 0);
+  table.AddValue("Mean Bandwidth In", net::Kbps(s.mean_bandwidth_in_bps()), "kbs", 0);
+  table.AddValue("Mean Bandwidth Out", net::Kbps(s.mean_bandwidth_out_bps()), "kbs", 0);
+  table.Print(std::cout);
+
+  std::cout << "\nPaper-vs-measured (rates are scale-invariant):\n";
+  bench::Compare("Mean packet load", "798.11 pps",
+                 core::FormatDouble(s.mean_packet_load(), 2) + " pps");
+  bench::Compare("Mean packet load in/out", "437.12 / 360.99 pps",
+                 core::FormatDouble(s.mean_packet_load_in(), 2) + " / " +
+                     core::FormatDouble(s.mean_packet_load_out(), 2) + " pps");
+  bench::Compare("Mean bandwidth", "883 kbs (822 kbs from byte totals)",
+                 core::FormatDouble(net::Kbps(s.mean_bandwidth_bps()), 0) + " kbs");
+  bench::Compare("In packets > out packets", "yes",
+                 s.packets_in() > s.packets_out() ? "yes" : "NO");
+  bench::Compare("Out bytes > in bytes", "yes",
+                 s.wire_bytes_out() > s.wire_bytes_in() ? "yes" : "NO");
+  return 0;
+}

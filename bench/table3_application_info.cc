@@ -1,0 +1,32 @@
+// Table III: application payload information (headers excluded).
+//
+// Paper values (full week): 37.41 GB (10.13 in / 27.28 out); mean packet
+// size 80.33 B (39.72 in / 129.51 out).
+#include "common.h"
+
+int main() {
+  using namespace gametrace;
+  auto run = bench::RunCharacterized(21600.0);
+  bench::PrintScaleBanner("Table III - application information", run.duration, run.full);
+  const auto& s = run.report.summary;
+
+  core::TableReport table("TABLE III: APPLICATION INFORMATION");
+  table.AddRow("Total Bytes", core::FormatGigabytes(s.app_bytes_total()));
+  table.AddRow("Total Bytes In", core::FormatGigabytes(s.app_bytes_in()));
+  table.AddRow("Total Bytes Out", core::FormatGigabytes(s.app_bytes_out()));
+  table.AddValue("Mean Packet Size", s.mean_packet_size(), "bytes");
+  table.AddValue("Mean Packet Size In", s.mean_packet_size_in(), "bytes");
+  table.AddValue("Mean Packet Size Out", s.mean_packet_size_out(), "bytes");
+  table.Print(std::cout);
+
+  std::cout << "\nPaper-vs-measured (sizes are scale-invariant):\n";
+  bench::Compare("Mean packet size", "80.33 B",
+                 core::FormatDouble(s.mean_packet_size(), 2) + " B");
+  bench::Compare("Mean packet size in", "39.72 B",
+                 core::FormatDouble(s.mean_packet_size_in(), 2) + " B");
+  bench::Compare("Mean packet size out", "129.51 B",
+                 core::FormatDouble(s.mean_packet_size_out(), 2) + " B");
+  bench::Compare("Out mean > 3x in mean", "yes",
+                 s.mean_packet_size_out() > 3.0 * s.mean_packet_size_in() ? "yes" : "NO");
+  return 0;
+}

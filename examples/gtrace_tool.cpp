@@ -1,0 +1,205 @@
+// gtrace_tool: command-line front end for the trace toolkit.
+//
+//   gtrace_tool generate <out.gtr|out.pcap> [seconds] [seed]
+//   gtrace_tool summarize <trace.gtr|trace.pcap>
+//   gtrace_tool convert <in.gtr|in.pcap> <out.gtr|out.pcap>
+//   gtrace_tool sessions <trace.gtr|trace.pcap> [top_n]
+//   gtrace_tool hurst <trace.gtr|trace.pcap>
+//   gtrace_tool loss <trace.gtr|trace.pcap>
+//
+// Works on traces produced by this toolkit or any UDP/IPv4 pcap whose
+// server endpoint matches the default (192.168.0.10:27015).
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "game/config.h"
+#include "net/pcap.h"
+#include "net/units.h"
+#include "stats/rs_hurst.h"
+#include "trace/loss_estimator.h"
+#include "trace/trace_format.h"
+
+namespace {
+
+using namespace gametrace;
+
+bool HasSuffix(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+// Streams every record of either container format into a sink.
+std::uint64_t DrainFile(const std::string& path, trace::CaptureSink& sink,
+                        const net::ServerEndpoint& server) {
+  if (HasSuffix(path, ".pcap")) {
+    net::PcapReader reader(path);
+    std::uint64_t skipped = 0;
+    std::uint64_t n = 0;
+    for (const auto& record : reader.ReadAllRecords(server, &skipped)) {
+      sink.OnPacket(record);
+      ++n;
+    }
+    if (skipped > 0) std::cerr << "note: skipped " << skipped << " non-game frames\n";
+    return n;
+  }
+  trace::TraceReader reader(path);
+  return reader.Drain(sink);
+}
+
+int Generate(const std::vector<std::string>& args) {
+  const std::string out = args.at(0);
+  const double seconds = args.size() > 1 ? std::stod(args[1]) : 600.0;
+  auto config = game::GameConfig::ScaledDefaults(seconds);
+  if (args.size() > 2) config.seed = std::stoull(args[2]);
+
+  if (HasSuffix(out, ".pcap")) {
+    net::PcapWriter writer(out);
+    trace::CallbackSink sink(
+        [&](const net::PacketRecord& r) { writer.WriteRecord(r, config.server); });
+    core::RunServerTrace(config, sink);
+    writer.Flush();
+    std::cout << "wrote " << core::FormatCount(writer.packets_written()) << " frames to "
+              << out << "\n";
+    return 0;
+  }
+  trace::TraceWriter writer(out, config.server);
+  core::RunServerTrace(config, writer);
+  writer.Flush();
+  std::cout << "wrote " << core::FormatCount(writer.packets_written()) << " records to "
+            << out << "\n";
+  return 0;
+}
+
+int Summarize(const std::vector<std::string>& args) {
+  core::Characterizer characterizer;
+  const auto n = DrainFile(args.at(0), characterizer, net::ServerEndpoint{});
+  auto report = characterizer.Finish();
+  const auto& s = report.summary;
+  core::TableReport table("Summary of " + args.at(0));
+  table.AddCount("Packets", s.total_packets());
+  table.AddRow("Span", core::FormatDuration(s.duration()));
+  table.AddValue("Mean load", s.mean_packet_load(), "pkts/sec", 1);
+  table.AddValue("Mean bandwidth", net::Kbps(s.mean_bandwidth_bps()), "kbps", 0);
+  table.AddValue("Mean size in/out", s.mean_packet_size_in(), "B", 1);
+  table.AddValue("  (outbound)", s.mean_packet_size_out(), "B", 1);
+  table.AddCount("Sessions (reconstructed)", report.sessions.size());
+  table.AddCount("Connection attempts", s.attempted_connections());
+  table.Print(std::cout);
+  return n > 0 ? 0 : 1;
+}
+
+int Convert(const std::vector<std::string>& args) {
+  const std::string in = args.at(0);
+  const std::string out = args.at(1);
+  const net::ServerEndpoint server;
+  std::uint64_t n = 0;
+  if (HasSuffix(out, ".pcap")) {
+    net::PcapWriter writer(out);
+    trace::CallbackSink sink([&](const net::PacketRecord& r) {
+      writer.WriteRecord(r, server);
+    });
+    n = DrainFile(in, sink, server);
+    writer.Flush();
+  } else {
+    trace::TraceWriter writer(out, server);
+    n = DrainFile(in, writer, server);
+    writer.Flush();
+  }
+  std::cout << "converted " << core::FormatCount(n) << " packets: " << in << " -> " << out
+            << "\n";
+  return n > 0 ? 0 : 1;
+}
+
+int Sessions(const std::vector<std::string>& args) {
+  trace::SessionTracker tracker;
+  DrainFile(args.at(0), tracker, net::ServerEndpoint{});
+  auto sessions = tracker.Finish();
+  const std::size_t top = args.size() > 1 ? std::stoul(args[1]) : 10;
+  std::sort(sessions.begin(), sessions.end(),
+            [](const auto& a, const auto& b) { return a.packets() > b.packets(); });
+  std::cout << sessions.size() << " sessions; top " << std::min(top, sessions.size())
+            << " by packets:\n";
+  std::cout << "  client                duration    packets    kbps\n";
+  for (std::size_t i = 0; i < sessions.size() && i < top; ++i) {
+    const auto& s = sessions[i];
+    std::string endpoint = s.client_ip.ToString() + ":" + std::to_string(s.client_port);
+    endpoint.resize(21, ' ');
+    std::cout << "  " << endpoint << core::FormatDouble(s.duration(), 0) << " s      "
+              << s.packets() << "     " << core::FormatDouble(s.mean_bandwidth_bps() / 1e3, 1)
+              << "\n";
+  }
+  return 0;
+}
+
+int Hurst(const std::vector<std::string>& args) {
+  core::CharacterizationOptions options;
+  core::Characterizer characterizer(options);
+  DrainFile(args.at(0), characterizer, net::ServerEndpoint{});
+  auto report = characterizer.Finish();
+  std::cout << "Aggregated-variance Hurst estimates:\n"
+            << "  < 50 ms       : " << core::FormatDouble(report.hurst.small_scale, 2) << "\n"
+            << "  50 ms - 30 min: " << core::FormatDouble(report.hurst.mid_scale, 2) << "\n"
+            << "  > 30 min      : " << core::FormatDouble(report.hurst.large_scale, 2) << "\n";
+  // Cross-check with R/S at 1 s resolution.
+  const auto per_second =
+      report.vt_base_packets.Aggregate(static_cast<std::size_t>(1.0 / 0.010));
+  if (per_second.size() >= 64 && per_second.Variance() > 0.0) {
+    const auto rs = stats::ComputeRescaledRange(per_second);
+    std::cout << "R/S estimate (1 s bins): " << core::FormatDouble(rs.HurstEstimate(), 2)
+              << "\n";
+  }
+  return 0;
+}
+
+int Loss(const std::vector<std::string>& args) {
+  trace::SeqGapLossEstimator estimator;
+  DrainFile(args.at(0), estimator, net::ServerEndpoint{});
+  const auto in = estimator.Estimate(net::Direction::kClientToServer);
+  const auto out = estimator.Estimate(net::Direction::kServerToClient);
+  std::cout << "Sequence-gap loss estimate (what never reached this capture point):\n"
+            << "  inbound : " << core::FormatDouble(in.loss_rate() * 100.0, 3) << "%  ("
+            << in.lost() << " of " << in.expected << " across " << in.flows << " flows)\n"
+            << "  outbound: " << core::FormatDouble(out.loss_rate() * 100.0, 3) << "%  ("
+            << out.lost() << " of " << out.expected << " across " << out.flows << " flows)\n";
+  return 0;
+}
+
+void Usage() {
+  std::cerr << "usage: gtrace_tool <generate|summarize|convert|sessions|hurst|loss> <args>\n"
+               "  generate  <out.gtr|out.pcap> [seconds] [seed]\n"
+               "  summarize <trace>\n"
+               "  convert   <in> <out>\n"
+               "  sessions  <trace> [top_n]\n"
+               "  hurst     <trace>\n"
+               "  loss      <trace>\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "generate") return Generate(args);
+    if (command == "summarize") return Summarize(args);
+    if (command == "convert") return Convert(args);
+    if (command == "sessions") return Sessions(args);
+    if (command == "hurst") return Hurst(args);
+    if (command == "loss") return Loss(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  Usage();
+  return 2;
+}

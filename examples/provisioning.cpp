@@ -1,0 +1,88 @@
+// Provisioning an on-line game service: the paper's "good news" in
+// practice. Fits per-player demand from simulated traces at several server
+// sizes, verifies linearity, and answers capacity questions - including
+// "how many servers can live behind a router before the 50 ms bursts
+// overflow its lookup path?"
+//
+//   ./build/examples/provisioning
+#include <iostream>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "core/experiment.h"
+#include "core/provisioning.h"
+#include "core/report.h"
+#include "game/config.h"
+#include "stats/linear_regression.h"
+#include "trace/summary.h"
+
+int main() {
+  using namespace gametrace;
+
+  // 1. Measure demand at several server sizes (the linearity experiment).
+  std::cout << "Measuring traffic at several server sizes (400 s each)...\n\n";
+  std::cout << "  slots | mean players |  pps in | pps out |  kbps total\n";
+  std::vector<double> players;
+  std::vector<double> pps;
+  std::vector<double> bps;
+  for (int cap : {4, 8, 12, 16, 20, 22}) {
+    auto cfg = game::GameConfig::ScaledDefaults(400.0);
+    cfg.max_players = cap;
+    cfg.sessions.initial_players = cap - 1;
+    trace::TraceSummary summary;
+    const auto run = core::RunServerTrace(cfg, summary);
+    summary.set_duration_override(400.0);
+    players.push_back(run.players.Mean());
+    pps.push_back(summary.mean_packet_load());
+    bps.push_back(summary.mean_bandwidth_bps());
+    std::cout << "  " << std::string(5 - std::to_string(cap).size(), ' ') << cap << " |         "
+              << core::FormatDouble(run.players.Mean(), 1) << " |   "
+              << core::FormatDouble(summary.mean_packet_load_in(), 0) << " |     "
+              << core::FormatDouble(summary.mean_packet_load_out(), 0) << " |        "
+              << core::FormatDouble(net::Kbps(summary.mean_bandwidth_bps()), 0) << "\n";
+  }
+
+  const auto pps_fit = stats::FitLine(players, pps);
+  const auto bps_fit = stats::FitLine(players, bps);
+  std::cout << "\nLinear fit: load = " << core::FormatDouble(pps_fit.slope, 1)
+            << " pps/player (r^2 = " << core::FormatDouble(pps_fit.r_squared, 3) << "), "
+            << core::FormatDouble(bps_fit.slope / 1e3, 1) << " kbps/player (r^2 = "
+            << core::FormatDouble(bps_fit.r_squared, 3) << ")\n"
+            << "The paper: ~40 kbps/player - \"designed to saturate the narrowest\n"
+            << "last-mile link\" (56k modems deliver 40-50 kbps).\n";
+
+  // 2. Capacity planning against routing devices.
+  const core::PerPlayerDemand demand = core::PerPlayerDemand::PaperCalibrated();
+  const core::ServerDemand per_server = core::DemandFor(demand, 22);
+
+  core::TableReport plan("Capacity planning: one full 22-slot server");
+  plan.AddValue("Aggregate load", per_server.pps, "pps", 0);
+  plan.AddValue("Aggregate bandwidth", per_server.bps / 1e3, "kbps", 0);
+  plan.AddValue("Broadcast burst", per_server.burst_packets, "packets / 50 ms", 0);
+  plan.AddValue("Burst span on the wire", per_server.burst_span_seconds * 1e6, "us", 0);
+  plan.Print(std::cout);
+
+  struct Candidate {
+    const char* name;
+    core::CapacityPlanner::Device device;
+  };
+  const Candidate candidates[] = {
+      {"SMC Barricade (COTS NAT, 1.25 kpps)", {1250.0, 16}},
+      {"mid-range edge router (50 kpps)", {50e3, 256}},
+      {"carrier router (1 Mpps)", {1e6, 4096}},
+  };
+  std::cout << "\n  device                               max servers   burst tail delay\n";
+  for (const auto& c : candidates) {
+    const int max_servers = core::CapacityPlanner::MaxServers(per_server, c.device);
+    const double tail =
+        core::CapacityPlanner::BurstTailDelay(per_server.burst_packets, c.device) * 1e3;
+    std::cout << "  " << c.name;
+    for (std::size_t pad = std::string(c.name).size(); pad < 38; ++pad) std::cout << ' ';
+    std::cout << max_servers << "             " << core::FormatDouble(tail, 1) << " ms\n";
+  }
+  std::cout << "\nThe Barricade hosts ZERO viable servers - the paper's NAT experiment -\n"
+               "and buffering instead of dropping costs ~a quarter of the ~50 ms\n"
+               "latency budget per burst, which is why \"adding buffers will add an\n"
+               "unacceptable level of delay\".\n";
+  return 0;
+}

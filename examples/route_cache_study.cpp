@@ -1,0 +1,91 @@
+// Route-cache study (the paper's section IV-B future work): feed a mix of
+// game traffic and web-like cross traffic through an LPM FIB fronted by a
+// route cache, and measure how much lookup work each caching policy saves.
+//
+//   ./build/examples/route_cache_study [seconds]
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "game/config.h"
+#include "router/route_cache.h"
+#include "router/routing_table.h"
+#include "sim/random.h"
+#include "trace/capture.h"
+
+int main(int argc, char** argv) {
+  using namespace gametrace;
+  const double duration = argc > 1 ? std::stod(argv[1]) : 300.0;
+
+  // Build the access stream: outbound game packets to the 22 client routes,
+  // interleaved with web-like flows (many destinations, few packets each).
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> stream;
+  sim::Rng web(1234);
+  {
+    auto cfg = game::GameConfig::ScaledDefaults(duration);
+    trace::CallbackSink sink([&](const net::PacketRecord& r) {
+      if (r.direction != net::Direction::kServerToClient) return;
+      stream.emplace_back(r.client_ip.value(), r.app_bytes);
+      if (web.NextDouble() < 0.3) {
+        const auto dst = static_cast<std::uint32_t>(0xC0000000u | web.NextBelow(1 << 22));
+        const auto n = 1 + web.NextBelow(10);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          stream.emplace_back(dst, static_cast<std::uint16_t>(400 + web.NextBelow(1000)));
+        }
+      }
+    });
+    core::RunServerTrace(cfg, sink);
+  }
+
+  // A realistic FIB: 50k random prefixes plus a default route.
+  router::RoutingTable fib;
+  sim::Rng fib_rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    fib.Insert(net::Ipv4Prefix(net::Ipv4Address(static_cast<std::uint32_t>(fib_rng())),
+                               8 + static_cast<int>(fib_rng.NextBelow(17))),
+               static_cast<std::uint32_t>(i));
+  }
+  fib.Insert(net::Ipv4Prefix(net::Ipv4Address(0u), 0), 0);
+
+  std::cout << "Route-cache study: " << core::FormatCount(stream.size())
+            << " lookups against a " << core::FormatCount(fib.size()) << "-route FIB ("
+            << core::FormatCount(fib.node_count()) << " trie nodes)\n\n";
+  std::cout << "  policy                       cache=16    cache=64    trie nodes visited/pkt (c=16)\n";
+
+  for (const auto policy :
+       {router::CachePolicy::kLru, router::CachePolicy::kLfu,
+        router::CachePolicy::kSmallPacketPreferential,
+        router::CachePolicy::kFrequencyPreferential}) {
+    double rates[2] = {0.0, 0.0};
+    double work16 = 0.0;
+    int idx = 0;
+    for (std::size_t capacity : {16u, 64u}) {
+      router::RouteCache cache(capacity, policy);
+      std::uint64_t trie_nodes = 0;
+      for (const auto& [dst, bytes] : stream) {
+        if (!cache.Access(dst, bytes)) {
+          trie_nodes += fib.LookupCost(net::Ipv4Address(dst));
+        }
+      }
+      rates[idx] = cache.hit_rate();
+      if (capacity == 16u) {
+        work16 = static_cast<double>(trie_nodes) / static_cast<double>(stream.size());
+      }
+      ++idx;
+    }
+    const std::string name(router::PolicyName(policy));
+    std::cout << "  " << name << std::string(name.size() < 28 ? 28 - name.size() : 1, ' ')
+              << core::FormatDouble(rates[0] * 100.0, 1) << "%      "
+              << core::FormatDouble(rates[1] * 100.0, 1) << "%       "
+              << core::FormatDouble(work16, 2) << "\n";
+  }
+
+  std::cout << "\nPreferential policies protect the 22 long-lived game routes from web\n"
+               "churn, cutting per-packet trie work at small cache sizes - the paper's\n"
+               "conjecture that \"preferential route caching strategies based on packet\n"
+               "size or packet frequency may provide significant improvements\".\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "core/characterizer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gametrace::core {
+
+namespace {
+constexpr std::size_t kSizeBins = 500;  // 1-byte bins over [0, 500)
+}
+
+Characterizer::Characterizer(CharacterizationOptions options)
+    : options_(options),
+      summary_(options.wire_overhead),
+      minute_agg_(options.minute_interval, 0.0, options.wire_overhead),
+      vt_packets_(0.0, options.vt_base_interval),
+      sessions_(options.session_idle_timeout),
+      size_total_(0.0, options.size_histogram_max, kSizeBins),
+      size_in_(0.0, options.size_histogram_max, kSizeBins),
+      size_out_(0.0, options.size_histogram_max, kSizeBins) {}
+
+void Characterizer::OnPacket(const net::PacketRecord& record) {
+  summary_.OnPacket(record);
+  minute_agg_.OnPacket(record);
+  sessions_.OnPacket(record);
+  if (record.timestamp < options_.vt_window) vt_packets_.Add(record.timestamp, 1.0);
+  size_total_.Add(record.app_bytes);
+  if (record.direction == net::Direction::kClientToServer) {
+    size_in_.Add(record.app_bytes);
+  } else {
+    size_out_.Add(record.app_bytes);
+  }
+}
+
+CharacterizationReport Characterizer::Finish(double trace_duration) {
+  if (trace_duration > 0.0) {
+    summary_.set_duration_override(trace_duration);
+    minute_agg_.ExtendTo(trace_duration);
+    vt_packets_.ExtendTo(std::min(trace_duration, options_.vt_window));
+  }
+
+  std::vector<trace::Session> sessions = sessions_.Finish();
+  stats::Histogram session_bw = trace::SessionTracker::BandwidthHistogram(
+      sessions, options_.session_min_duration, options_.session_bw_histogram_max,
+      options_.session_bw_bins);
+
+  stats::VarianceTimePlot vt;
+  stats::HurstRegions hurst;
+  if (vt_packets_.size() >= 16 && vt_packets_.Variance() > 0.0) {
+    vt = stats::ComputeVarianceTime(vt_packets_);
+    hurst = stats::EstimateHurstRegions(vt);
+  }
+
+  return CharacterizationReport{
+      .summary = summary_,
+      .minute_packets_in = minute_agg_.packets_in(),
+      .minute_packets_out = minute_agg_.packets_out(),
+      .minute_bytes_in = minute_agg_.wire_bytes_in(),
+      .minute_bytes_out = minute_agg_.wire_bytes_out(),
+      .vt_base_packets = std::move(vt_packets_),
+      .variance_time = std::move(vt),
+      .hurst = hurst,
+      .sessions = std::move(sessions),
+      .session_bandwidth = std::move(session_bw),
+      .size_total = std::move(size_total_),
+      .size_in = std::move(size_in_),
+      .size_out = std::move(size_out_),
+  };
+}
+
+}  // namespace gametrace::core

@@ -1,0 +1,112 @@
+#include "core/experiment.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace gametrace::core {
+
+ExperimentScale ExperimentScale::FromEnv(double default_duration) {
+  ExperimentScale scale;
+  scale.duration = default_duration;
+  if (const char* env = std::getenv("GAMETRACE_DURATION"); env != nullptr) {
+    const double parsed = std::strtod(env, nullptr);
+    if (parsed > 0.0) scale.duration = parsed;
+    return scale;
+  }
+  if (const char* env = std::getenv("GAMETRACE_FULL"); env != nullptr) {
+    const std::string value(env);
+    if (!value.empty() && value != "0") {
+      scale.full = true;
+      scale.duration = game::GameConfig{}.trace_duration;  // 626,477 s
+    }
+  }
+  return scale;
+}
+
+ServerTraceResult RunServerTrace(const game::GameConfig& config,
+                                 std::span<trace::CaptureSink* const> sinks) {
+  sim::Simulator simulator;
+  trace::TeeSink tee;
+  for (trace::CaptureSink* sink : sinks) tee.Attach(*sink);
+  game::CsServer server(simulator, config, tee);
+  server.Run();
+  ServerTraceResult result;
+  result.stats = server.stats();
+  result.players = server.player_series();
+  return result;
+}
+
+ServerTraceResult RunServerTrace(const game::GameConfig& config, trace::CaptureSink& sink) {
+  trace::CaptureSink* sinks[] = {&sink};
+  return RunServerTrace(config, sinks);
+}
+
+NatExperimentConfig NatExperimentConfig::Defaults() {
+  NatExperimentConfig cfg;
+  cfg.game = game::GameConfig::PaperDefaults();
+  cfg.game.trace_duration = cfg.duration;
+  // One uninterrupted 30-min map, packed server (the experiment was run on
+  // the same very popular community server).
+  cfg.game.maps.map_duration = cfg.duration + 60.0;
+  cfg.game.sessions.initial_players = 20;
+  cfg.game.outages.times.clear();
+  return cfg;
+}
+
+NatExperimentResult RunNatExperiment(const NatExperimentConfig& config) {
+  sim::Simulator simulator;
+  router::NatDevice nat(simulator, config.device);
+  game::CsServer server(simulator, config.game, nat.injector());
+
+  // QoE self-tuning: players watch their own delivery/loss and quit above
+  // tolerance (paper section IV-A).
+  std::unique_ptr<game::QoeMonitor> qoe;
+  if (config.enable_qoe) {
+    qoe = std::make_unique<game::QoeMonitor>(
+        simulator, config.qoe, sim::Rng(config.game.seed ^ 0x51edu),
+        [&server](net::Ipv4Address ip, std::uint16_t port) {
+          server.DisconnectByEndpoint(ip, port, /*orderly=*/true);
+        });
+    nat.SetDeliverCallback([&](const net::PacketRecord& record, router::Segment) {
+      qoe->OnDelivered(record);
+    });
+  }
+
+  // Game-freeze feedback: a burst of lost inbound updates freezes the
+  // server's world state, and with it the outbound broadcast.
+  int freezes = 0;
+  double window_start = -1.0;
+  int window_losses = 0;
+  nat.SetLossCallback([&](const net::PacketRecord& record, router::Segment segment) {
+    if (qoe) qoe->OnLost(record);
+    if (segment != router::Segment::kClientsToNat) return;
+    const double now = simulator.Now();
+    if (window_start < 0.0 || now - window_start > config.freeze_window) {
+      window_start = now;
+      window_losses = 0;
+    }
+    if (++window_losses >= config.freeze_threshold) {
+      server.InduceStall(config.freeze_duration);
+      ++freezes;
+      window_start = -1.0;
+    }
+  });
+
+  nat.Start();
+  server.Start();
+  if (qoe) qoe->Start();
+  simulator.RunUntil(config.duration);
+
+  NatExperimentResult result{.device = nat.stats(),
+                             .server = server.stats(),
+                             .livelock_episodes = nat.livelock_episodes(),
+                             .nat_table_size = nat.nat_table_size(),
+                             .server_freezes = freezes,
+                             .qoe_quits = qoe ? qoe->quits_triggered() : 0,
+                             .players = server.player_series()};
+  return result;
+}
+
+}  // namespace gametrace::core

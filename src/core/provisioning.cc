@@ -1,0 +1,95 @@
+#include "core/provisioning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "net/units.h"
+
+namespace gametrace::core {
+
+PerPlayerDemand PerPlayerDemand::PaperCalibrated() noexcept {
+  PerPlayerDemand d;
+  // Table II means divided by the ~18 players the server averaged.
+  d.pps_in = 437.12 / 18.05;
+  d.pps_out = 360.99 / 18.05;
+  d.bps_in = 341e3 / 18.05;
+  d.bps_out = 542e3 / 18.05;
+  return d;
+}
+
+stats::LineFit FitLoadVsPlayers(const stats::TimeSeries& players,
+                                const stats::TimeSeries& load) {
+  if (players.interval() != load.interval() || players.start_time() != load.start_time()) {
+    throw std::invalid_argument("FitLoadVsPlayers: series not aligned");
+  }
+  const std::size_t n = std::min(players.size(), load.size());
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(n);
+  ys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Skip idle bins (map changes, outages): they are not steady-state
+    // samples of the players->load relationship.
+    if (load[i] <= 0.0) continue;
+    xs.push_back(players[i]);
+    ys.push_back(load[i] / load.interval());  // per-second load
+  }
+  return stats::FitLine(xs, ys);
+}
+
+PerPlayerDemand FitDemand(const stats::TimeSeries& players, const stats::TimeSeries& packets_in,
+                          const stats::TimeSeries& packets_out,
+                          const stats::TimeSeries& bytes_in,
+                          const stats::TimeSeries& bytes_out) {
+  PerPlayerDemand d;
+  d.pps_in = FitLoadVsPlayers(players, packets_in).slope;
+  d.pps_out = FitLoadVsPlayers(players, packets_out).slope;
+  d.bps_in = FitLoadVsPlayers(players, bytes_in).slope * 8.0;
+  d.bps_out = FitLoadVsPlayers(players, bytes_out).slope * 8.0;
+  return d;
+}
+
+ServerDemand DemandFor(const PerPlayerDemand& per_player, int players, double tick_interval,
+                       double server_link_bps) {
+  if (players < 0) throw std::invalid_argument("DemandFor: negative players");
+  ServerDemand demand;
+  demand.pps = per_player.pps_total() * players;
+  demand.bps = per_player.bps_total() * players;
+  demand.burst_packets = per_player.pps_out * players * tick_interval;
+  const double mean_out_wire_bits =
+      players > 0 ? per_player.bps_out / per_player.pps_out : 0.0;
+  demand.burst_span_seconds = demand.burst_packets * mean_out_wire_bits / server_link_bps;
+  return demand;
+}
+
+double CapacityPlanner::BurstLossFraction(double burst_packets, const Device& device) {
+  if (burst_packets <= 0.0) return 0.0;
+  const double absorbed = 1.0 + static_cast<double>(device.buffer_packets);
+  return std::max(0.0, burst_packets - absorbed) / burst_packets;
+}
+
+int CapacityPlanner::MaxServers(const ServerDemand& demand, const Device& device,
+                                double max_utilization) {
+  if (demand.pps <= 0.0) return 0;
+  int servers = 0;
+  while (true) {
+    const int candidate = servers + 1;
+    const double utilization = demand.pps * candidate / device.capacity_pps;
+    const double burst = demand.burst_packets * candidate;
+    if (utilization > max_utilization || BurstLossFraction(burst, device) > 0.0) break;
+    servers = candidate;
+    if (servers > 10000) break;  // defensive: effectively unlimited
+  }
+  return servers;
+}
+
+double CapacityPlanner::BurstTailDelay(double burst_packets, const Device& device) {
+  if (burst_packets <= 0.0) return 0.0;
+  const double in_queue = std::min(burst_packets - 1.0,
+                                   static_cast<double>(device.buffer_packets));
+  return std::max(0.0, in_queue) / device.capacity_pps;
+}
+
+}  // namespace gametrace::core

@@ -1,0 +1,121 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace gametrace::core {
+
+TableReport::TableReport(std::string title) : title_(std::move(title)) {}
+
+void TableReport::AddRow(std::string label, std::string value) {
+  rows_.emplace_back(std::move(label), std::move(value));
+}
+
+void TableReport::AddCount(std::string label, std::uint64_t count) {
+  AddRow(std::move(label), FormatCount(count));
+}
+
+void TableReport::AddValue(std::string label, double value, std::string_view unit,
+                           int precision) {
+  std::string text = FormatDouble(value, precision);
+  if (!unit.empty()) {
+    text += ' ';
+    text += unit;
+  }
+  AddRow(std::move(label), std::move(text));
+}
+
+void TableReport::Print(std::ostream& out) const {
+  std::size_t label_width = 0;
+  std::size_t value_width = 0;
+  for (const auto& [label, value] : rows_) {
+    label_width = std::max(label_width, label.size());
+    value_width = std::max(value_width, value.size());
+  }
+  const std::size_t total = label_width + value_width + 5;
+  out << '\n' << title_ << '\n' << std::string(total, '-') << '\n';
+  for (const auto& [label, value] : rows_) {
+    out << "  " << std::left << std::setw(static_cast<int>(label_width)) << label << " : "
+        << std::right << std::setw(static_cast<int>(value_width)) << value << '\n';
+  }
+  out << std::string(total, '-') << '\n';
+}
+
+void PrintSeries(std::ostream& out, const stats::TimeSeries& series, std::string_view name,
+                 std::size_t max_points) {
+  out << "\n# series: " << name << "  (interval " << series.interval() << " s, "
+      << series.size() << " bins)\n";
+  if (series.empty()) return;
+  const std::size_t stride =
+      max_points > 0 && series.size() > max_points ? series.size() / max_points : 1;
+  if (stride > 1) out << "# downsampled: every " << stride << "th bin of " << series.size() << "\n";
+  for (std::size_t i = 0; i < series.size(); i += stride) {
+    out << series.bin_time(i) << ' ' << series[i] << '\n';
+  }
+}
+
+void PrintHistogram(std::ostream& out, const stats::Histogram& histogram, std::string_view name,
+                    bool cdf, bool normalized) {
+  out << "\n# histogram: " << name << "  (" << histogram.bin_count() << " bins, "
+      << FormatCount(histogram.total()) << " samples";
+  if (histogram.overflow() > 0) out << ", " << histogram.overflow() << " above range";
+  if (histogram.underflow() > 0) out << ", " << histogram.underflow() << " below range";
+  out << ")\n";
+  if (cdf) {
+    const auto values = histogram.Cdf();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out << histogram.bin_center(i) << ' ' << values[i] << '\n';
+    }
+    return;
+  }
+  if (normalized) {
+    const auto values = histogram.Pdf();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out << histogram.bin_center(i) << ' ' << values[i] << '\n';
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < histogram.bin_count(); ++i) {
+    out << histogram.bin_center(i) << ' ' << histogram.count(i) << '\n';
+  }
+}
+
+std::string FormatCount(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int counter = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counter > 0 && counter % 3 == 0) out += ',';
+    out += *it;
+    ++counter;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string FormatDuration(double seconds) {
+  const auto total = static_cast<std::uint64_t>(std::llround(seconds));
+  const std::uint64_t days = total / 86400;
+  const std::uint64_t hours = (total % 86400) / 3600;
+  const std::uint64_t minutes = (total % 3600) / 60;
+  const std::uint64_t secs = total % 60;
+  std::ostringstream out;
+  out << days << " d, " << hours << " h, " << minutes << " m, " << secs << " s";
+  return out.str();
+}
+
+std::string FormatGigabytes(std::uint64_t bytes) {
+  return FormatDouble(static_cast<double>(bytes) / 1e9, 2) + " GB";
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+}  // namespace gametrace::core

@@ -1,0 +1,52 @@
+// Fixed-width table and gnuplot-ready series printing for the bench
+// binaries that regenerate the paper's tables and figures.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "stats/time_series.h"
+
+namespace gametrace::core {
+
+// Two-column key/value table in the style of the paper's Tables I-IV.
+class TableReport {
+ public:
+  explicit TableReport(std::string title);
+
+  void AddRow(std::string label, std::string value);
+  void AddCount(std::string label, std::uint64_t count);
+  void AddValue(std::string label, double value, std::string_view unit, int precision = 2);
+
+  void Print(std::ostream& out) const;
+
+ private:
+  std::string title_;
+  std::vector<std::pair<std::string, std::string>> rows_;
+};
+
+// "# name"-headed two-column (x, y) series, optionally downsampled to at
+// most `max_points` evenly-spaced points so figure benches stay readable.
+void PrintSeries(std::ostream& out, const stats::TimeSeries& series, std::string_view name,
+                 std::size_t max_points = 0);
+
+// Histogram as (bin_center, pdf-or-count) rows; cumulative when `cdf`.
+void PrintHistogram(std::ostream& out, const stats::Histogram& histogram, std::string_view name,
+                    bool cdf = false, bool normalized = true);
+
+// 500000000 -> "500,000,000".
+[[nodiscard]] std::string FormatCount(std::uint64_t value);
+
+// 626477 s -> "7 d, 6 h, 1 m, 17 s".
+[[nodiscard]] std::string FormatDuration(double seconds);
+
+// Bytes -> "64.42 GB" (decimal GB, as the paper uses).
+[[nodiscard]] std::string FormatGigabytes(std::uint64_t bytes);
+
+[[nodiscard]] std::string FormatDouble(double value, int precision);
+
+}  // namespace gametrace::core

@@ -1,0 +1,49 @@
+#include "game/client.h"
+
+#include <algorithm>
+
+#include "sim/random.h"
+
+namespace gametrace::game {
+
+ClientProfile DrawProfile(const ClientMixConfig& mix, sim::Rng& rng) {
+  ClientProfile profile;
+  const double u = rng.NextDouble();
+  double mean = mix.modem_rate_mean;
+  double stddev = mix.modem_rate_stddev;
+  if (u < mix.l337_fraction) {
+    profile.cls = ClientClass::kL337;
+    profile.snapshots_per_tick = std::max(1, mix.l337_snapshots_per_tick);
+    mean = mix.l337_rate_mean;
+    stddev = mix.l337_rate_stddev;
+  } else if (u < mix.l337_fraction + mix.broadband_fraction) {
+    profile.cls = ClientClass::kBroadband;
+    mean = mix.broadband_rate_mean;
+    stddev = mix.broadband_rate_stddev;
+  }
+  profile.update_rate = std::max(5.0, sim::Normal(rng, mean, stddev));
+  return profile;
+}
+
+net::Ipv4Address IdentityIp(std::size_t index) noexcept {
+  // Bit-reverse the low 24 bits of the index into the host part of 10/8.
+  std::uint32_t host = static_cast<std::uint32_t>(index) & 0x00ffffffu;
+  std::uint32_t reversed = 0;
+  for (int i = 0; i < 24; ++i) {
+    reversed = (reversed << 1) | (host & 1u);
+    host >>= 1;
+  }
+  return net::Ipv4Address((10u << 24) | reversed);
+}
+
+std::uint16_t DrawEphemeralPort(sim::Rng& rng) noexcept {
+  return static_cast<std::uint16_t>(1024 + rng.NextBelow(64511));
+}
+
+double NextSendGap(const ClientProfile& profile, double jitter, sim::Rng& rng) noexcept {
+  const double base = 1.0 / profile.update_rate;
+  const double factor = 1.0 + jitter * (2.0 * rng.NextDouble() - 1.0);
+  return base * std::max(0.05, factor);
+}
+
+}  // namespace gametrace::game

@@ -1,0 +1,53 @@
+// Client profiles and identities.
+//
+// A profile fixes a client's network class (modem / broadband / "l337") and
+// update rate; an identity is a stable IP drawn from the community pool so
+// the same simulated person reconnecting is recognisable in the trace.
+#pragma once
+
+#include <cstdint>
+
+#include "game/config.h"
+#include "net/ip.h"
+#include "sim/rng.h"
+
+namespace gametrace::game {
+
+struct ClientProfile {
+  ClientClass cls = ClientClass::kModem;
+  double update_rate = 24.3;   // client -> server packets per second
+  int snapshots_per_tick = 1;  // server -> client packets per 50 ms tick
+};
+
+// Draws a profile from the configured population mix. The update rate is
+// itself random per client (different machines, different fps).
+[[nodiscard]] ClientProfile DrawProfile(const ClientMixConfig& mix, sim::Rng& rng);
+
+// Stable IP for pool identity `index`: a deterministic, collision-free
+// mapping into 10.0.0.0/8 (bit-reversed so consecutive identities do not
+// share prefixes - matters for the route-cache ablation).
+[[nodiscard]] net::Ipv4Address IdentityIp(std::size_t index) noexcept;
+
+// Random ephemeral source port for a new session.
+[[nodiscard]] std::uint16_t DrawEphemeralPort(sim::Rng& rng) noexcept;
+
+// Gap until the client's next update packet: 1/rate with multiplicative
+// jitter of +/- mix.send_jitter (clients run off their own frame clock).
+[[nodiscard]] double NextSendGap(const ClientProfile& profile, double jitter,
+                                 sim::Rng& rng) noexcept;
+
+// State of a connected client, owned by CsServer.
+struct ActiveClient {
+  std::uint64_t session_id = 0;
+  std::size_t identity = 0;
+  net::Ipv4Address ip;
+  std::uint16_t port = 0;
+  ClientProfile profile;
+  double joined_at = 0.0;
+  double next_send = 0.0;  // absolute time of the next inbound update
+  // Netchannel sequence counters (next value to assign, starting at 1).
+  std::uint32_t seq_in = 1;   // client -> server channel
+  std::uint32_t seq_out = 1;  // server -> client channel
+};
+
+}  // namespace gametrace::game

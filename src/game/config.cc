@@ -1,0 +1,34 @@
+#include "game/config.h"
+
+#include <stdexcept>
+
+namespace gametrace::game {
+
+GameConfig GameConfig::PaperDefaults() {
+  GameConfig cfg;
+  cfg.diurnal = sim::DiurnalCurve::BusyServerDefault();
+  // The trace started "Thu Apr 11 08:55:04": t = 0 is 08:55 local, so
+  // scaled (shorter) runs sample daytime hours, not the overnight trough.
+  cfg.diurnal.set_phase_offset(8.0 * 3600.0 + 55.0 * 60.0);
+  // The paper's outages fell on April 12, 14 and 17 of an April 11-18 trace:
+  // roughly 1.1, 3.4 and 6.2 days in.
+  cfg.outages.times = {1.1 * 86400.0, 3.4 * 86400.0, 6.2 * 86400.0};
+  return cfg;
+}
+
+GameConfig GameConfig::ScaledDefaults(double duration_seconds) {
+  if (!(duration_seconds > 0.0)) {
+    throw std::invalid_argument("GameConfig::ScaledDefaults: duration must be positive");
+  }
+  GameConfig cfg = PaperDefaults();
+  const double scale = duration_seconds / cfg.trace_duration;
+  for (auto& t : cfg.outages.times) t *= scale;
+  // Drop outages that would land inside the first map (short runs would be
+  // dominated by the reconnect transient otherwise).
+  std::erase_if(cfg.outages.times,
+                [&](double t) { return t < cfg.maps.map_duration || t >= duration_seconds; });
+  cfg.trace_duration = duration_seconds;
+  return cfg;
+}
+
+}  // namespace gametrace::game

@@ -1,0 +1,139 @@
+// The simulated Counter-Strike server: ties the tick engine, session churn,
+// map rotation, downloads and outages together and emits the packet stream
+// a tcpdump next to the real server would have captured.
+//
+// Timestamps emitted within one 50 ms tick may be mildly out of order
+// across traffic classes (the tick handler pre-dates client sends inside
+// the tick window); all library sinks bin or track by timestamp, so this
+// is harmless, but consumers requiring strict ordering should re-sort
+// within a 1-tick horizon (the NAT injector in router/nat_device.h does
+// exactly that via event scheduling).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "game/client.h"
+#include "game/config.h"
+#include "game/download.h"
+#include "game/map_rotation.h"
+#include "game/outage.h"
+#include "game/packet_size_model.h"
+#include "game/server_tick.h"
+#include "game/session_model.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "stats/time_series.h"
+#include "trace/capture.h"
+
+namespace gametrace::game {
+
+// Observer for server-side (game-log) events. Default implementations are
+// no-ops so listeners override only what they need.
+class ServerEventListener {
+ public:
+  virtual ~ServerEventListener() = default;
+  virtual void OnConnect(double /*t*/, const ActiveClient& /*client*/) {}
+  virtual void OnRefuse(double /*t*/, net::Ipv4Address /*ip*/, std::uint16_t /*port*/) {}
+  virtual void OnDisconnect(double /*t*/, const ActiveClient& /*client*/, bool /*orderly*/) {}
+  virtual void OnMapStart(double /*t*/, int /*map_number*/) {}
+  virtual void OnOutage(double /*t*/, bool /*begin*/) {}
+};
+
+class CsServer {
+ public:
+  // Ground truth the packet trace cannot see directly (server-log style).
+  struct Stats {
+    std::uint64_t attempts = 0;
+    std::uint64_t established = 0;
+    std::uint64_t refused = 0;
+    std::uint64_t orderly_disconnects = 0;
+    std::uint64_t outage_disconnects = 0;
+    std::uint64_t unique_attempting = 0;
+    std::uint64_t unique_establishing = 0;
+    int maps_played = 0;
+    std::uint64_t rounds_played = 0;
+    int peak_players = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t packets_emitted = 0;
+    std::uint64_t downloads_started = 0;
+  };
+
+  // `sink` receives every emitted packet and must outlive the server.
+  CsServer(sim::Simulator& simulator, GameConfig config, trace::CaptureSink& sink);
+
+  CsServer(const CsServer&) = delete;
+  CsServer& operator=(const CsServer&) = delete;
+
+  // Schedules all activity starting at the current simulation time.
+  void Start();
+
+  // Convenience: Start() then run the simulator to config().trace_duration.
+  void Run();
+
+  [[nodiscard]] const GameConfig& config() const noexcept { return config_; }
+  [[nodiscard]] int active_players() const noexcept { return static_cast<int>(clients_.size()); }
+  [[nodiscard]] Stats stats() const;
+
+  // Player count sampled once per minute (paper Figure 3).
+  [[nodiscard]] const stats::TimeSeries& player_series() const noexcept { return players_; }
+
+  // Freezes the server's outbound broadcast for `seconds` from now, without
+  // stopping client sends - the game-freeze feedback the NAT experiment
+  // exhibits when inbound updates are lost (paper section IV-A).
+  void InduceStall(double seconds);
+
+  // Disconnects the session currently using this client endpoint (a player
+  // quitting - the QoE self-tuning path). Returns false if no such player
+  // is connected.
+  bool DisconnectByEndpoint(net::Ipv4Address ip, std::uint16_t port, bool orderly = true);
+
+  // Registers a game-log observer; borrowed, must outlive the server.
+  void AddListener(ServerEventListener& listener) { listeners_.push_back(&listener); }
+
+ private:
+  void OnTick(double t);
+  void HandleAttempt(std::size_t identity, bool is_retry);
+  void Depart(std::uint64_t session_id, bool orderly);
+  void OnOutageBegin(double t);
+  void OnOutageEnd(double t);
+  void OnMapStart(double t);
+  void Emit(double t, net::Direction direction, net::PacketKind kind, std::uint16_t bytes,
+            net::Ipv4Address ip, std::uint16_t port, std::uint32_t seq = 0);
+
+  sim::Simulator* simulator_;
+  GameConfig config_;
+  trace::CaptureSink* sink_;
+  sim::Rng rng_;
+  PacketSizeModel size_model_;
+  TickEngine tick_engine_;
+  TickEngine minute_sampler_;
+  MapRotation map_rotation_;
+  std::unique_ptr<SessionModel> session_model_;
+  std::unique_ptr<DownloadManager> downloads_;
+  OutageSchedule outages_;
+
+  std::vector<ActiveClient> clients_;
+  std::vector<ServerEventListener*> listeners_;
+  std::unordered_set<std::uint64_t> live_sessions_;
+  std::unordered_map<std::size_t, int> retry_counts_;
+  std::unordered_set<std::size_t> attempted_ids_;
+  std::unordered_set<std::size_t> established_ids_;
+  stats::TimeSeries players_;
+  std::uint64_t next_session_id_ = 1;
+  double stall_until_ = 0.0;
+  bool started_ = false;
+
+  std::uint64_t attempts_ = 0;
+  std::uint64_t established_count_ = 0;
+  std::uint64_t refused_ = 0;
+  std::uint64_t orderly_disconnects_ = 0;
+  std::uint64_t outage_disconnects_ = 0;
+  int peak_players_ = 0;
+  std::uint64_t packets_emitted_ = 0;
+};
+
+}  // namespace gametrace::game

@@ -1,0 +1,54 @@
+#include "game/download.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/random.h"
+
+namespace gametrace::game {
+
+DownloadManager::DownloadManager(sim::Simulator& simulator, const DownloadConfig& config,
+                                 sim::Rng rng, ChunkEmitter emit, SessionAlive alive)
+    : simulator_(&simulator),
+      config_(config),
+      rng_(rng),
+      emit_(std::move(emit)),
+      alive_(std::move(alive)) {
+  if (!emit_ || !alive_) throw std::invalid_argument("DownloadManager: missing callback");
+}
+
+void DownloadManager::OnJoin(std::uint64_t session_id, net::Ipv4Address ip, std::uint16_t port) {
+  if (sim::Bernoulli(rng_, config_.join_probability)) StartTransfer(session_id, ip, port);
+}
+
+void DownloadManager::OnMapChange(std::uint64_t session_id, net::Ipv4Address ip,
+                                  std::uint16_t port) {
+  if (sim::Bernoulli(rng_, config_.map_change_probability)) StartTransfer(session_id, ip, port);
+}
+
+void DownloadManager::StartTransfer(std::uint64_t session_id, net::Ipv4Address ip,
+                                    std::uint16_t port) {
+  ++started_;
+  const double size = std::max(
+      config_.min_bytes, sim::LognormalFromMoments(rng_, config_.mean_bytes, config_.stddev_bytes));
+  SendChunk(session_id, ip, port, size);
+}
+
+void DownloadManager::SendChunk(std::uint64_t session_id, net::Ipv4Address ip,
+                                std::uint16_t port, double remaining_bytes) {
+  if (remaining_bytes <= 0.0 || !alive_(session_id)) return;
+  const double chunk =
+      std::min(remaining_bytes, sim::Uniform(rng_, config_.chunk_min, config_.chunk_max));
+  const auto payload = static_cast<std::uint16_t>(std::max(1.0, chunk));
+  ++chunks_;
+  bytes_ += payload;
+  emit_(payload, ip, port);
+  // The rate limiter spaces chunks so the flow averages rate_limit_bps.
+  const double gap = static_cast<double>(payload) * 8.0 / config_.rate_limit_bps;
+  simulator_->After(gap, [this, session_id, ip, port, rest = remaining_bytes - chunk] {
+    SendChunk(session_id, ip, port, rest);
+  });
+}
+
+}  // namespace gametrace::game

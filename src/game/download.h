@@ -1,0 +1,55 @@
+// Rate-limited map/logo downloads.
+//
+// "These downloads are rate-limited at the server" (paper section II): each
+// transfer streams fixed-size chunks at the configured bit rate until the
+// drawn transfer size is exhausted or the recipient leaves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "game/config.h"
+#include "net/ip.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace gametrace::game {
+
+class DownloadManager {
+ public:
+  // Emits one download chunk: (time implied by simulator clock, payload
+  // bytes, recipient). The emitter owns packet-record construction.
+  using ChunkEmitter =
+      std::function<void(std::uint16_t bytes, net::Ipv4Address ip, std::uint16_t port)>;
+  // Queried before each chunk so transfers die with their session.
+  using SessionAlive = std::function<bool(std::uint64_t session_id)>;
+
+  DownloadManager(sim::Simulator& simulator, const DownloadConfig& config, sim::Rng rng,
+                  ChunkEmitter emit, SessionAlive alive);
+
+  // Rolls the join-time download dice for a new session.
+  void OnJoin(std::uint64_t session_id, net::Ipv4Address ip, std::uint16_t port);
+
+  // Rolls the map-change dice for an already-connected session.
+  void OnMapChange(std::uint64_t session_id, net::Ipv4Address ip, std::uint16_t port);
+
+  [[nodiscard]] std::uint64_t transfers_started() const noexcept { return started_; }
+  [[nodiscard]] std::uint64_t chunks_sent() const noexcept { return chunks_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_; }
+
+ private:
+  void StartTransfer(std::uint64_t session_id, net::Ipv4Address ip, std::uint16_t port);
+  void SendChunk(std::uint64_t session_id, net::Ipv4Address ip, std::uint16_t port,
+                 double remaining_bytes);
+
+  sim::Simulator* simulator_;
+  DownloadConfig config_;
+  sim::Rng rng_;
+  ChunkEmitter emit_;
+  SessionAlive alive_;
+  std::uint64_t started_ = 0;
+  std::uint64_t chunks_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace gametrace::game

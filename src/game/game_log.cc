@@ -1,0 +1,138 @@
+#include "game/game_log.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace gametrace::game {
+
+namespace {
+
+// Trace epoch: Thu Apr 11 2002, 08:55:04 (paper Table I).
+constexpr int kEpochYear = 2002;
+constexpr int kEpochMonth = 4;
+constexpr int kEpochDay = 11;
+constexpr std::uint64_t kEpochSecondsIntoDay = 8ull * 3600 + 55ull * 60 + 4;
+
+constexpr std::array<int, 13> kMonthDays = {0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+}  // namespace
+
+std::string LogTimestamp(double t_seconds) {
+  std::uint64_t total = kEpochSecondsIntoDay + static_cast<std::uint64_t>(std::floor(t_seconds));
+  int day = kEpochDay;
+  int month = kEpochMonth;
+  int year = kEpochYear;  // 2002 is not a leap year; no Feb 29 handling needed
+  std::uint64_t days = total / 86400;
+  total %= 86400;
+  while (days > 0) {
+    ++day;
+    if (day > kMonthDays[static_cast<std::size_t>(month)]) {
+      day = 1;
+      ++month;
+      if (month > 12) {
+        month = 1;
+        ++year;
+      }
+    }
+    --days;
+  }
+  std::ostringstream out;
+  out << std::setfill('0') << std::setw(2) << month << '/' << std::setw(2) << day << '/'
+      << year << " - " << std::setw(2) << (total / 3600) << ':' << std::setw(2)
+      << ((total % 3600) / 60) << ':' << std::setw(2) << (total % 60);
+  return out.str();
+}
+
+const std::vector<std::string>& ClassicMapRotation() {
+  static const std::vector<std::string> kMaps = {
+      "de_dust",  "de_dust2", "cs_italy", "de_aztec",
+      "cs_office", "de_train", "de_nuke",  "cs_assault"};
+  return kMaps;
+}
+
+GameLogWriter::GameLogWriter(std::ostream& out) : out_(&out) {
+  Line(0.0, "Log file started (gametrace simulated HLDS)");
+}
+
+void GameLogWriter::Line(double t, const std::string& text) {
+  (*out_) << "L " << LogTimestamp(t) << ": " << text << '\n';
+  ++lines_;
+}
+
+namespace {
+std::string PlayerTag(const ActiveClient& client) {
+  std::ostringstream tag;
+  tag << "\"Player_" << client.identity << '<' << client.session_id << "><"
+      << client.ip.ToString() << ':' << client.port << ">\"";
+  return tag.str();
+}
+}  // namespace
+
+void GameLogWriter::OnConnect(double t, const ActiveClient& client) {
+  Line(t, PlayerTag(client) + " connected");
+}
+
+void GameLogWriter::OnRefuse(double t, net::Ipv4Address ip, std::uint16_t port) {
+  Line(t, "Refused connection from " + ip.ToString() + ':' + std::to_string(port) +
+              " (server full)");
+}
+
+void GameLogWriter::OnDisconnect(double t, const ActiveClient& client, bool orderly) {
+  Line(t, PlayerTag(client) + (orderly ? " disconnected" : " timed out"));
+}
+
+void GameLogWriter::OnMapStart(double t, int map_number) {
+  const auto& rotation = ClassicMapRotation();
+  const std::string& name =
+      rotation[static_cast<std::size_t>(map_number - 1) % rotation.size()];
+  Line(t, "Loading map \"" + name + "\" (map " + std::to_string(map_number) + ")");
+}
+
+void GameLogWriter::OnOutage(double t, bool begin) {
+  Line(t, begin ? "WARNING: network unreachable (outage begin)"
+                : "Network restored (outage end)");
+}
+
+GameLogSummary ParseGameLog(std::istream& in) {
+  GameLogSummary summary;
+  std::string line;
+  int concurrent = 0;
+  while (std::getline(in, line)) {
+    ++summary.lines;
+    if (line.rfind("L ", 0) != 0) {
+      ++summary.unparsed;
+      continue;
+    }
+    if (line.find(" connected") != std::string::npos) {
+      ++summary.connects;
+      ++concurrent;
+      summary.max_concurrent = std::max(summary.max_concurrent, concurrent);
+    } else if (line.find(" disconnected") != std::string::npos) {
+      ++summary.disconnects;
+      --concurrent;
+    } else if (line.find(" timed out") != std::string::npos) {
+      ++summary.disconnects;
+      ++summary.timeouts;
+      --concurrent;
+    } else if (line.find("Refused connection") != std::string::npos) {
+      ++summary.refusals;
+    } else if (line.find("Loading map") != std::string::npos) {
+      ++summary.maps_started;
+    } else if (line.find("outage begin") != std::string::npos) {
+      ++summary.outages;
+    } else if (line.find("outage end") != std::string::npos ||
+               line.find("Log file started") != std::string::npos) {
+      // recognised, nothing to count
+    } else {
+      ++summary.unparsed;
+    }
+  }
+  return summary;
+}
+
+}  // namespace gametrace::game

@@ -1,0 +1,65 @@
+// HLDS-style server log writer and parser.
+//
+// The paper offers "the trace and associated game log file" as the release
+// artifact; this module produces the log side: timestamped connect /
+// disconnect / map-change lines in the classic Half-Life dedicated-server
+// format, plus a parser that reconstructs Table I statistics from the log
+// alone (the cross-check the paper's authors had between tcpdump and HLDS
+// logs).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "game/cs_server.h"
+
+namespace gametrace::game {
+
+// Converts seconds-from-trace-start to the trace's wall-clock:
+// "Thu Apr 11 08:55:04 2002" + t, formatted "MM/DD/YYYY - HH:MM:SS".
+[[nodiscard]] std::string LogTimestamp(double t_seconds);
+
+// Writes one log line per server event to the supplied stream (borrowed;
+// must outlive the writer). Attach with CsServer::AddListener.
+class GameLogWriter final : public ServerEventListener {
+ public:
+  explicit GameLogWriter(std::ostream& out);
+
+  void OnConnect(double t, const ActiveClient& client) override;
+  void OnRefuse(double t, net::Ipv4Address ip, std::uint16_t port) override;
+  void OnDisconnect(double t, const ActiveClient& client, bool orderly) override;
+  void OnMapStart(double t, int map_number) override;
+  void OnOutage(double t, bool begin) override;
+
+  [[nodiscard]] std::uint64_t lines_written() const noexcept { return lines_; }
+
+ private:
+  void Line(double t, const std::string& text);
+
+  std::ostream* out_;
+  std::uint64_t lines_ = 0;
+};
+
+// The classic rotation the server cycles through.
+[[nodiscard]] const std::vector<std::string>& ClassicMapRotation();
+
+// Statistics reconstructed from a log stream.
+struct GameLogSummary {
+  std::uint64_t connects = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t timeouts = 0;  // non-orderly ("timed out") disconnects
+  std::uint64_t refusals = 0;
+  int maps_started = 0;
+  int outages = 0;
+  int max_concurrent = 0;   // running connect-disconnect balance peak
+  std::uint64_t lines = 0;
+  std::uint64_t unparsed = 0;
+};
+
+// Parses a log produced by GameLogWriter (tolerant of unknown lines, which
+// are counted in `unparsed`).
+[[nodiscard]] GameLogSummary ParseGameLog(std::istream& in);
+
+}  // namespace gametrace::game

@@ -1,0 +1,57 @@
+#include "game/map_rotation.h"
+
+#include <algorithm>
+
+#include "sim/random.h"
+
+namespace gametrace::game {
+
+MapRotation::MapRotation(sim::Simulator& simulator, const MapConfig& config, sim::Rng rng)
+    : simulator_(&simulator), config_(config), rng_(rng) {}
+
+void MapRotation::Start() {
+  if (started_) return;
+  started_ = true;
+  BeginMap();
+}
+
+void MapRotation::BeginMap() {
+  stalled_ = false;
+  ++map_epoch_;
+  ++maps_played_;
+  if (callbacks_.on_map_start) callbacks_.on_map_start(simulator_->Now());
+  round_started_at_ = simulator_->Now();
+  ScheduleNextRound();
+  simulator_->After(config_.map_duration, [this] { BeginStall(); });
+}
+
+void MapRotation::BeginStall() {
+  stalled_ = true;
+  if (callbacks_.on_stall_begin) callbacks_.on_stall_begin(simulator_->Now());
+  const double stall =
+      std::max(1.0, config_.changeover_stall_mean +
+                        sim::Uniform(rng_, -config_.changeover_stall_jitter,
+                                     config_.changeover_stall_jitter));
+  simulator_->After(stall, [this] { BeginMap(); });
+}
+
+void MapRotation::ScheduleNextRound() {
+  const double duration = std::max(
+      config_.round_min_duration, sim::Exponential(rng_, config_.round_mean_duration));
+  simulator_->After(duration, [this, epoch = map_epoch_] {
+    // A stale chain from before the last map change must not continue -
+    // each map runs exactly one round chain.
+    if (stalled_ || epoch != map_epoch_) return;
+    ++rounds_played_;
+    round_started_at_ = simulator_->Now();
+    ScheduleNextRound();
+  });
+}
+
+double MapRotation::activity_factor() const noexcept {
+  if (!started_ || stalled_) return 1.0;
+  const double into_round = simulator_->Now() - round_started_at_;
+  return into_round < config_.buy_time ? config_.buy_time_activity : 1.0;
+}
+
+}  // namespace gametrace::game

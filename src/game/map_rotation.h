@@ -1,0 +1,62 @@
+// Map rotation and round structure.
+//
+// Every ~30 minutes the server loads a new map and goes quiet for several
+// seconds ("this down time is due completely to the server doing local
+// tasks"); those stalls are the source of the mid-scale variance in the
+// paper's Figure 5 and the periodic dips in Figure 9. Rounds subdivide a
+// map and modulate client activity slightly (buy time).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "game/config.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace gametrace::game {
+
+class MapRotation {
+ public:
+  struct Callbacks {
+    std::function<void(double)> on_stall_begin;  // map change starts
+    std::function<void(double)> on_map_start;    // new map is live
+  };
+
+  MapRotation(sim::Simulator& simulator, const MapConfig& config, sim::Rng rng);
+
+  void SetCallbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  // Starts the first map at the current simulation time.
+  void Start();
+
+  // True while the server is switching maps (no traffic either way).
+  [[nodiscard]] bool stalled() const noexcept { return stalled_; }
+
+  // Inbound activity multiplier: < 1 during the buy-time seconds at the
+  // start of each round, 1 otherwise.
+  [[nodiscard]] double activity_factor() const noexcept;
+
+  [[nodiscard]] int maps_played() const noexcept { return maps_played_; }
+  [[nodiscard]] std::uint64_t rounds_played() const noexcept { return rounds_played_; }
+
+ private:
+  void BeginMap();
+  void BeginStall();
+  void ScheduleNextRound();
+
+  sim::Simulator* simulator_;
+  MapConfig config_;
+  sim::Rng rng_;
+  Callbacks callbacks_;
+  bool stalled_ = false;
+  bool started_ = false;
+  // Round events carry the epoch they were scheduled in; a map change
+  // bumps the epoch so stale round chains from the previous map die off.
+  std::uint64_t map_epoch_ = 0;
+  int maps_played_ = 0;
+  std::uint64_t rounds_played_ = 0;
+  double round_started_at_ = 0.0;
+};
+
+}  // namespace gametrace::game

@@ -1,0 +1,26 @@
+#include "game/outage.h"
+
+#include <utility>
+
+namespace gametrace::game {
+
+OutageSchedule::OutageSchedule(sim::Simulator& simulator, const OutageConfig& config,
+                               Callbacks callbacks)
+    : simulator_(&simulator), config_(config), callbacks_(std::move(callbacks)) {}
+
+void OutageSchedule::Start(double trace_end) {
+  for (const double t : config_.times) {
+    if (t < simulator_->Now() || t >= trace_end) continue;
+    simulator_->At(t, [this] {
+      active_ = true;
+      ++begun_;
+      if (callbacks_.on_begin) callbacks_.on_begin(simulator_->Now());
+      simulator_->After(config_.duration, [this] {
+        active_ = false;
+        if (callbacks_.on_end) callbacks_.on_end(simulator_->Now());
+      });
+    });
+  }
+}
+
+}  // namespace gametrace::game

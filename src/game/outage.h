@@ -1,0 +1,41 @@
+// Scheduled network outages.
+//
+// The paper's trace includes three brief outages (Apr 12/14/17): all players
+// were disconnected "at identical points in time", some reconnected
+// immediately, many returned only minutes later via server rediscovery.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "game/config.h"
+#include "sim/simulator.h"
+
+namespace gametrace::game {
+
+class OutageSchedule {
+ public:
+  struct Callbacks {
+    std::function<void(double)> on_begin;
+    std::function<void(double)> on_end;
+  };
+
+  OutageSchedule(sim::Simulator& simulator, const OutageConfig& config, Callbacks callbacks);
+
+  // Registers outage events for every configured time inside
+  // [now, trace_end).
+  void Start(double trace_end);
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] int outages_begun() const noexcept { return begun_; }
+  [[nodiscard]] const OutageConfig& config() const noexcept { return config_; }
+
+ private:
+  sim::Simulator* simulator_;
+  OutageConfig config_;
+  Callbacks callbacks_;
+  bool active_ = false;
+  int begun_ = 0;
+};
+
+}  // namespace gametrace::game

@@ -1,0 +1,41 @@
+// Application-payload size draws for every packet class the server emits or
+// receives. Reproduces the paper's Figure 12/13 distributions: a narrow
+// inbound peak at 40 B and a wide, player-count-dependent outbound spread.
+#pragma once
+
+#include <cstdint>
+
+#include "game/config.h"
+#include "net/packet.h"
+#include "sim/rng.h"
+
+namespace gametrace::game {
+
+class PacketSizeModel {
+ public:
+  explicit PacketSizeModel(const SizeConfig& config);
+
+  // Client -> server periodic state update.
+  [[nodiscard]] std::uint16_t InboundUpdate(sim::Rng& rng) const;
+
+  // Server -> client state broadcast; grows with the player count since the
+  // snapshot carries every player's coordinates.
+  [[nodiscard]] std::uint16_t OutboundUpdate(sim::Rng& rng, int connected_players) const;
+
+  // Broadcast text/voice payload (either direction).
+  [[nodiscard]] std::uint16_t ChatPayload(sim::Rng& rng) const;
+
+  // True when this update should be replaced by a chat payload.
+  [[nodiscard]] bool DrawChatSubstitution(sim::Rng& rng) const;
+
+  // Control-plane packets; slight jitter so they are not a single histogram
+  // spike.
+  [[nodiscard]] std::uint16_t HandshakeSize(net::PacketKind kind, sim::Rng& rng) const;
+
+  [[nodiscard]] const SizeConfig& config() const noexcept { return config_; }
+
+ private:
+  SizeConfig config_;
+};
+
+}  // namespace gametrace::game

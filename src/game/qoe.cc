@@ -1,0 +1,72 @@
+#include "game/qoe.h"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace gametrace::game {
+
+QoeMonitor::QoeMonitor(sim::Simulator& simulator, const Config& config, sim::Rng rng,
+                       QuitFn quit)
+    : simulator_(&simulator), config_(config), rng_(rng), quit_(std::move(quit)) {
+  if (!quit_) throw std::invalid_argument("QoeMonitor: empty quit callback");
+  if (!(config.check_interval > 0.0)) {
+    throw std::invalid_argument("QoeMonitor: check interval must be positive");
+  }
+  if (config.tolerance_min > config.tolerance_max) {
+    throw std::invalid_argument("QoeMonitor: tolerance band inverted");
+  }
+}
+
+void QoeMonitor::Start() {
+  if (started_) return;
+  started_ = true;
+  simulator_->After(config_.check_interval, [this] { Check(); });
+}
+
+QoeMonitor::EndpointState& QoeMonitor::Touch(const net::PacketRecord& record) {
+  EndpointState& state = endpoints_[Key(record.client_ip, record.client_port)];
+  if (!state.tolerance_set) {
+    state.tolerance = sim::Uniform(rng_, config_.tolerance_min, config_.tolerance_max);
+    state.tolerance_set = true;
+  }
+  return state;
+}
+
+void QoeMonitor::OnDelivered(const net::PacketRecord& record) { ++Touch(record).delivered; }
+
+void QoeMonitor::OnLost(const net::PacketRecord& record) { ++Touch(record).lost; }
+
+double QoeMonitor::WindowLossRate(net::Ipv4Address ip, std::uint16_t port) const {
+  const auto it = endpoints_.find(Key(ip, port));
+  if (it == endpoints_.end()) return 0.0;
+  const auto total = it->second.delivered + it->second.lost;
+  return total > 0 ? static_cast<double>(it->second.lost) / static_cast<double>(total) : 0.0;
+}
+
+void QoeMonitor::Check() {
+  std::vector<std::uint64_t> quitting;
+  for (auto& [key, state] : endpoints_) {
+    const std::uint64_t total = state.delivered + state.lost;
+    if (total >= config_.min_events) {
+      const double loss = static_cast<double>(state.lost) / static_cast<double>(total);
+      if (loss > state.tolerance && sim::Bernoulli(rng_, config_.quit_probability)) {
+        quitting.push_back(key);
+      }
+    }
+    // Each check starts a fresh observation window.
+    state.delivered = 0;
+    state.lost = 0;
+  }
+  for (const std::uint64_t key : quitting) {
+    ++quits_;
+    quit_(net::Ipv4Address(static_cast<std::uint32_t>(key >> 16)),
+          static_cast<std::uint16_t>(key & 0xffff));
+    endpoints_.erase(key);
+  }
+  simulator_->After(config_.check_interval, [this] { Check(); });
+}
+
+}  // namespace gametrace::game

@@ -1,0 +1,88 @@
+// Player quality-of-experience model: the paper's self-tuning loss.
+//
+// "Observed loss rates self-tune themselves at the worst tolerable level
+// of performance. Any further degradation caused by additional players
+// and/or background traffic will simply cause players to quit playing,
+// reducing the load back to the tolerable level. ... we believe the worst
+// tolerable loss rate for this game is not far from 1-2%." (section IV-A)
+//
+// QoeMonitor watches per-endpoint delivery/loss events (wired from a
+// device model's callbacks), estimates each player's recent loss rate,
+// and makes players whose tolerance is exceeded quit - closing the
+// feedback loop that pins aggregate loss at the tolerable level.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/packet.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace gametrace::game {
+
+class QoeMonitor {
+ public:
+  struct Config {
+    double check_interval = 10.0;  // how often players reassess
+    // Per-player tolerance drawn uniformly from this band ("not far from
+    // 1-2%"); heterogeneous so quits ramp in rather than stampede.
+    double tolerance_min = 0.012;
+    double tolerance_max = 0.035;
+    // An intolerably laggy player quits at each check with this
+    // probability (people finish the round first).
+    double quit_probability = 0.5;
+    // Ignore endpoints with fewer events than this in the window (no
+    // meaningful loss estimate).
+    std::uint64_t min_events = 100;
+  };
+
+  // Called when a player gives up: (client ip, client port).
+  using QuitFn = std::function<void(net::Ipv4Address, std::uint16_t)>;
+
+  QoeMonitor(sim::Simulator& simulator, const Config& config, sim::Rng rng, QuitFn quit);
+
+  QoeMonitor(const QoeMonitor&) = delete;
+  QoeMonitor& operator=(const QoeMonitor&) = delete;
+
+  // Begins the periodic reassessment loop.
+  void Start();
+
+  // Feed from the device model: a packet belonging to this client's
+  // session was forwarded / dropped. Both directions count - lost inbound
+  // updates freeze the player's own avatar, lost outbound snapshots freeze
+  // everyone else's.
+  void OnDelivered(const net::PacketRecord& record);
+  void OnLost(const net::PacketRecord& record);
+
+  [[nodiscard]] std::uint64_t quits_triggered() const noexcept { return quits_; }
+
+  // Observed loss rate of an endpoint in the current window (for tests).
+  [[nodiscard]] double WindowLossRate(net::Ipv4Address ip, std::uint16_t port) const;
+
+ private:
+  struct EndpointState {
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+    double tolerance = 0.02;
+    bool tolerance_set = false;
+  };
+
+  static std::uint64_t Key(net::Ipv4Address ip, std::uint16_t port) noexcept {
+    return (std::uint64_t{ip.value()} << 16) | port;
+  }
+
+  EndpointState& Touch(const net::PacketRecord& record);
+  void Check();
+
+  sim::Simulator* simulator_;
+  Config config_;
+  sim::Rng rng_;
+  QuitFn quit_;
+  std::unordered_map<std::uint64_t, EndpointState> endpoints_;
+  std::uint64_t quits_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace gametrace::game

@@ -1,0 +1,36 @@
+#include "game/server_tick.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gametrace::game {
+
+TickEngine::TickEngine(sim::Simulator& simulator, double interval, TickFn fn)
+    : simulator_(&simulator), interval_(interval), fn_(std::move(fn)) {
+  if (!(interval > 0.0)) throw std::invalid_argument("TickEngine: interval must be positive");
+  if (!fn_) throw std::invalid_argument("TickEngine: empty tick function");
+}
+
+void TickEngine::Start(double first_at) {
+  if (running_) throw std::logic_error("TickEngine::Start: already running");
+  running_ = true;
+  pending_event_ = simulator_->At(first_at, [this, first_at] { Fire(first_at); });
+}
+
+void TickEngine::Stop() {
+  if (!running_) return;
+  running_ = false;
+  simulator_->Cancel(pending_event_);
+}
+
+void TickEngine::Fire(double t) {
+  if (!running_) return;
+  ++ticks_;
+  // Schedule the next tick before running the handler so a handler that
+  // calls Stop() cancels the right event.
+  const double next = t + interval_;
+  pending_event_ = simulator_->At(next, [this, next] { Fire(next); });
+  fn_(t);
+}
+
+}  // namespace gametrace::game

@@ -1,0 +1,43 @@
+// The synchronous broadcast clock.
+//
+// "The periodicity comes from the game server deterministically flooding
+// its clients with state updates about every 50 ms" (paper section III-B).
+// TickEngine is the reusable fixed-interval scheduler behind that loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.h"
+
+namespace gametrace::game {
+
+class TickEngine {
+ public:
+  using TickFn = std::function<void(double tick_time)>;
+
+  // `fn` is invoked at first_at, first_at + interval, ... until Stop().
+  TickEngine(sim::Simulator& simulator, double interval, TickFn fn);
+
+  TickEngine(const TickEngine&) = delete;
+  TickEngine& operator=(const TickEngine&) = delete;
+
+  void Start(double first_at);
+  void Stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] double interval() const noexcept { return interval_; }
+  [[nodiscard]] std::uint64_t ticks_fired() const noexcept { return ticks_; }
+
+ private:
+  void Fire(double t);
+
+  sim::Simulator* simulator_;
+  double interval_;
+  TickFn fn_;
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t pending_event_ = 0;
+};
+
+}  // namespace gametrace::game

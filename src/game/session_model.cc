@@ -1,0 +1,74 @@
+#include "game/session_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace gametrace::game {
+
+SessionModel::SessionModel(sim::Simulator& simulator, const SessionConfig& config,
+                           const sim::DiurnalCurve& diurnal, sim::Rng rng,
+                           AttemptHandler handler)
+    : simulator_(&simulator),
+      config_(config),
+      diurnal_(&diurnal),
+      rng_(rng),
+      handler_(std::move(handler)),
+      zipf_(config.population, config.zipf_s),
+      // Event rate = attempt rate / mean batch size; thinning envelope at
+      // 1.5x covers diurnal curves peaking up to that multiplier.
+      max_rate_(config.fresh_attempt_rate / (1.0 + config.group_mean_extra) * 1.5) {
+  if (!handler_) throw std::invalid_argument("SessionModel: empty attempt handler");
+  if (!(config.fresh_attempt_rate > 0.0)) {
+    throw std::invalid_argument("SessionModel: attempt rate must be positive");
+  }
+}
+
+void SessionModel::Start() { ScheduleNextArrival(); }
+
+void SessionModel::ScheduleNextArrival() {
+  const double gap = sim::Exponential(rng_, 1.0 / max_rate_);
+  simulator_->After(gap, [this] {
+    // Thinning for the non-homogeneous rate; rejected candidates are just
+    // skipped. Paused (outage) periods also generate no attempts.
+    const double event_rate = config_.fresh_attempt_rate /
+                              (1.0 + config_.group_mean_extra) *
+                              diurnal_->At(simulator_->Now());
+    const bool accept = !paused_ && rng_.NextDouble() < event_rate / max_rate_;
+    if (accept) {
+      // A group of friends shows up together.
+      const std::uint64_t batch = 1 + sim::Poisson(rng_, config_.group_mean_extra);
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        ++fresh_arrivals_;
+        handler_(zipf_.Sample(rng_), /*is_retry=*/false);
+      }
+    }
+    ScheduleNextArrival();
+  });
+}
+
+double SessionModel::DrawSessionDuration(sim::Rng& rng) const {
+  const double draw =
+      sim::LognormalFromMoments(rng, config_.mean_duration, config_.duration_stddev);
+  return std::max(config_.min_duration, draw);
+}
+
+bool SessionModel::MaybeScheduleRetry(std::size_t identity, int retries_so_far) {
+  if (retries_so_far >= config_.max_retries) return false;
+  if (!sim::Bernoulli(rng_, config_.retry_probability)) return false;
+  const double delay = sim::Exponential(rng_, config_.retry_mean_delay);
+  ScheduleAttempt(identity, delay, /*is_retry=*/true);
+  return true;
+}
+
+std::size_t SessionModel::SampleIdentity() { return zipf_.Sample(rng_); }
+
+void SessionModel::ScheduleAttempt(std::size_t identity, double delay, bool is_retry) {
+  if (is_retry) ++retries_;
+  simulator_->After(delay, [this, identity, is_retry] {
+    if (paused_) return;  // the outage swallowed this attempt
+    handler_(identity, is_retry);
+  });
+}
+
+}  // namespace gametrace::game

@@ -1,0 +1,70 @@
+// Session arrival process.
+//
+// Fresh connection attempts arrive as a diurnally-modulated Poisson process
+// over a Zipf-popular identity pool; refused clients may retry. Departures
+// are scheduled by CsServer from the duration distribution drawn here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "game/config.h"
+#include "sim/diurnal.h"
+#include "sim/random.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace gametrace::game {
+
+class SessionModel {
+ public:
+  // Called for every connection attempt (fresh or retry) with the pool
+  // identity of the attempting client.
+  using AttemptHandler = std::function<void(std::size_t identity, bool is_retry)>;
+
+  SessionModel(sim::Simulator& simulator, const SessionConfig& config,
+               const sim::DiurnalCurve& diurnal, sim::Rng rng, AttemptHandler handler);
+
+  // Begins generating arrivals from the current simulation time.
+  void Start();
+
+  // Arrivals pause during network outages (nobody can reach the server).
+  void Pause() noexcept { paused_ = true; }
+  void Resume() noexcept { paused_ = false; }
+
+  // Session length for a newly-admitted player (lognormal with the
+  // configured moments, floored at min_duration).
+  [[nodiscard]] double DrawSessionDuration(sim::Rng& rng) const;
+
+  // Schedules a retry for a just-refused client, if its retry budget and
+  // coin flip allow. Returns true when a retry was scheduled.
+  bool MaybeScheduleRetry(std::size_t identity, int retries_so_far);
+
+  // Schedules a one-off attempt at `delay` seconds from now (used for
+  // post-outage reconnects).
+  void ScheduleAttempt(std::size_t identity, double delay, bool is_retry);
+
+  // Draws an identity from the Zipf popularity pool (used by CsServer for
+  // the warm-start population).
+  [[nodiscard]] std::size_t SampleIdentity();
+
+  [[nodiscard]] std::size_t population() const noexcept { return zipf_.size(); }
+  [[nodiscard]] std::uint64_t fresh_arrivals() const noexcept { return fresh_arrivals_; }
+  [[nodiscard]] std::uint64_t retries_scheduled() const noexcept { return retries_; }
+
+ private:
+  void ScheduleNextArrival();
+
+  sim::Simulator* simulator_;
+  SessionConfig config_;
+  const sim::DiurnalCurve* diurnal_;
+  sim::Rng rng_;
+  AttemptHandler handler_;
+  sim::ZipfSampler zipf_;
+  double max_rate_;
+  bool paused_ = false;
+  std::uint64_t fresh_arrivals_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace gametrace::game

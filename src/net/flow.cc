@@ -1,0 +1,42 @@
+#include "net/flow.h"
+
+namespace gametrace::net {
+
+FlowKey FlowKey::Canonical() const noexcept {
+  const auto src = std::make_pair(src_ip.value(), src_port);
+  const auto dst = std::make_pair(dst_ip.value(), dst_port);
+  if (src <= dst) return *this;
+  return Reversed();
+}
+
+FlowKey FlowKey::Reversed() const noexcept {
+  FlowKey out = *this;
+  out.src_ip = dst_ip;
+  out.dst_ip = src_ip;
+  out.src_port = dst_port;
+  out.dst_port = src_port;
+  return out;
+}
+
+std::string FlowKey::ToString() const {
+  const char* proto_name = proto == IpProto::kUdp ? "udp" : "tcp";
+  return std::string(proto_name) + " " + src_ip.ToString() + ":" + std::to_string(src_port) +
+         " -> " + dst_ip.ToString() + ":" + std::to_string(dst_port);
+}
+
+std::size_t FlowKeyHash::operator()(const FlowKey& k) const noexcept {
+  // FNV-1a over the tuple fields; adequate for hash-map distribution.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(k.src_ip.value());
+  mix(k.dst_ip.value());
+  mix(k.src_port);
+  mix(k.dst_port);
+  mix(static_cast<std::uint64_t>(k.proto));
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace gametrace::net

@@ -1,0 +1,36 @@
+// Transport-layer flow identification (5-tuple).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/ip.h"
+
+namespace gametrace::net {
+
+enum class IpProto : std::uint8_t { kUdp = 17, kTcp = 6 };
+
+struct FlowKey {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto proto = IpProto::kUdp;
+
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+
+  // The same key regardless of direction: (lower endpoint, higher endpoint).
+  [[nodiscard]] FlowKey Canonical() const noexcept;
+
+  [[nodiscard]] FlowKey Reversed() const noexcept;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+struct FlowKeyHash {
+  [[nodiscard]] std::size_t operator()(const FlowKey& k) const noexcept;
+};
+
+}  // namespace gametrace::net

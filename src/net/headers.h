@@ -1,0 +1,49 @@
+// Wire-format header construction: Ethernet II / IPv4 / UDP.
+//
+// Used by the pcap exporter to synthesise byte-exact frames for simulated
+// packets, with correct IPv4 header checksums and UDP checksums over the
+// pseudo-header, so exported captures load cleanly in standard tools.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/flow.h"
+#include "net/ip.h"
+
+namespace gametrace::net {
+
+using MacAddress = std::array<std::uint8_t, 6>;
+
+// RFC 1071 Internet checksum over `data` (odd lengths padded with zero).
+[[nodiscard]] std::uint16_t InternetChecksum(std::span<const std::uint8_t> data) noexcept;
+
+struct FrameSpec {
+  MacAddress src_mac{0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+  MacAddress dst_mac{0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+  FlowKey flow;           // proto must be kUdp for BuildUdpFrame
+  std::uint8_t ttl = 64;
+  std::uint16_t ip_id = 0;
+};
+
+// Serialises a full Ethernet/IPv4/UDP frame carrying `payload`.
+// The result is the on-wire frame without preamble or FCS (matching what
+// libpcap captures record).
+[[nodiscard]] std::vector<std::uint8_t> BuildUdpFrame(const FrameSpec& spec,
+                                                      std::span<const std::uint8_t> payload);
+
+// Parsed view of a frame produced by BuildUdpFrame (or any UDP/IPv4 frame).
+struct ParsedUdpFrame {
+  FlowKey flow;
+  std::uint16_t payload_bytes = 0;
+  bool ip_checksum_ok = false;
+  bool udp_checksum_ok = false;
+};
+
+// Parses an Ethernet/IPv4/UDP frame; returns false if the frame is not
+// UDP-over-IPv4 or is truncated.
+[[nodiscard]] bool ParseUdpFrame(std::span<const std::uint8_t> frame, ParsedUdpFrame& out);
+
+}  // namespace gametrace::net

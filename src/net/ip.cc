@@ -1,0 +1,56 @@
+#include "net/ip.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace gametrace::net {
+
+std::string Ipv4Address::ToString() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((value_ >> shift) & 0xff);
+    if (shift > 0) out += '.';
+  }
+  return out;
+}
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned int part = 0;
+    const auto [next, ec] = std::from_chars(p, end, part);
+    if (ec != std::errc{} || part > 255) return std::nullopt;
+    // Reject leading zeros beyond a lone "0" (ambiguous octal forms).
+    if (next - p > 1 && *p == '0') return std::nullopt;
+    value = (value << 8) | part;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address address, int length) : length_(length) {
+  if (length < 0 || length > 32) throw std::invalid_argument("Ipv4Prefix: bad length");
+  address_ = Ipv4Address(address.value() & (length == 0 ? 0u : ~0u << (32 - length)));
+}
+
+std::uint32_t Ipv4Prefix::mask() const noexcept {
+  return length_ == 0 ? 0u : ~0u << (32 - length_);
+}
+
+bool Ipv4Prefix::Contains(Ipv4Address a) const noexcept {
+  return (a.value() & mask()) == address_.value();
+}
+
+std::string Ipv4Prefix::ToString() const {
+  return address_.ToString() + "/" + std::to_string(length_);
+}
+
+}  // namespace gametrace::net

@@ -1,0 +1,55 @@
+// IPv4 addresses and prefixes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gametrace::net {
+
+// An IPv4 address stored in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t host_order) : value_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  [[nodiscard]] std::string ToString() const;
+
+  // Parses dotted-quad notation; returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Address> Parse(std::string_view text);
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+// A CIDR prefix, e.g. 10.1.0.0/16.
+class Ipv4Prefix {
+ public:
+  // length must be in [0, 32]; bits beyond the length are zeroed.
+  Ipv4Prefix(Ipv4Address address, int length);
+
+  [[nodiscard]] Ipv4Address address() const noexcept { return address_; }
+  [[nodiscard]] int length() const noexcept { return length_; }
+  [[nodiscard]] std::uint32_t mask() const noexcept;
+
+  [[nodiscard]] bool Contains(Ipv4Address a) const noexcept;
+
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+
+ private:
+  Ipv4Address address_;
+  int length_;
+};
+
+}  // namespace gametrace::net

@@ -1,0 +1,81 @@
+// The unit of capture: one observed packet.
+//
+// Analysis needs exactly what tcpdump gave the paper's authors - timestamp,
+// direction, and sizes - plus the client endpoint for per-flow statistics.
+// The `kind` field carries simulator ground truth (connection handshake,
+// game update, download, ...); honest analyses (session_tracker) ignore it
+// and infer structure from timing alone, while tests use it as an oracle.
+#pragma once
+
+#include <cstdint>
+
+#include "net/flow.h"
+#include "net/ip.h"
+#include "net/units.h"
+
+namespace gametrace::net {
+
+enum class Direction : std::uint8_t {
+  kClientToServer = 0,  // "incoming" in the paper's tables
+  kServerToClient = 1,  // "outgoing"
+};
+
+enum class PacketKind : std::uint8_t {
+  kGameUpdate = 0,      // periodic state update (the dominant class)
+  kConnectRequest = 1,  // client asks for a slot
+  kConnectAccept = 2,   // server grants the slot
+  kConnectReject = 3,   // server is full
+  kDisconnect = 4,      // orderly leave
+  kDownload = 5,        // rate-limited map/logo transfer chunk
+  kChat = 6,            // text/voice broadcast payload
+  kWebData = 7,         // TCP-like bulk-transfer data segment (cross traffic)
+  kWebAck = 8,          // TCP-like acknowledgement
+};
+
+struct PacketRecord {
+  double timestamp = 0.0;  // seconds since trace start
+  Ipv4Address client_ip;
+  // Netchannel sequence number within this flow direction (Half-Life
+  // numbers every in-game packet per channel). 0 means "no sequence" -
+  // connectionless handshake traffic. Lets endpoint traces estimate loss
+  // from sequence gaps, the classic measurement-study technique.
+  std::uint32_t seq = 0;
+  std::uint16_t client_port = 0;
+  std::uint16_t app_bytes = 0;  // application payload only (as in Table III)
+  Direction direction = Direction::kClientToServer;
+  PacketKind kind = PacketKind::kGameUpdate;
+
+  [[nodiscard]] std::uint64_t wire_bytes(
+      std::uint32_t overhead = kWireOverheadBytes) const noexcept {
+    return WireBytes(app_bytes, overhead);
+  }
+
+  friend bool operator==(const PacketRecord&, const PacketRecord&) = default;
+};
+
+// The server endpoint all trace flows share. Fixed for a capture; carried
+// separately from each record to keep records compact.
+struct ServerEndpoint {
+  Ipv4Address ip{192, 168, 0, 10};
+  std::uint16_t port = 27015;  // the classic Half-Life server port
+};
+
+// Reconstructs the 5-tuple of a record given the capture's server endpoint.
+[[nodiscard]] inline FlowKey FlowOf(const PacketRecord& r, const ServerEndpoint& server) noexcept {
+  FlowKey key;
+  if (r.direction == Direction::kClientToServer) {
+    key.src_ip = r.client_ip;
+    key.src_port = r.client_port;
+    key.dst_ip = server.ip;
+    key.dst_port = server.port;
+  } else {
+    key.src_ip = server.ip;
+    key.src_port = server.port;
+    key.dst_ip = r.client_ip;
+    key.dst_port = r.client_port;
+  }
+  key.proto = IpProto::kUdp;
+  return key;
+}
+
+}  // namespace gametrace::net

@@ -1,0 +1,159 @@
+#include "net/pcap.h"
+
+#include <algorithm>
+
+#include "net/game_payload.h"
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace gametrace::net {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;
+constexpr std::uint16_t kVersionMajor = 2;
+constexpr std::uint16_t kVersionMinor = 4;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  return static_cast<bool>(in);
+}
+
+std::uint32_t MaybeSwap(std::uint32_t v, bool swapped) noexcept {
+  if (!swapped) return v;
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
+    : out_(path, std::ios::binary | std::ios::trunc), snaplen_(snaplen) {
+  if (!out_) throw std::runtime_error("PcapWriter: cannot open " + path);
+  WritePod(out_, kMagic);
+  WritePod(out_, kVersionMajor);
+  WritePod(out_, kVersionMinor);
+  WritePod(out_, std::int32_t{0});   // thiszone
+  WritePod(out_, std::uint32_t{0});  // sigfigs
+  WritePod(out_, snaplen_);
+  WritePod(out_, kLinkTypeEthernet);
+}
+
+void PcapWriter::WriteFrame(double timestamp, std::span<const std::uint8_t> frame) {
+  const auto secs = static_cast<std::uint32_t>(timestamp);
+  const auto usecs = static_cast<std::uint32_t>(
+      std::lround((timestamp - static_cast<double>(secs)) * 1e6) % 1000000);
+  const auto orig_len = static_cast<std::uint32_t>(frame.size());
+  const std::uint32_t incl_len = std::min(orig_len, snaplen_);
+  WritePod(out_, secs);
+  WritePod(out_, usecs);
+  WritePod(out_, incl_len);
+  WritePod(out_, orig_len);
+  out_.write(reinterpret_cast<const char*>(frame.data()), incl_len);
+  ++packets_;
+}
+
+void PcapWriter::WriteRecord(const PacketRecord& record, const ServerEndpoint& server) {
+  FrameSpec spec;
+  spec.flow = FlowOf(record, server);
+  spec.ip_id = next_ip_id_++;
+  const std::vector<std::uint8_t> payload = BuildGamePayload(record);
+  const std::vector<std::uint8_t> frame = BuildUdpFrame(spec, payload);
+  WriteFrame(record.timestamp, frame);
+}
+
+void PcapWriter::Flush() { out_.flush(); }
+
+PcapReader::PcapReader(const std::string& path) : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("PcapReader: cannot open " + path);
+  std::uint32_t magic = 0;
+  if (!ReadPod(in_, magic)) throw std::runtime_error("PcapReader: truncated header");
+  if (magic == kMagic) {
+    swapped_ = false;
+  } else if (MaybeSwap(magic, true) == kMagic) {
+    swapped_ = true;
+  } else {
+    throw std::runtime_error("PcapReader: bad magic (not a classic pcap file)");
+  }
+  std::uint16_t maj = 0;
+  std::uint16_t min = 0;
+  std::int32_t zone = 0;
+  std::uint32_t sigfigs = 0;
+  if (!ReadPod(in_, maj) || !ReadPod(in_, min) || !ReadPod(in_, zone) ||
+      !ReadPod(in_, sigfigs) || !ReadPod(in_, snaplen_) || !ReadPod(in_, link_type_)) {
+    throw std::runtime_error("PcapReader: truncated global header");
+  }
+  snaplen_ = MaybeSwap(snaplen_, swapped_);
+  link_type_ = MaybeSwap(link_type_, swapped_);
+}
+
+std::optional<PcapPacket> PcapReader::Next() {
+  std::uint32_t secs = 0;
+  if (!ReadPod(in_, secs)) return std::nullopt;  // clean EOF
+  std::uint32_t usecs = 0;
+  std::uint32_t incl = 0;
+  std::uint32_t orig = 0;
+  if (!ReadPod(in_, usecs) || !ReadPod(in_, incl) || !ReadPod(in_, orig)) {
+    throw std::runtime_error("PcapReader: truncated record header");
+  }
+  secs = MaybeSwap(secs, swapped_);
+  usecs = MaybeSwap(usecs, swapped_);
+  incl = MaybeSwap(incl, swapped_);
+  if (incl > snaplen_ + 65536u) throw std::runtime_error("PcapReader: implausible record length");
+
+  PcapPacket pkt;
+  pkt.timestamp = static_cast<double>(secs) + static_cast<double>(usecs) * 1e-6;
+  pkt.frame.resize(incl);
+  in_.read(reinterpret_cast<char*>(pkt.frame.data()), incl);
+  if (!in_) throw std::runtime_error("PcapReader: truncated packet body");
+  return pkt;
+}
+
+std::vector<PacketRecord> PcapReader::ReadAllRecords(const ServerEndpoint& server,
+                                                     std::uint64_t* skipped) {
+  std::vector<PacketRecord> records;
+  std::uint64_t skip_count = 0;
+  while (auto pkt = Next()) {
+    ParsedUdpFrame parsed;
+    if (!ParseUdpFrame(pkt->frame, parsed)) {
+      ++skip_count;
+      continue;
+    }
+    PacketRecord rec;
+    rec.timestamp = pkt->timestamp;
+    rec.app_bytes = parsed.payload_bytes;
+    // Recover the netchannel sequence when the payload carries one.
+    const std::size_t eth_ip_udp = pkt->frame.size() - parsed.payload_bytes;
+    if (const auto game = ParseGamePayload(
+            {pkt->frame.data() + eth_ip_udp, parsed.payload_bytes});
+        game && !game->connectionless) {
+      rec.seq = game->seq;
+    }
+    if (parsed.flow.dst_ip == server.ip && parsed.flow.dst_port == server.port) {
+      rec.direction = Direction::kClientToServer;
+      rec.client_ip = parsed.flow.src_ip;
+      rec.client_port = parsed.flow.src_port;
+    } else if (parsed.flow.src_ip == server.ip && parsed.flow.src_port == server.port) {
+      rec.direction = Direction::kServerToClient;
+      rec.client_ip = parsed.flow.dst_ip;
+      rec.client_port = parsed.flow.dst_port;
+    } else {
+      ++skip_count;
+      continue;
+    }
+    records.push_back(rec);
+  }
+  if (skipped != nullptr) *skipped = skip_count;
+  return records;
+}
+
+}  // namespace gametrace::net

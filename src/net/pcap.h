@@ -1,0 +1,76 @@
+// libpcap capture-file writer and reader (classic format, magic 0xa1b2c3d4,
+// microsecond timestamps, LINKTYPE_ETHERNET).
+//
+// The paper's raw material is a tcpdump capture; this module lets the
+// simulator export byte-exact equivalents and lets the analysis pipeline
+// ingest real pcap files too.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace gametrace::net {
+
+struct PcapPacket {
+  double timestamp = 0.0;  // seconds (+ fractional microseconds)
+  std::vector<std::uint8_t> frame;
+};
+
+class PcapWriter {
+ public:
+  // Creates/truncates `path` and writes the global header.
+  // snaplen: maximum stored frame size (longer frames are truncated, with
+  // the original length recorded, exactly as tcpdump -s does).
+  explicit PcapWriter(const std::string& path, std::uint32_t snaplen = 65535);
+
+  // Writes a raw frame at `timestamp` seconds.
+  void WriteFrame(double timestamp, std::span<const std::uint8_t> frame);
+
+  // Convenience: synthesises the Ethernet/IPv4/UDP frame for a simulated
+  // record (payload filled with zeros of the recorded length) and writes it.
+  void WriteRecord(const PacketRecord& record, const ServerEndpoint& server);
+
+  [[nodiscard]] std::uint64_t packets_written() const noexcept { return packets_; }
+
+  void Flush();
+
+ private:
+  std::ofstream out_;
+  std::uint32_t snaplen_;
+  std::uint64_t packets_ = 0;
+  std::uint16_t next_ip_id_ = 1;
+};
+
+class PcapReader {
+ public:
+  explicit PcapReader(const std::string& path);
+
+  // Reads the next packet; nullopt at end of file. Throws std::runtime_error
+  // on a corrupt record.
+  std::optional<PcapPacket> Next();
+
+  [[nodiscard]] std::uint32_t snaplen() const noexcept { return snaplen_; }
+  [[nodiscard]] std::uint32_t link_type() const noexcept { return link_type_; }
+
+  // Reads the remaining packets, parsing each as UDP/IPv4 and converting to
+  // PacketRecord relative to `server` (direction inferred from which side is
+  // the server endpoint). Non-UDP or non-server frames are skipped and
+  // counted in `skipped`.
+  std::vector<PacketRecord> ReadAllRecords(const ServerEndpoint& server,
+                                           std::uint64_t* skipped = nullptr);
+
+ private:
+  std::ifstream in_;
+  bool swapped_ = false;  // file written with opposite endianness
+  std::uint32_t snaplen_ = 0;
+  std::uint32_t link_type_ = 0;
+};
+
+}  // namespace gametrace::net

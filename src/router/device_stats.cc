@@ -1,0 +1,66 @@
+#include "router/device_stats.h"
+
+namespace gametrace::router {
+
+const char* SegmentName(Segment s) noexcept {
+  switch (s) {
+    case Segment::kServerToNat:
+      return "server->NAT";
+    case Segment::kNatToClients:
+      return "NAT->clients";
+    case Segment::kClientsToNat:
+      return "clients->NAT";
+    case Segment::kNatToServer:
+      return "NAT->server";
+  }
+  return "?";
+}
+
+DeviceStats::DeviceStats(double interval)
+    : series_{stats::TimeSeries(0.0, interval), stats::TimeSeries(0.0, interval),
+              stats::TimeSeries(0.0, interval), stats::TimeSeries(0.0, interval)} {}
+
+void DeviceStats::Count(Segment segment, double t) {
+  const auto i = static_cast<int>(segment);
+  ++packets_[i];
+  series_[i].Add(t, 1.0);
+}
+
+void DeviceStats::CountDrop(Segment arrival_segment, double t) {
+  ++drops_[static_cast<int>(arrival_segment)];
+  (void)t;
+}
+
+void DeviceStats::RecordDelay(double seconds) {
+  delay_.Add(seconds);
+  delay_p50_.Add(seconds);
+  delay_p99_.Add(seconds);
+}
+
+std::uint64_t DeviceStats::packets(Segment s) const noexcept {
+  return packets_[static_cast<int>(s)];
+}
+
+std::uint64_t DeviceStats::drops(Segment arrival_segment) const noexcept {
+  return drops_[static_cast<int>(arrival_segment)];
+}
+
+const stats::TimeSeries& DeviceStats::load_series(Segment s) const noexcept {
+  return series_[static_cast<int>(s)];
+}
+
+double DeviceStats::loss_rate_incoming() const noexcept {
+  const auto in = packets(Segment::kClientsToNat);
+  if (in == 0) return 0.0;
+  const auto out = packets(Segment::kNatToServer);
+  return static_cast<double>(in - out) / static_cast<double>(in);
+}
+
+double DeviceStats::loss_rate_outgoing() const noexcept {
+  const auto in = packets(Segment::kServerToNat);
+  if (in == 0) return 0.0;
+  const auto out = packets(Segment::kNatToClients);
+  return static_cast<double>(in - out) / static_cast<double>(in);
+}
+
+}  // namespace gametrace::router

@@ -1,0 +1,58 @@
+// Per-segment accounting for the NAT experiment (paper Table IV and
+// Figures 14-15): packets counted on each of the four observation points
+// around the device, plus queueing-delay statistics.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/quantile.h"
+#include "stats/running_stats.h"
+#include "stats/time_series.h"
+
+namespace gametrace::router {
+
+// The four trace points of the paper's NAT experiment.
+enum class Segment : std::uint8_t {
+  kServerToNat = 0,   // outgoing traffic entering the device (LAN port)
+  kNatToClients = 1,  // outgoing traffic leaving the device
+  kClientsToNat = 2,  // incoming traffic entering the device (WAN port)
+  kNatToServer = 3,   // incoming traffic leaving the device
+};
+
+inline constexpr int kSegmentCount = 4;
+
+[[nodiscard]] const char* SegmentName(Segment s) noexcept;
+
+class DeviceStats {
+ public:
+  // `interval` is the bin width of the per-segment load series (the paper
+  // plots per-second loads in Figs 14-15).
+  explicit DeviceStats(double interval = 1.0);
+
+  void Count(Segment segment, double t);
+  void CountDrop(Segment arrival_segment, double t);
+  void RecordDelay(double seconds);
+
+  [[nodiscard]] std::uint64_t packets(Segment s) const noexcept;
+  [[nodiscard]] std::uint64_t drops(Segment arrival_segment) const noexcept;
+  [[nodiscard]] const stats::TimeSeries& load_series(Segment s) const noexcept;
+
+  // Table IV loss rates: fraction of packets entering on a segment that
+  // never left the device.
+  [[nodiscard]] double loss_rate_incoming() const noexcept;  // clients->NAT->server
+  [[nodiscard]] double loss_rate_outgoing() const noexcept;  // server->NAT->clients
+
+  [[nodiscard]] const stats::RunningStats& delay() const noexcept { return delay_; }
+  [[nodiscard]] double delay_p50() const noexcept { return delay_p50_.Value(); }
+  [[nodiscard]] double delay_p99() const noexcept { return delay_p99_.Value(); }
+
+ private:
+  std::uint64_t packets_[kSegmentCount] = {};
+  std::uint64_t drops_[kSegmentCount] = {};
+  stats::TimeSeries series_[kSegmentCount];
+  stats::RunningStats delay_;
+  stats::P2Quantile delay_p50_{0.50};
+  stats::P2Quantile delay_p99_{0.99};
+};
+
+}  // namespace gametrace::router

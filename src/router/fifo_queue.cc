@@ -1,0 +1,31 @@
+#include "router/fifo_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gametrace::router {
+
+FifoQueue::FifoQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("FifoQueue: capacity must be positive");
+}
+
+bool FifoQueue::TryPush(QueuedPacket packet) {
+  occupancy_.Add(static_cast<double>(queue_.size()));
+  if (full()) {
+    ++drops_;
+    return false;
+  }
+  queue_.push_back(std::move(packet));
+  ++pushes_;
+  max_occupancy_ = std::max(max_occupancy_, queue_.size());
+  return true;
+}
+
+std::optional<QueuedPacket> FifoQueue::Pop() {
+  if (queue_.empty()) return std::nullopt;
+  QueuedPacket out = std::move(queue_.front());
+  queue_.pop_front();
+  return out;
+}
+
+}  // namespace gametrace::router

@@ -1,0 +1,58 @@
+// Finite drop-tail FIFO with occupancy accounting.
+//
+// This is the shared buffer inside the NAT-device model; its size is the
+// knob that determines how much of a 50 ms broadcast burst survives.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/packet.h"
+#include "stats/running_stats.h"
+
+namespace gametrace::router {
+
+// Which physical port a packet entered the device on.
+enum class NatPort : std::uint8_t {
+  kLan = 0,  // server side
+  kWan = 1,  // Internet / clients side
+};
+
+struct QueuedPacket {
+  net::PacketRecord record;
+  NatPort in_port = NatPort::kLan;
+  double enqueued_at = 0.0;
+};
+
+class FifoQueue {
+ public:
+  explicit FifoQueue(std::size_t capacity);
+
+  // False (and a drop count) when the queue is full.
+  bool TryPush(QueuedPacket packet);
+
+  [[nodiscard]] std::optional<QueuedPacket> Pop();
+
+  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] bool full() const noexcept { return queue_.size() >= capacity_; }
+
+  [[nodiscard]] std::uint64_t pushes() const noexcept { return pushes_; }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::size_t max_occupancy() const noexcept { return max_occupancy_; }
+  [[nodiscard]] const stats::RunningStats& occupancy_at_push() const noexcept {
+    return occupancy_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<QueuedPacket> queue_;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t drops_ = 0;
+  std::size_t max_occupancy_ = 0;
+  stats::RunningStats occupancy_;
+};
+
+}  // namespace gametrace::router

@@ -1,0 +1,27 @@
+#include "router/link.h"
+
+#include <stdexcept>
+
+namespace gametrace::router {
+
+Link::Link(double bandwidth_bps, double propagation_delay_seconds)
+    : bandwidth_bps_(bandwidth_bps), propagation_(propagation_delay_seconds) {
+  if (!(bandwidth_bps > 0.0)) throw std::invalid_argument("Link: bandwidth must be positive");
+  if (propagation_delay_seconds < 0.0) {
+    throw std::invalid_argument("Link: negative propagation delay");
+  }
+}
+
+double Link::TransmitDelay(std::uint64_t wire_bytes) const noexcept {
+  return static_cast<double>(wire_bytes) * 8.0 / bandwidth_bps_;
+}
+
+double Link::TotalDelay(std::uint64_t wire_bytes) const noexcept {
+  return TransmitDelay(wire_bytes) + propagation_;
+}
+
+double Link::NextFreeTime(double prev_start, std::uint64_t prev_wire_bytes) const noexcept {
+  return prev_start + TransmitDelay(prev_wire_bytes);
+}
+
+}  // namespace gametrace::router

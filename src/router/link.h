@@ -1,0 +1,33 @@
+// Point-to-point link model: serialisation + propagation delay.
+#pragma once
+
+#include <cstdint>
+
+namespace gametrace::router {
+
+class Link {
+ public:
+  // bandwidth_bps must be positive; propagation_delay in seconds, >= 0.
+  Link(double bandwidth_bps, double propagation_delay_seconds);
+
+  [[nodiscard]] double bandwidth_bps() const noexcept { return bandwidth_bps_; }
+  [[nodiscard]] double propagation_delay() const noexcept { return propagation_; }
+
+  // Time to clock `wire_bytes` onto the link.
+  [[nodiscard]] double TransmitDelay(std::uint64_t wire_bytes) const noexcept;
+
+  // Serialisation + propagation for one packet.
+  [[nodiscard]] double TotalDelay(std::uint64_t wire_bytes) const noexcept;
+
+  // Earliest time the link can begin transmitting a new frame, given the
+  // previous transmission started at `prev_start` with `prev_wire_bytes`.
+  // Models back-to-back frames in a broadcast burst.
+  [[nodiscard]] double NextFreeTime(double prev_start,
+                                    std::uint64_t prev_wire_bytes) const noexcept;
+
+ private:
+  double bandwidth_bps_;
+  double propagation_;
+};
+
+}  // namespace gametrace::router

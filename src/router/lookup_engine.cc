@@ -1,0 +1,24 @@
+#include "router/lookup_engine.h"
+
+#include <stdexcept>
+
+#include "sim/random.h"
+
+namespace gametrace::router {
+
+LookupEngine::LookupEngine(double mean_capacity_pps, double jitter_fraction, sim::Rng rng)
+    : capacity_pps_(mean_capacity_pps), jitter_(jitter_fraction), rng_(rng) {
+  if (!(mean_capacity_pps > 0.0)) {
+    throw std::invalid_argument("LookupEngine: capacity must be positive");
+  }
+  if (jitter_fraction < 0.0 || jitter_fraction >= 1.0) {
+    throw std::invalid_argument("LookupEngine: jitter must be in [0, 1)");
+  }
+}
+
+double LookupEngine::DrawServiceTime() {
+  const double factor = 1.0 + jitter_ * (2.0 * rng_.NextDouble() - 1.0);
+  return factor / capacity_pps_;
+}
+
+}  // namespace gametrace::router

@@ -1,0 +1,79 @@
+// Route cache with pluggable replacement/admission policies.
+//
+// Explores the paper's section IV-B proposal: "preferential route caching
+// strategies based on packet size or packet frequency may provide
+// significant improvements in packet throughput". Four policies:
+//
+//   kLru                    - classic: admit always, evict least recently used.
+//   kLfu                    - admit always, evict least frequently used.
+//   kSmallPacketPreferential- size-aware LRU: eviction prefers the victim
+//                             with the largest mean packet size among the
+//                             least-recent candidates, protecting game
+//                             flows (tiny packets, huge packet counts).
+//   kFrequencyPreferential  - admission control: a destination enters the
+//                             cache only on its second miss within the
+//                             ghost window, so one-shot web flows cannot
+//                             flush long-lived game routes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string_view>
+#include <unordered_map>
+
+namespace gametrace::router {
+
+enum class CachePolicy : std::uint8_t {
+  kLru = 0,
+  kLfu = 1,
+  kSmallPacketPreferential = 2,
+  kFrequencyPreferential = 3,
+};
+
+[[nodiscard]] std::string_view PolicyName(CachePolicy policy) noexcept;
+
+class RouteCache {
+ public:
+  RouteCache(std::size_t capacity, CachePolicy policy);
+
+  // One packet headed for `dst_ip` with `packet_bytes` of payload.
+  // Returns true on a cache hit. On a miss the destination is (possibly)
+  // admitted per the policy.
+  bool Access(std::uint32_t dst_ip, std::uint16_t packet_bytes);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] double hit_rate() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] CachePolicy policy() const noexcept { return policy_; }
+
+  [[nodiscard]] bool Contains(std::uint32_t dst_ip) const noexcept {
+    return entries_.contains(dst_ip);
+  }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    std::list<std::uint32_t>::iterator lru_pos;
+    std::uint64_t frequency = 0;
+    double mean_bytes = 0.0;  // EWMA of packet sizes through this route
+  };
+
+  void Touch(std::uint32_t key, Entry& entry, std::uint16_t bytes);
+  void Admit(std::uint32_t key, std::uint16_t bytes);
+  void EvictOne();
+
+  std::size_t capacity_;
+  CachePolicy policy_;
+  std::unordered_map<std::uint32_t, Entry> entries_;
+  std::list<std::uint32_t> lru_;  // front = most recent
+  // Ghost list for kFrequencyPreferential: recently-missed keys.
+  std::unordered_map<std::uint32_t, std::uint64_t> ghost_;
+  std::uint64_t access_counter_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace gametrace::router

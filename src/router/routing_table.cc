@@ -1,0 +1,82 @@
+#include "router/routing_table.h"
+
+namespace gametrace::router {
+
+namespace {
+
+// Bit i (0 = most significant) of a 32-bit address.
+constexpr int BitAt(std::uint32_t value, int i) noexcept {
+  return static_cast<int>((value >> (31 - i)) & 1u);
+}
+
+}  // namespace
+
+RoutingTable::RoutingTable() { nodes_.emplace_back(); }
+
+void RoutingTable::Insert(const net::Ipv4Prefix& prefix, std::uint32_t next_hop) {
+  std::int32_t node = 0;
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    const int bit = BitAt(prefix.address().value(), depth);
+    if (nodes_[static_cast<std::size_t>(node)].child[bit] < 0) {
+      nodes_[static_cast<std::size_t>(node)].child[bit] =
+          static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    node = nodes_[static_cast<std::size_t>(node)].child[bit];
+  }
+  Node& leaf = nodes_[static_cast<std::size_t>(node)];
+  if (!leaf.has_route) ++routes_;
+  leaf.has_route = true;
+  leaf.next_hop = next_hop;
+}
+
+std::optional<std::uint32_t> RoutingTable::Lookup(net::Ipv4Address address) const {
+  std::optional<std::uint32_t> best;
+  std::int32_t node = 0;
+  int depth = 0;
+  while (node >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.has_route) best = n.next_hop;
+    if (depth == 32) break;
+    node = n.child[BitAt(address.value(), depth)];
+    ++depth;
+  }
+  return best;
+}
+
+std::int32_t RoutingTable::FindNode(const net::Ipv4Prefix& prefix) const noexcept {
+  std::int32_t node = 0;
+  for (int depth = 0; depth < prefix.length() && node >= 0; ++depth) {
+    node = nodes_[static_cast<std::size_t>(node)].child[BitAt(prefix.address().value(), depth)];
+  }
+  return node;
+}
+
+std::optional<std::uint32_t> RoutingTable::Exact(const net::Ipv4Prefix& prefix) const {
+  const std::int32_t node = FindNode(prefix);
+  if (node < 0 || !nodes_[static_cast<std::size_t>(node)].has_route) return std::nullopt;
+  return nodes_[static_cast<std::size_t>(node)].next_hop;
+}
+
+bool RoutingTable::Remove(const net::Ipv4Prefix& prefix) {
+  const std::int32_t node = FindNode(prefix);
+  if (node < 0 || !nodes_[static_cast<std::size_t>(node)].has_route) return false;
+  nodes_[static_cast<std::size_t>(node)].has_route = false;
+  --routes_;
+  return true;
+}
+
+std::size_t RoutingTable::LookupCost(net::Ipv4Address address) const noexcept {
+  std::size_t visited = 1;
+  std::int32_t node = 0;
+  int depth = 0;
+  while (depth < 32) {
+    node = nodes_[static_cast<std::size_t>(node)].child[BitAt(address.value(), depth)];
+    if (node < 0) break;
+    ++visited;
+    ++depth;
+  }
+  return visited;
+}
+
+}  // namespace gametrace::router

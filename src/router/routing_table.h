@@ -1,0 +1,56 @@
+// Longest-prefix-match routing table (binary trie).
+//
+// The substrate for the paper's section IV-B observation that "preferential
+// route caching strategies based on packet size or packet frequency may
+// provide significant improvements": RouteCache sits in front of this
+// table, and the full lookup walk is the miss penalty being avoided.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace gametrace::router {
+
+class RoutingTable {
+ public:
+  RoutingTable();
+
+  // Inserts or replaces the route for `prefix`.
+  void Insert(const net::Ipv4Prefix& prefix, std::uint32_t next_hop);
+
+  // Longest-prefix-match lookup; nullopt when no route (not even a default)
+  // covers the address.
+  [[nodiscard]] std::optional<std::uint32_t> Lookup(net::Ipv4Address address) const;
+
+  // Exact-prefix lookup (no LPM fallback).
+  [[nodiscard]] std::optional<std::uint32_t> Exact(const net::Ipv4Prefix& prefix) const;
+
+  // Removes the route for exactly `prefix`; returns false if absent.
+  // Trie nodes are not reclaimed (bounded by total inserts, as in real
+  // FIB implementations that garbage-collect offline).
+  bool Remove(const net::Ipv4Prefix& prefix);
+
+  [[nodiscard]] std::size_t size() const noexcept { return routes_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  // Number of trie nodes visited by Lookup(address) - the "work" a route
+  // cache hit saves.
+  [[nodiscard]] std::size_t LookupCost(net::Ipv4Address address) const noexcept;
+
+ private:
+  struct Node {
+    std::int32_t child[2] = {-1, -1};
+    bool has_route = false;
+    std::uint32_t next_hop = 0;
+  };
+
+  [[nodiscard]] std::int32_t FindNode(const net::Ipv4Prefix& prefix) const noexcept;
+
+  std::vector<Node> nodes_;
+  std::size_t routes_ = 0;
+};
+
+}  // namespace gametrace::router

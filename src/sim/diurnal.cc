@@ -1,0 +1,65 @@
+#include "sim/diurnal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gametrace::sim {
+
+namespace {
+constexpr double kDaySeconds = 86400.0;
+}
+
+DiurnalCurve::DiurnalCurve(std::vector<ControlPoint> points) : points_(std::move(points)) {
+  for (const auto& p : points_) {
+    if (p.hour < 0.0 || p.hour >= 24.0) throw std::invalid_argument("DiurnalCurve: hour outside [0,24)");
+    if (p.multiplier < 0.0) throw std::invalid_argument("DiurnalCurve: negative multiplier");
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const ControlPoint& a, const ControlPoint& b) { return a.hour < b.hour; });
+}
+
+double DiurnalCurve::At(double t_seconds) const noexcept {
+  if (points_.empty()) return 1.0;
+  if (points_.size() == 1) return points_.front().multiplier;
+
+  double day_pos = std::fmod(t_seconds + phase_offset_, kDaySeconds);
+  if (day_pos < 0.0) day_pos += kDaySeconds;
+  const double hour = day_pos / 3600.0;
+
+  // Find the segment [prev, next] containing `hour`, wrapping at midnight.
+  const auto next_it = std::upper_bound(
+      points_.begin(), points_.end(), hour,
+      [](double h, const ControlPoint& p) { return h < p.hour; });
+  const ControlPoint& next = next_it == points_.end() ? points_.front() : *next_it;
+  const ControlPoint& prev = next_it == points_.begin() ? points_.back() : *(next_it - 1);
+
+  double span = next.hour - prev.hour;
+  double offset = hour - prev.hour;
+  if (span <= 0.0) span += 24.0;     // wrapped segment
+  if (offset < 0.0) offset += 24.0;  // hour before first control point
+  const double frac = span > 0.0 ? offset / span : 0.0;
+  return prev.multiplier + frac * (next.multiplier - prev.multiplier);
+}
+
+DiurnalCurve DiurnalCurve::BusyServerDefault() {
+  // Connections arrive "irrespective of the time of day": the cycle is
+  // deliberately mild (a strong daily swing would put long-range variance
+  // into the >30 min band, contradicting the paper's Figure 5 where
+  // H ~ 1/2 above the map period). Full-server refusal episodes come from
+  // group arrivals instead (SessionConfig::group_mean_extra).
+  return DiurnalCurve({{4.0, 0.82}, {10.0, 1.00}, {16.0, 1.06}, {20.0, 1.18}, {23.0, 0.97}});
+}
+
+double DiurnalCurve::MeanMultiplier() const noexcept {
+  // Trapezoidal integration at 1-minute resolution is plenty for a
+  // piecewise-linear curve.
+  constexpr int kSteps = 24 * 60;
+  double acc = 0.0;
+  for (int i = 0; i < kSteps; ++i) {
+    acc += At(static_cast<double>(i) * 60.0);
+  }
+  return acc / kSteps;
+}
+
+}  // namespace gametrace::sim

@@ -1,0 +1,48 @@
+// Time-of-day rate modulation.
+//
+// The studied server drew "connections arriving from all parts of the world
+// irrespective of the time of day" (paper section III-A), i.e. a *mild*
+// diurnal cycle around a high base rate. DiurnalCurve models an arbitrary
+// 24-hour piecewise-linear multiplier so session arrivals can reproduce the
+// short-term variation of Figure 3 while staying near capacity.
+#pragma once
+
+#include <vector>
+
+namespace gametrace::sim {
+
+class DiurnalCurve {
+ public:
+  // Control points are (hour in [0, 24), multiplier >= 0); interpolation is
+  // piecewise linear and wraps around midnight. An empty list means a
+  // constant multiplier of 1.
+  struct ControlPoint {
+    double hour;
+    double multiplier;
+  };
+
+  DiurnalCurve() = default;
+  explicit DiurnalCurve(std::vector<ControlPoint> points);
+
+  // Multiplier at absolute time t (seconds); day 0 starts at t = 0 plus the
+  // configured phase offset (seconds past midnight at t = 0).
+  [[nodiscard]] double At(double t_seconds) const noexcept;
+
+  void set_phase_offset(double seconds_past_midnight_at_t0) noexcept {
+    phase_offset_ = seconds_past_midnight_at_t0;
+  }
+
+  // The curve used by the default calibration: gentle evening peak (x1.15)
+  // and a shallow early-morning trough (x0.8) - "busy at all hours".
+  static DiurnalCurve BusyServerDefault();
+
+  // Mean multiplier over 24 h (used to keep calibrated mean rates invariant
+  // under modulation).
+  [[nodiscard]] double MeanMultiplier() const noexcept;
+
+ private:
+  std::vector<ControlPoint> points_;  // sorted by hour
+  double phase_offset_ = 0.0;
+};
+
+}  // namespace gametrace::sim

@@ -1,0 +1,53 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gametrace::sim {
+
+std::uint64_t EventQueue::Schedule(SimTime t, Handler fn) {
+  if (!fn) throw std::invalid_argument("EventQueue::Schedule: empty handler");
+  const std::uint64_t id = handlers_.size();
+  handlers_.push_back(std::move(fn));
+  cancelled_.push_back(false);
+  heap_.push(Entry{t, next_seq_++, id});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(std::uint64_t id) {
+  if (id >= handlers_.size()) return false;
+  if (cancelled_[id] || !handlers_[id]) return false;
+  cancelled_[id] = true;
+  handlers_[id] = nullptr;
+  --live_count_;
+  return true;
+}
+
+void EventQueue::SkipCancelled() const {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) heap_.pop();
+}
+
+bool EventQueue::empty() const noexcept {
+  SkipCancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::NextTime() const {
+  SkipCancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::NextTime: empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::PoppedEvent EventQueue::Pop() {
+  SkipCancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::Pop: empty queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  PoppedEvent out{top.time, std::move(handlers_[top.id])};
+  handlers_[top.id] = nullptr;
+  --live_count_;
+  return out;
+}
+
+}  // namespace gametrace::sim

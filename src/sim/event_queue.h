@@ -1,0 +1,64 @@
+// Future event list for the discrete-event simulator.
+//
+// A binary heap keyed by (time, sequence). The sequence number makes
+// ordering of simultaneous events deterministic (FIFO in scheduling order),
+// which keeps whole-trace reproducibility independent of heap tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace gametrace::sim {
+
+using SimTime = double;  // seconds since trace start
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  // Schedules `fn` at absolute time `t`. Returns an id usable with Cancel().
+  std::uint64_t Schedule(SimTime t, Handler fn);
+
+  // Lazily cancels a scheduled event; the entry is discarded when popped.
+  // Returns false if the id was never issued or already executed/cancelled.
+  bool Cancel(std::uint64_t id);
+
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
+
+  // Time of the next (non-cancelled) event. Queue must not be empty.
+  [[nodiscard]] SimTime NextTime() const;
+
+  // Pops and returns the next event's handler, advancing past cancelled
+  // entries. Queue must not be empty.
+  struct PoppedEvent {
+    SimTime time;
+    Handler handler;
+  };
+  PoppedEvent Pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Heap is a max-heap by default; invert for earliest-first, with seq as
+    // the deterministic tie-break.
+    bool operator<(const Entry& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void SkipCancelled() const;
+
+  mutable std::priority_queue<Entry> heap_;
+  std::vector<Handler> handlers_;        // id -> handler (empty when done)
+  std::vector<bool> cancelled_;          // id -> cancelled flag
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace gametrace::sim

@@ -1,0 +1,99 @@
+#include "sim/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace gametrace::sim {
+
+double Uniform(Rng& rng, double lo, double hi) noexcept {
+  return lo + (hi - lo) * rng.NextDouble();
+}
+
+double Exponential(Rng& rng, double mean) {
+  if (!(mean > 0.0)) throw std::invalid_argument("Exponential: mean must be > 0");
+  // 1 - u is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - rng.NextDouble());
+}
+
+double StandardNormal(Rng& rng) noexcept {
+  // Box-Muller; u1 in (0,1] to keep log finite.
+  const double u1 = 1.0 - rng.NextDouble();
+  const double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Normal(Rng& rng, double mean, double stddev) noexcept {
+  return mean + stddev * StandardNormal(rng);
+}
+
+double LognormalFromMoments(Rng& rng, double mean, double stddev) {
+  if (!(mean > 0.0)) throw std::invalid_argument("LognormalFromMoments: mean must be > 0");
+  if (!(stddev >= 0.0)) throw std::invalid_argument("LognormalFromMoments: stddev must be >= 0");
+  if (stddev == 0.0) return mean;
+  const double variance_ratio = (stddev * stddev) / (mean * mean);
+  const double sigma2 = std::log(1.0 + variance_ratio);
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  return std::exp(mu + std::sqrt(sigma2) * StandardNormal(rng));
+}
+
+double Pareto(Rng& rng, double x_m, double alpha) {
+  if (!(x_m > 0.0) || !(alpha > 0.0)) throw std::invalid_argument("Pareto: bad parameters");
+  const double u = 1.0 - rng.NextDouble();  // (0, 1]
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+bool Bernoulli(Rng& rng, double p) noexcept { return rng.NextDouble() < p; }
+
+std::uint64_t Poisson(Rng& rng, double mean) {
+  if (!(mean >= 0.0)) throw std::invalid_argument("Poisson: mean must be >= 0");
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction.
+    const double draw = Normal(rng, mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  std::uint64_t k = 0;
+  double product = rng.NextDouble();
+  while (product > limit) {
+    ++k;
+    product *= rng.NextDouble();
+  }
+  return k;
+}
+
+std::size_t Discrete(Rng& rng, std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Discrete: negative weight");
+    total += w;
+  }
+  if (!(total > 0.0)) throw std::invalid_argument("Discrete: weights sum to zero");
+  double target = rng.NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  cdf_.resize(n);
+  double running = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    running += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = running;
+  }
+  for (auto& v : cdf_) v /= running;
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it == cdf_.end() ? cdf_.size() - 1 : it - cdf_.begin());
+}
+
+}  // namespace gametrace::sim

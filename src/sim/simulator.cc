@@ -1,0 +1,40 @@
+#include "sim/simulator.h"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace gametrace::sim {
+
+std::uint64_t Simulator::At(SimTime t, EventQueue::Handler fn) {
+  if (t < now_) throw std::invalid_argument("Simulator::At: time is in the past");
+  return queue_.Schedule(t, std::move(fn));
+}
+
+std::uint64_t Simulator::After(SimTime delay, EventQueue::Handler fn) {
+  if (delay < 0.0) throw std::invalid_argument("Simulator::After: negative delay");
+  return queue_.Schedule(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Simulator::RunUntil(SimTime t_end) {
+  stop_requested_ = false;
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.NextTime() > t_end) break;
+    auto [time, handler] = queue_.Pop();
+    now_ = time;
+    handler();
+    ++ran;
+    ++executed_;
+  }
+  // The clock reaches t_end even if the queue drained earlier, so rate
+  // computations over [0, t_end] see the idle tail.
+  if (now_ < t_end && !stop_requested_) now_ = t_end;
+  return ran;
+}
+
+std::uint64_t Simulator::RunAll() {
+  return RunUntil(std::numeric_limits<SimTime>::infinity());
+}
+
+}  // namespace gametrace::sim

@@ -1,0 +1,47 @@
+// Discrete-event simulator: a clock plus an event queue.
+//
+// The whole reproduction is event-driven: game server ticks, client send
+// times, session arrivals/departures, map rotations, NAT service
+// completions are all events against one Simulator instance.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+
+namespace gametrace::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] SimTime Now() const noexcept { return now_; }
+
+  // Schedules at an absolute time; must not be in the past.
+  std::uint64_t At(SimTime t, EventQueue::Handler fn);
+
+  // Schedules `delay` seconds from now; delay must be >= 0.
+  std::uint64_t After(SimTime delay, EventQueue::Handler fn);
+
+  bool Cancel(std::uint64_t id) { return queue_.Cancel(id); }
+
+  // Runs events until the queue empties or the clock passes `t_end`.
+  // Events scheduled exactly at t_end are executed. Returns the number of
+  // events executed.
+  std::uint64_t RunUntil(SimTime t_end);
+
+  // Runs until the queue is empty.
+  std::uint64_t RunAll();
+
+  // Requests that the run loop stop after the current event.
+  void Stop() noexcept { stop_requested_ = true; }
+
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace gametrace::sim

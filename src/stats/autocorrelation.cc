@@ -1,0 +1,57 @@
+#include "stats/autocorrelation.h"
+
+#include <stdexcept>
+
+namespace gametrace::stats {
+
+namespace {
+
+double MeanOf(std::span<const double> xs) {
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return xs.empty() ? 0.0 : acc / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+double AutocorrelationAt(std::span<const double> xs, std::size_t lag) {
+  if (lag >= xs.size()) throw std::invalid_argument("AutocorrelationAt: lag >= series length");
+  const double mean = MeanOf(xs);
+  double denom = 0.0;
+  for (double x : xs) {
+    const double d = x - mean;
+    denom += d * d;
+  }
+  if (denom == 0.0) return 0.0;
+  double num = 0.0;
+  for (std::size_t i = 0; i + lag < xs.size(); ++i) {
+    num += (xs[i] - mean) * (xs[i + lag] - mean);
+  }
+  return num / denom;
+}
+
+std::vector<double> Autocorrelation(std::span<const double> xs, std::size_t max_lag) {
+  std::vector<double> out;
+  out.reserve(max_lag + 1);
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) out.push_back(AutocorrelationAt(xs, lag));
+  return out;
+}
+
+std::size_t DominantPeriod(std::span<const double> xs, std::size_t max_lag) {
+  const std::vector<double> ac = Autocorrelation(xs, max_lag);
+  std::size_t best = 0;
+  double best_value = 0.0;
+  // Skip lag 0 (trivially 1) and require a local peak so a slowly decaying
+  // correlation does not report lag 1 as a "period".
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    const bool left_ok = ac[lag] >= ac[lag - 1];
+    const bool right_ok = lag + 1 > max_lag || ac[lag] >= ac[lag + 1];
+    if (left_ok && right_ok && ac[lag] > best_value) {
+      best = lag;
+      best_value = ac[lag];
+    }
+  }
+  return best;
+}
+
+}  // namespace gametrace::stats

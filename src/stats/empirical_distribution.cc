@@ -1,0 +1,79 @@
+#include "stats/empirical_distribution.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/histogram.h"
+
+namespace gametrace::stats {
+
+void EmpiricalDistribution::Add(double value, double weight) {
+  if (!(weight > 0.0)) throw std::invalid_argument("EmpiricalDistribution: weight must be > 0");
+  values_.push_back(value);
+  weights_.push_back(weight);
+  total_weight_ += weight;
+  dirty_ = true;
+}
+
+EmpiricalDistribution EmpiricalDistribution::FromHistogram(const Histogram& h) {
+  EmpiricalDistribution d;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    if (h.count(i) > 0) d.Add(h.bin_center(i), static_cast<double>(h.count(i)));
+  }
+  return d;
+}
+
+double EmpiricalDistribution::Mean() const {
+  if (empty()) throw std::logic_error("EmpiricalDistribution::Mean: empty");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) acc += values_[i] * weights_[i];
+  return acc / total_weight_;
+}
+
+double EmpiricalDistribution::Variance() const {
+  const double m = Mean();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const double d = values_[i] - m;
+    acc += d * d * weights_[i];
+  }
+  return acc / total_weight_;
+}
+
+void EmpiricalDistribution::EnsureSorted() const {
+  if (!dirty_) return;
+  std::vector<std::size_t> order(values_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [this](std::size_t a, std::size_t b) { return values_[a] < values_[b]; });
+  std::vector<double> v(values_.size());
+  std::vector<double> w(values_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    v[i] = values_[order[i]];
+    w[i] = weights_[order[i]];
+  }
+  values_ = std::move(v);
+  weights_ = std::move(w);
+  cumulative_.resize(values_.size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    running += weights_[i];
+    cumulative_[i] = running;
+  }
+  dirty_ = false;
+}
+
+double EmpiricalDistribution::SampleByUniform(double u) const {
+  if (empty()) throw std::logic_error("EmpiricalDistribution::SampleByUniform: empty");
+  if (u < 0.0 || u >= 1.0) {
+    throw std::invalid_argument("EmpiricalDistribution::SampleByUniform: u outside [0,1)");
+  }
+  EnsureSorted();
+  const double target = u * total_weight_;
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+  return values_[std::min(idx, values_.size() - 1)];
+}
+
+}  // namespace gametrace::stats

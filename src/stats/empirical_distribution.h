@@ -1,0 +1,54 @@
+// Empirical distribution: build from weighted samples, sample by CDF
+// inversion. Used by the fitted source models (core/traffic_model) to
+// regenerate packet sizes with the measured distribution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gametrace::stats {
+
+class Histogram;
+
+// A discrete distribution over double values with arbitrary weights.
+class EmpiricalDistribution {
+ public:
+  EmpiricalDistribution() = default;
+
+  // Adds a point mass. Weight must be positive.
+  void Add(double value, double weight = 1.0);
+
+  // Builds from a histogram's in-range bins (bin centers weighted by count).
+  static EmpiricalDistribution FromHistogram(const Histogram& h);
+
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] std::size_t support_size() const noexcept { return values_.size(); }
+  [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
+
+  [[nodiscard]] double Mean() const;
+  [[nodiscard]] double Variance() const;
+
+  // Inverse-CDF lookup: smallest value whose cumulative weight fraction
+  // reaches u. u must be in [0, 1); the distribution must be non-empty.
+  [[nodiscard]] double SampleByUniform(double u) const;
+
+  // Draws using any UniformRandomBitGenerator.
+  template <typename Urbg>
+  [[nodiscard]] double Sample(Urbg& g) const {
+    const double u = static_cast<double>(g() - Urbg::min()) /
+                     (static_cast<double>(Urbg::max() - Urbg::min()) + 1.0);
+    return SampleByUniform(u);
+  }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> values_;
+  mutable std::vector<double> weights_;
+  mutable std::vector<double> cumulative_;
+  mutable bool dirty_ = false;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace gametrace::stats

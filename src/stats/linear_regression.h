@@ -1,0 +1,22 @@
+// Ordinary least-squares line fit.
+//
+// The Hurst parameter in the paper is "the magnitude of the slope of the
+// best-fit line" through the log-log variance-time points; this is that fit.
+#pragma once
+
+#include <span>
+
+namespace gametrace::stats {
+
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  // coefficient of determination
+  std::size_t n = 0;
+};
+
+// Fits y = slope * x + intercept. Requires xs.size() == ys.size() >= 2 and
+// at least two distinct x values; throws std::invalid_argument otherwise.
+[[nodiscard]] LineFit FitLine(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace gametrace::stats

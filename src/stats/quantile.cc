@@ -1,0 +1,91 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gametrace::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0 && q < 1.0)) throw std::invalid_argument("P2Quantile: q must be in (0,1)");
+  increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+void P2Quantile::Add(double x) noexcept {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) {
+        positions_[i] = i + 1;
+        desired_[i] = 1.0 + 4.0 * increments_[i];
+      }
+    }
+    return;
+  }
+
+  int k;  // cell containing x
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++count_;
+  AdjustMarkers();
+}
+
+void P2Quantile::AdjustMarkers() noexcept {
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const bool move_right = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool move_left = d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (!move_right && !move_left) continue;
+    const double step = move_right ? 1.0 : -1.0;
+    double candidate = Parabolic(i, step);
+    if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+      heights_[i] = candidate;
+    } else {
+      heights_[i] = Linear(i, static_cast<int>(step));
+    }
+    positions_[i] += step;
+  }
+}
+
+double P2Quantile::Parabolic(int i, double d) const noexcept {
+  const double np1 = positions_[i + 1];
+  const double nm1 = positions_[i - 1];
+  const double n = positions_[i];
+  return heights_[i] +
+         d / (np1 - nm1) *
+             ((n - nm1 + d) * (heights_[i + 1] - heights_[i]) / (np1 - n) +
+              (np1 - n - d) * (heights_[i] - heights_[i - 1]) / (n - nm1));
+}
+
+double P2Quantile::Linear(int i, int d) const noexcept {
+  return heights_[i] + d * (heights_[i + d] - heights_[i]) / (positions_[i + d] - positions_[i]);
+}
+
+double P2Quantile::Value() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact order statistic over the few samples seen so far.
+    std::array<double, 5> tmp = heights_;
+    std::sort(tmp.begin(), tmp.begin() + count_);
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(std::floor(q_ * static_cast<double>(count_)),
+                         static_cast<double>(count_ - 1)));
+    return tmp[idx];
+  }
+  return heights_[2];
+}
+
+}  // namespace gametrace::stats

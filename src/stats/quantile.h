@@ -1,0 +1,37 @@
+// P-square streaming quantile estimator (Jain & Chlamtac, 1985).
+//
+// Lets the NAT-device and characterizer report delay percentiles over
+// hundreds of millions of packets in O(1) memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gametrace::stats {
+
+// Estimates a single quantile q of a stream without storing samples.
+// After at least 5 observations Value() returns the P-square estimate;
+// before that it returns the exact order statistic of what has been seen.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void Add(double x) noexcept;
+
+  [[nodiscard]] double Value() const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  void AdjustMarkers() noexcept;
+  [[nodiscard]] double Parabolic(int i, double d) const noexcept;
+  [[nodiscard]] double Linear(int i, int d) const noexcept;
+
+  double q_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<double, 5> positions_{};  // actual marker positions
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace gametrace::stats

@@ -1,0 +1,42 @@
+// Rescaled-range (R/S) Hurst estimation (Hurst 1950, the paper's ref [28]).
+//
+// An independent cross-check of the aggregated-variance method used for
+// Figure 5: for each block size n, compute the range of the mean-adjusted
+// cumulative sum within each block, rescale by the block's standard
+// deviation, and average; H is the slope of log(R/S) against log(n).
+#pragma once
+
+#include <vector>
+
+#include "stats/linear_regression.h"
+#include "stats/time_series.h"
+
+namespace gametrace::stats {
+
+struct RsPoint {
+  std::size_t n = 0;        // block size in base intervals
+  double mean_rs = 0.0;     // average rescaled range over whole blocks
+  double log10_n = 0.0;
+  double log10_rs = 0.0;
+};
+
+struct RsPlot {
+  std::vector<RsPoint> points;
+
+  // Slope of the best-fit line through the log-log points = H.
+  [[nodiscard]] double HurstEstimate() const;
+  [[nodiscard]] LineFit Fit() const;
+};
+
+struct RsOptions {
+  double ratio = 2.0;        // geometric block-size progression
+  std::size_t min_n = 8;     // smallest block size
+  std::size_t min_blocks = 4;  // keep at least this many whole blocks
+};
+
+// Computes the R/S plot of a series. Throws std::invalid_argument if the
+// series is shorter than min_n * min_blocks or has zero variance.
+[[nodiscard]] RsPlot ComputeRescaledRange(const TimeSeries& series,
+                                          const RsOptions& options = {});
+
+}  // namespace gametrace::stats

@@ -1,0 +1,51 @@
+#include "trace/aggregator.h"
+
+namespace gametrace::trace {
+
+LoadAggregator::LoadAggregator(double interval, double start_time,
+                               std::uint32_t wire_overhead_bytes)
+    : overhead_(wire_overhead_bytes),
+      pkts_in_(start_time, interval),
+      pkts_out_(start_time, interval),
+      bytes_in_(start_time, interval),
+      bytes_out_(start_time, interval) {}
+
+void LoadAggregator::OnPacket(const net::PacketRecord& record) {
+  const double wire = static_cast<double>(record.wire_bytes(overhead_));
+  if (record.direction == net::Direction::kClientToServer) {
+    pkts_in_.Add(record.timestamp, 1.0);
+    bytes_in_.Add(record.timestamp, wire);
+  } else {
+    pkts_out_.Add(record.timestamp, 1.0);
+    bytes_out_.Add(record.timestamp, wire);
+  }
+}
+
+void LoadAggregator::ExtendTo(double t_end) {
+  pkts_in_.ExtendTo(t_end);
+  pkts_out_.ExtendTo(t_end);
+  bytes_in_.ExtendTo(t_end);
+  bytes_out_.ExtendTo(t_end);
+}
+
+stats::TimeSeries LoadAggregator::packets_total() const { return pkts_in_.Plus(pkts_out_); }
+
+stats::TimeSeries LoadAggregator::wire_bytes_total() const { return bytes_in_.Plus(bytes_out_); }
+
+stats::TimeSeries LoadAggregator::packet_rate_total() const { return packets_total().Rate(); }
+
+stats::TimeSeries LoadAggregator::packet_rate_in() const { return pkts_in_.Rate(); }
+
+stats::TimeSeries LoadAggregator::packet_rate_out() const { return pkts_out_.Rate(); }
+
+stats::TimeSeries LoadAggregator::bandwidth_total_bps() const {
+  return wire_bytes_total().Rate().Scaled(8.0);
+}
+
+stats::TimeSeries LoadAggregator::bandwidth_in_bps() const { return bytes_in_.Rate().Scaled(8.0); }
+
+stats::TimeSeries LoadAggregator::bandwidth_out_bps() const {
+  return bytes_out_.Rate().Scaled(8.0);
+}
+
+}  // namespace gametrace::trace

@@ -1,0 +1,50 @@
+// Packet stream -> time series (packets and bytes per interval, by
+// direction). Backs every load/bandwidth figure in the paper (Figs 1-4,
+// 6-10, 14-15).
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "stats/time_series.h"
+#include "trace/capture.h"
+
+namespace gametrace::trace {
+
+class LoadAggregator final : public CaptureSink {
+ public:
+  // Bins of `interval` seconds starting at `start_time`.
+  LoadAggregator(double interval, double start_time = 0.0,
+                 std::uint32_t wire_overhead_bytes = net::kWireOverheadBytes);
+
+  void OnPacket(const net::PacketRecord& record) override;
+
+  // Pads all series with zero bins up to `t_end` so trailing idle time is
+  // represented (important when computing means over a fixed window).
+  void ExtendTo(double t_end);
+
+  // Raw per-bin counts/bytes.
+  [[nodiscard]] const stats::TimeSeries& packets_in() const noexcept { return pkts_in_; }
+  [[nodiscard]] const stats::TimeSeries& packets_out() const noexcept { return pkts_out_; }
+  [[nodiscard]] const stats::TimeSeries& wire_bytes_in() const noexcept { return bytes_in_; }
+  [[nodiscard]] const stats::TimeSeries& wire_bytes_out() const noexcept { return bytes_out_; }
+
+  // Derived series (computed on demand).
+  [[nodiscard]] stats::TimeSeries packets_total() const;
+  [[nodiscard]] stats::TimeSeries wire_bytes_total() const;
+  [[nodiscard]] stats::TimeSeries packet_rate_total() const;      // pkts/sec
+  [[nodiscard]] stats::TimeSeries packet_rate_in() const;
+  [[nodiscard]] stats::TimeSeries packet_rate_out() const;
+  [[nodiscard]] stats::TimeSeries bandwidth_total_bps() const;    // bits/sec
+  [[nodiscard]] stats::TimeSeries bandwidth_in_bps() const;
+  [[nodiscard]] stats::TimeSeries bandwidth_out_bps() const;
+
+ private:
+  std::uint32_t overhead_;
+  stats::TimeSeries pkts_in_;
+  stats::TimeSeries pkts_out_;
+  stats::TimeSeries bytes_in_;
+  stats::TimeSeries bytes_out_;
+};
+
+}  // namespace gametrace::trace

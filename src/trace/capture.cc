@@ -1,0 +1,9 @@
+#include "trace/capture.h"
+
+namespace gametrace::trace {
+
+void Replay(const std::vector<net::PacketRecord>& records, CaptureSink& sink) {
+  for (const auto& record : records) sink.OnPacket(record);
+}
+
+}  // namespace gametrace::trace

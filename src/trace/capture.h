@@ -1,0 +1,97 @@
+// Capture sinks: where simulated (or replayed) packets go.
+//
+// Everything downstream of the workload generator - summaries, aggregators,
+// trace files, the NAT device - consumes packets through CaptureSink, so a
+// single simulation run can feed any combination of analyses via TeeSink
+// without materialising 500 M records in memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace gametrace::trace {
+
+class CaptureSink {
+ public:
+  virtual ~CaptureSink() = default;
+  virtual void OnPacket(const net::PacketRecord& record) = 0;
+};
+
+// Forwards every packet to each attached sink, in attachment order.
+class TeeSink final : public CaptureSink {
+ public:
+  // Attached sinks are borrowed; they must outlive the tee.
+  void Attach(CaptureSink& sink) { sinks_.push_back(&sink); }
+
+  void OnPacket(const net::PacketRecord& record) override {
+    for (CaptureSink* sink : sinks_) sink->OnPacket(record);
+  }
+
+  [[nodiscard]] std::size_t sink_count() const noexcept { return sinks_.size(); }
+
+ private:
+  std::vector<CaptureSink*> sinks_;
+};
+
+// Counts packets and bytes by direction; the cheapest possible sink.
+class CountingSink final : public CaptureSink {
+ public:
+  void OnPacket(const net::PacketRecord& record) override {
+    ++packets_;
+    app_bytes_ += record.app_bytes;
+    if (record.direction == net::Direction::kClientToServer) {
+      ++packets_in_;
+    } else {
+      ++packets_out_;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t packets() const noexcept { return packets_; }
+  [[nodiscard]] std::uint64_t packets_in() const noexcept { return packets_in_; }
+  [[nodiscard]] std::uint64_t packets_out() const noexcept { return packets_out_; }
+  [[nodiscard]] std::uint64_t app_bytes() const noexcept { return app_bytes_; }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t packets_in_ = 0;
+  std::uint64_t packets_out_ = 0;
+  std::uint64_t app_bytes_ = 0;
+};
+
+// Stores every record; only for tests and short runs.
+class VectorSink final : public CaptureSink {
+ public:
+  void OnPacket(const net::PacketRecord& record) override { records_.push_back(record); }
+
+  [[nodiscard]] const std::vector<net::PacketRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::vector<net::PacketRecord> TakeRecords() noexcept {
+    return std::move(records_);
+  }
+
+ private:
+  std::vector<net::PacketRecord> records_;
+};
+
+// Adapts a callable into a sink.
+class CallbackSink final : public CaptureSink {
+ public:
+  using Callback = std::function<void(const net::PacketRecord&)>;
+  explicit CallbackSink(Callback cb) : cb_(std::move(cb)) {}
+
+  void OnPacket(const net::PacketRecord& record) override { cb_(record); }
+
+ private:
+  Callback cb_;
+};
+
+// Replays a stored record vector into a sink (records must be time-ordered
+// if the sink cares about ordering; all library sinks do).
+void Replay(const std::vector<net::PacketRecord>& records, CaptureSink& sink);
+
+}  // namespace gametrace::trace

@@ -1,0 +1,46 @@
+#include "trace/filter.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gametrace::trace {
+
+FilterSink::FilterSink(Predicate predicate, CaptureSink& next)
+    : predicate_(std::move(predicate)), next_(&next) {
+  if (!predicate_) throw std::invalid_argument("FilterSink: empty predicate");
+}
+
+void FilterSink::OnPacket(const net::PacketRecord& record) {
+  if (predicate_(record)) {
+    ++passed_;
+    next_->OnPacket(record);
+  } else {
+    ++dropped_;
+  }
+}
+
+FilterSink::Predicate DirectionIs(net::Direction d) {
+  return [d](const net::PacketRecord& r) { return r.direction == d; };
+}
+
+FilterSink::Predicate KindIs(net::PacketKind k) {
+  return [k](const net::PacketRecord& r) { return r.kind == k; };
+}
+
+FilterSink::Predicate TimeWindow(double t_begin, double t_end) {
+  return [t_begin, t_end](const net::PacketRecord& r) {
+    return r.timestamp >= t_begin && r.timestamp < t_end;
+  };
+}
+
+FilterSink::Predicate ClientIs(net::Ipv4Address ip) {
+  return [ip](const net::PacketRecord& r) { return r.client_ip == ip; };
+}
+
+FilterSink::Predicate And(FilterSink::Predicate a, FilterSink::Predicate b) {
+  return [a = std::move(a), b = std::move(b)](const net::PacketRecord& r) {
+    return a(r) && b(r);
+  };
+}
+
+}  // namespace gametrace::trace

@@ -1,0 +1,80 @@
+#include "trace/session_tracker.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gametrace::trace {
+
+double Session::mean_bandwidth_bps(std::uint32_t overhead) const noexcept {
+  const double d = duration();
+  if (d <= 0.0) return 0.0;
+  const std::uint64_t wire =
+      app_bytes_in + app_bytes_out + packets() * static_cast<std::uint64_t>(overhead);
+  return net::BitsPerSecond(static_cast<double>(wire), d);
+}
+
+SessionTracker::SessionTracker(double idle_timeout_seconds) : idle_timeout_(idle_timeout_seconds) {
+  if (!(idle_timeout_seconds > 0.0)) {
+    throw std::invalid_argument("SessionTracker: idle timeout must be positive");
+  }
+}
+
+void SessionTracker::OnPacket(const net::PacketRecord& record) {
+  // Handshake-refusal traffic is not a session: a rejected client exchanged
+  // two packets but never played. Counting those would flood the session
+  // list with zero-length entries.
+  if (record.kind == net::PacketKind::kConnectReject) return;
+
+  const Key key{record.client_ip.value(), record.client_port};
+  auto it = open_.find(key);
+  if (it != open_.end() && record.timestamp - it->second.end > idle_timeout_) {
+    Close(key, std::move(it->second));
+    open_.erase(it);
+    it = open_.end();
+  }
+  if (it == open_.end()) {
+    Session s;
+    s.client_ip = record.client_ip;
+    s.client_port = record.client_port;
+    s.start = record.timestamp;
+    s.end = record.timestamp;
+    it = open_.emplace(key, s).first;
+    ++unique_ips_[key.ip];
+  }
+
+  Session& s = it->second;
+  // The capture may be mildly out of order within a tick window; a session
+  // never shrinks.
+  s.end = std::max(s.end, record.timestamp);
+  if (record.direction == net::Direction::kClientToServer) {
+    ++s.packets_in;
+    s.app_bytes_in += record.app_bytes;
+  } else {
+    ++s.packets_out;
+    s.app_bytes_out += record.app_bytes;
+  }
+}
+
+void SessionTracker::Close(const Key& /*key*/, Session&& session) {
+  closed_.push_back(std::move(session));
+}
+
+std::vector<Session> SessionTracker::Finish() {
+  for (auto& [key, session] : open_) closed_.push_back(session);
+  open_.clear();
+  std::sort(closed_.begin(), closed_.end(),
+            [](const Session& a, const Session& b) { return a.start < b.start; });
+  return std::move(closed_);
+}
+
+stats::Histogram SessionTracker::BandwidthHistogram(const std::vector<Session>& sessions,
+                                                    double min_duration, double max_bps,
+                                                    std::size_t bins) {
+  stats::Histogram h(0.0, max_bps, bins);
+  for (const Session& s : sessions) {
+    if (s.duration() > min_duration) h.Add(s.mean_bandwidth_bps());
+  }
+  return h;
+}
+
+}  // namespace gametrace::trace

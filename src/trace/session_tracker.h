@@ -1,0 +1,82 @@
+// Session reconstruction from the packet stream alone.
+//
+// Like the paper's analysis, sessions are inferred from packet timing: a
+// client endpoint that goes quiet for longer than `idle_timeout` has left
+// (Counter-Strike clients and servers disconnect "after not hearing from
+// each other over a period of several seconds"). Produces the per-session
+// bandwidth population behind Figure 11 and the session counts of Table I.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "stats/histogram.h"
+#include "trace/capture.h"
+
+namespace gametrace::trace {
+
+struct Session {
+  net::Ipv4Address client_ip;
+  std::uint16_t client_port = 0;
+  double start = 0.0;
+  double end = 0.0;
+  std::uint64_t packets_in = 0;
+  std::uint64_t packets_out = 0;
+  std::uint64_t app_bytes_in = 0;
+  std::uint64_t app_bytes_out = 0;
+
+  [[nodiscard]] double duration() const noexcept { return end - start; }
+  [[nodiscard]] std::uint64_t packets() const noexcept { return packets_in + packets_out; }
+
+  // Mean bandwidth over the session including wire overhead, bits/sec -
+  // "the bandwidth measured at the server will be quite close to what is
+  // sent across the last hop" (paper section III-B).
+  [[nodiscard]] double mean_bandwidth_bps(
+      std::uint32_t overhead = net::kWireOverheadBytes) const noexcept;
+};
+
+class SessionTracker final : public CaptureSink {
+ public:
+  explicit SessionTracker(double idle_timeout_seconds = 30.0);
+
+  void OnPacket(const net::PacketRecord& record) override;
+
+  // Closes all still-open sessions as of the last packet seen and returns
+  // the full session list (sorted by start time). Call once, at the end.
+  [[nodiscard]] std::vector<Session> Finish();
+
+  [[nodiscard]] std::size_t open_sessions() const noexcept { return open_.size(); }
+  [[nodiscard]] std::size_t closed_sessions() const noexcept { return closed_.size(); }
+
+  // Number of distinct client IPs seen across all sessions so far.
+  [[nodiscard]] std::uint64_t unique_clients() const noexcept { return unique_ips_.size(); }
+
+  // Builds the Figure 11 histogram: mean session bandwidth, sessions longer
+  // than `min_duration` only.
+  [[nodiscard]] static stats::Histogram BandwidthHistogram(
+      const std::vector<Session>& sessions, double min_duration = 30.0,
+      double max_bps = 160000.0, std::size_t bins = 64);
+
+ private:
+  struct Key {
+    std::uint32_t ip;
+    std::uint16_t port;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::uint64_t>{}((std::uint64_t{k.ip} << 16) | k.port);
+    }
+  };
+
+  void Close(const Key& key, Session&& session);
+
+  double idle_timeout_;
+  std::unordered_map<Key, Session, KeyHash> open_;
+  std::vector<Session> closed_;
+  std::unordered_map<std::uint32_t, std::uint32_t> unique_ips_;  // ip -> session count
+};
+
+}  // namespace gametrace::trace

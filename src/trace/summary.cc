@@ -1,0 +1,92 @@
+#include "trace/summary.h"
+
+namespace gametrace::trace {
+
+TraceSummary::TraceSummary(std::uint32_t wire_overhead_bytes) : overhead_(wire_overhead_bytes) {}
+
+void TraceSummary::OnPacket(const net::PacketRecord& record) {
+  if (first_time_ < 0.0) first_time_ = record.timestamp;
+  last_time_ = record.timestamp;
+
+  if (record.direction == net::Direction::kClientToServer) {
+    ++packets_in_;
+    app_bytes_in_ += record.app_bytes;
+    size_in_.Add(record.app_bytes);
+  } else {
+    ++packets_out_;
+    app_bytes_out_ += record.app_bytes;
+    size_out_.Add(record.app_bytes);
+  }
+
+  switch (record.kind) {
+    case net::PacketKind::kConnectRequest:
+      ++attempts_;
+      attempting_clients_.insert(record.client_ip.value());
+      break;
+    case net::PacketKind::kConnectAccept:
+      ++established_;
+      establishing_clients_.insert(record.client_ip.value());
+      break;
+    case net::PacketKind::kConnectReject:
+      ++refused_;
+      break;
+    default:
+      break;
+  }
+}
+
+std::uint64_t TraceSummary::wire_bytes_in() const noexcept {
+  return app_bytes_in_ + packets_in_ * overhead_;
+}
+
+std::uint64_t TraceSummary::wire_bytes_out() const noexcept {
+  return app_bytes_out_ + packets_out_ * overhead_;
+}
+
+std::uint64_t TraceSummary::wire_bytes_total() const noexcept {
+  return wire_bytes_in() + wire_bytes_out();
+}
+
+double TraceSummary::duration() const noexcept {
+  if (duration_override_ > 0.0) return duration_override_;
+  if (first_time_ < 0.0) return 0.0;
+  return last_time_ - first_time_;
+}
+
+double TraceSummary::mean_packet_load() const noexcept {
+  const double d = duration();
+  return d > 0.0 ? static_cast<double>(total_packets()) / d : 0.0;
+}
+
+double TraceSummary::mean_packet_load_in() const noexcept {
+  const double d = duration();
+  return d > 0.0 ? static_cast<double>(packets_in_) / d : 0.0;
+}
+
+double TraceSummary::mean_packet_load_out() const noexcept {
+  const double d = duration();
+  return d > 0.0 ? static_cast<double>(packets_out_) / d : 0.0;
+}
+
+double TraceSummary::mean_bandwidth_bps() const noexcept {
+  return net::BitsPerSecond(static_cast<double>(wire_bytes_total()), duration());
+}
+
+double TraceSummary::mean_bandwidth_in_bps() const noexcept {
+  return net::BitsPerSecond(static_cast<double>(wire_bytes_in()), duration());
+}
+
+double TraceSummary::mean_bandwidth_out_bps() const noexcept {
+  return net::BitsPerSecond(static_cast<double>(wire_bytes_out()), duration());
+}
+
+double TraceSummary::mean_packet_size() const noexcept {
+  const std::uint64_t n = total_packets();
+  return n > 0 ? static_cast<double>(app_bytes_total()) / static_cast<double>(n) : 0.0;
+}
+
+double TraceSummary::mean_packet_size_in() const noexcept { return size_in_.mean(); }
+
+double TraceSummary::mean_packet_size_out() const noexcept { return size_out_.mean(); }
+
+}  // namespace gametrace::trace

@@ -1,0 +1,84 @@
+// Streaming trace summary: everything in the paper's Tables I-III that can
+// be derived from the packet stream.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "net/packet.h"
+#include "stats/running_stats.h"
+#include "trace/capture.h"
+
+namespace gametrace::trace {
+
+// Accumulates totals, per-direction byte/packet counts, packet-size moments
+// and connection-handshake counts in one pass, O(1) memory apart from the
+// unique-client sets.
+class TraceSummary final : public CaptureSink {
+ public:
+  explicit TraceSummary(std::uint32_t wire_overhead_bytes = net::kWireOverheadBytes);
+
+  void OnPacket(const net::PacketRecord& record) override;
+
+  // ---- Table II: network usage --------------------------------------
+  [[nodiscard]] std::uint64_t total_packets() const noexcept { return packets_in_ + packets_out_; }
+  [[nodiscard]] std::uint64_t packets_in() const noexcept { return packets_in_; }
+  [[nodiscard]] std::uint64_t packets_out() const noexcept { return packets_out_; }
+  [[nodiscard]] std::uint64_t wire_bytes_total() const noexcept;
+  [[nodiscard]] std::uint64_t wire_bytes_in() const noexcept;
+  [[nodiscard]] std::uint64_t wire_bytes_out() const noexcept;
+  [[nodiscard]] double mean_packet_load() const noexcept;      // pkts/sec
+  [[nodiscard]] double mean_packet_load_in() const noexcept;
+  [[nodiscard]] double mean_packet_load_out() const noexcept;
+  [[nodiscard]] double mean_bandwidth_bps() const noexcept;    // wire bits/sec
+  [[nodiscard]] double mean_bandwidth_in_bps() const noexcept;
+  [[nodiscard]] double mean_bandwidth_out_bps() const noexcept;
+
+  // ---- Table III: application payload --------------------------------
+  [[nodiscard]] std::uint64_t app_bytes_total() const noexcept { return app_bytes_in_ + app_bytes_out_; }
+  [[nodiscard]] std::uint64_t app_bytes_in() const noexcept { return app_bytes_in_; }
+  [[nodiscard]] std::uint64_t app_bytes_out() const noexcept { return app_bytes_out_; }
+  [[nodiscard]] double mean_packet_size() const noexcept;
+  [[nodiscard]] double mean_packet_size_in() const noexcept;
+  [[nodiscard]] double mean_packet_size_out() const noexcept;
+  [[nodiscard]] const stats::RunningStats& size_stats_in() const noexcept { return size_in_; }
+  [[nodiscard]] const stats::RunningStats& size_stats_out() const noexcept { return size_out_; }
+
+  // ---- Table I: connection counts (from handshake packets) -----------
+  [[nodiscard]] std::uint64_t attempted_connections() const noexcept { return attempts_; }
+  [[nodiscard]] std::uint64_t established_connections() const noexcept { return established_; }
+  [[nodiscard]] std::uint64_t refused_connections() const noexcept { return refused_; }
+  [[nodiscard]] std::uint64_t unique_clients_attempting() const noexcept {
+    return attempting_clients_.size();
+  }
+  [[nodiscard]] std::uint64_t unique_clients_establishing() const noexcept {
+    return establishing_clients_.size();
+  }
+
+  // ---- Timing ---------------------------------------------------------
+  [[nodiscard]] double first_packet_time() const noexcept { return first_time_; }
+  [[nodiscard]] double last_packet_time() const noexcept { return last_time_; }
+  [[nodiscard]] double duration() const noexcept;
+  // Denominator for the mean rates; defaults to the observed packet span but
+  // can be pinned to the configured capture window (idle head/tail counted).
+  void set_duration_override(double seconds) noexcept { duration_override_ = seconds; }
+
+ private:
+  std::uint32_t overhead_;
+  std::uint64_t packets_in_ = 0;
+  std::uint64_t packets_out_ = 0;
+  std::uint64_t app_bytes_in_ = 0;
+  std::uint64_t app_bytes_out_ = 0;
+  stats::RunningStats size_in_;
+  stats::RunningStats size_out_;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t established_ = 0;
+  std::uint64_t refused_ = 0;
+  std::unordered_set<std::uint32_t> attempting_clients_;
+  std::unordered_set<std::uint32_t> establishing_clients_;
+  double first_time_ = -1.0;
+  double last_time_ = 0.0;
+  double duration_override_ = -1.0;
+};
+
+}  // namespace gametrace::trace

@@ -1,0 +1,113 @@
+#include "trace/trace_format.h"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace gametrace::trace {
+
+namespace {
+
+// On-disk record layout (little-endian), format version 2:
+//   offset 0  : double  timestamp
+//   offset 8  : u32     client_ip
+//   offset 12 : u16     client_port
+//   offset 14 : u16     app_bytes
+//   offset 16 : u8      direction
+//   offset 17 : u8      kind
+//   offset 18 : u32     seq (netchannel sequence; 0 = connectionless)
+constexpr std::size_t kRecordBytes = 22;
+
+std::array<std::uint8_t, kRecordBytes> Encode(const net::PacketRecord& r) {
+  std::array<std::uint8_t, kRecordBytes> buf{};
+  std::memcpy(buf.data(), &r.timestamp, sizeof(double));
+  const std::uint32_t ip = r.client_ip.value();
+  std::memcpy(buf.data() + 8, &ip, sizeof(ip));
+  std::memcpy(buf.data() + 12, &r.client_port, sizeof(r.client_port));
+  std::memcpy(buf.data() + 14, &r.app_bytes, sizeof(r.app_bytes));
+  buf[16] = static_cast<std::uint8_t>(r.direction);
+  buf[17] = static_cast<std::uint8_t>(r.kind);
+  std::memcpy(buf.data() + 18, &r.seq, sizeof(r.seq));
+  return buf;
+}
+
+net::PacketRecord Decode(const std::array<std::uint8_t, kRecordBytes>& buf) {
+  net::PacketRecord r;
+  std::memcpy(&r.timestamp, buf.data(), sizeof(double));
+  std::uint32_t ip = 0;
+  std::memcpy(&ip, buf.data() + 8, sizeof(ip));
+  r.client_ip = net::Ipv4Address(ip);
+  std::memcpy(&r.client_port, buf.data() + 12, sizeof(r.client_port));
+  std::memcpy(&r.app_bytes, buf.data() + 14, sizeof(r.app_bytes));
+  r.direction = static_cast<net::Direction>(buf[16]);
+  r.kind = static_cast<net::PacketKind>(buf[17]);
+  std::memcpy(&r.seq, buf.data() + 18, sizeof(r.seq));
+  return r;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path, const net::ServerEndpoint& server)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("TraceWriter: cannot open " + path);
+  TraceHeader header;
+  header.server = server;
+  out_.write(reinterpret_cast<const char*>(&header.magic), sizeof(header.magic));
+  out_.write(reinterpret_cast<const char*>(&header.version), sizeof(header.version));
+  const std::uint32_t ip = server.ip.value();
+  out_.write(reinterpret_cast<const char*>(&ip), sizeof(ip));
+  out_.write(reinterpret_cast<const char*>(&server.port), sizeof(server.port));
+}
+
+void TraceWriter::OnPacket(const net::PacketRecord& record) {
+  const auto buf = Encode(record);
+  out_.write(reinterpret_cast<const char*>(buf.data()), buf.size());
+  ++packets_;
+}
+
+void TraceWriter::Flush() { out_.flush(); }
+
+TraceReader::TraceReader(const std::string& path) : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("TraceReader: cannot open " + path);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+  in_.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in_.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in_.read(reinterpret_cast<char*>(&ip), sizeof(ip));
+  in_.read(reinterpret_cast<char*>(&port), sizeof(port));
+  if (!in_ || magic != TraceHeader::kMagic) {
+    throw std::runtime_error("TraceReader: not a gametrace file");
+  }
+  if (version != 2) throw std::runtime_error("TraceReader: unsupported version");
+  server_.ip = net::Ipv4Address(ip);
+  server_.port = port;
+}
+
+std::optional<net::PacketRecord> TraceReader::Next() {
+  std::array<std::uint8_t, kRecordBytes> buf{};
+  in_.read(reinterpret_cast<char*>(buf.data()), buf.size());
+  if (in_.gcount() == 0) return std::nullopt;  // clean EOF
+  if (static_cast<std::size_t>(in_.gcount()) != buf.size()) {
+    throw std::runtime_error("TraceReader: truncated record");
+  }
+  return Decode(buf);
+}
+
+std::uint64_t TraceReader::Drain(CaptureSink& sink) {
+  std::uint64_t n = 0;
+  while (auto record = Next()) {
+    sink.OnPacket(*record);
+    ++n;
+  }
+  return n;
+}
+
+std::vector<net::PacketRecord> TraceReader::ReadAll() {
+  std::vector<net::PacketRecord> out;
+  while (auto record = Next()) out.push_back(*record);
+  return out;
+}
+
+}  // namespace gametrace::trace

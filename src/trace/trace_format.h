@@ -1,0 +1,60 @@
+// Compact binary trace format (.gtr): 22 bytes per packet record.
+//
+// The pcap exporter (net/pcap.h) produces interoperable captures but costs
+// ~90 B per game packet; week-long simulated traces use this format instead
+// (little-endian, fixed layout, versioned header) at 5x less disk.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "trace/capture.h"
+
+namespace gametrace::trace {
+
+struct TraceHeader {
+  static constexpr std::uint32_t kMagic = 0x47545231;  // "GTR1"
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = 2;  // v2 added the 32-bit netchannel sequence
+  net::ServerEndpoint server;
+};
+
+class TraceWriter final : public CaptureSink {
+ public:
+  TraceWriter(const std::string& path, const net::ServerEndpoint& server);
+
+  void OnPacket(const net::PacketRecord& record) override;
+
+  [[nodiscard]] std::uint64_t packets_written() const noexcept { return packets_; }
+
+  void Flush();
+
+ private:
+  std::ofstream out_;
+  std::uint64_t packets_ = 0;
+};
+
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+
+  [[nodiscard]] const net::ServerEndpoint& server() const noexcept { return server_; }
+
+  // Next record, or nullopt at EOF. Throws on a corrupt file.
+  std::optional<net::PacketRecord> Next();
+
+  // Streams all remaining records into `sink`; returns the count.
+  std::uint64_t Drain(CaptureSink& sink);
+
+  std::vector<net::PacketRecord> ReadAll();
+
+ private:
+  std::ifstream in_;
+  net::ServerEndpoint server_;
+};
+
+}  // namespace gametrace::trace

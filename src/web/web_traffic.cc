@@ -1,0 +1,111 @@
+#include "web/web_traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/random.h"
+
+namespace gametrace::web {
+
+WebTrafficSource::WebTrafficSource(sim::Simulator& simulator, const WebConfig& config,
+                                   trace::CaptureSink& sink)
+    : simulator_(&simulator), config_(config), rng_(config.seed), sink_(&sink) {
+  if (!(config.flow_arrival_rate > 0.0)) {
+    throw std::invalid_argument("WebTrafficSource: flow arrival rate must be positive");
+  }
+  if (config.pareto_alpha <= 1.0) {
+    throw std::invalid_argument("WebTrafficSource: pareto_alpha must exceed 1");
+  }
+  if (config.initial_window == 0 || config.max_window < config.initial_window) {
+    throw std::invalid_argument("WebTrafficSource: bad window configuration");
+  }
+  if (config.ack_every <= 0) {
+    throw std::invalid_argument("WebTrafficSource: ack_every must be positive");
+  }
+}
+
+void WebTrafficSource::Start() { ScheduleNextFlow(); }
+
+void WebTrafficSource::ScheduleNextFlow() {
+  simulator_->After(sim::Exponential(rng_, 1.0 / config_.flow_arrival_rate), [this] {
+    StartFlow();
+    ScheduleNextFlow();
+  });
+}
+
+void WebTrafficSource::StartFlow() {
+  ++flows_started_;
+  const std::uint64_t id = next_flow_id_++;
+  Flow flow;
+  // Remote web hosts: 198.18.0.0/15 benchmark space, spread by flow id.
+  flow.host = net::Ipv4Address(0xC6120000u | static_cast<std::uint32_t>(id & 0xFFFF));
+  flow.port = static_cast<std::uint16_t>(1024 + rng_.NextBelow(60000));
+  const double x_m =
+      config_.mean_transfer_bytes * (config_.pareto_alpha - 1.0) / config_.pareto_alpha;
+  const double bytes = std::min(config_.max_transfer_bytes,
+                                sim::Pareto(rng_, x_m, config_.pareto_alpha));
+  flow.remaining_segments = static_cast<std::uint64_t>(
+      std::ceil(bytes / static_cast<double>(config_.mss_bytes)));
+  flow.cwnd = config_.initial_window;
+  flows_.emplace(id, flow);
+  SendWindow(id);
+}
+
+void WebTrafficSource::SendWindow(std::uint64_t flow_id) {
+  const auto it = flows_.find(flow_id);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+
+  // Send up to cwnd segments back-to-back (paced within a few ms), then
+  // wait one RTT for the acks and double the window (slow start, capped).
+  const std::uint32_t burst = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(flow.cwnd, flow.remaining_segments));
+  for (std::uint32_t i = 0; i < burst; ++i) {
+    EmitData(flow);
+    if (++flow.segments_since_ack >= config_.ack_every) {
+      flow.segments_since_ack = 0;
+      EmitAck(flow);
+    }
+  }
+  flow.remaining_segments -= burst;
+  if (flow.remaining_segments == 0) {
+    if (flow.segments_since_ack > 0) EmitAck(flow);  // final ack
+    ++flows_completed_;
+    flows_.erase(it);
+    return;
+  }
+  flow.cwnd = std::min(config_.max_window, flow.cwnd * 2);
+  simulator_->After(config_.rtt, [this, flow_id] { SendWindow(flow_id); });
+}
+
+void WebTrafficSource::EmitData(Flow& flow) {
+  net::PacketRecord record;
+  // Segments within the window are spaced a few hundred microseconds
+  // apart (access-link serialisation).
+  record.timestamp =
+      simulator_->Now() + static_cast<double>(data_packets_ % 16) * 2e-4;
+  record.client_ip = flow.host;
+  record.client_port = flow.port;
+  record.app_bytes = config_.mss_bytes;
+  record.direction = net::Direction::kClientToServer;  // toward the LAN
+  record.kind = net::PacketKind::kWebData;
+  record.seq = flow.seq++;
+  ++data_packets_;
+  data_bytes_ += config_.mss_bytes;
+  sink_->OnPacket(record);
+}
+
+void WebTrafficSource::EmitAck(Flow& flow) {
+  net::PacketRecord record;
+  record.timestamp = simulator_->Now() + config_.rtt / 2.0;
+  record.client_ip = flow.host;
+  record.client_port = flow.port;
+  record.app_bytes = config_.ack_bytes;
+  record.direction = net::Direction::kServerToClient;  // back out to the host
+  record.kind = net::PacketKind::kWebAck;
+  ++ack_packets_;
+  sink_->OnPacket(record);
+}
+
+}  // namespace gametrace::web

@@ -1,0 +1,96 @@
+// TCP-like bulk-transfer cross traffic.
+//
+// The paper's foil: "the majority of traffic being carried in today's
+// networks involve bulk data transfers using TCP ... data segments can be
+// close to an order of magnitude larger than game traffic", and its
+// warning that "any further degradation caused by additional players
+// and/or background traffic will simply cause players to quit playing."
+//
+// WebTrafficSource emits packet records shaped like TCP downloads sharing
+// the game server's bottleneck: flows arrive Poisson, transfer sizes are
+// Pareto heavy-tailed, data flows in MSS-sized segments paced by a
+// slow-start/congestion-window model over a configurable RTT, and the
+// receiver acks every other segment with 40-byte packets. Direction
+// semantics match the game capture: data segments travel toward the
+// server-side LAN (kClientToServer) and acks travel out - so the stream
+// can be injected straight into a NatDevice or DeviceChain alongside the
+// game traffic.
+#pragma once
+
+#include <cstdint>
+
+#include <unordered_map>
+
+#include "net/packet.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "trace/capture.h"
+
+namespace gametrace::web {
+
+struct WebConfig {
+  double flow_arrival_rate = 0.2;  // new downloads per second
+  // Pareto transfer sizes: web-object heavy tail (alpha < 2).
+  double mean_transfer_bytes = 120e3;
+  double pareto_alpha = 1.3;
+  double max_transfer_bytes = 20e6;  // truncate the tail (one flow != forever)
+
+  std::uint16_t mss_bytes = 1460;  // data segment payload
+  std::uint16_t ack_bytes = 40;
+
+  double rtt = 0.080;              // sender-receiver round trip
+  std::uint32_t initial_window = 2;   // segments
+  std::uint32_t max_window = 32;      // receiver window cap, segments
+  int ack_every = 2;               // delayed acks
+
+  std::uint64_t seed = 77;
+};
+
+class WebTrafficSource {
+ public:
+  // Every emitted record goes to `sink` (borrowed, must outlive source).
+  WebTrafficSource(sim::Simulator& simulator, const WebConfig& config,
+                   trace::CaptureSink& sink);
+
+  WebTrafficSource(const WebTrafficSource&) = delete;
+  WebTrafficSource& operator=(const WebTrafficSource&) = delete;
+
+  // Starts the flow-arrival process; flows end on their own.
+  void Start();
+
+  [[nodiscard]] std::uint64_t flows_started() const noexcept { return flows_started_; }
+  [[nodiscard]] std::uint64_t flows_completed() const noexcept { return flows_completed_; }
+  [[nodiscard]] std::uint64_t data_packets() const noexcept { return data_packets_; }
+  [[nodiscard]] std::uint64_t ack_packets() const noexcept { return ack_packets_; }
+  [[nodiscard]] std::uint64_t data_bytes() const noexcept { return data_bytes_; }
+
+ private:
+  struct Flow {
+    net::Ipv4Address host;
+    std::uint16_t port = 80;
+    std::uint64_t remaining_segments = 0;
+    std::uint32_t cwnd = 2;
+    std::uint32_t seq = 1;
+    int segments_since_ack = 0;
+  };
+
+  void ScheduleNextFlow();
+  void StartFlow();
+  void SendWindow(std::uint64_t flow_id);
+  void EmitData(Flow& flow);
+  void EmitAck(Flow& flow);
+
+  sim::Simulator* simulator_;
+  WebConfig config_;
+  sim::Rng rng_;
+  trace::CaptureSink* sink_;
+  std::uint64_t next_flow_id_ = 1;
+  std::unordered_map<std::uint64_t, Flow> flows_;
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t flows_completed_ = 0;
+  std::uint64_t data_packets_ = 0;
+  std::uint64_t ack_packets_ = 0;
+  std::uint64_t data_bytes_ = 0;
+};
+
+}  // namespace gametrace::web

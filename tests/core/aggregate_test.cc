@@ -1,0 +1,88 @@
+#include "core/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace gametrace::core {
+namespace {
+
+PopulationConfig FastConfig() {
+  PopulationConfig cfg;
+  cfg.servers = 8;
+  cfg.duration = 7200.0;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(AggregatePopulation, Validation) {
+  PopulationConfig bad = FastConfig();
+  bad.servers = 0;
+  EXPECT_THROW((void)SimulateAggregatePopulation(bad), std::invalid_argument);
+  bad = FastConfig();
+  bad.duration = 10.0;
+  EXPECT_THROW((void)SimulateAggregatePopulation(bad), std::invalid_argument);
+  bad = FastConfig();
+  bad.pareto_alpha = 1.0;
+  EXPECT_THROW((void)SimulateAggregatePopulation(bad), std::invalid_argument);
+}
+
+TEST(AggregatePopulation, SeriesCoverDurationAndRespectCaps) {
+  const auto cfg = FastConfig();
+  const auto result = SimulateAggregatePopulation(cfg);
+  EXPECT_EQ(result.total_players.size(), 7200u);
+  EXPECT_LE(result.total_players.Max(), cfg.servers * cfg.max_players);
+  EXPECT_GT(result.total_players.Mean(), 0.0);
+  // Load is players x per-player demand, bin by bin.
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(result.total_load_pps[i],
+                     result.total_players[i] * cfg.pps_per_player);
+  }
+}
+
+TEST(AggregatePopulation, Deterministic) {
+  const auto a = SimulateAggregatePopulation(FastConfig());
+  const auto b = SimulateAggregatePopulation(FastConfig());
+  EXPECT_EQ(a.total_players.values(), b.total_players.values());
+}
+
+// The paper's section IV-B point: aggregate self-similarity tracks the
+// population process. Heavy-tailed interest modulation lifts the
+// coarse-scale Hurst parameter far above the unmodulated baseline.
+TEST(AggregatePopulation, HeavyTailedPopulationsRaiseHurst) {
+  PopulationConfig modulated = FastConfig();
+  modulated.duration = 57600.0;  // 16 h so the coarse band has real support
+  PopulationConfig fixed = modulated;
+  fixed.modulate_interest = false;
+
+  const auto with = SimulateAggregatePopulation(modulated);
+  const auto without = SimulateAggregatePopulation(fixed);
+
+  EXPECT_GT(with.coarse_hurst, 0.7);
+  EXPECT_LT(without.coarse_hurst, 0.65);
+  EXPECT_GT(with.coarse_hurst, without.coarse_hurst + 0.1);
+}
+
+TEST(AggregatePopulation, FixedPopulationIsNearCapacity) {
+  PopulationConfig cfg = FastConfig();
+  cfg.modulate_interest = false;
+  const auto result = SimulateAggregatePopulation(cfg);
+  // Offered load ~0.0315 * 715 ~ 22.5 erlangs per 22-slot server: pegged
+  // near the cap, like the paper's single busy server.
+  const double mean_per_server = result.total_players.Mean() / cfg.servers;
+  EXPECT_GT(mean_per_server, 15.0);
+  EXPECT_LE(mean_per_server, 22.0);
+}
+
+TEST(AggregatePopulation, ModulationLowersMeanOccupancy) {
+  PopulationConfig modulated = FastConfig();
+  PopulationConfig fixed = FastConfig();
+  fixed.modulate_interest = false;
+  const auto with = SimulateAggregatePopulation(modulated);
+  const auto without = SimulateAggregatePopulation(fixed);
+  // OFF phases drain servers; the modulated aggregate runs lighter and
+  // far more variable.
+  EXPECT_LT(with.total_players.Mean(), without.total_players.Mean());
+  EXPECT_GT(with.total_players.Variance(), 2.0 * without.total_players.Variance());
+}
+
+}  // namespace
+}  // namespace gametrace::core

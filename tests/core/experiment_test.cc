@@ -1,0 +1,112 @@
+#include "core/experiment.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::core {
+namespace {
+
+class ScaleEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("GAMETRACE_FULL");
+    ::unsetenv("GAMETRACE_DURATION");
+  }
+};
+
+TEST_F(ScaleEnvTest, DefaultWhenUnset) {
+  const auto scale = ExperimentScale::FromEnv(3600.0);
+  EXPECT_DOUBLE_EQ(scale.duration, 3600.0);
+  EXPECT_FALSE(scale.full);
+}
+
+TEST_F(ScaleEnvTest, FullFlag) {
+  ::setenv("GAMETRACE_FULL", "1", 1);
+  const auto scale = ExperimentScale::FromEnv(3600.0);
+  EXPECT_TRUE(scale.full);
+  EXPECT_DOUBLE_EQ(scale.duration, 626477.0);
+}
+
+TEST_F(ScaleEnvTest, FullFlagZeroMeansOff) {
+  ::setenv("GAMETRACE_FULL", "0", 1);
+  const auto scale = ExperimentScale::FromEnv(3600.0);
+  EXPECT_FALSE(scale.full);
+  EXPECT_DOUBLE_EQ(scale.duration, 3600.0);
+}
+
+TEST_F(ScaleEnvTest, ExplicitDurationWins) {
+  ::setenv("GAMETRACE_FULL", "1", 1);
+  ::setenv("GAMETRACE_DURATION", "120.5", 1);
+  const auto scale = ExperimentScale::FromEnv(3600.0);
+  EXPECT_DOUBLE_EQ(scale.duration, 120.5);
+  EXPECT_FALSE(scale.full);
+}
+
+TEST_F(ScaleEnvTest, GarbageDurationIgnored) {
+  ::setenv("GAMETRACE_DURATION", "notanumber", 1);
+  const auto scale = ExperimentScale::FromEnv(3600.0);
+  EXPECT_DOUBLE_EQ(scale.duration, 3600.0);
+}
+
+TEST(RunServerTrace, MultiSinkFanout) {
+  auto cfg = game::GameConfig::ScaledDefaults(120.0);
+  trace::CountingSink a;
+  trace::CountingSink b;
+  trace::CaptureSink* sinks[] = {&a, &b};
+  const auto result = RunServerTrace(cfg, sinks);
+  EXPECT_EQ(a.packets(), b.packets());
+  EXPECT_GT(a.packets(), 10000u);
+  EXPECT_EQ(a.packets(), result.stats.packets_emitted);
+  EXPECT_GE(result.players.size(), 2u);
+}
+
+TEST(NatExperiment, DefaultsAreThirtyMinuteSingleMap) {
+  const auto cfg = NatExperimentConfig::Defaults();
+  EXPECT_DOUBLE_EQ(cfg.duration, 1800.0);
+  EXPECT_GT(cfg.game.maps.map_duration, cfg.duration);  // no change mid-run
+  EXPECT_TRUE(cfg.game.outages.times.empty());
+  EXPECT_DOUBLE_EQ(cfg.game.trace_duration, 1800.0);
+}
+
+TEST(NatExperiment, ShortRunReproducesLossAsymmetry) {
+  // A 5-minute slice is enough for the qualitative Table IV result.
+  NatExperimentConfig cfg = NatExperimentConfig::Defaults();
+  cfg.duration = 300.0;
+  cfg.game.trace_duration = 300.0;
+  cfg.game.maps.map_duration = 400.0;
+  cfg.device.seed = 11;
+  // Densify livelock episodes so a short run sees several.
+  cfg.device.episode_mean_interval = 30.0;
+  const auto result = RunNatExperiment(cfg);
+  EXPECT_GT(result.device.packets(router::Segment::kClientsToNat), 50000u);
+  EXPECT_GT(result.device.packets(router::Segment::kServerToNat), 50000u);
+  EXPECT_GT(result.livelock_episodes, 2);
+  // The paper's asymmetry: incoming loss well above outgoing loss.
+  EXPECT_GT(result.device.loss_rate_incoming(), 0.003);
+  EXPECT_GT(result.device.loss_rate_incoming(), 1.5 * result.device.loss_rate_outgoing());
+  EXPECT_LT(result.device.loss_rate_outgoing(), 0.02);
+  // Feedback fired: lost inbound bursts froze the server.
+  EXPECT_GT(result.server_freezes, 0);
+  // NAT state: one entry per distinct client endpoint seen.
+  EXPECT_GT(result.nat_table_size, 10u);
+}
+
+TEST(NatExperiment, GenerousDeviceCausesNoLoss) {
+  NatExperimentConfig cfg = NatExperimentConfig::Defaults();
+  cfg.duration = 120.0;
+  cfg.game.trace_duration = 120.0;
+  cfg.game.maps.map_duration = 200.0;
+  cfg.device.mean_capacity_pps = 100000.0;  // a real router, not a Barricade
+  cfg.device.lan_buffer = 4096;
+  cfg.device.wan_buffer = 4096;
+  cfg.device.episode_mean_interval = 0.0;  // no livelock
+  const auto result = RunNatExperiment(cfg);
+  EXPECT_DOUBLE_EQ(result.device.loss_rate_incoming(), 0.0);
+  EXPECT_LT(result.device.loss_rate_outgoing(), 1e-4);  // boundary in-flight only
+  EXPECT_EQ(result.server_freezes, 0);
+  EXPECT_LT(result.device.delay().mean(), 1e-3);
+}
+
+}  // namespace
+}  // namespace gametrace::core

@@ -1,0 +1,149 @@
+#include "core/provisioning.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "core/experiment.h"
+#include "game/config.h"
+#include "trace/summary.h"
+
+namespace gametrace::core {
+namespace {
+
+TEST(PerPlayerDemand, PaperCalibratedTotals) {
+  const PerPlayerDemand d = PerPlayerDemand::PaperCalibrated();
+  // ~44 pps and ~49 kbps (wire) per player; 22 players saturate the
+  // mean load of Table II.
+  EXPECT_NEAR(d.pps_total() * 18.05, 798.1, 1.0);
+  EXPECT_NEAR(d.bps_total() * 18.05, 883e3, 1e3);
+}
+
+TEST(FitLoadVsPlayers, RecoversExactLinearRelation) {
+  stats::TimeSeries players(0.0, 60.0);
+  stats::TimeSeries load(0.0, 60.0);
+  for (int i = 0; i < 100; ++i) {
+    const double n = 10.0 + (i % 12);
+    players.Set(i * 60.0, n);
+    load.Set(i * 60.0, n * 24.3 * 60.0);  // packets per minute bin
+  }
+  const auto fit = FitLoadVsPlayers(players, load);
+  EXPECT_NEAR(fit.slope, 24.3, 1e-9);
+  EXPECT_NEAR(fit.intercept, 0.0, 1e-6);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(FitLoadVsPlayers, SkipsIdleBins) {
+  stats::TimeSeries players(0.0, 60.0);
+  stats::TimeSeries load(0.0, 60.0);
+  for (int i = 0; i < 50; ++i) {
+    players.Set(i * 60.0, 10.0 + (i % 5));
+    load.Set(i * 60.0, i % 10 == 0 ? 0.0 : (10.0 + (i % 5)) * 20.0 * 60.0);
+  }
+  const auto fit = FitLoadVsPlayers(players, load);
+  EXPECT_NEAR(fit.slope, 20.0, 1e-9);  // zero bins (map changes) ignored
+}
+
+TEST(FitLoadVsPlayers, MisalignedSeriesRejected) {
+  stats::TimeSeries players(0.0, 60.0);
+  stats::TimeSeries load(0.0, 30.0);
+  EXPECT_THROW((void)FitLoadVsPlayers(players, load), std::invalid_argument);
+}
+
+TEST(Provisioning, TrafficIsLinearInPlayers) {
+  // The paper's headline "good news": aggregate load is effectively linear
+  // in the number of active players. Run the same server at three slot
+  // caps and fit load against mean occupancy.
+  std::vector<double> players;
+  std::vector<double> pps_in;
+  std::vector<double> bps_total;
+  for (int cap : {6, 12, 20}) {
+    auto cfg = game::GameConfig::ScaledDefaults(400.0);
+    cfg.max_players = cap;
+    cfg.sessions.initial_players = cap - 1;
+    trace::TraceSummary summary;
+    const auto run = RunServerTrace(cfg, summary);
+    summary.set_duration_override(400.0);
+    players.push_back(run.players.Mean());
+    pps_in.push_back(summary.mean_packet_load_in());
+    bps_total.push_back(summary.mean_bandwidth_bps());
+  }
+  const auto fit = stats::FitLine(players, pps_in);
+  EXPECT_NEAR(fit.slope, 24.3, 3.0);  // ~one client update stream per player
+  EXPECT_GT(fit.r_squared, 0.98);
+  const auto bw_fit = stats::FitLine(players, bps_total);
+  EXPECT_NEAR(bw_fit.slope / 1e3, 46.0, 8.0);  // ~40 kbps + headers per player
+  EXPECT_GT(bw_fit.r_squared, 0.98);
+}
+
+TEST(Provisioning, FitDemandFromSingleBusyTrace) {
+  // On a single near-capacity trace the occupancy range is narrow, so the
+  // regression is noisy - the slopes must still land in physical ranges.
+  auto cfg = game::GameConfig::ScaledDefaults(1200.0);
+  Characterizer characterizer;
+  const auto run = RunServerTrace(cfg, characterizer);
+  const auto report = characterizer.Finish(1200.0);
+  const PerPlayerDemand demand =
+      FitDemand(run.players, report.minute_packets_in, report.minute_packets_out,
+                report.minute_bytes_in, report.minute_bytes_out);
+  EXPECT_GT(demand.pps_in, 0.0);
+  EXPECT_LT(demand.pps_in, 60.0);
+  EXPECT_GT(demand.pps_out, 0.0);
+  EXPECT_LT(demand.pps_out, 50.0);
+}
+
+TEST(DemandFor, ScalesWithPlayers) {
+  const PerPlayerDemand d = PerPlayerDemand::PaperCalibrated();
+  const ServerDemand none = DemandFor(d, 0);
+  EXPECT_DOUBLE_EQ(none.pps, 0.0);
+  const ServerDemand full = DemandFor(d, 22);
+  EXPECT_NEAR(full.pps, 973.0, 5.0);
+  EXPECT_NEAR(full.burst_packets, 22.0, 0.5);  // one snapshot per player per tick
+  EXPECT_GT(full.burst_span_seconds, 0.0);
+  EXPECT_LT(full.burst_span_seconds, 0.001);  // the burst is sub-millisecond
+  EXPECT_THROW((void)DemandFor(d, -1), std::invalid_argument);
+}
+
+TEST(CapacityPlanner, BurstLossFraction) {
+  CapacityPlanner::Device device{.capacity_pps = 1250.0, .buffer_packets = 10};
+  EXPECT_DOUBLE_EQ(CapacityPlanner::BurstLossFraction(0.0, device), 0.0);
+  EXPECT_DOUBLE_EQ(CapacityPlanner::BurstLossFraction(11.0, device), 0.0);
+  EXPECT_NEAR(CapacityPlanner::BurstLossFraction(22.0, device), 1.0 / 2.0, 1e-9);
+  EXPECT_NEAR(CapacityPlanner::BurstLossFraction(44.0, device), 33.0 / 44.0, 1e-9);
+}
+
+TEST(CapacityPlanner, OneGameServerOverwhelmsTheBarricade) {
+  // The paper's NAT result in planner form: a full 22-player server behind
+  // a 1250 pps / shallow-buffer device is already over the line.
+  const ServerDemand demand = DemandFor(PerPlayerDemand::PaperCalibrated(), 22);
+  CapacityPlanner::Device barricade{.capacity_pps = 1250.0, .buffer_packets = 16};
+  EXPECT_EQ(CapacityPlanner::MaxServers(demand, barricade), 0);
+}
+
+TEST(CapacityPlanner, CarrierRouterTakesMany) {
+  const ServerDemand demand = DemandFor(PerPlayerDemand::PaperCalibrated(), 22);
+  CapacityPlanner::Device big{.capacity_pps = 1e6, .buffer_packets = 4096};
+  const int servers = CapacityPlanner::MaxServers(demand, big);
+  EXPECT_GT(servers, 100);
+  // Utilisation bound: servers * 973 pps <= 85% of 1M pps.
+  EXPECT_LE(servers * demand.pps, 0.85 * 1e6);
+}
+
+TEST(CapacityPlanner, BurstTailDelay) {
+  CapacityPlanner::Device device{.capacity_pps = 1250.0, .buffer_packets = 32};
+  // A 19-packet burst: the last packet waits 18 service times ~ 14.4 ms -
+  // "more than a quarter of the maximum tolerable latency".
+  const double delay = CapacityPlanner::BurstTailDelay(19.0, device);
+  EXPECT_NEAR(delay, 18.0 / 1250.0, 1e-9);
+  EXPECT_GT(delay, 0.25 * 0.050);
+  EXPECT_DOUBLE_EQ(CapacityPlanner::BurstTailDelay(0.0, device), 0.0);
+}
+
+TEST(CapacityPlanner, ZeroDemandZeroServers) {
+  CapacityPlanner::Device device;
+  EXPECT_EQ(CapacityPlanner::MaxServers(ServerDemand{}, device), 0);
+}
+
+}  // namespace
+}  // namespace gametrace::core

@@ -1,0 +1,116 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::core {
+namespace {
+
+TEST(FormatCount, ThousandsSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(500000000), "500,000,000");
+  EXPECT_EQ(FormatCount(16030), "16,030");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+TEST(FormatDuration, PaperTraceLength) {
+  // Table I: 626,477 s = 7 d, 6 h, 1 m, 17 s.
+  EXPECT_EQ(FormatDuration(626477.03), "7 d, 6 h, 1 m, 17 s");
+  EXPECT_EQ(FormatDuration(0.0), "0 d, 0 h, 0 m, 0 s");
+  EXPECT_EQ(FormatDuration(3661.0), "0 d, 1 h, 1 m, 1 s");
+}
+
+TEST(FormatGigabytes, DecimalGb) {
+  EXPECT_EQ(FormatGigabytes(64420000000ull), "64.42 GB");
+  EXPECT_EQ(FormatGigabytes(0), "0.00 GB");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(FormatDouble(80.333, 2), "80.33");
+  EXPECT_EQ(FormatDouble(798.114, 1), "798.1");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(TableReport, PrintsAlignedRows) {
+  TableReport table("Test Table");
+  table.AddCount("Total Packets", 500000000);
+  table.AddValue("Mean Packet Load", 798.11, "pkts/sec");
+  table.AddRow("Custom", "value");
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Test Table"), std::string::npos);
+  EXPECT_NE(text.find("500,000,000"), std::string::npos);
+  EXPECT_NE(text.find("798.11 pkts/sec"), std::string::npos);
+  EXPECT_NE(text.find("Custom"), std::string::npos);
+}
+
+TEST(TableReport, UnitlessValue) {
+  TableReport table("T");
+  table.AddValue("H", 0.5, "", 2);
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("0.50"), std::string::npos);
+}
+
+TEST(PrintSeries, HeaderAndRows) {
+  stats::TimeSeries s(0.0, 60.0);
+  s.Add(30.0, 5.0);
+  s.Add(90.0, 7.0);
+  std::ostringstream out;
+  PrintSeries(out, s, "bandwidth");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# series: bandwidth"), std::string::npos);
+  EXPECT_NE(text.find("0 5"), std::string::npos);
+  EXPECT_NE(text.find("60 7"), std::string::npos);
+}
+
+TEST(PrintSeries, DownsamplesLongSeries) {
+  stats::TimeSeries s(0.0, 1.0);
+  for (int i = 0; i < 1000; ++i) s.Add(static_cast<double>(i), 1.0);
+  std::ostringstream out;
+  PrintSeries(out, s, "long", 100);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("downsampled"), std::string::npos);
+  // Roughly 100 data lines plus two header lines.
+  int lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_LT(lines, 120);
+}
+
+TEST(PrintSeries, EmptySeriesJustHeader) {
+  stats::TimeSeries s(0.0, 1.0);
+  std::ostringstream out;
+  EXPECT_NO_THROW(PrintSeries(out, s, "empty"));
+}
+
+TEST(PrintHistogram, PdfAndCdfModes) {
+  stats::Histogram h(0.0, 10.0, 2);
+  h.Add(1.0);
+  h.Add(6.0);
+  std::ostringstream pdf;
+  PrintHistogram(pdf, h, "sizes");
+  EXPECT_NE(pdf.str().find("0.5"), std::string::npos);
+  std::ostringstream cdf;
+  PrintHistogram(cdf, h, "sizes", /*cdf=*/true);
+  EXPECT_NE(cdf.str().find("1"), std::string::npos);
+  std::ostringstream raw;
+  PrintHistogram(raw, h, "sizes", false, /*normalized=*/false);
+  EXPECT_NE(raw.str().find("2.5 1"), std::string::npos);
+}
+
+TEST(PrintHistogram, MentionsOverflow) {
+  stats::Histogram h(0.0, 10.0, 2);
+  h.Add(100.0);
+  std::ostringstream out;
+  PrintHistogram(out, h, "x");
+  EXPECT_NE(out.str().find("above range"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gametrace::core

@@ -1,0 +1,111 @@
+#include "core/traffic_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "game/config.h"
+#include "trace/summary.h"
+
+namespace gametrace::core {
+namespace {
+
+net::PacketRecord MakeRecord(double t, net::Direction dir, std::uint16_t bytes) {
+  net::PacketRecord r;
+  r.timestamp = t;
+  r.app_bytes = bytes;
+  r.direction = dir;
+  return r;
+}
+
+TEST(TrafficModelFitter, RequiresPacketsInBothDirections) {
+  TrafficModelFitter fitter;
+  EXPECT_THROW((void)fitter.Fit(), std::logic_error);
+  fitter.OnPacket(MakeRecord(0.0, net::Direction::kClientToServer, 40));
+  fitter.OnPacket(MakeRecord(0.1, net::Direction::kClientToServer, 40));
+  fitter.OnPacket(MakeRecord(0.2, net::Direction::kClientToServer, 40));
+  EXPECT_THROW((void)fitter.Fit(), std::logic_error);
+}
+
+TEST(TrafficModelFitter, FitsDeterministicStream) {
+  TrafficModelFitter fitter;
+  for (int i = 0; i < 101; ++i) {
+    fitter.OnPacket(MakeRecord(i * 0.01, net::Direction::kClientToServer, 40));
+    fitter.OnPacket(MakeRecord(i * 0.02, net::Direction::kServerToClient, 130));
+  }
+  const TrafficModel model = fitter.Fit();
+  EXPECT_NEAR(model.inbound.interarrival_mean, 0.01, 1e-9);
+  EXPECT_NEAR(model.inbound.packet_rate, 100.0, 1e-6);
+  EXPECT_NEAR(model.inbound.interarrival_cv, 0.0, 1e-9);
+  EXPECT_NEAR(model.outbound.interarrival_mean, 0.02, 1e-9);
+  EXPECT_NEAR(model.inbound.sizes.Mean(), 40.5, 1.0);   // bin centers
+  EXPECT_NEAR(model.outbound.sizes.Mean(), 130.5, 1.0);
+}
+
+TEST(TrafficModelGenerator, Validation) {
+  TrafficModel model;
+  EXPECT_THROW(TrafficModelGenerator(model, 1), std::invalid_argument);
+}
+
+TEST(TrafficModelGenerator, RegeneratesFittedRates) {
+  // Fit a synthetic stream, regenerate, and check rate + mean size agree.
+  TrafficModelFitter fitter;
+  sim::Rng rng(3);
+  double t_in = 0.0;
+  double t_out = 0.0;
+  while (t_in < 100.0) {
+    fitter.OnPacket(MakeRecord(t_in, net::Direction::kClientToServer,
+                               static_cast<std::uint16_t>(35 + rng.NextBelow(10))));
+    t_in += 0.002 + 0.002 * rng.NextDouble();
+  }
+  while (t_out < 100.0) {
+    fitter.OnPacket(MakeRecord(t_out, net::Direction::kServerToClient,
+                               static_cast<std::uint16_t>(100 + rng.NextBelow(60))));
+    t_out += 0.0025 + 0.001 * rng.NextDouble();
+  }
+  const TrafficModel model = fitter.Fit();
+
+  TrafficModelGenerator generator(model, 42);
+  trace::TraceSummary summary(0);
+  const auto emitted = generator.Generate(100.0, summary);
+  EXPECT_GT(emitted, 10000u);
+  summary.set_duration_override(100.0);
+  EXPECT_NEAR(summary.mean_packet_load_in(), model.inbound.packet_rate,
+              model.inbound.packet_rate * 0.05);
+  EXPECT_NEAR(summary.mean_packet_load_out(), model.outbound.packet_rate,
+              model.outbound.packet_rate * 0.05);
+  EXPECT_NEAR(summary.mean_packet_size_in(), 40.0, 2.0);
+  EXPECT_NEAR(summary.mean_packet_size_out(), 130.0, 4.0);
+}
+
+TEST(TrafficModelGenerator, RespectsDuration) {
+  TrafficModelFitter fitter;
+  for (int i = 0; i < 50; ++i) {
+    fitter.OnPacket(MakeRecord(i * 0.1, net::Direction::kClientToServer, 40));
+    fitter.OnPacket(MakeRecord(i * 0.1, net::Direction::kServerToClient, 130));
+  }
+  TrafficModelGenerator generator(fitter.Fit(), 7);
+  trace::VectorSink sink;
+  generator.Generate(10.0, sink);
+  for (const auto& record : sink.records()) {
+    EXPECT_GE(record.timestamp, 0.0);
+    EXPECT_LT(record.timestamp, 10.0);
+  }
+}
+
+TEST(TrafficModel, EndToEndFromGameTrace) {
+  // Fit a model on 3 minutes of simulated game traffic; the fitted rates
+  // must reflect the workload (~24 pps/client in, 20 pps/client out at
+  // ~18 players).
+  auto cfg = game::GameConfig::ScaledDefaults(180.0);
+  TrafficModelFitter fitter;
+  RunServerTrace(cfg, fitter);
+  const TrafficModel model = fitter.Fit();
+  EXPECT_GT(model.inbound.packet_rate, 250.0);
+  EXPECT_LT(model.inbound.packet_rate, 650.0);
+  EXPECT_GT(model.outbound.packet_rate, 200.0);
+  EXPECT_GT(model.inbound.interarrival_cv, 0.5);  // aggregate arrivals are bursty
+  EXPECT_NEAR(model.inbound.sizes.Mean(), 40.0, 3.0);
+}
+
+}  // namespace
+}  // namespace gametrace::core

@@ -1,0 +1,142 @@
+#include "game/client.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::game {
+namespace {
+
+TEST(DrawProfile, MixFractionsRespected) {
+  ClientMixConfig mix;
+  sim::Rng rng(1);
+  int modem = 0;
+  int broadband = 0;
+  int l337 = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    switch (DrawProfile(mix, rng).cls) {
+      case ClientClass::kModem:
+        ++modem;
+        break;
+      case ClientClass::kBroadband:
+        ++broadband;
+        break;
+      case ClientClass::kL337:
+        ++l337;
+        break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(l337) / kDraws, mix.l337_fraction, 0.003);
+  EXPECT_NEAR(static_cast<double>(broadband) / kDraws, mix.broadband_fraction, 0.005);
+  EXPECT_GT(modem, kDraws * 0.9);
+}
+
+TEST(DrawProfile, RatesMatchClass) {
+  ClientMixConfig mix;
+  sim::Rng rng(2);
+  double modem_sum = 0.0;
+  int modem_n = 0;
+  double l337_sum = 0.0;
+  int l337_n = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const ClientProfile p = DrawProfile(mix, rng);
+    if (p.cls == ClientClass::kModem) {
+      modem_sum += p.update_rate;
+      ++modem_n;
+    } else if (p.cls == ClientClass::kL337) {
+      l337_sum += p.update_rate;
+      ++l337_n;
+    }
+  }
+  ASSERT_GT(modem_n, 0);
+  ASSERT_GT(l337_n, 0);
+  EXPECT_NEAR(modem_sum / modem_n, 24.3, 0.2);
+  EXPECT_NEAR(l337_sum / l337_n, 60.0, 2.0);
+}
+
+TEST(DrawProfile, L337GetsExtraSnapshots) {
+  ClientMixConfig mix;
+  mix.l337_fraction = 1.0;  // force l337
+  sim::Rng rng(3);
+  const ClientProfile p = DrawProfile(mix, rng);
+  EXPECT_EQ(p.cls, ClientClass::kL337);
+  EXPECT_EQ(p.snapshots_per_tick, 3);
+}
+
+TEST(DrawProfile, ModemGetsOneSnapshot) {
+  ClientMixConfig mix;
+  mix.l337_fraction = 0.0;
+  mix.broadband_fraction = 0.0;
+  sim::Rng rng(4);
+  EXPECT_EQ(DrawProfile(mix, rng).snapshots_per_tick, 1);
+}
+
+TEST(DrawProfile, RateNeverPathological) {
+  ClientMixConfig mix;
+  mix.modem_rate_stddev = 50.0;  // absurd spread
+  sim::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(DrawProfile(mix, rng).update_rate, 5.0);
+  }
+}
+
+TEST(IdentityIp, DeterministicAndInTenSlashEight) {
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const net::Ipv4Address a = IdentityIp(i);
+    EXPECT_EQ(IdentityIp(i), a);
+    EXPECT_EQ(a.value() >> 24, 10u);
+  }
+}
+
+TEST(IdentityIp, CollisionFree) {
+  std::set<std::uint32_t> seen;
+  for (std::size_t i = 0; i < 20000; ++i) seen.insert(IdentityIp(i).value());
+  EXPECT_EQ(seen.size(), 20000u);
+}
+
+TEST(IdentityIp, NeighboursDoNotSharePrefixes) {
+  // Bit-reversal spreads consecutive identities across the /8 - identities
+  // 0 and 1 must differ in the *high* host bit.
+  const auto a = IdentityIp(0).value();
+  const auto b = IdentityIp(1).value();
+  EXPECT_EQ((a ^ b) & 0x00FFFFFFu, 0x00800000u);
+}
+
+TEST(DrawEphemeralPort, AboveWellKnownRange) {
+  sim::Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(DrawEphemeralPort(rng), 1024);
+  }
+}
+
+TEST(NextSendGap, CentredOnInverseRate) {
+  ClientProfile p;
+  p.update_rate = 25.0;
+  sim::Rng rng(7);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += NextSendGap(p, 0.25, rng);
+  EXPECT_NEAR(sum / kDraws, 0.04, 0.001);
+}
+
+TEST(NextSendGap, JitterBounds) {
+  ClientProfile p;
+  p.update_rate = 20.0;
+  sim::Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double gap = NextSendGap(p, 0.25, rng);
+    EXPECT_GE(gap, 0.05 * 0.75 - 1e-12);
+    EXPECT_LE(gap, 0.05 * 1.25 + 1e-12);
+  }
+}
+
+TEST(NextSendGap, ZeroJitterIsDeterministic) {
+  ClientProfile p;
+  p.update_rate = 20.0;
+  sim::Rng rng(9);
+  EXPECT_DOUBLE_EQ(NextSendGap(p, 0.0, rng), 0.05);
+}
+
+}  // namespace
+}  // namespace gametrace::game

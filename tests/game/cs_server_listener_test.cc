@@ -1,0 +1,116 @@
+// Coverage for the server's observer surface: event listeners, endpoint
+// disconnects (the QoE quit path) and netchannel sequence numbering.
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "game/cs_server.h"
+#include "trace/capture.h"
+
+namespace gametrace::game {
+namespace {
+
+GameConfig ShortConfig() {
+  GameConfig cfg = GameConfig::ScaledDefaults(300.0);
+  cfg.seed = 9;
+  return cfg;
+}
+
+class RecordingListener final : public ServerEventListener {
+ public:
+  std::vector<ActiveClient> connects;
+  std::vector<std::pair<double, bool>> disconnects;  // (t, orderly)
+  int refusals = 0;
+  std::vector<int> maps;
+
+  void OnConnect(double, const ActiveClient& client) override { connects.push_back(client); }
+  void OnRefuse(double, net::Ipv4Address, std::uint16_t) override { ++refusals; }
+  void OnDisconnect(double t, const ActiveClient&, bool orderly) override {
+    disconnects.emplace_back(t, orderly);
+  }
+  void OnMapStart(double, int map_number) override { maps.push_back(map_number); }
+};
+
+TEST(CsServerListener, EventsMatchStats) {
+  sim::Simulator s;
+  trace::CountingSink sink;
+  RecordingListener listener;
+  CsServer server(s, ShortConfig(), sink);
+  server.AddListener(listener);
+  server.Run();
+  const auto stats = server.stats();
+  EXPECT_EQ(listener.connects.size(), stats.established);
+  EXPECT_EQ(static_cast<std::uint64_t>(listener.refusals), stats.refused);
+  EXPECT_EQ(listener.disconnects.size(),
+            stats.orderly_disconnects + stats.outage_disconnects);
+  ASSERT_FALSE(listener.maps.empty());
+  EXPECT_EQ(listener.maps.front(), 1);
+}
+
+TEST(CsServerListener, DisconnectByEndpointQuitsExactlyThatPlayer) {
+  sim::Simulator s;
+  trace::CountingSink sink;
+  RecordingListener listener;
+  CsServer server(s, ShortConfig(), sink);
+  server.AddListener(listener);
+  server.Start();
+  s.RunUntil(30.0);
+  ASSERT_FALSE(listener.connects.empty());
+  const ActiveClient victim = listener.connects.front();
+  const int before = server.active_players();
+  EXPECT_TRUE(server.DisconnectByEndpoint(victim.ip, victim.port));
+  EXPECT_EQ(server.active_players(), before - 1);
+  // Unknown endpoint: no effect.
+  EXPECT_FALSE(server.DisconnectByEndpoint(net::Ipv4Address(1, 2, 3, 4), 1));
+  EXPECT_EQ(server.active_players(), before - 1);
+  // Same endpoint twice: second call fails.
+  EXPECT_FALSE(server.DisconnectByEndpoint(victim.ip, victim.port));
+}
+
+TEST(CsServerListener, SequenceNumbersMonotonePerFlow) {
+  sim::Simulator s;
+  trace::VectorSink sink;
+  CsServer server(s, ShortConfig(), sink);
+  server.Start();
+  s.RunUntil(20.0);
+
+  // Per (endpoint, direction): sequenced packets must be strictly
+  // increasing by 1 in emission order.
+  std::map<std::tuple<std::uint32_t, std::uint16_t, int>, std::uint32_t> last_seq;
+  std::uint64_t sequenced = 0;
+  for (const auto& r : sink.records()) {
+    if (r.seq == 0) continue;  // handshake / control
+    ++sequenced;
+    const auto key = std::tuple(r.client_ip.value(), r.client_port,
+                                static_cast<int>(r.direction));
+    const auto it = last_seq.find(key);
+    if (it != last_seq.end()) {
+      EXPECT_EQ(r.seq, it->second + 1) << "gap in emitted sequence";
+      it->second = r.seq;
+    } else {
+      EXPECT_EQ(r.seq, 1u) << "flows start at sequence 1";
+      last_seq[key] = r.seq;
+    }
+  }
+  EXPECT_GT(sequenced, 10000u);
+}
+
+TEST(CsServerListener, ControlPacketsAreUnsequenced) {
+  sim::Simulator s;
+  trace::VectorSink sink;
+  CsServer server(s, ShortConfig(), sink);
+  server.Start();
+  s.RunUntil(30.0);
+  for (const auto& r : sink.records()) {
+    if (r.kind == net::PacketKind::kConnectRequest ||
+        r.kind == net::PacketKind::kConnectAccept ||
+        r.kind == net::PacketKind::kConnectReject ||
+        r.kind == net::PacketKind::kDisconnect) {
+      EXPECT_EQ(r.seq, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gametrace::game

@@ -1,0 +1,141 @@
+#include "game/download.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::game {
+namespace {
+
+struct Chunk {
+  double time;
+  std::uint16_t bytes;
+  std::uint32_t ip;
+};
+
+class DownloadTest : public ::testing::Test {
+ protected:
+  DownloadConfig AlwaysDownload() {
+    DownloadConfig cfg;
+    cfg.join_probability = 1.0;
+    cfg.map_change_probability = 1.0;
+    return cfg;
+  }
+
+  DownloadManager MakeManager(const DownloadConfig& cfg) {
+    return DownloadManager(
+        sim_, cfg, sim::Rng(1),
+        [this](std::uint16_t bytes, net::Ipv4Address ip, std::uint16_t) {
+          chunks_.push_back({sim_.Now(), bytes, ip.value()});
+        },
+        [this](std::uint64_t id) { return alive_.contains(id); });
+  }
+
+  sim::Simulator sim_;
+  std::vector<Chunk> chunks_;
+  std::set<std::uint64_t> alive_{1, 2, 3};
+};
+
+TEST_F(DownloadTest, Validation) {
+  EXPECT_THROW(DownloadManager(sim_, DownloadConfig{}, sim::Rng(1), nullptr,
+                               [](std::uint64_t) { return true; }),
+               std::invalid_argument);
+}
+
+TEST_F(DownloadTest, JoinTriggersTransfer) {
+  DownloadManager mgr = MakeManager(AlwaysDownload());
+  mgr.OnJoin(1, net::Ipv4Address(10, 0, 0, 1), 27005);
+  sim_.RunAll();
+  EXPECT_EQ(mgr.transfers_started(), 1u);
+  EXPECT_GT(mgr.chunks_sent(), 0u);
+  EXPECT_GT(mgr.bytes_sent(), 0u);
+}
+
+TEST_F(DownloadTest, ZeroProbabilityNeverTransfers) {
+  DownloadConfig cfg;
+  cfg.join_probability = 0.0;
+  cfg.map_change_probability = 0.0;
+  DownloadManager mgr = MakeManager(cfg);
+  for (int i = 0; i < 100; ++i) {
+    mgr.OnJoin(1, net::Ipv4Address(10, 0, 0, 1), 27005);
+    mgr.OnMapChange(1, net::Ipv4Address(10, 0, 0, 1), 27005);
+  }
+  sim_.RunAll();
+  EXPECT_EQ(mgr.transfers_started(), 0u);
+}
+
+TEST_F(DownloadTest, ChunkSizesWithinConfiguredRange) {
+  DownloadManager mgr = MakeManager(AlwaysDownload());
+  mgr.OnJoin(1, net::Ipv4Address(10, 0, 0, 1), 27005);
+  sim_.RunAll();
+  ASSERT_GT(chunks_.size(), 1u);
+  for (std::size_t i = 0; i + 1 < chunks_.size(); ++i) {
+    EXPECT_GE(chunks_[i].bytes, 350);
+    EXPECT_LE(chunks_[i].bytes, 500);
+  }
+  // The final chunk may be a remainder of any positive size.
+  EXPECT_GE(chunks_.back().bytes, 1);
+}
+
+TEST_F(DownloadTest, RateLimitPacesChunks) {
+  DownloadConfig cfg = AlwaysDownload();
+  cfg.rate_limit_bps = 24000.0;
+  cfg.mean_bytes = 30000.0;
+  cfg.stddev_bytes = 0.0;
+  DownloadManager mgr = MakeManager(cfg);
+  mgr.OnJoin(1, net::Ipv4Address(10, 0, 0, 1), 27005);
+  sim_.RunAll();
+  ASSERT_GT(chunks_.size(), 10u);
+  const double span = chunks_.back().time - chunks_.front().time;
+  const double observed_bps = static_cast<double>(mgr.bytes_sent()) * 8.0 / span;
+  EXPECT_NEAR(observed_bps, 24000.0, 2500.0);
+}
+
+TEST_F(DownloadTest, TransferDiesWithSession) {
+  DownloadConfig cfg = AlwaysDownload();
+  cfg.mean_bytes = 1e6;  // would take ~333 s at the rate limit
+  cfg.stddev_bytes = 0.0;
+  DownloadManager mgr = MakeManager(cfg);
+  mgr.OnJoin(1, net::Ipv4Address(10, 0, 0, 1), 27005);
+  sim_.At(5.0, [this] { alive_.erase(1); });
+  sim_.RunAll();
+  // Stopped early: far fewer bytes than the full transfer.
+  EXPECT_LT(mgr.bytes_sent(), 100000u);
+  ASSERT_FALSE(chunks_.empty());
+  EXPECT_LE(chunks_.back().time, 5.1);
+}
+
+TEST_F(DownloadTest, DeadSessionNeverStarts) {
+  DownloadManager mgr = MakeManager(AlwaysDownload());
+  mgr.OnJoin(99, net::Ipv4Address(10, 0, 0, 9), 27005);  // 99 not alive
+  sim_.RunAll();
+  EXPECT_EQ(mgr.transfers_started(), 1u);  // rolled the dice...
+  EXPECT_EQ(mgr.chunks_sent(), 0u);        // ...but nothing went out
+}
+
+TEST_F(DownloadTest, TransferSizeRespectsMinimum) {
+  DownloadConfig cfg = AlwaysDownload();
+  cfg.mean_bytes = 100.0;  // tiny mean...
+  cfg.stddev_bytes = 50.0;
+  cfg.min_bytes = 2000.0;  // ...but the floor wins
+  DownloadManager mgr = MakeManager(cfg);
+  mgr.OnJoin(1, net::Ipv4Address(10, 0, 0, 1), 27005);
+  sim_.RunAll();
+  // Per-chunk integer truncation can shave a few bytes off the total.
+  EXPECT_GE(mgr.bytes_sent(), 1950u);
+}
+
+TEST_F(DownloadTest, MapChangeProbabilityIndependent) {
+  DownloadConfig cfg;
+  cfg.join_probability = 0.0;
+  cfg.map_change_probability = 1.0;
+  DownloadManager mgr = MakeManager(cfg);
+  mgr.OnJoin(1, net::Ipv4Address(10, 0, 0, 1), 27005);
+  EXPECT_EQ(mgr.transfers_started(), 0u);
+  mgr.OnMapChange(1, net::Ipv4Address(10, 0, 0, 1), 27005);
+  EXPECT_EQ(mgr.transfers_started(), 1u);
+}
+
+}  // namespace
+}  // namespace gametrace::game

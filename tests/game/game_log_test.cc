@@ -1,0 +1,129 @@
+#include "game/game_log.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace gametrace::game {
+namespace {
+
+TEST(LogTimestamp, EpochMatchesPaperStart) {
+  // Table I: trace starts Thu Apr 11 08:55:04 2002.
+  EXPECT_EQ(LogTimestamp(0.0), "04/11/2002 - 08:55:04");
+}
+
+TEST(LogTimestamp, WithinDayArithmetic) {
+  EXPECT_EQ(LogTimestamp(56.0), "04/11/2002 - 08:56:00");
+  EXPECT_EQ(LogTimestamp(3600.0), "04/11/2002 - 09:55:04");
+}
+
+TEST(LogTimestamp, DayRollover) {
+  // 15h 4m 56s later it is midnight.
+  EXPECT_EQ(LogTimestamp(15.0 * 3600 + 4 * 60 + 56), "04/12/2002 - 00:00:00");
+}
+
+TEST(LogTimestamp, EndOfTraceMatchesPaperStop) {
+  // Table I: stop Thu Apr 18 14:56:21 (626,477 s later).
+  EXPECT_EQ(LogTimestamp(626477.0), "04/18/2002 - 14:56:21");
+}
+
+TEST(LogTimestamp, MonthRollover) {
+  // April has 30 days: 20 days past Apr 11 08:55 is May 1.
+  EXPECT_EQ(LogTimestamp(20.0 * 86400.0).substr(0, 10), "05/01/2002");
+}
+
+TEST(GameLogWriter, WritesRecognisableLines) {
+  std::ostringstream log;
+  GameLogWriter writer(log);
+  ActiveClient client;
+  client.identity = 7;
+  client.session_id = 42;
+  client.ip = net::Ipv4Address(10, 0, 0, 5);
+  client.port = 27005;
+  writer.OnMapStart(0.0, 1);
+  writer.OnConnect(1.0, client);
+  writer.OnRefuse(2.0, net::Ipv4Address(10, 0, 0, 6), 27006);
+  writer.OnDisconnect(3.0, client, /*orderly=*/true);
+  writer.OnOutage(4.0, true);
+  const std::string text = log.str();
+  EXPECT_NE(text.find("Loading map \"de_dust\" (map 1)"), std::string::npos);
+  EXPECT_NE(text.find("\"Player_7<42><10.0.0.5:27005>\" connected"), std::string::npos);
+  EXPECT_NE(text.find("Refused connection from 10.0.0.6:27006"), std::string::npos);
+  EXPECT_NE(text.find("disconnected"), std::string::npos);
+  EXPECT_NE(text.find("outage begin"), std::string::npos);
+  EXPECT_EQ(writer.lines_written(), 6u);  // +1 for the header line
+}
+
+TEST(GameLogWriter, MapRotationCycles) {
+  std::ostringstream log;
+  GameLogWriter writer(log);
+  const auto n = ClassicMapRotation().size();
+  writer.OnMapStart(0.0, 1);
+  writer.OnMapStart(0.0, static_cast<int>(n) + 1);  // wraps to the first map
+  const std::string text = log.str();
+  const auto first = text.find("de_dust\"");
+  const auto second = text.find("de_dust\"", first + 1);
+  EXPECT_NE(second, std::string::npos);
+}
+
+TEST(ParseGameLog, RoundTripCounts) {
+  std::ostringstream log;
+  GameLogWriter writer(log);
+  ActiveClient client;
+  client.ip = net::Ipv4Address(10, 0, 0, 5);
+  writer.OnMapStart(0.0, 1);
+  writer.OnConnect(1.0, client);
+  writer.OnConnect(2.0, client);
+  writer.OnDisconnect(3.0, client, true);
+  writer.OnDisconnect(4.0, client, false);
+  writer.OnRefuse(5.0, client.ip, 1);
+  writer.OnOutage(6.0, true);
+  writer.OnOutage(7.0, false);
+
+  std::istringstream in(log.str());
+  const GameLogSummary summary = ParseGameLog(in);
+  EXPECT_EQ(summary.connects, 2u);
+  EXPECT_EQ(summary.disconnects, 2u);
+  EXPECT_EQ(summary.timeouts, 1u);
+  EXPECT_EQ(summary.refusals, 1u);
+  EXPECT_EQ(summary.maps_started, 1);
+  EXPECT_EQ(summary.outages, 1);
+  EXPECT_EQ(summary.max_concurrent, 2);
+  EXPECT_EQ(summary.unparsed, 0u);
+}
+
+TEST(ParseGameLog, ToleratesForeignLines) {
+  std::istringstream in("garbage\nL 04/11/2002 - 09:00:00: something exotic\n");
+  const GameLogSummary summary = ParseGameLog(in);
+  EXPECT_EQ(summary.lines, 2u);
+  EXPECT_EQ(summary.unparsed, 2u);
+}
+
+// End-to-end: the log written during a simulated run must parse back to
+// exactly the server's ground-truth counters.
+TEST(GameLog, EndToEndAgreesWithServerStats) {
+  std::ostringstream log;
+  GameLogWriter writer(log);
+  sim::Simulator simulator;
+  trace::CountingSink sink;
+  auto cfg = game::GameConfig::ScaledDefaults(900.0);
+  CsServer server(simulator, cfg, sink);
+  server.AddListener(writer);
+  server.Run();
+
+  std::istringstream in(log.str());
+  const GameLogSummary summary = ParseGameLog(in);
+  const auto stats = server.stats();
+  EXPECT_EQ(summary.connects, stats.established);
+  EXPECT_EQ(summary.refusals, stats.refused);
+  EXPECT_EQ(summary.maps_started, stats.maps_played);
+  EXPECT_EQ(summary.disconnects,
+            stats.orderly_disconnects + stats.outage_disconnects);
+  EXPECT_EQ(summary.unparsed, 0u);
+  EXPECT_LE(summary.max_concurrent, cfg.max_players);
+}
+
+}  // namespace
+}  // namespace gametrace::game

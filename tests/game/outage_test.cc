@@ -1,0 +1,95 @@
+#include "game/outage.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::game {
+namespace {
+
+TEST(OutageSchedule, FiresAtConfiguredTimes) {
+  sim::Simulator s;
+  OutageConfig cfg;
+  cfg.times = {100.0, 500.0};
+  cfg.duration = 8.0;
+  std::vector<double> begins;
+  std::vector<double> ends;
+  OutageSchedule outages(s, cfg,
+                         {.on_begin = [&](double t) { begins.push_back(t); },
+                          .on_end = [&](double t) { ends.push_back(t); }});
+  outages.Start(1000.0);
+  s.RunUntil(1000.0);
+  ASSERT_EQ(begins.size(), 2u);
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_DOUBLE_EQ(begins[0], 100.0);
+  EXPECT_DOUBLE_EQ(ends[0], 108.0);
+  EXPECT_DOUBLE_EQ(begins[1], 500.0);
+  EXPECT_EQ(outages.outages_begun(), 2);
+}
+
+TEST(OutageSchedule, ActiveFlagDuringOutage) {
+  sim::Simulator s;
+  OutageConfig cfg;
+  cfg.times = {50.0};
+  cfg.duration = 10.0;
+  OutageSchedule outages(s, cfg, {});
+  outages.Start(1000.0);
+  s.RunUntil(55.0);
+  EXPECT_TRUE(outages.active());
+  s.RunUntil(61.0);
+  EXPECT_FALSE(outages.active());
+}
+
+TEST(OutageSchedule, OutagesBeyondTraceEndSkipped) {
+  sim::Simulator s;
+  OutageConfig cfg;
+  cfg.times = {100.0, 2000.0};
+  int begun = 0;
+  OutageSchedule outages(s, cfg, {.on_begin = [&](double) { ++begun; }, .on_end = nullptr});
+  outages.Start(1000.0);
+  s.RunUntil(5000.0);
+  EXPECT_EQ(begun, 1);
+}
+
+TEST(OutageSchedule, PastOutagesSkipped) {
+  sim::Simulator s;
+  s.At(200.0, [] {});
+  s.RunUntil(200.0);  // advance the clock
+  OutageConfig cfg;
+  cfg.times = {100.0, 300.0};
+  int begun = 0;
+  OutageSchedule outages(s, cfg, {.on_begin = [&](double) { ++begun; }, .on_end = nullptr});
+  outages.Start(1000.0);
+  s.RunUntil(1000.0);
+  EXPECT_EQ(begun, 1);
+}
+
+TEST(OutageSchedule, EmptyScheduleIsNoop) {
+  sim::Simulator s;
+  OutageSchedule outages(s, OutageConfig{}, {});
+  outages.Start(1000.0);
+  s.RunUntil(1000.0);
+  EXPECT_EQ(outages.outages_begun(), 0);
+  EXPECT_FALSE(outages.active());
+}
+
+TEST(OutageSchedule, NoCallbacksIsSafe) {
+  sim::Simulator s;
+  OutageConfig cfg;
+  cfg.times = {10.0};
+  OutageSchedule outages(s, cfg, {});
+  outages.Start(100.0);
+  EXPECT_NO_THROW(s.RunUntil(100.0));
+}
+
+TEST(OutageSchedule, PaperDefaultsHaveThreeOutages) {
+  const GameConfig cfg = GameConfig::PaperDefaults();
+  EXPECT_EQ(cfg.outages.times.size(), 3u);
+  for (double t : cfg.outages.times) {
+    EXPECT_GT(t, 0.0);
+    EXPECT_LT(t, cfg.trace_duration);
+  }
+}
+
+}  // namespace
+}  // namespace gametrace::game

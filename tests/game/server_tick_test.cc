@@ -1,0 +1,105 @@
+#include "game/server_tick.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::game {
+namespace {
+
+TEST(TickEngine, Validation) {
+  sim::Simulator s;
+  EXPECT_THROW(TickEngine(s, 0.0, [](double) {}), std::invalid_argument);
+  EXPECT_THROW(TickEngine(s, -1.0, [](double) {}), std::invalid_argument);
+  EXPECT_THROW(TickEngine(s, 0.05, nullptr), std::invalid_argument);
+}
+
+TEST(TickEngine, FiresAtExactInterval) {
+  sim::Simulator s;
+  std::vector<double> times;
+  TickEngine tick(s, 0.05, [&](double t) { times.push_back(t); });
+  tick.Start(0.0);
+  s.RunUntil(1.0);
+  // 0.00 .. 1.00: 21 firings nominally; floating-point accumulation may put
+  // the last tick epsilon past the horizon.
+  ASSERT_GE(times.size(), 20u);
+  ASSERT_LE(times.size(), 21u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(times[i], i * 0.05, 1e-9);
+  }
+  EXPECT_EQ(tick.ticks_fired(), times.size());
+}
+
+TEST(TickEngine, StartAtOffset) {
+  sim::Simulator s;
+  std::vector<double> times;
+  TickEngine tick(s, 1.0, [&](double t) { times.push_back(t); });
+  tick.Start(5.0);
+  s.RunUntil(8.0);
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times.front(), 5.0);
+}
+
+TEST(TickEngine, StopHalts) {
+  sim::Simulator s;
+  int count = 0;
+  TickEngine tick(s, 0.1, [&](double) { ++count; });
+  tick.Start(0.0);
+  s.At(0.35, [&] { tick.Stop(); });
+  s.RunUntil(10.0);
+  EXPECT_EQ(count, 4);  // 0.0, 0.1, 0.2, 0.3
+  EXPECT_FALSE(tick.running());
+}
+
+TEST(TickEngine, StopFromWithinHandler) {
+  sim::Simulator s;
+  int count = 0;
+  TickEngine* self = nullptr;
+  TickEngine tick(s, 0.1, [&](double) {
+    if (++count == 3) self->Stop();
+  });
+  self = &tick;
+  tick.Start(0.0);
+  s.RunUntil(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(TickEngine, DoubleStartRejected) {
+  sim::Simulator s;
+  TickEngine tick(s, 0.1, [](double) {});
+  tick.Start(0.0);
+  EXPECT_THROW(tick.Start(0.0), std::logic_error);
+}
+
+TEST(TickEngine, RestartAfterStop) {
+  sim::Simulator s;
+  int count = 0;
+  TickEngine tick(s, 0.1, [&](double) { ++count; });
+  tick.Start(0.0);
+  s.At(0.25, [&] { tick.Stop(); });
+  s.RunUntil(0.5);
+  const int first_phase = count;
+  tick.Start(1.0);
+  s.RunUntil(1.25);
+  EXPECT_GT(count, first_phase);
+  EXPECT_TRUE(tick.running());
+}
+
+TEST(TickEngine, NoDriftOverLongRun) {
+  // 50 ms ticks over an hour: exactly 72001 firings, no cumulative drift.
+  sim::Simulator s;
+  std::uint64_t count = 0;
+  double last = -1.0;
+  TickEngine tick(s, 0.05, [&](double t) {
+    ++count;
+    last = t;
+  });
+  tick.Start(0.0);
+  s.RunUntil(3600.0);
+  EXPECT_GE(count, 72000u);
+  EXPECT_LE(count, 72001u);
+  EXPECT_NEAR(last, 3600.0, 0.051);  // within one tick of the horizon
+}
+
+}  // namespace
+}  // namespace gametrace::game

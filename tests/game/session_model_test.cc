@@ -1,0 +1,155 @@
+#include "game/session_model.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::game {
+namespace {
+
+SessionConfig FastSessions() {
+  SessionConfig cfg;
+  cfg.fresh_attempt_rate = 0.5;  // brisk, for short tests
+  return cfg;
+}
+
+TEST(SessionModel, Validation) {
+  sim::Simulator s;
+  sim::DiurnalCurve flat;
+  EXPECT_THROW(SessionModel(s, FastSessions(), flat, sim::Rng(1), nullptr),
+               std::invalid_argument);
+  SessionConfig zero = FastSessions();
+  zero.fresh_attempt_rate = 0.0;
+  EXPECT_THROW(SessionModel(s, zero, flat, sim::Rng(1), [](std::size_t, bool) {}),
+               std::invalid_argument);
+}
+
+TEST(SessionModel, ArrivalRateMatchesConfig) {
+  sim::Simulator s;
+  sim::DiurnalCurve flat;  // constant 1.0
+  std::uint64_t attempts = 0;
+  SessionModel model(s, FastSessions(), flat, sim::Rng(2),
+                     [&](std::size_t, bool) { ++attempts; });
+  model.Start();
+  s.RunUntil(10000.0);
+  // Poisson(0.5/s * 10000 s) = 5000 +/- ~220 (3 sigma).
+  EXPECT_NEAR(static_cast<double>(attempts), 5000.0, 250.0);
+  EXPECT_EQ(model.fresh_arrivals(), attempts);
+}
+
+TEST(SessionModel, PauseStopsArrivals) {
+  sim::Simulator s;
+  sim::DiurnalCurve flat;
+  std::uint64_t attempts = 0;
+  SessionModel model(s, FastSessions(), flat, sim::Rng(3),
+                     [&](std::size_t, bool) { ++attempts; });
+  model.Start();
+  s.RunUntil(100.0);
+  const auto before = attempts;
+  EXPECT_GT(before, 0u);
+  model.Pause();
+  s.RunUntil(200.0);
+  EXPECT_EQ(attempts, before);
+  model.Resume();
+  s.RunUntil(300.0);
+  EXPECT_GT(attempts, before);
+}
+
+TEST(SessionModel, DiurnalModulationShiftsArrivals) {
+  sim::Simulator s;
+  // Day half at 0.2x, night half at 1.3x (within the 1.5x envelope).
+  sim::DiurnalCurve curve({{0.0, 1.3}, {11.99, 1.3}, {12.0, 0.2}, {23.99, 0.2}});
+  std::vector<double> times;
+  SessionModel model(s, FastSessions(), curve, sim::Rng(4),
+                     [&](std::size_t, bool) { times.push_back(s.Now()); });
+  model.Start();
+  s.RunUntil(86400.0);
+  std::uint64_t first_half = 0;
+  for (double t : times) {
+    if (t < 43200.0) ++first_half;
+  }
+  const std::uint64_t second_half = times.size() - first_half;
+  EXPECT_GT(first_half, second_half * 3);
+}
+
+TEST(SessionModel, DurationsMatchMoments) {
+  sim::Simulator s;
+  sim::DiurnalCurve flat;
+  SessionModel model(s, SessionConfig{}, flat, sim::Rng(5), [](std::size_t, bool) {});
+  sim::Rng rng(6);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double d = model.DrawSessionDuration(rng);
+    EXPECT_GE(d, SessionConfig{}.min_duration);
+    sum += d;
+  }
+  // Mean ~715 s ("approximately 15 minutes"); min-flooring biases up a bit.
+  EXPECT_NEAR(sum / kDraws, 715.0, 40.0);
+}
+
+TEST(SessionModel, IdentitiesFromZipfPool) {
+  sim::Simulator s;
+  sim::DiurnalCurve flat;
+  std::vector<std::size_t> identities;
+  SessionModel model(s, FastSessions(), flat, sim::Rng(7),
+                     [&](std::size_t id, bool) { identities.push_back(id); });
+  model.Start();
+  s.RunUntil(20000.0);
+  ASSERT_GT(identities.size(), 1000u);
+  std::uint64_t head = 0;
+  for (std::size_t id : identities) {
+    if (id < 100) ++head;  // the 100 most popular of 9000
+  }
+  // Zipf(0.45): the head is strongly over-represented vs uniform (1.1%).
+  EXPECT_GT(static_cast<double>(head) / identities.size(), 0.05);
+  for (std::size_t id : identities) EXPECT_LT(id, model.population());
+}
+
+TEST(SessionModel, RetryRespectsBudgetAndCoin) {
+  sim::Simulator s;
+  sim::DiurnalCurve flat;
+  std::uint64_t retries_fired = 0;
+  SessionConfig cfg = FastSessions();
+  cfg.retry_probability = 1.0;  // always retry
+  cfg.max_retries = 2;
+  SessionModel model(s, cfg, flat, sim::Rng(8), [&](std::size_t, bool is_retry) {
+    if (is_retry) ++retries_fired;
+  });
+  EXPECT_TRUE(model.MaybeScheduleRetry(5, 0));
+  EXPECT_TRUE(model.MaybeScheduleRetry(5, 1));
+  EXPECT_FALSE(model.MaybeScheduleRetry(5, 2));  // budget exhausted
+  s.RunUntil(10000.0);
+  EXPECT_EQ(retries_fired, 2u);
+
+  SessionConfig never = FastSessions();
+  never.retry_probability = 0.0;
+  SessionModel no_retry(s, never, flat, sim::Rng(9), [](std::size_t, bool) {});
+  EXPECT_FALSE(no_retry.MaybeScheduleRetry(1, 0));
+}
+
+TEST(SessionModel, ScheduledAttemptSwallowedWhenPaused) {
+  sim::Simulator s;
+  sim::DiurnalCurve flat;
+  std::uint64_t fired = 0;
+  SessionModel model(s, FastSessions(), flat, sim::Rng(10),
+                     [&](std::size_t, bool) { ++fired; });
+  model.Pause();
+  model.ScheduleAttempt(1, 5.0, true);
+  s.RunUntil(10.0);
+  EXPECT_EQ(fired, 0u);
+  model.Resume();
+  model.ScheduleAttempt(1, 5.0, true);
+  s.RunUntil(20.0);
+  EXPECT_EQ(fired, 1u);
+}
+
+TEST(SessionModel, SampleIdentityDrawsFromPool) {
+  sim::Simulator s;
+  sim::DiurnalCurve flat;
+  SessionModel model(s, FastSessions(), flat, sim::Rng(11), [](std::size_t, bool) {});
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(model.SampleIdentity(), model.population());
+}
+
+}  // namespace
+}  // namespace gametrace::game

@@ -1,0 +1,133 @@
+// End-to-end reproduction checks: run the simulated server, push the trace
+// through every analysis stage, and assert the paper's qualitative results
+// hold at reduced scale.
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "core/experiment.h"
+#include "game/config.h"
+#include "net/units.h"
+#include "stats/autocorrelation.h"
+
+namespace gametrace {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // One hour of simulated traffic: two map rotations, thousands of ticks,
+    // dozens of sessions.
+    auto cfg = game::GameConfig::ScaledDefaults(3600.0);
+    auto characterizer = std::make_unique<core::Characterizer>();
+    auto run = core::RunServerTrace(cfg, *characterizer);
+    report_ = new core::CharacterizationReport(characterizer->Finish(3600.0));
+    stats_ = new game::CsServer::Stats(run.stats);
+    players_ = new stats::TimeSeries(run.players);
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    delete stats_;
+    delete players_;
+  }
+
+  static core::CharacterizationReport* report_;
+  static game::CsServer::Stats* stats_;
+  static stats::TimeSeries* players_;
+};
+
+core::CharacterizationReport* PipelineTest::report_ = nullptr;
+game::CsServer::Stats* PipelineTest::stats_ = nullptr;
+stats::TimeSeries* PipelineTest::players_ = nullptr;
+
+// --- Tables II/III shape -------------------------------------------------
+
+TEST_F(PipelineTest, MorePacketsInThanOutButMoreBytesOut) {
+  const auto& s = report_->summary;
+  EXPECT_GT(s.packets_in(), s.packets_out());
+  EXPECT_GT(s.wire_bytes_out(), s.wire_bytes_in());
+  EXPECT_GT(s.app_bytes_out(), 2 * s.app_bytes_in());
+}
+
+TEST_F(PipelineTest, MeanSizesMatchPaper) {
+  EXPECT_NEAR(report_->summary.mean_packet_size_in(), 39.72, 2.0);
+  EXPECT_NEAR(report_->summary.mean_packet_size_out(), 129.51, 12.0);
+  EXPECT_NEAR(report_->summary.mean_packet_size(), 80.33, 10.0);
+}
+
+TEST_F(PipelineTest, AggregateLoadNearPaper) {
+  EXPECT_NEAR(report_->summary.mean_packet_load(), 798.0, 120.0);
+  EXPECT_NEAR(net::Kbps(report_->summary.mean_bandwidth_bps()), 850.0, 130.0);
+}
+
+TEST_F(PipelineTest, PerPlayerBandwidthSaturatesModem) {
+  // "the bandwidth consumed per player is on average 40 kbps".
+  const double per_player_kbps =
+      net::Kbps(report_->summary.mean_bandwidth_bps()) / players_->Mean();
+  EXPECT_GT(per_player_kbps, 35.0);
+  EXPECT_LT(per_player_kbps, 56.0);
+}
+
+// --- Figure 5 ------------------------------------------------------------
+
+TEST_F(PipelineTest, VarianceTimePlotHasThePaperThreeRegionShape) {
+  EXPECT_LT(report_->hurst.small_scale, 0.45);  // periodic, anti-persistent
+  EXPECT_GT(report_->hurst.mid_scale, 0.70);    // map changes keep variance
+}
+
+// --- Figures 6-8 ---------------------------------------------------------
+
+TEST_F(PipelineTest, TenMillisecondSeriesShowsFiftyMsBursts) {
+  const auto& base = report_->vt_base_packets;
+  ASSERT_GE(base.size(), 2000u);
+  std::vector<double> window(base.values().begin() + 1000, base.values().begin() + 2000);
+  EXPECT_EQ(stats::DominantPeriod(window, 20), 5u);  // 5 bins = 50 ms
+}
+
+TEST_F(PipelineTest, FiftyMsAggregationSmoothsBursts) {
+  const auto& base = report_->vt_base_packets;
+  const auto at50 = base.Aggregate(5);  // 10 ms -> 50 ms
+  // Peak-to-mean drops sharply once bins align with the tick.
+  const double ratio10 = base.Max() / base.Mean();
+  const double ratio50 = at50.Max() / at50.Mean();
+  EXPECT_LT(ratio50, ratio10 * 0.6);
+}
+
+// --- Figure 11 -----------------------------------------------------------
+
+TEST_F(PipelineTest, ClientBandwidthHistogramPegsAtModemRates) {
+  const auto& hist = report_->session_bandwidth;
+  ASSERT_GT(hist.total(), 20u);
+  // Mode below 56 kbps.
+  EXPECT_LT(hist.bin_center(hist.ModeBin()), 56000.0);
+  // Some sessions exceed the modem barrier (broadband/l337), but few.
+  const double above56k = 1.0 - hist.Cdf()[static_cast<std::size_t>(
+                                    56000.0 / hist.bin_width())];
+  EXPECT_LT(above56k, 0.25);
+}
+
+// --- Table I analogue ----------------------------------------------------
+
+TEST_F(PipelineTest, SessionChurnProportions) {
+  EXPECT_GT(stats_->established, 50u);
+  EXPECT_GT(stats_->refused, 0u);
+  EXPECT_EQ(stats_->attempts, stats_->established + stats_->refused);
+  // Regulars reconnect: sessions exceed unique clients.
+  EXPECT_GE(stats_->established, stats_->unique_establishing);
+  EXPECT_EQ(stats_->maps_played, 2);  // two 30-min maps in the hour
+}
+
+TEST_F(PipelineTest, SessionTrackerAgreesWithGroundTruth) {
+  // Timeout-based reconstruction can split a session across an idle spell,
+  // so it may slightly overcount - but not undercount - ground truth.
+  EXPECT_GE(report_->sessions.size() + 5, stats_->established);
+  EXPECT_LE(report_->sessions.size(), stats_->established + stats_->refused);
+}
+
+TEST_F(PipelineTest, PlayerSeriesBounded) {
+  EXPECT_LE(players_->Max(), 22.0);
+  EXPECT_GT(players_->Mean(), 12.0);
+  EXPECT_LE(players_->Mean(), 22.0);
+}
+
+}  // namespace
+}  // namespace gametrace

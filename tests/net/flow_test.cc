@@ -1,0 +1,110 @@
+#include "net/flow.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace gametrace::net {
+namespace {
+
+FlowKey MakeFlow() {
+  FlowKey k;
+  k.src_ip = Ipv4Address(10, 0, 0, 1);
+  k.dst_ip = Ipv4Address(192, 168, 0, 10);
+  k.src_port = 27005;
+  k.dst_port = 27015;
+  k.proto = IpProto::kUdp;
+  return k;
+}
+
+TEST(FlowKey, Equality) {
+  EXPECT_EQ(MakeFlow(), MakeFlow());
+  FlowKey other = MakeFlow();
+  other.src_port = 1;
+  EXPECT_NE(MakeFlow(), other);
+}
+
+TEST(FlowKey, ReversedSwapsEndpoints) {
+  const FlowKey k = MakeFlow();
+  const FlowKey r = k.Reversed();
+  EXPECT_EQ(r.src_ip, k.dst_ip);
+  EXPECT_EQ(r.dst_port, k.src_port);
+  EXPECT_EQ(r.Reversed(), k);
+}
+
+TEST(FlowKey, CanonicalIsDirectionless) {
+  const FlowKey k = MakeFlow();
+  EXPECT_EQ(k.Canonical(), k.Reversed().Canonical());
+}
+
+TEST(FlowKey, CanonicalIsIdempotent) {
+  const FlowKey k = MakeFlow();
+  EXPECT_EQ(k.Canonical().Canonical(), k.Canonical());
+}
+
+TEST(FlowKey, ToStringFormat) {
+  EXPECT_EQ(MakeFlow().ToString(), "udp 10.0.0.1:27005 -> 192.168.0.10:27015");
+}
+
+TEST(FlowKeyHash, DistinguishesFlows) {
+  FlowKeyHash hash;
+  std::unordered_set<std::size_t> hashes;
+  FlowKey k = MakeFlow();
+  for (std::uint16_t port = 1000; port < 1100; ++port) {
+    k.src_port = port;
+    hashes.insert(hash(k));
+  }
+  EXPECT_GT(hashes.size(), 95u);  // near-perfect distribution over 100 keys
+}
+
+TEST(FlowKeyHash, EqualKeysEqualHashes) {
+  FlowKeyHash hash;
+  EXPECT_EQ(hash(MakeFlow()), hash(MakeFlow()));
+}
+
+TEST(FlowOf, ClientToServerDirection) {
+  ServerEndpoint server;
+  PacketRecord r;
+  r.client_ip = Ipv4Address(10, 0, 0, 1);
+  r.client_port = 27005;
+  r.direction = Direction::kClientToServer;
+  const FlowKey k = FlowOf(r, server);
+  EXPECT_EQ(k.src_ip, r.client_ip);
+  EXPECT_EQ(k.dst_ip, server.ip);
+  EXPECT_EQ(k.dst_port, server.port);
+}
+
+TEST(FlowOf, ServerToClientDirection) {
+  ServerEndpoint server;
+  PacketRecord r;
+  r.client_ip = Ipv4Address(10, 0, 0, 1);
+  r.client_port = 27005;
+  r.direction = Direction::kServerToClient;
+  const FlowKey k = FlowOf(r, server);
+  EXPECT_EQ(k.src_ip, server.ip);
+  EXPECT_EQ(k.src_port, server.port);
+  EXPECT_EQ(k.dst_ip, r.client_ip);
+}
+
+TEST(FlowOf, BothDirectionsShareCanonicalKey) {
+  ServerEndpoint server;
+  PacketRecord in;
+  in.client_ip = Ipv4Address(10, 0, 0, 1);
+  in.client_port = 27005;
+  in.direction = Direction::kClientToServer;
+  PacketRecord out = in;
+  out.direction = Direction::kServerToClient;
+  EXPECT_EQ(FlowOf(in, server).Canonical(), FlowOf(out, server).Canonical());
+}
+
+TEST(PacketRecord, WireBytes) {
+  PacketRecord r;
+  r.app_bytes = 40;
+  EXPECT_EQ(r.wire_bytes(), 94u);
+  EXPECT_EQ(r.wire_bytes(28), 68u);
+}
+
+}  // namespace
+}  // namespace gametrace::net

@@ -1,0 +1,71 @@
+#include "net/game_payload.h"
+
+#include <gtest/gtest.h>
+
+namespace gametrace::net {
+namespace {
+
+PacketRecord MakeRecord(std::uint32_t seq, std::uint16_t bytes,
+                        PacketKind kind = PacketKind::kGameUpdate) {
+  PacketRecord r;
+  r.seq = seq;
+  r.app_bytes = bytes;
+  r.kind = kind;
+  r.client_port = 27005;
+  return r;
+}
+
+TEST(GamePayload, PayloadIsExactlyRequestedSize) {
+  for (std::uint16_t bytes : {0, 4, 8, 40, 129, 500}) {
+    EXPECT_EQ(BuildGamePayload(MakeRecord(5, bytes)).size(), bytes);
+  }
+}
+
+TEST(GamePayload, SequencedRoundTrip) {
+  const auto payload = BuildGamePayload(MakeRecord(12345, 40));
+  const auto parsed = ParseGamePayload(payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->connectionless);
+  EXPECT_EQ(parsed->seq, 12345u);
+  EXPECT_EQ(parsed->ack, 12344u);
+}
+
+TEST(GamePayload, ConnectionlessMarker) {
+  const auto payload = BuildGamePayload(MakeRecord(0, 44, PacketKind::kConnectRequest));
+  const auto parsed = ParseGamePayload(payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->connectionless);
+  EXPECT_EQ(parsed->seq, 0u);
+  // First four bytes are the 0xFFFFFFFF marker.
+  EXPECT_EQ(payload[0], 0xFF);
+  EXPECT_EQ(payload[3], 0xFF);
+}
+
+TEST(GamePayload, TooShortForHeader) {
+  const auto payload = BuildGamePayload(MakeRecord(7, 4));
+  EXPECT_EQ(payload.size(), 4u);
+  EXPECT_FALSE(ParseGamePayload(payload).has_value());
+}
+
+TEST(GamePayload, FillIsDeterministicAndNonZero) {
+  const auto a = BuildGamePayload(MakeRecord(9, 100));
+  const auto b = BuildGamePayload(MakeRecord(9, 100));
+  EXPECT_EQ(a, b);
+  bool any_nonzero = false;
+  for (std::size_t i = kNetchanHeaderBytes; i < a.size(); ++i) {
+    if (a[i] != 0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(GamePayload, LargeSequenceNotMistakenForMarker) {
+  // Sequences near (but not equal to) 0xFFFFFFFF must parse as sequences.
+  const auto payload = BuildGamePayload(MakeRecord(0xFFFFFFFE, 40));
+  const auto parsed = ParseGamePayload(payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->connectionless);
+  EXPECT_EQ(parsed->seq, 0xFFFFFFFEu);
+}
+
+}  // namespace
+}  // namespace gametrace::net

@@ -1,0 +1,131 @@
+#include "net/headers.h"
+
+#include <array>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::net {
+namespace {
+
+FrameSpec MakeSpec(std::uint16_t payload_hint = 0) {
+  (void)payload_hint;
+  FrameSpec spec;
+  spec.flow.src_ip = Ipv4Address(10, 0, 0, 1);
+  spec.flow.dst_ip = Ipv4Address(192, 168, 0, 10);
+  spec.flow.src_port = 27005;
+  spec.flow.dst_port = 27015;
+  spec.flow.proto = IpProto::kUdp;
+  spec.ip_id = 0x1234;
+  return spec;
+}
+
+TEST(InternetChecksum, Rfc1071Example) {
+  // Classic example from RFC 1071: words 0x0001, 0xf203, 0xf4f5, 0xf6f7.
+  const std::array<std::uint8_t, 8> data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0x2ddf0 -> fold -> 0xddf2 -> complement 0x220d.
+  EXPECT_EQ(InternetChecksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, OddLengthPads) {
+  const std::array<std::uint8_t, 3> data{0x01, 0x02, 0x03};
+  // Words: 0x0102, 0x0300 -> sum 0x0402 -> ~ = 0xfbfd.
+  EXPECT_EQ(InternetChecksum(data), 0xfbfd);
+}
+
+TEST(InternetChecksum, ZeroData) {
+  const std::array<std::uint8_t, 4> data{};
+  EXPECT_EQ(InternetChecksum(data), 0xffff);
+}
+
+TEST(BuildUdpFrame, FrameLength) {
+  const std::vector<std::uint8_t> payload(40, 0xAB);
+  const auto frame = BuildUdpFrame(MakeSpec(), payload);
+  EXPECT_EQ(frame.size(), 14u + 20u + 8u + 40u);
+}
+
+TEST(BuildUdpFrame, EthernetHeaderFields) {
+  const auto frame = BuildUdpFrame(MakeSpec(), {});
+  // EtherType IPv4 at offset 12.
+  EXPECT_EQ(frame[12], 0x08);
+  EXPECT_EQ(frame[13], 0x00);
+}
+
+TEST(BuildUdpFrame, IpHeaderChecksumValidates) {
+  const std::vector<std::uint8_t> payload(100, 0x55);
+  const auto frame = BuildUdpFrame(MakeSpec(), payload);
+  // Checksum over the IP header must be 0 when verified.
+  EXPECT_EQ(InternetChecksum({frame.data() + 14, 20}), 0u);
+}
+
+TEST(BuildUdpFrame, ParsesBackExactly) {
+  const std::vector<std::uint8_t> payload(129, 0x7E);
+  const FrameSpec spec = MakeSpec();
+  const auto frame = BuildUdpFrame(spec, payload);
+  ParsedUdpFrame parsed;
+  ASSERT_TRUE(ParseUdpFrame(frame, parsed));
+  EXPECT_EQ(parsed.flow, spec.flow);
+  EXPECT_EQ(parsed.payload_bytes, 129);
+  EXPECT_TRUE(parsed.ip_checksum_ok);
+  EXPECT_TRUE(parsed.udp_checksum_ok);
+}
+
+TEST(BuildUdpFrame, EmptyPayload) {
+  const auto frame = BuildUdpFrame(MakeSpec(), {});
+  ParsedUdpFrame parsed;
+  ASSERT_TRUE(ParseUdpFrame(frame, parsed));
+  EXPECT_EQ(parsed.payload_bytes, 0);
+  EXPECT_TRUE(parsed.udp_checksum_ok);
+}
+
+TEST(ParseUdpFrame, RejectsTruncated) {
+  const auto frame = BuildUdpFrame(MakeSpec(), std::vector<std::uint8_t>(10, 0));
+  ParsedUdpFrame parsed;
+  const std::span<const std::uint8_t> truncated(frame.data(), 20);
+  EXPECT_FALSE(ParseUdpFrame(truncated, parsed));
+}
+
+TEST(ParseUdpFrame, RejectsNonIpv4EtherType) {
+  auto frame = BuildUdpFrame(MakeSpec(), {});
+  frame[12] = 0x86;  // IPv6 ethertype
+  frame[13] = 0xDD;
+  ParsedUdpFrame parsed;
+  EXPECT_FALSE(ParseUdpFrame(frame, parsed));
+}
+
+TEST(ParseUdpFrame, RejectsNonUdpProtocol) {
+  auto frame = BuildUdpFrame(MakeSpec(), {});
+  frame[14 + 9] = 6;  // TCP
+  ParsedUdpFrame parsed;
+  EXPECT_FALSE(ParseUdpFrame(frame, parsed));
+}
+
+TEST(ParseUdpFrame, DetectsCorruptedIpChecksum) {
+  auto frame = BuildUdpFrame(MakeSpec(), std::vector<std::uint8_t>(40, 1));
+  frame[14 + 8] ^= 0xFF;  // flip the TTL
+  ParsedUdpFrame parsed;
+  ASSERT_TRUE(ParseUdpFrame(frame, parsed));
+  EXPECT_FALSE(parsed.ip_checksum_ok);
+}
+
+TEST(ParseUdpFrame, DetectsCorruptedPayload) {
+  auto frame = BuildUdpFrame(MakeSpec(), std::vector<std::uint8_t>(40, 1));
+  frame.back() ^= 0xFF;
+  ParsedUdpFrame parsed;
+  ASSERT_TRUE(ParseUdpFrame(frame, parsed));
+  EXPECT_FALSE(parsed.udp_checksum_ok);
+}
+
+TEST(ParseUdpFrame, PayloadSizeSweep) {
+  for (std::uint16_t size : {0, 1, 39, 40, 129, 300, 500, 1400}) {
+    const std::vector<std::uint8_t> payload(size, 0x42);
+    const auto frame = BuildUdpFrame(MakeSpec(), payload);
+    ParsedUdpFrame parsed;
+    ASSERT_TRUE(ParseUdpFrame(frame, parsed)) << size;
+    EXPECT_EQ(parsed.payload_bytes, size);
+    EXPECT_TRUE(parsed.udp_checksum_ok) << size;
+  }
+}
+
+}  // namespace
+}  // namespace gametrace::net

@@ -1,0 +1,170 @@
+#include "net/pcap.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::net {
+namespace {
+
+class PcapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("gametrace_pcap_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".pcap"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+  ServerEndpoint server_;
+};
+
+PacketRecord MakeRecord(double t, Direction dir, std::uint16_t bytes) {
+  PacketRecord r;
+  r.timestamp = t;
+  r.client_ip = Ipv4Address(10, 1, 2, 3);
+  r.client_port = 27005;
+  r.app_bytes = bytes;
+  r.direction = dir;
+  r.kind = PacketKind::kGameUpdate;
+  return r;
+}
+
+TEST_F(PcapTest, GlobalHeaderRoundTrip) {
+  {
+    PcapWriter writer(path_, 4096);
+    writer.Flush();
+  }
+  PcapReader reader(path_);
+  EXPECT_EQ(reader.snaplen(), 4096u);
+  EXPECT_EQ(reader.link_type(), 1u);  // Ethernet
+  EXPECT_FALSE(reader.Next().has_value());
+}
+
+TEST_F(PcapTest, FrameRoundTrip) {
+  const std::vector<std::uint8_t> frame{1, 2, 3, 4, 5, 6, 7, 8};
+  {
+    PcapWriter writer(path_);
+    writer.WriteFrame(1.5, frame);
+    writer.Flush();
+  }
+  PcapReader reader(path_);
+  const auto pkt = reader.Next();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_NEAR(pkt->timestamp, 1.5, 1e-6);
+  EXPECT_EQ(pkt->frame, frame);
+  EXPECT_FALSE(reader.Next().has_value());
+}
+
+TEST_F(PcapTest, SnaplenTruncates) {
+  const std::vector<std::uint8_t> frame(1000, 0xAA);
+  {
+    PcapWriter writer(path_, 100);
+    writer.WriteFrame(0.0, frame);
+    writer.Flush();
+  }
+  PcapReader reader(path_);
+  const auto pkt = reader.Next();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->frame.size(), 100u);
+}
+
+TEST_F(PcapTest, RecordRoundTripPreservesEverything) {
+  {
+    PcapWriter writer(path_);
+    writer.WriteRecord(MakeRecord(0.1, Direction::kClientToServer, 40), server_);
+    writer.WriteRecord(MakeRecord(0.2, Direction::kServerToClient, 129), server_);
+    writer.Flush();
+    EXPECT_EQ(writer.packets_written(), 2u);
+  }
+  PcapReader reader(path_);
+  std::uint64_t skipped = 0;
+  const auto records = reader.ReadAllRecords(server_, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].direction, Direction::kClientToServer);
+  EXPECT_EQ(records[0].app_bytes, 40);
+  EXPECT_EQ(records[0].client_ip, Ipv4Address(10, 1, 2, 3));
+  EXPECT_EQ(records[1].direction, Direction::kServerToClient);
+  EXPECT_EQ(records[1].app_bytes, 129);
+  EXPECT_NEAR(records[1].timestamp, 0.2, 1e-6);
+}
+
+TEST_F(PcapTest, NonServerTrafficSkipped) {
+  {
+    PcapWriter writer(path_);
+    writer.WriteRecord(MakeRecord(0.1, Direction::kClientToServer, 40), server_);
+    writer.Flush();
+  }
+  PcapReader reader(path_);
+  ServerEndpoint other;
+  other.ip = Ipv4Address(1, 1, 1, 1);
+  std::uint64_t skipped = 0;
+  const auto records = reader.ReadAllRecords(other, &skipped);
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(skipped, 1u);
+}
+
+TEST_F(PcapTest, MicrosecondPrecision) {
+  {
+    PcapWriter writer(path_);
+    writer.WriteFrame(1234.567891, std::vector<std::uint8_t>(10, 0));
+    writer.Flush();
+  }
+  PcapReader reader(path_);
+  const auto pkt = reader.Next();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_NEAR(pkt->timestamp, 1234.567891, 1e-6);
+}
+
+TEST_F(PcapTest, BadMagicRejected) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    const std::uint32_t junk = 0xDEADBEEF;
+    out.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
+  }
+  EXPECT_THROW(PcapReader reader(path_), std::runtime_error);
+}
+
+TEST_F(PcapTest, MissingFileRejected) {
+  EXPECT_THROW(PcapReader reader("/nonexistent/definitely/missing.pcap"), std::runtime_error);
+  EXPECT_THROW(PcapWriter writer("/nonexistent/definitely/missing.pcap"), std::runtime_error);
+}
+
+TEST_F(PcapTest, TruncatedBodyThrows) {
+  {
+    PcapWriter writer(path_);
+    writer.WriteFrame(0.0, std::vector<std::uint8_t>(100, 1));
+    writer.Flush();
+  }
+  // Chop the file mid-packet.
+  std::filesystem::resize_file(path_, std::filesystem::file_size(path_) - 50);
+  PcapReader reader(path_);
+  EXPECT_THROW((void)reader.Next(), std::runtime_error);
+}
+
+TEST_F(PcapTest, ManyRecordsStream) {
+  constexpr int kCount = 1000;
+  {
+    PcapWriter writer(path_);
+    for (int i = 0; i < kCount; ++i) {
+      writer.WriteRecord(MakeRecord(i * 0.01, i % 2 == 0 ? Direction::kClientToServer
+                                                         : Direction::kServerToClient,
+                                    static_cast<std::uint16_t>(20 + i % 200)),
+                         server_);
+    }
+    writer.Flush();
+  }
+  PcapReader reader(path_);
+  const auto records = reader.ReadAllRecords(server_);
+  EXPECT_EQ(records.size(), static_cast<std::size_t>(kCount));
+}
+
+}  // namespace
+}  // namespace gametrace::net

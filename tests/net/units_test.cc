@@ -1,0 +1,49 @@
+#include "net/units.h"
+
+#include <gtest/gtest.h>
+
+namespace gametrace::net {
+namespace {
+
+TEST(Units, WireOverheadMatchesPaperDerivation) {
+  // (64.42 GB - 37.41 GB) / 500 M packets = 54 B/packet.
+  EXPECT_EQ(kWireOverheadBytes, 54u);
+  EXPECT_EQ(kWireOverheadBytes, kEthernetHeaderBytes + kEthernetFcsBytes +
+                                    kEthernetPreambleBytes + kIpv4HeaderBytes + kUdpHeaderBytes);
+}
+
+TEST(Units, WireBytesAddsOverhead) {
+  EXPECT_EQ(WireBytes(40), 94u);
+  EXPECT_EQ(WireBytes(0), 54u);
+  EXPECT_EQ(WireBytes(100, 28), 128u);  // IP+UDP only
+}
+
+TEST(Units, BitsPerSecond) {
+  EXPECT_DOUBLE_EQ(BitsPerSecond(1000.0, 8.0), 1000.0);
+  EXPECT_DOUBLE_EQ(BitsPerSecond(125.0, 1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(BitsPerSecond(100.0, 0.0), 0.0);  // guarded
+}
+
+TEST(Units, RateConversions) {
+  EXPECT_DOUBLE_EQ(Kbps(883000.0), 883.0);
+  EXPECT_DOUBLE_EQ(Mbps(1.5e6), 1.5);
+  EXPECT_DOUBLE_EQ(GigaBytes(64420000000ull), 64.42);
+}
+
+TEST(Units, SerializationDelay) {
+  // 125 bytes at 100 Mbps = 10 us.
+  EXPECT_NEAR(SerializationDelay(125, 100e6), 1e-5, 1e-12);
+  EXPECT_DOUBLE_EQ(SerializationDelay(100, 0.0), 0.0);
+}
+
+TEST(Units, PaperHeadlineNumbersAreConsistent) {
+  // Mean outbound packet (129.51 B app) on the wire ~ 183.51 B; at 361 pps
+  // that is ~530 kbps - matching Table II's 542 kbps within rounding.
+  const double out_bps = BitsPerSecond(360.99 * (129.51 + kWireOverheadBytes), 1.0);
+  EXPECT_NEAR(Kbps(out_bps), 542.0, 15.0);
+  const double in_bps = BitsPerSecond(437.12 * (39.72 + kWireOverheadBytes), 1.0);
+  EXPECT_NEAR(Kbps(in_bps), 341.0, 15.0);
+}
+
+}  // namespace
+}  // namespace gametrace::net

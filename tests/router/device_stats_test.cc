@@ -1,0 +1,70 @@
+#include "router/device_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace gametrace::router {
+namespace {
+
+TEST(DeviceStats, SegmentNames) {
+  EXPECT_STREQ(SegmentName(Segment::kServerToNat), "server->NAT");
+  EXPECT_STREQ(SegmentName(Segment::kNatToClients), "NAT->clients");
+  EXPECT_STREQ(SegmentName(Segment::kClientsToNat), "clients->NAT");
+  EXPECT_STREQ(SegmentName(Segment::kNatToServer), "NAT->server");
+}
+
+TEST(DeviceStats, CountsPerSegment) {
+  DeviceStats stats(1.0);
+  stats.Count(Segment::kClientsToNat, 0.5);
+  stats.Count(Segment::kClientsToNat, 1.5);
+  stats.Count(Segment::kNatToServer, 0.6);
+  EXPECT_EQ(stats.packets(Segment::kClientsToNat), 2u);
+  EXPECT_EQ(stats.packets(Segment::kNatToServer), 1u);
+  EXPECT_EQ(stats.packets(Segment::kServerToNat), 0u);
+}
+
+TEST(DeviceStats, LoadSeriesBinsByTime) {
+  DeviceStats stats(1.0);
+  stats.Count(Segment::kServerToNat, 0.1);
+  stats.Count(Segment::kServerToNat, 0.9);
+  stats.Count(Segment::kServerToNat, 2.5);
+  const auto& series = stats.load_series(Segment::kServerToNat);
+  EXPECT_DOUBLE_EQ(series[0], 2.0);
+  EXPECT_DOUBLE_EQ(series[2], 1.0);
+}
+
+TEST(DeviceStats, LossRatesFromSegmentDifference) {
+  DeviceStats stats(1.0);
+  for (int i = 0; i < 1000; ++i) stats.Count(Segment::kClientsToNat, 0.0);
+  for (int i = 0; i < 987; ++i) stats.Count(Segment::kNatToServer, 0.0);
+  for (int i = 0; i < 500; ++i) stats.Count(Segment::kServerToNat, 0.0);
+  for (int i = 0; i < 498; ++i) stats.Count(Segment::kNatToClients, 0.0);
+  EXPECT_NEAR(stats.loss_rate_incoming(), 0.013, 1e-9);
+  EXPECT_NEAR(stats.loss_rate_outgoing(), 0.004, 1e-9);
+}
+
+TEST(DeviceStats, LossRateZeroWhenEmpty) {
+  DeviceStats stats(1.0);
+  EXPECT_DOUBLE_EQ(stats.loss_rate_incoming(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.loss_rate_outgoing(), 0.0);
+}
+
+TEST(DeviceStats, DropsTracked) {
+  DeviceStats stats(1.0);
+  stats.CountDrop(Segment::kClientsToNat, 0.0);
+  stats.CountDrop(Segment::kClientsToNat, 0.1);
+  stats.CountDrop(Segment::kServerToNat, 0.2);
+  EXPECT_EQ(stats.drops(Segment::kClientsToNat), 2u);
+  EXPECT_EQ(stats.drops(Segment::kServerToNat), 1u);
+}
+
+TEST(DeviceStats, DelayStatistics) {
+  DeviceStats stats(1.0);
+  for (int i = 1; i <= 100; ++i) stats.RecordDelay(i * 1e-3);
+  EXPECT_NEAR(stats.delay().mean(), 0.0505, 1e-6);
+  EXPECT_NEAR(stats.delay_p50(), 0.050, 0.005);
+  EXPECT_NEAR(stats.delay_p99(), 0.099, 0.005);
+  EXPECT_DOUBLE_EQ(stats.delay().max(), 0.1);
+}
+
+}  // namespace
+}  // namespace gametrace::router

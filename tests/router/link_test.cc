@@ -1,0 +1,55 @@
+#include "router/link.h"
+
+#include <gtest/gtest.h>
+
+namespace gametrace::router {
+namespace {
+
+TEST(Link, Validation) {
+  EXPECT_THROW(Link(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Link(-1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Link(1e6, -0.1), std::invalid_argument);
+}
+
+TEST(Link, TransmitDelay) {
+  const Link link(100e6, 0.0);  // 100 Mbps
+  // 183-byte game frame: 14.64 us.
+  EXPECT_NEAR(link.TransmitDelay(183), 14.64e-6, 1e-9);
+  EXPECT_DOUBLE_EQ(link.TransmitDelay(0), 0.0);
+}
+
+TEST(Link, TotalDelayAddsPropagation) {
+  const Link link(1e6, 0.010);
+  EXPECT_NEAR(link.TotalDelay(125), 0.001 + 0.010, 1e-12);
+}
+
+TEST(Link, NextFreeTimeBacksToBack) {
+  const Link link(100e6, 0.0);
+  const double t0 = 1.0;
+  const double t1 = link.NextFreeTime(t0, 183);
+  EXPECT_NEAR(t1 - t0, 14.64e-6, 1e-9);
+  // A 20-packet burst of game frames occupies ~0.3 ms of a fast Ethernet
+  // link - the burst-compression that overwhelms per-packet lookup.
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) t = link.NextFreeTime(t, 183);
+  EXPECT_NEAR(t, 20 * 14.64e-6, 1e-8);
+  EXPECT_LT(t, 0.001);
+}
+
+TEST(Link, ModemLink) {
+  const Link modem(56e3, 0.0);
+  // A 183-byte frame takes ~26 ms on a 56k modem: at 20 such packets per
+  // 50 ms tick the last mile is saturated - the paper's core design claim.
+  const double frame_time = modem.TransmitDelay(183);
+  EXPECT_NEAR(frame_time, 0.0261, 0.001);
+  EXPECT_GT(20.0 * frame_time, 0.5);  // >50% of each second just for updates
+}
+
+TEST(Link, Accessors) {
+  const Link link(42e6, 0.003);
+  EXPECT_DOUBLE_EQ(link.bandwidth_bps(), 42e6);
+  EXPECT_DOUBLE_EQ(link.propagation_delay(), 0.003);
+}
+
+}  // namespace
+}  // namespace gametrace::router

@@ -1,0 +1,143 @@
+#include "router/route_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace gametrace::router {
+namespace {
+
+TEST(RouteCache, Validation) {
+  EXPECT_THROW(RouteCache(0, CachePolicy::kLru), std::invalid_argument);
+}
+
+TEST(RouteCache, MissThenHit) {
+  RouteCache cache(4, CachePolicy::kLru);
+  EXPECT_FALSE(cache.Access(1, 40));
+  EXPECT_TRUE(cache.Access(1, 40));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(RouteCache, LruEvictsLeastRecent) {
+  RouteCache cache(2, CachePolicy::kLru);
+  (void)cache.Access(1, 40);
+  (void)cache.Access(2, 40);
+  (void)cache.Access(1, 40);  // 1 is now most recent
+  (void)cache.Access(3, 40);  // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(RouteCache, LfuEvictsLeastFrequent) {
+  RouteCache cache(2, CachePolicy::kLfu);
+  for (int i = 0; i < 10; ++i) (void)cache.Access(1, 40);
+  (void)cache.Access(2, 40);
+  (void)cache.Access(3, 40);  // evicts 2 (freq 1) not 1 (freq 10)
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(RouteCache, SizePreferentialProtectsSmallPacketFlows) {
+  RouteCache cache(4, CachePolicy::kSmallPacketPreferential);
+  // A game flow (40 B packets) and three web flows (1200 B packets).
+  for (int i = 0; i < 20; ++i) (void)cache.Access(100, 40);
+  (void)cache.Access(1, 1200);
+  (void)cache.Access(2, 1200);
+  (void)cache.Access(3, 1200);
+  // Cache full. A new web flow must evict another web flow, not the game
+  // route - even though the game route may be older than some web entries.
+  (void)cache.Access(4, 1200);
+  EXPECT_TRUE(cache.Contains(100));
+}
+
+TEST(RouteCache, FrequencyPreferentialNeedsSecondMiss) {
+  RouteCache cache(4, CachePolicy::kFrequencyPreferential);
+  EXPECT_FALSE(cache.Access(1, 40));   // first miss: ghost only
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_FALSE(cache.Access(1, 40));   // second miss: admitted
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Access(1, 40));    // now a hit
+}
+
+TEST(RouteCache, FrequencyPreferentialResistsScanPollution) {
+  RouteCache cache(8, CachePolicy::kFrequencyPreferential);
+  // Establish 8 hot game routes.
+  for (std::uint32_t ip = 1; ip <= 8; ++ip) {
+    (void)cache.Access(ip, 40);
+    (void)cache.Access(ip, 40);
+  }
+  // A one-shot scan of 1000 distinct destinations (web-like churn).
+  for (std::uint32_t ip = 1000; ip < 2000; ++ip) (void)cache.Access(ip, 1200);
+  // Every hot route survived: one-shot flows never got admitted.
+  for (std::uint32_t ip = 1; ip <= 8; ++ip) EXPECT_TRUE(cache.Contains(ip));
+}
+
+TEST(RouteCache, LruSuccumbsToScanPollution) {
+  RouteCache cache(8, CachePolicy::kLru);
+  for (std::uint32_t ip = 1; ip <= 8; ++ip) (void)cache.Access(ip, 40);
+  for (std::uint32_t ip = 1000; ip < 2000; ++ip) (void)cache.Access(ip, 1200);
+  for (std::uint32_t ip = 1; ip <= 8; ++ip) EXPECT_FALSE(cache.Contains(ip));
+}
+
+TEST(RouteCache, CapacityNeverExceeded) {
+  for (const auto policy :
+       {CachePolicy::kLru, CachePolicy::kLfu, CachePolicy::kSmallPacketPreferential,
+        CachePolicy::kFrequencyPreferential}) {
+    RouteCache cache(16, policy);
+    sim::Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+      (void)cache.Access(static_cast<std::uint32_t>(rng.NextBelow(100)),
+                         static_cast<std::uint16_t>(40 + rng.NextBelow(1200)));
+      ASSERT_LE(cache.size(), 16u) << PolicyName(policy);
+    }
+    EXPECT_GT(cache.hits(), 0u);
+  }
+}
+
+TEST(RouteCache, ClearResets) {
+  RouteCache cache(4, CachePolicy::kLru);
+  (void)cache.Access(1, 40);
+  (void)cache.Access(1, 40);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_FALSE(cache.Access(1, 40));  // miss again after clear
+}
+
+TEST(RouteCache, PolicyNames) {
+  EXPECT_EQ(PolicyName(CachePolicy::kLru), "LRU");
+  EXPECT_EQ(PolicyName(CachePolicy::kLfu), "LFU");
+  EXPECT_EQ(PolicyName(CachePolicy::kSmallPacketPreferential), "small-packet-preferential");
+  EXPECT_EQ(PolicyName(CachePolicy::kFrequencyPreferential), "frequency-preferential");
+}
+
+TEST(RouteCache, HitRateEmptyIsZero) {
+  RouteCache cache(4, CachePolicy::kLru);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
+// For steady game traffic (few destinations, many packets) every policy
+// must reach a near-perfect hit rate.
+class PolicySweep : public ::testing::TestWithParam<CachePolicy> {};
+
+TEST_P(PolicySweep, GameTrafficHitsNearOne) {
+  RouteCache cache(32, GetParam());
+  sim::Rng rng(9);
+  for (int i = 0; i < 50000; ++i) {
+    (void)cache.Access(static_cast<std::uint32_t>(rng.NextBelow(22)), 130);
+  }
+  EXPECT_GT(cache.hit_rate(), 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySweep,
+                         ::testing::Values(CachePolicy::kLru, CachePolicy::kLfu,
+                                           CachePolicy::kSmallPacketPreferential,
+                                           CachePolicy::kFrequencyPreferential));
+
+}  // namespace
+}  // namespace gametrace::router

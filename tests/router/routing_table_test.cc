@@ -1,0 +1,154 @@
+#include "router/routing_table.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace gametrace::router {
+namespace {
+
+net::Ipv4Prefix P(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d, int len) {
+  return net::Ipv4Prefix(net::Ipv4Address(a, b, c, d), len);
+}
+
+TEST(RoutingTable, EmptyLookupIsMiss) {
+  RoutingTable table;
+  EXPECT_FALSE(table.Lookup(net::Ipv4Address(1, 2, 3, 4)).has_value());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RoutingTable, ExactMatch) {
+  RoutingTable table;
+  table.Insert(P(10, 0, 0, 0, 8), 1);
+  EXPECT_EQ(table.Lookup(net::Ipv4Address(10, 5, 5, 5)), 1u);
+  EXPECT_FALSE(table.Lookup(net::Ipv4Address(11, 0, 0, 0)).has_value());
+}
+
+TEST(RoutingTable, LongestPrefixWins) {
+  RoutingTable table;
+  table.Insert(P(10, 0, 0, 0, 8), 1);
+  table.Insert(P(10, 1, 0, 0, 16), 2);
+  table.Insert(P(10, 1, 2, 0, 24), 3);
+  EXPECT_EQ(table.Lookup(net::Ipv4Address(10, 1, 2, 3)), 3u);
+  EXPECT_EQ(table.Lookup(net::Ipv4Address(10, 1, 9, 9)), 2u);
+  EXPECT_EQ(table.Lookup(net::Ipv4Address(10, 9, 9, 9)), 1u);
+}
+
+TEST(RoutingTable, DefaultRoute) {
+  RoutingTable table;
+  table.Insert(P(0, 0, 0, 0, 0), 99);
+  EXPECT_EQ(table.Lookup(net::Ipv4Address(1, 2, 3, 4)), 99u);
+  table.Insert(P(10, 0, 0, 0, 8), 1);
+  EXPECT_EQ(table.Lookup(net::Ipv4Address(10, 0, 0, 1)), 1u);
+  EXPECT_EQ(table.Lookup(net::Ipv4Address(9, 0, 0, 1)), 99u);
+}
+
+TEST(RoutingTable, HostRoute) {
+  RoutingTable table;
+  table.Insert(P(192, 168, 0, 10, 32), 7);
+  EXPECT_EQ(table.Lookup(net::Ipv4Address(192, 168, 0, 10)), 7u);
+  EXPECT_FALSE(table.Lookup(net::Ipv4Address(192, 168, 0, 11)).has_value());
+}
+
+TEST(RoutingTable, InsertReplaces) {
+  RoutingTable table;
+  table.Insert(P(10, 0, 0, 0, 8), 1);
+  table.Insert(P(10, 0, 0, 0, 8), 2);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Lookup(net::Ipv4Address(10, 0, 0, 1)), 2u);
+}
+
+TEST(RoutingTable, ExactLookupNoFallback) {
+  RoutingTable table;
+  table.Insert(P(10, 0, 0, 0, 8), 1);
+  EXPECT_EQ(table.Exact(P(10, 0, 0, 0, 8)), 1u);
+  EXPECT_FALSE(table.Exact(P(10, 0, 0, 0, 16)).has_value());
+  EXPECT_FALSE(table.Exact(P(10, 0, 0, 0, 4)).has_value());
+}
+
+TEST(RoutingTable, RemoveRestoresShorterMatch) {
+  RoutingTable table;
+  table.Insert(P(10, 0, 0, 0, 8), 1);
+  table.Insert(P(10, 1, 0, 0, 16), 2);
+  EXPECT_TRUE(table.Remove(P(10, 1, 0, 0, 16)));
+  EXPECT_EQ(table.Lookup(net::Ipv4Address(10, 1, 2, 3)), 1u);
+  EXPECT_FALSE(table.Remove(P(10, 1, 0, 0, 16)));  // already gone
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RoutingTable, LookupCostGrowsWithDepth) {
+  RoutingTable table;
+  table.Insert(P(10, 0, 0, 0, 8), 1);
+  table.Insert(P(10, 1, 2, 3, 32), 2);
+  const auto shallow = table.LookupCost(net::Ipv4Address(11, 0, 0, 0));
+  const auto deep = table.LookupCost(net::Ipv4Address(10, 1, 2, 3));
+  EXPECT_GT(deep, shallow);
+  EXPECT_EQ(deep, 33u);  // root + 32 bits
+}
+
+// Property test: the trie must agree with a brute-force reference across
+// random route tables and random lookups.
+class TrieProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieProperty, MatchesLinearScanReference) {
+  sim::Rng rng(GetParam());
+  RoutingTable table;
+  std::vector<std::pair<net::Ipv4Prefix, std::uint32_t>> reference;
+
+  for (int i = 0; i < 300; ++i) {
+    const auto addr = net::Ipv4Address(static_cast<std::uint32_t>(rng()));
+    const int len = static_cast<int>(rng.NextBelow(33));
+    const net::Ipv4Prefix prefix(addr, len);
+    const auto hop = static_cast<std::uint32_t>(rng.NextBelow(1000));
+    table.Insert(prefix, hop);
+    // Reference: replace same-prefix entries.
+    bool replaced = false;
+    for (auto& [p, h] : reference) {
+      if (p == prefix) {
+        h = hop;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) reference.emplace_back(prefix, hop);
+  }
+  EXPECT_EQ(table.size(), reference.size());
+
+  for (int i = 0; i < 2000; ++i) {
+    const auto probe = net::Ipv4Address(static_cast<std::uint32_t>(rng()));
+    // Brute force longest match.
+    int best_len = -1;
+    std::uint32_t best_hop = 0;
+    for (const auto& [p, h] : reference) {
+      if (p.Contains(probe) && p.length() > best_len) {
+        best_len = p.length();
+        best_hop = h;
+      }
+    }
+    const auto got = table.Lookup(probe);
+    if (best_len < 0) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, best_hop);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieProperty, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(RoutingTable, NodeCountBounded) {
+  RoutingTable table;
+  for (int i = 0; i < 100; ++i) {
+    table.Insert(P(10, 0, static_cast<std::uint8_t>(i), 0, 24), i);
+  }
+  // Each /24 adds at most 24 nodes; shared prefixes amortise heavily.
+  EXPECT_LE(table.node_count(), 1u + 100u * 24u);
+  EXPECT_GT(table.node_count(), 24u);
+}
+
+}  // namespace
+}  // namespace gametrace::router

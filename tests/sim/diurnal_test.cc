@@ -1,0 +1,73 @@
+#include "sim/diurnal.h"
+
+#include <gtest/gtest.h>
+
+namespace gametrace::sim {
+namespace {
+
+TEST(DiurnalCurve, EmptyIsConstantOne) {
+  DiurnalCurve c;
+  EXPECT_DOUBLE_EQ(c.At(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.At(12345.0), 1.0);
+}
+
+TEST(DiurnalCurve, SinglePointIsConstant) {
+  DiurnalCurve c({{12.0, 0.7}});
+  EXPECT_DOUBLE_EQ(c.At(0.0), 0.7);
+  EXPECT_DOUBLE_EQ(c.At(86399.0), 0.7);
+}
+
+TEST(DiurnalCurve, Validation) {
+  EXPECT_THROW(DiurnalCurve({{24.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(DiurnalCurve({{-1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(DiurnalCurve({{3.0, -0.5}}), std::invalid_argument);
+}
+
+TEST(DiurnalCurve, InterpolatesBetweenPoints) {
+  DiurnalCurve c({{0.0, 1.0}, {12.0, 2.0}});
+  EXPECT_DOUBLE_EQ(c.At(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.At(6.0 * 3600.0), 1.5);
+  EXPECT_DOUBLE_EQ(c.At(12.0 * 3600.0), 2.0);
+}
+
+TEST(DiurnalCurve, WrapsAroundMidnight) {
+  DiurnalCurve c({{6.0, 1.0}, {18.0, 3.0}});
+  // 18:00 -> 06:00 (next day) interpolates from 3 back to 1 over 12 h.
+  EXPECT_DOUBLE_EQ(c.At(21.0 * 3600.0), 2.5);  // quarter of the way down
+  EXPECT_DOUBLE_EQ(c.At(0.0), 2.0);            // t=0 is midnight: halfway 18->6
+}
+
+TEST(DiurnalCurve, PeriodicAcrossDays) {
+  DiurnalCurve c = DiurnalCurve::BusyServerDefault();
+  for (double hour : {0.0, 5.5, 13.0, 21.0}) {
+    EXPECT_NEAR(c.At(hour * 3600.0), c.At(hour * 3600.0 + 86400.0 * 3), 1e-12);
+  }
+}
+
+TEST(DiurnalCurve, PhaseOffsetShifts) {
+  DiurnalCurve c({{0.0, 1.0}, {12.0, 2.0}});
+  c.set_phase_offset(6.0 * 3600.0);  // t = 0 is 06:00
+  EXPECT_DOUBLE_EQ(c.At(0.0), 1.5);
+}
+
+TEST(DiurnalCurve, BusyServerDefaultProperties) {
+  DiurnalCurve c = DiurnalCurve::BusyServerDefault();
+  // Evening peak exceeds the early-morning trough.
+  EXPECT_GT(c.At(20.0 * 3600.0), c.At(4.0 * 3600.0));
+  // Mean multiplier near 1 so calibrated mean rates stay calibrated.
+  EXPECT_NEAR(c.MeanMultiplier(), 1.0, 0.08);
+  // Never exceeds the SessionModel thinning envelope of 1.5x.
+  for (int minute = 0; minute < 24 * 60; ++minute) {
+    EXPECT_LT(c.At(minute * 60.0), 1.5);
+  }
+}
+
+TEST(DiurnalCurve, NegativeTimeWellDefined) {
+  DiurnalCurve c({{0.0, 1.0}, {12.0, 2.0}});
+  const double v = c.At(-3600.0);  // 23:00 previous day
+  EXPECT_GT(v, 0.9);
+  EXPECT_LT(v, 2.1);
+}
+
+}  // namespace
+}  // namespace gametrace::sim

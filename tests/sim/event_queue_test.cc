@@ -1,0 +1,106 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::sim {
+namespace {
+
+TEST(EventQueue, EmptyBehaviour) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW((void)q.NextTime(), std::logic_error);
+  EXPECT_THROW((void)q.Pop(), std::logic_error);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(3.0, [&] { order.push_back(3); });
+  q.Schedule(1.0, [&] { order.push_back(1); });
+  q.Schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop().handler();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().handler();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.Schedule(7.0, [] {});
+  q.Schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.NextTime(), 2.0);
+}
+
+TEST(EventQueue, PopReturnsTime) {
+  EventQueue q;
+  q.Schedule(4.5, [] {});
+  const auto ev = q.Pop();
+  EXPECT_DOUBLE_EQ(ev.time, 4.5);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const auto id = q.Schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const auto id = q.Schedule(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(9999));
+}
+
+TEST(EventQueue, CancelledEventSkippedByNextTime) {
+  EventQueue q;
+  const auto early = q.Schedule(1.0, [] {});
+  q.Schedule(2.0, [] {});
+  q.Cancel(early);
+  EXPECT_DOUBLE_EQ(q.NextTime(), 2.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelAfterPopFails) {
+  EventQueue q;
+  const auto id = q.Schedule(1.0, [] {});
+  (void)q.Pop();
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueue, EmptyHandlerRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.Schedule(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  std::vector<double> times;
+  for (int i = 0; i < 10000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    q.Schedule(t, [] {});
+  }
+  double last = -1.0;
+  while (!q.empty()) {
+    const auto ev = q.Pop();
+    EXPECT_GE(ev.time, last);
+    last = ev.time;
+  }
+}
+
+}  // namespace
+}  // namespace gametrace::sim

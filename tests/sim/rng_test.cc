@@ -1,0 +1,99 @@
+#include "sim/rng.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsWellMixed) {
+  // SplitMix64 seeding means seed 0 must not produce a degenerate stream.
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = r.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsHalf) {
+  Rng r(8);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += r.NextDouble();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.005);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(9);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.NextBelow(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundIsZero) {
+  Rng r(10);
+  EXPECT_EQ(r.NextBelow(0), 0u);
+}
+
+TEST(Rng, NextBelowIsUniform) {
+  Rng r(11);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.NextBelow(10)];
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 10, kDraws / 10 * 0.1);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(5);
+  Rng child1 = parent.Split();
+  Rng child2 = parent.Split();
+  // Streams differ from each other and from the parent's continuation.
+  int equal12 = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1() == child2()) ++equal12;
+  }
+  EXPECT_LT(equal12, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(77);
+  Rng b(77);
+  Rng ca = a.Split();
+  Rng cb = b.Split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace gametrace::sim

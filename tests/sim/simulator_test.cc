@@ -1,0 +1,118 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.Now(), 0.0);
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  Simulator s;
+  double seen = -1.0;
+  s.At(2.0, [&] { seen = s.Now(); });
+  const auto ran = s.RunUntil(10.0);
+  EXPECT_EQ(ran, 1u);
+  EXPECT_DOUBLE_EQ(seen, 2.0);
+  EXPECT_DOUBLE_EQ(s.Now(), 10.0);  // clock reaches horizon even when idle
+}
+
+TEST(Simulator, EventsAfterHorizonNotRun) {
+  Simulator s;
+  bool ran = false;
+  s.At(5.0, [&] { ran = true; });
+  s.RunUntil(4.999);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.pending(), 1u);
+  s.RunUntil(5.0);  // events exactly at the horizon do run
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator s;
+  std::vector<double> times;
+  s.At(3.0, [&] {
+    s.After(2.0, [&] { times.push_back(s.Now()); });
+  });
+  s.RunUntil(10.0);
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 5.0);
+}
+
+TEST(Simulator, PastSchedulingRejected) {
+  Simulator s;
+  s.At(5.0, [&] {
+    EXPECT_THROW(s.At(4.0, [] {}), std::invalid_argument);
+    EXPECT_THROW(s.After(-1.0, [] {}), std::invalid_argument);
+    EXPECT_NO_THROW(s.At(5.0, [] {}));  // same time is fine
+  });
+  s.RunUntil(10.0);
+}
+
+TEST(Simulator, CancelWorks) {
+  Simulator s;
+  bool ran = false;
+  const auto id = s.At(1.0, [&] { ran = true; });
+  EXPECT_TRUE(s.Cancel(id));
+  s.RunUntil(2.0);
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.At(static_cast<double>(i), [&] {
+      ++count;
+      if (count == 3) s.Stop();
+    });
+  }
+  s.RunUntil(100.0);
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(s.Now(), 3.0);  // stopped mid-run, clock not advanced
+  s.RunUntil(100.0);               // resumes
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunAllDrainsQueue) {
+  Simulator s;
+  int count = 0;
+  s.At(1.0, [&] {
+    ++count;
+    s.After(1.0, [&] { ++count; });
+  });
+  const auto ran = s.RunAll();
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(s.pending() == 0);
+}
+
+TEST(Simulator, SelfReschedulingChainTerminatesAtHorizon) {
+  Simulator s;
+  std::uint64_t ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    s.After(0.05, tick);
+  };
+  s.At(0.0, tick);
+  s.RunUntil(10.0);
+  // t = 0.00, 0.05, ..., 10.00: 201 nominally; fp accumulation may push the
+  // final tick epsilon past the horizon.
+  EXPECT_GE(ticks, 200u);
+  EXPECT_LE(ticks, 201u);
+}
+
+TEST(Simulator, EventsExecutedCounter) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.At(1.0, [] {});
+  s.RunUntil(2.0);
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+}  // namespace
+}  // namespace gametrace::sim

@@ -1,0 +1,69 @@
+#include "stats/autocorrelation.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::stats {
+namespace {
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const std::vector<double> xs{1.0, 5.0, 2.0, 8.0, 3.0};
+  EXPECT_DOUBLE_EQ(AutocorrelationAt(xs, 0), 1.0);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsZero) {
+  const std::vector<double> xs(100, 4.0);
+  EXPECT_DOUBLE_EQ(AutocorrelationAt(xs, 1), 0.0);
+  EXPECT_DOUBLE_EQ(AutocorrelationAt(xs, 0), 0.0);
+}
+
+TEST(Autocorrelation, LagValidation) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW((void)AutocorrelationAt(xs, 2), std::invalid_argument);
+}
+
+TEST(Autocorrelation, AlternatingSeriesNegativeAtLagOne) {
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(AutocorrelationAt(xs, 1), -0.9);
+  EXPECT_GT(AutocorrelationAt(xs, 2), 0.9);
+}
+
+TEST(Autocorrelation, PeriodicSeriesPeaksAtPeriod) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(i % 5 == 0 ? 20.0 : 0.0);
+  const auto ac = Autocorrelation(xs, 12);
+  EXPECT_GT(ac[5], 0.9);
+  EXPECT_GT(ac[10], 0.9);
+  EXPECT_LT(ac[3], 0.0);
+}
+
+TEST(Autocorrelation, VectorHasMaxLagPlusOneEntries) {
+  std::vector<double> xs(50, 0.0);
+  xs[10] = 1.0;
+  const auto ac = Autocorrelation(xs, 7);
+  EXPECT_EQ(ac.size(), 8u);
+}
+
+TEST(DominantPeriod, FindsBroadcastTick) {
+  // 10 ms bins, bursts every 50 ms -> dominant period 5 samples.
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(i % 5 == 0 ? 18.0 : 0.3);
+  EXPECT_EQ(DominantPeriod(xs, 20), 5u);
+}
+
+TEST(DominantPeriod, ZeroWhenNoPositivePeak) {
+  std::vector<double> xs(100, 1.0);
+  EXPECT_EQ(DominantPeriod(xs, 10), 0u);
+}
+
+TEST(DominantPeriod, SineWave) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(std::sin(2.0 * M_PI * i / 25.0));
+  EXPECT_EQ(DominantPeriod(xs, 40), 25u);
+}
+
+}  // namespace
+}  // namespace gametrace::stats

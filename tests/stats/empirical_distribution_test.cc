@@ -1,0 +1,105 @@
+#include "stats/empirical_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "stats/histogram.h"
+
+namespace gametrace::stats {
+namespace {
+
+TEST(EmpiricalDistribution, EmptyBehaviour) {
+  EmpiricalDistribution d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_THROW((void)d.Mean(), std::logic_error);
+  EXPECT_THROW((void)d.SampleByUniform(0.5), std::logic_error);
+}
+
+TEST(EmpiricalDistribution, WeightValidation) {
+  EmpiricalDistribution d;
+  EXPECT_THROW(d.Add(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(d.Add(1.0, -2.0), std::invalid_argument);
+}
+
+TEST(EmpiricalDistribution, PointMass) {
+  EmpiricalDistribution d;
+  d.Add(42.0, 3.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(d.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(d.SampleByUniform(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(d.SampleByUniform(0.999), 42.0);
+}
+
+TEST(EmpiricalDistribution, WeightedMoments) {
+  EmpiricalDistribution d;
+  d.Add(0.0, 1.0);
+  d.Add(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 7.5);
+  EXPECT_DOUBLE_EQ(d.Variance(), 0.25 * 56.25 + 0.75 * 6.25);
+}
+
+TEST(EmpiricalDistribution, InverseCdfBoundaries) {
+  EmpiricalDistribution d;
+  d.Add(1.0, 1.0);
+  d.Add(2.0, 1.0);
+  d.Add(3.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.SampleByUniform(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.SampleByUniform(0.24), 1.0);
+  EXPECT_DOUBLE_EQ(d.SampleByUniform(0.26), 2.0);
+  EXPECT_DOUBLE_EQ(d.SampleByUniform(0.49), 2.0);
+  EXPECT_DOUBLE_EQ(d.SampleByUniform(0.51), 3.0);
+  EXPECT_DOUBLE_EQ(d.SampleByUniform(0.99), 3.0);
+}
+
+TEST(EmpiricalDistribution, UniformArgumentValidation) {
+  EmpiricalDistribution d;
+  d.Add(1.0);
+  EXPECT_THROW((void)d.SampleByUniform(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)d.SampleByUniform(1.0), std::invalid_argument);
+}
+
+TEST(EmpiricalDistribution, UnsortedInsertionOrderIsHandled) {
+  EmpiricalDistribution d;
+  d.Add(5.0, 1.0);
+  d.Add(1.0, 1.0);
+  d.Add(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.SampleByUniform(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(d.SampleByUniform(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(d.SampleByUniform(0.9), 5.0);
+}
+
+TEST(EmpiricalDistribution, SampleMatchesWeights) {
+  EmpiricalDistribution d;
+  d.Add(0.0, 9.0);
+  d.Add(100.0, 1.0);
+  sim::Rng rng(11);
+  int high = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (d.Sample(rng) == 100.0) ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(high) / kDraws, 0.1, 0.01);
+}
+
+TEST(EmpiricalDistribution, FromHistogram) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 30; ++i) h.Add(15.0);  // bin 1, center 15
+  for (int i = 0; i < 70; ++i) h.Add(85.0);  // bin 8, center 85
+  const EmpiricalDistribution d = EmpiricalDistribution::FromHistogram(h);
+  EXPECT_EQ(d.support_size(), 2u);
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.3 * 15.0 + 0.7 * 85.0);
+  EXPECT_DOUBLE_EQ(d.total_weight(), 100.0);
+}
+
+TEST(EmpiricalDistribution, InterleavedAddAndSample) {
+  // Adding after sampling must re-sort correctly (the dirty flag path).
+  EmpiricalDistribution d;
+  d.Add(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.SampleByUniform(0.5), 10.0);
+  d.Add(1.0, 9.0);
+  EXPECT_DOUBLE_EQ(d.SampleByUniform(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(d.SampleByUniform(0.95), 10.0);
+}
+
+}  // namespace
+}  // namespace gametrace::stats

@@ -1,0 +1,152 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace gametrace::stats {
+namespace {
+
+TEST(Histogram, ConstructionValidation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(0.0, 100.0, 10);
+  EXPECT_EQ(h.bin_count(), 10u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_left(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 95.0);
+}
+
+TEST(Histogram, AddPlacesInCorrectBin) {
+  Histogram h(0.0, 100.0, 10);
+  h.Add(0.0);
+  h.Add(9.999);
+  h.Add(10.0);
+  h.Add(99.0);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.total_in_range(), 4u);
+}
+
+TEST(Histogram, UnderOverflowTracked) {
+  Histogram h(10.0, 20.0, 5);
+  h.Add(5.0);
+  h.Add(20.0);  // hi is exclusive
+  h.Add(25.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.total_in_range(), 0u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 10.0, 2);
+  h.Add(1.0, 7);
+  h.Add(6.0, 3);
+  EXPECT_EQ(h.count(0), 7u);
+  EXPECT_EQ(h.count(1), 3u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, PdfSumsToInRangeFraction) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 8; ++i) h.Add(static_cast<double>(i));
+  h.Add(50.0);  // overflow
+  h.Add(-1.0);  // underflow
+  const auto pdf = h.Pdf();
+  double sum = 0.0;
+  for (double p : pdf) sum += p;
+  EXPECT_NEAR(sum, 0.8, 1e-12);
+}
+
+TEST(Histogram, CdfIsMonotoneAndEndsAtInRangeMass) {
+  Histogram h(0.0, 100.0, 20);
+  for (int i = 0; i < 1000; ++i) h.Add(static_cast<double>(i % 100));
+  const auto cdf = h.Cdf();
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_NEAR(cdf.back(), 1.0, 1e-12);
+}
+
+TEST(Histogram, CdfCountsUnderflowBelowFirstBin) {
+  Histogram h(10.0, 20.0, 2);
+  h.Add(0.0);   // underflow
+  h.Add(12.0);  // bin 0
+  const auto cdf = h.Cdf();
+  EXPECT_NEAR(cdf[0], 1.0, 1e-12);  // underflow + bin0 = everything
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBin) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(5.0);  // all mass in bin 5
+  EXPECT_NEAR(h.Quantile(0.5), 5.5, 0.5);
+  EXPECT_GE(h.Quantile(0.999), 5.0);
+  EXPECT_LT(h.Quantile(0.999), 6.0);
+}
+
+TEST(Histogram, QuantileValidation) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_THROW((void)h.Quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)h.Quantile(1.1), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty -> lo
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(3.5);
+  h.Add(3.6);
+  h.Add(7.0);
+  EXPECT_EQ(h.ModeBin(), 3u);
+}
+
+TEST(Histogram, ModeBinEmptyThrows) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_THROW((void)h.ModeBin(), std::logic_error);
+}
+
+TEST(Histogram, ApproxMeanFromBinCenters) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(2.2);  // bin 2 center 2.5
+  h.Add(7.9);  // bin 7 center 7.5
+  EXPECT_NEAR(h.ApproxMean(), 5.0, 1e-12);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.Add(1.0);
+  b.Add(1.0);
+  b.Add(11.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(0), 0u);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(Histogram, MergeIncompatibleThrows) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 5);
+  EXPECT_THROW(a.Merge(b), std::invalid_argument);
+}
+
+// Property sweep: for a uniform fill, every quantile q must be within one
+// bin width of q * range.
+class HistogramQuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HistogramQuantileSweep, UniformFillQuantiles) {
+  Histogram h(0.0, 1000.0, 100);
+  for (int i = 0; i < 10000; ++i) h.Add(static_cast<double>(i % 1000));
+  const double q = GetParam();
+  EXPECT_NEAR(h.Quantile(q), q * 1000.0, 10.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, HistogramQuantileSweep,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99));
+
+}  // namespace
+}  // namespace gametrace::stats

@@ -1,0 +1,68 @@
+#include "stats/linear_regression.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::stats {
+namespace {
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{3.0, 5.0, 7.0, 9.0};  // y = 2x + 1
+  const LineFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 4u);
+}
+
+TEST(FitLine, NegativeSlope) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{10.0, 8.0, 6.0};
+  const LineFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 10.0, 1e-12);
+}
+
+TEST(FitLine, NoisyDataApproximates) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 7.0 + ((i % 2 == 0) ? 0.5 : -0.5));
+  }
+  const LineFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-3);
+  EXPECT_NEAR(fit.intercept, 7.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(FitLine, HorizontalLineZeroSlope) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{5.0, 5.0, 5.0};
+  const LineFit fit = FitLine(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+  // Zero y-variance: r^2 defined as 1 (perfect fit of a constant).
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(FitLine, ErrorsOnBadInput) {
+  const std::vector<double> one{1.0};
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW((void)FitLine(one, two), std::invalid_argument);
+  EXPECT_THROW((void)FitLine(one, one), std::invalid_argument);
+  const std::vector<double> same_x{2.0, 2.0};
+  EXPECT_THROW((void)FitLine(same_x, two), std::invalid_argument);
+}
+
+TEST(FitLine, RSquaredLowForUncorrelated) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const std::vector<double> ys{1.0, -1.0, 1.0, -1.0, 1.0, -1.0};
+  const LineFit fit = FitLine(xs, ys);
+  EXPECT_LT(fit.r_squared, 0.5);
+}
+
+}  // namespace
+}  // namespace gametrace::stats

@@ -1,0 +1,86 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "sim/rng.h"
+
+namespace gametrace::stats {
+namespace {
+
+TEST(P2Quantile, Validation) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_NO_THROW(P2Quantile(0.5));
+}
+
+TEST(P2Quantile, EmptyReturnsZero) {
+  P2Quantile q(0.5);
+  EXPECT_DOUBLE_EQ(q.Value(), 0.0);
+  EXPECT_EQ(q.count(), 0u);
+}
+
+TEST(P2Quantile, FewSamplesExact) {
+  P2Quantile q(0.5);
+  q.Add(3.0);
+  EXPECT_DOUBLE_EQ(q.Value(), 3.0);
+  q.Add(1.0);
+  q.Add(2.0);
+  // 3 samples, median-ish order statistic.
+  const double v = q.Value();
+  EXPECT_GE(v, 1.0);
+  EXPECT_LE(v, 3.0);
+}
+
+TEST(P2Quantile, UniformMedian) {
+  P2Quantile q(0.5);
+  sim::Rng rng(42);
+  for (int i = 0; i < 100000; ++i) q.Add(rng.NextDouble());
+  EXPECT_NEAR(q.Value(), 0.5, 0.02);
+}
+
+TEST(P2Quantile, UniformP99) {
+  P2Quantile q(0.99);
+  sim::Rng rng(43);
+  for (int i = 0; i < 100000; ++i) q.Add(rng.NextDouble());
+  EXPECT_NEAR(q.Value(), 0.99, 0.01);
+}
+
+TEST(P2Quantile, ExponentialP90) {
+  P2Quantile q(0.9);
+  sim::Rng rng(44);
+  for (int i = 0; i < 200000; ++i) q.Add(sim::Exponential(rng, 1.0));
+  // True p90 of Exp(1) is ln(10) ~ 2.3026.
+  EXPECT_NEAR(q.Value(), 2.3026, 0.12);
+}
+
+TEST(P2Quantile, MonotoneInputs) {
+  P2Quantile q(0.5);
+  for (int i = 1; i <= 1001; ++i) q.Add(static_cast<double>(i));
+  EXPECT_NEAR(q.Value(), 501.0, 15.0);
+}
+
+class P2Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Sweep, MatchesExactQuantileOnNormal) {
+  const double target = GetParam();
+  P2Quantile q(target);
+  sim::Rng rng(7);
+  std::vector<double> all;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = sim::Normal(rng, 100.0, 15.0);
+    q.Add(x);
+    all.push_back(x);
+  }
+  std::sort(all.begin(), all.end());
+  const double exact = all[static_cast<std::size_t>(target * (all.size() - 1))];
+  EXPECT_NEAR(q.Value(), exact, 1.0);  // within ~0.07 sigma
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Sweep, ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.95));
+
+}  // namespace
+}  // namespace gametrace::stats

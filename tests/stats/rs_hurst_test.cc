@@ -1,0 +1,91 @@
+#include "stats/rs_hurst.h"
+
+#include "stats/variance_time.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "sim/rng.h"
+
+namespace gametrace::stats {
+namespace {
+
+TEST(RescaledRange, Validation) {
+  TimeSeries tiny(0.0, 1.0);
+  for (int i = 0; i < 10; ++i) tiny.Add(static_cast<double>(i), 1.0 + i % 2);
+  EXPECT_THROW((void)ComputeRescaledRange(tiny), std::invalid_argument);
+
+  TimeSeries constant(0.0, 1.0);
+  for (int i = 0; i < 1000; ++i) constant.Add(static_cast<double>(i), 5.0);
+  EXPECT_THROW((void)ComputeRescaledRange(constant), std::invalid_argument);
+
+  TimeSeries ok(0.0, 1.0);
+  for (int i = 0; i < 1000; ++i) ok.Add(static_cast<double>(i), static_cast<double>(i % 3));
+  EXPECT_THROW((void)ComputeRescaledRange(ok, {.ratio = 1.0}), std::invalid_argument);
+}
+
+TEST(RescaledRange, IidNoiseNearHalf) {
+  sim::Rng rng(1);
+  TimeSeries s(0.0, 1.0);
+  for (int i = 0; i < 100000; ++i) s.Add(static_cast<double>(i), sim::Normal(rng, 10.0, 2.0));
+  const RsPlot plot = ComputeRescaledRange(s);
+  // R/S is known to bias slightly above 1/2 on short iid series.
+  EXPECT_NEAR(plot.HurstEstimate(), 0.55, 0.08);
+}
+
+TEST(RescaledRange, PersistentProcessNearOne) {
+  // A slowly-wandering level (integrated noise) is strongly persistent.
+  sim::Rng rng(2);
+  TimeSeries s(0.0, 1.0);
+  double level = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    level += sim::Normal(rng, 0.0, 1.0);
+    s.Add(static_cast<double>(i), level);
+  }
+  const RsPlot plot = ComputeRescaledRange(s);
+  EXPECT_GT(plot.HurstEstimate(), 0.85);
+}
+
+TEST(RescaledRange, AntiPersistentPeriodicBelowNoise) {
+  // Strong periodicity: differences are anti-persistent; H drops below
+  // the iid value.
+  TimeSeries periodic(0.0, 1.0);
+  sim::Rng rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    periodic.Add(static_cast<double>(i),
+                 (i % 5 == 0 ? 20.0 : 0.0) + sim::Normal(rng, 0.0, 0.1));
+  }
+  TimeSeries noise(0.0, 1.0);
+  for (int i = 0; i < 50000; ++i) noise.Add(static_cast<double>(i), sim::Normal(rng, 4.0, 8.0));
+  const double h_periodic = ComputeRescaledRange(periodic).HurstEstimate();
+  const double h_noise = ComputeRescaledRange(noise).HurstEstimate();
+  EXPECT_LT(h_periodic, h_noise);
+}
+
+TEST(RescaledRange, PointsAreGeometricAndOrdered) {
+  sim::Rng rng(4);
+  TimeSeries s(0.0, 1.0);
+  for (int i = 0; i < 10000; ++i) s.Add(static_cast<double>(i), rng.NextDouble());
+  const RsPlot plot = ComputeRescaledRange(s, {.ratio = 2.0, .min_n = 8, .min_blocks = 4});
+  ASSERT_GE(plot.points.size(), 2u);
+  for (std::size_t i = 1; i < plot.points.size(); ++i) {
+    EXPECT_EQ(plot.points[i].n, plot.points[i - 1].n * 2);
+    // R/S grows with block size for any non-degenerate process.
+    EXPECT_GT(plot.points[i].mean_rs, plot.points[i - 1].mean_rs);
+  }
+}
+
+TEST(RescaledRange, AgreesWithAggregatedVarianceOnIid) {
+  // The two estimators must tell the same qualitative story.
+  sim::Rng rng(5);
+  TimeSeries s(0.0, 1.0);
+  for (int i = 0; i < 80000; ++i) s.Add(static_cast<double>(i), sim::Exponential(rng, 3.0));
+  const double h_rs = ComputeRescaledRange(s).HurstEstimate();
+  const double h_vt = ComputeVarianceTime(s).HurstEstimate(0.0, 1e9);
+  EXPECT_NEAR(h_rs, h_vt, 0.12);
+}
+
+}  // namespace
+}  // namespace gametrace::stats

@@ -1,0 +1,162 @@
+#include "stats/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace gametrace::stats {
+namespace {
+
+TEST(TimeSeries, ConstructionValidation) {
+  EXPECT_THROW(TimeSeries(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, AddGrowsOnDemand) {
+  TimeSeries s(0.0, 1.0);
+  EXPECT_TRUE(s.empty());
+  s.Add(5.5);
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_DOUBLE_EQ(s[5], 1.0);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(s[i], 0.0);
+}
+
+TEST(TimeSeries, AddAccumulatesWithinBin) {
+  TimeSeries s(0.0, 10.0);
+  s.Add(1.0, 2.0);
+  s.Add(9.999, 3.0);
+  s.Add(10.0, 5.0);
+  EXPECT_DOUBLE_EQ(s[0], 5.0);
+  EXPECT_DOUBLE_EQ(s[1], 5.0);
+}
+
+TEST(TimeSeries, SamplesBeforeStartDropped) {
+  TimeSeries s(100.0, 1.0);
+  s.Add(50.0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.dropped_before_start(), 1u);
+}
+
+TEST(TimeSeries, SetOverwrites) {
+  TimeSeries s(0.0, 60.0);
+  s.Set(30.0, 17.0);
+  s.Set(45.0, 21.0);  // same bin
+  EXPECT_DOUBLE_EQ(s[0], 21.0);
+}
+
+TEST(TimeSeries, BinTime) {
+  TimeSeries s(10.0, 2.5);
+  EXPECT_DOUBLE_EQ(s.bin_time(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.bin_time(4), 20.0);
+}
+
+TEST(TimeSeries, ExtendToZeroFills) {
+  TimeSeries s(0.0, 1.0);
+  s.Add(0.5);
+  s.ExtendTo(10.0);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_DOUBLE_EQ(s.Sum(), 1.0);
+  s.ExtendTo(5.0);  // never shrinks
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(TimeSeries, AggregatePreservesTotal) {
+  TimeSeries s(0.0, 1.0);
+  for (int i = 0; i < 12; ++i) s.Add(static_cast<double>(i), 1.0);
+  const TimeSeries agg = s.Aggregate(3);
+  EXPECT_EQ(agg.size(), 4u);
+  EXPECT_DOUBLE_EQ(agg.interval(), 3.0);
+  EXPECT_DOUBLE_EQ(agg.Sum(), 12.0);
+  EXPECT_DOUBLE_EQ(agg[0], 3.0);
+}
+
+TEST(TimeSeries, AggregateDropsPartialTail) {
+  TimeSeries s(0.0, 1.0);
+  for (int i = 0; i < 10; ++i) s.Add(static_cast<double>(i), 1.0);
+  const TimeSeries agg = s.Aggregate(3);
+  EXPECT_EQ(agg.size(), 3u);  // 10/3 = 3 whole groups
+  EXPECT_DOUBLE_EQ(agg.Sum(), 9.0);
+}
+
+TEST(TimeSeries, AggregateMeanDividesByFactor) {
+  TimeSeries s(0.0, 1.0);
+  for (int i = 0; i < 8; ++i) s.Add(static_cast<double>(i), 4.0);
+  const TimeSeries mean = s.AggregateMean(4);
+  EXPECT_DOUBLE_EQ(mean[0], 4.0);
+  EXPECT_DOUBLE_EQ(mean[1], 4.0);
+}
+
+TEST(TimeSeries, AggregateZeroFactorThrows) {
+  TimeSeries s(0.0, 1.0);
+  EXPECT_THROW((void)s.Aggregate(0), std::invalid_argument);
+}
+
+TEST(TimeSeries, RateDividesByInterval) {
+  TimeSeries s(0.0, 0.5);
+  s.Add(0.1, 10.0);
+  const TimeSeries rate = s.Rate();
+  EXPECT_DOUBLE_EQ(rate[0], 20.0);
+}
+
+TEST(TimeSeries, PlusAlignsAndPads) {
+  TimeSeries a(0.0, 1.0);
+  TimeSeries b(0.0, 1.0);
+  a.Add(0.0, 1.0);
+  b.Add(2.0, 5.0);
+  const TimeSeries sum = a.Plus(b);
+  EXPECT_EQ(sum.size(), 3u);
+  EXPECT_DOUBLE_EQ(sum[0], 1.0);
+  EXPECT_DOUBLE_EQ(sum[2], 5.0);
+}
+
+TEST(TimeSeries, PlusIncompatibleThrows) {
+  TimeSeries a(0.0, 1.0);
+  TimeSeries b(0.0, 2.0);
+  EXPECT_THROW((void)a.Plus(b), std::invalid_argument);
+}
+
+TEST(TimeSeries, ScaledMultiplies) {
+  TimeSeries s(0.0, 1.0);
+  s.Add(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.Scaled(8.0)[0], 24.0);
+}
+
+TEST(TimeSeries, Moments) {
+  TimeSeries s(0.0, 1.0);
+  s.Add(0.0, 2.0);
+  s.Add(1.0, 4.0);
+  s.Add(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 4.0);
+  EXPECT_NEAR(s.Variance(), 8.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.Max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+}
+
+TEST(TimeSeries, NonZeroStartTime) {
+  TimeSeries s(1000.0, 60.0);
+  s.Add(1030.0);
+  s.Add(1061.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+}
+
+// Re-aggregation invariant: for any factor, total mass is conserved over
+// the whole groups and the aggregated variance never exceeds the base
+// variance for a smooth series.
+class AggregateSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AggregateSweep, MassConservedOverWholeGroups) {
+  TimeSeries s(0.0, 1.0);
+  for (int i = 0; i < 1000; ++i) s.Add(static_cast<double>(i), 1.0 + (i % 7));
+  const std::size_t factor = GetParam();
+  const TimeSeries agg = s.Aggregate(factor);
+  const std::size_t whole = (1000 / factor) * factor;
+  double expected = 0.0;
+  for (std::size_t i = 0; i < whole; ++i) expected += s[i];
+  EXPECT_DOUBLE_EQ(agg.Sum(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, AggregateSweep,
+                         ::testing::Values(1, 2, 3, 7, 10, 100, 999, 1000));
+
+}  // namespace
+}  // namespace gametrace::stats

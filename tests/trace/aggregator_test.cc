@@ -1,0 +1,95 @@
+#include "trace/aggregator.h"
+
+#include <gtest/gtest.h>
+
+namespace gametrace::trace {
+namespace {
+
+net::PacketRecord MakeRecord(double t, net::Direction dir, std::uint16_t bytes) {
+  net::PacketRecord r;
+  r.timestamp = t;
+  r.app_bytes = bytes;
+  r.direction = dir;
+  return r;
+}
+
+TEST(LoadAggregator, BinsPacketsByTime) {
+  LoadAggregator agg(1.0);
+  agg.OnPacket(MakeRecord(0.1, net::Direction::kClientToServer, 40));
+  agg.OnPacket(MakeRecord(0.9, net::Direction::kClientToServer, 40));
+  agg.OnPacket(MakeRecord(1.5, net::Direction::kServerToClient, 130));
+  EXPECT_DOUBLE_EQ(agg.packets_in()[0], 2.0);
+  EXPECT_DOUBLE_EQ(agg.packets_out()[1], 1.0);
+}
+
+TEST(LoadAggregator, WireBytesIncludeOverhead) {
+  LoadAggregator agg(1.0, 0.0, 54);
+  agg.OnPacket(MakeRecord(0.5, net::Direction::kClientToServer, 40));
+  EXPECT_DOUBLE_EQ(agg.wire_bytes_in()[0], 94.0);
+}
+
+TEST(LoadAggregator, ZeroOverheadOption) {
+  LoadAggregator agg(1.0, 0.0, 0);
+  agg.OnPacket(MakeRecord(0.5, net::Direction::kClientToServer, 40));
+  EXPECT_DOUBLE_EQ(agg.wire_bytes_in()[0], 40.0);
+}
+
+TEST(LoadAggregator, TotalsAreSumOfDirections) {
+  LoadAggregator agg(1.0);
+  agg.OnPacket(MakeRecord(0.1, net::Direction::kClientToServer, 40));
+  agg.OnPacket(MakeRecord(0.2, net::Direction::kServerToClient, 130));
+  const auto total = agg.packets_total();
+  EXPECT_DOUBLE_EQ(total[0], 2.0);
+  const auto bytes = agg.wire_bytes_total();
+  EXPECT_DOUBLE_EQ(bytes[0], 40.0 + 130.0 + 2 * 54.0);
+}
+
+TEST(LoadAggregator, RateSeriesDividesByInterval) {
+  LoadAggregator agg(0.5);
+  agg.OnPacket(MakeRecord(0.1, net::Direction::kClientToServer, 40));
+  agg.OnPacket(MakeRecord(0.2, net::Direction::kClientToServer, 40));
+  EXPECT_DOUBLE_EQ(agg.packet_rate_in()[0], 4.0);  // 2 packets / 0.5 s
+  EXPECT_DOUBLE_EQ(agg.packet_rate_total()[0], 4.0);
+}
+
+TEST(LoadAggregator, BandwidthSeriesInBitsPerSecond) {
+  LoadAggregator agg(1.0, 0.0, 0);
+  agg.OnPacket(MakeRecord(0.5, net::Direction::kServerToClient, 125));
+  EXPECT_DOUBLE_EQ(agg.bandwidth_out_bps()[0], 1000.0);
+  EXPECT_DOUBLE_EQ(agg.bandwidth_total_bps()[0], 1000.0);
+  EXPECT_DOUBLE_EQ(agg.bandwidth_in_bps().Sum(), 0.0);
+}
+
+TEST(LoadAggregator, ExtendToPadsAllSeries) {
+  LoadAggregator agg(1.0);
+  agg.OnPacket(MakeRecord(0.5, net::Direction::kClientToServer, 40));
+  agg.ExtendTo(10.0);
+  EXPECT_EQ(agg.packets_in().size(), 10u);
+  EXPECT_EQ(agg.packets_out().size(), 10u);
+  EXPECT_EQ(agg.wire_bytes_out().size(), 10u);
+  EXPECT_DOUBLE_EQ(agg.packets_in().Mean(), 0.1);
+}
+
+TEST(LoadAggregator, NonZeroStart) {
+  LoadAggregator agg(60.0, 3600.0);
+  agg.OnPacket(MakeRecord(3000.0, net::Direction::kClientToServer, 40));  // before start
+  agg.OnPacket(MakeRecord(3660.0, net::Direction::kClientToServer, 40));
+  EXPECT_DOUBLE_EQ(agg.packets_in().Sum(), 1.0);
+  EXPECT_EQ(agg.packets_in().dropped_before_start(), 1u);
+}
+
+TEST(LoadAggregator, FineGrainedBinning) {
+  // 10 ms bins, a burst at t = 0 and one packet at 25 ms.
+  LoadAggregator agg(0.010);
+  for (int i = 0; i < 18; ++i) {
+    agg.OnPacket(MakeRecord(0.0001 * i, net::Direction::kServerToClient, 130));
+  }
+  agg.OnPacket(MakeRecord(0.025, net::Direction::kClientToServer, 40));
+  EXPECT_DOUBLE_EQ(agg.packets_out()[0], 18.0);
+  EXPECT_DOUBLE_EQ(agg.packets_in()[2], 1.0);
+  // Rate in the burst bin: 1800 pps - the paper's Figure 6 spike height.
+  EXPECT_DOUBLE_EQ(agg.packet_rate_out()[0], 1800.0);
+}
+
+}  // namespace
+}  // namespace gametrace::trace

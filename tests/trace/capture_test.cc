@@ -1,0 +1,88 @@
+#include "trace/capture.h"
+
+#include <gtest/gtest.h>
+
+namespace gametrace::trace {
+namespace {
+
+net::PacketRecord MakeRecord(double t, net::Direction dir, std::uint16_t bytes) {
+  net::PacketRecord r;
+  r.timestamp = t;
+  r.app_bytes = bytes;
+  r.direction = dir;
+  return r;
+}
+
+TEST(CountingSink, CountsByDirection) {
+  CountingSink sink;
+  sink.OnPacket(MakeRecord(0.0, net::Direction::kClientToServer, 40));
+  sink.OnPacket(MakeRecord(0.1, net::Direction::kClientToServer, 41));
+  sink.OnPacket(MakeRecord(0.2, net::Direction::kServerToClient, 130));
+  EXPECT_EQ(sink.packets(), 3u);
+  EXPECT_EQ(sink.packets_in(), 2u);
+  EXPECT_EQ(sink.packets_out(), 1u);
+  EXPECT_EQ(sink.app_bytes(), 211u);
+}
+
+TEST(VectorSink, StoresRecordsInOrder) {
+  VectorSink sink;
+  sink.OnPacket(MakeRecord(1.0, net::Direction::kClientToServer, 1));
+  sink.OnPacket(MakeRecord(2.0, net::Direction::kClientToServer, 2));
+  ASSERT_EQ(sink.records().size(), 2u);
+  EXPECT_EQ(sink.records()[0].app_bytes, 1);
+  EXPECT_EQ(sink.records()[1].app_bytes, 2);
+}
+
+TEST(VectorSink, TakeRecordsMovesOut) {
+  VectorSink sink;
+  sink.OnPacket(MakeRecord(1.0, net::Direction::kClientToServer, 1));
+  auto records = sink.TakeRecords();
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_TRUE(sink.records().empty());
+}
+
+TEST(TeeSink, ForwardsToAllAttached) {
+  CountingSink a;
+  CountingSink b;
+  TeeSink tee;
+  tee.Attach(a);
+  tee.Attach(b);
+  EXPECT_EQ(tee.sink_count(), 2u);
+  tee.OnPacket(MakeRecord(0.0, net::Direction::kClientToServer, 40));
+  EXPECT_EQ(a.packets(), 1u);
+  EXPECT_EQ(b.packets(), 1u);
+}
+
+TEST(TeeSink, EmptyTeeIsNoop) {
+  TeeSink tee;
+  EXPECT_NO_THROW(tee.OnPacket(MakeRecord(0.0, net::Direction::kClientToServer, 40)));
+}
+
+TEST(CallbackSink, InvokesCallable) {
+  int calls = 0;
+  CallbackSink sink([&calls](const net::PacketRecord& r) {
+    ++calls;
+    EXPECT_EQ(r.app_bytes, 99);
+  });
+  sink.OnPacket(MakeRecord(0.0, net::Direction::kServerToClient, 99));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Replay, FeedsEveryRecord) {
+  std::vector<net::PacketRecord> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(MakeRecord(i * 0.1, net::Direction::kClientToServer, 40));
+  }
+  CountingSink sink;
+  Replay(records, sink);
+  EXPECT_EQ(sink.packets(), 10u);
+}
+
+TEST(Replay, EmptyVector) {
+  CountingSink sink;
+  Replay({}, sink);
+  EXPECT_EQ(sink.packets(), 0u);
+}
+
+}  // namespace
+}  // namespace gametrace::trace

@@ -1,0 +1,84 @@
+#include "trace/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace gametrace::trace {
+namespace {
+
+net::PacketRecord MakeRecord(double t, net::Direction dir,
+                             net::PacketKind kind = net::PacketKind::kGameUpdate,
+                             std::uint32_t ip = 0x0A000001) {
+  net::PacketRecord r;
+  r.timestamp = t;
+  r.direction = dir;
+  r.kind = kind;
+  r.client_ip = net::Ipv4Address(ip);
+  return r;
+}
+
+TEST(FilterSink, EmptyPredicateRejected) {
+  CountingSink sink;
+  EXPECT_THROW(FilterSink(nullptr, sink), std::invalid_argument);
+}
+
+TEST(FilterSink, DirectionFilter) {
+  CountingSink sink;
+  FilterSink filter(DirectionIs(net::Direction::kServerToClient), sink);
+  filter.OnPacket(MakeRecord(0.0, net::Direction::kClientToServer));
+  filter.OnPacket(MakeRecord(0.1, net::Direction::kServerToClient));
+  EXPECT_EQ(sink.packets(), 1u);
+  EXPECT_EQ(filter.passed(), 1u);
+  EXPECT_EQ(filter.dropped(), 1u);
+}
+
+TEST(FilterSink, KindFilter) {
+  CountingSink sink;
+  FilterSink filter(KindIs(net::PacketKind::kDownload), sink);
+  filter.OnPacket(MakeRecord(0.0, net::Direction::kServerToClient, net::PacketKind::kDownload));
+  filter.OnPacket(MakeRecord(0.1, net::Direction::kServerToClient));
+  EXPECT_EQ(sink.packets(), 1u);
+}
+
+TEST(FilterSink, TimeWindowHalfOpen) {
+  CountingSink sink;
+  FilterSink filter(TimeWindow(1.0, 2.0), sink);
+  filter.OnPacket(MakeRecord(0.999, net::Direction::kClientToServer));
+  filter.OnPacket(MakeRecord(1.0, net::Direction::kClientToServer));   // included
+  filter.OnPacket(MakeRecord(1.999, net::Direction::kClientToServer));  // included
+  filter.OnPacket(MakeRecord(2.0, net::Direction::kClientToServer));   // excluded
+  EXPECT_EQ(sink.packets(), 2u);
+}
+
+TEST(FilterSink, ClientFilter) {
+  CountingSink sink;
+  FilterSink filter(ClientIs(net::Ipv4Address(0x0A000002)), sink);
+  filter.OnPacket(MakeRecord(0.0, net::Direction::kClientToServer,
+                             net::PacketKind::kGameUpdate, 0x0A000001));
+  filter.OnPacket(MakeRecord(0.1, net::Direction::kClientToServer,
+                             net::PacketKind::kGameUpdate, 0x0A000002));
+  EXPECT_EQ(sink.packets(), 1u);
+}
+
+TEST(FilterSink, AndCombinator) {
+  CountingSink sink;
+  FilterSink filter(And(DirectionIs(net::Direction::kClientToServer), TimeWindow(0.0, 1.0)),
+                    sink);
+  filter.OnPacket(MakeRecord(0.5, net::Direction::kClientToServer));   // both
+  filter.OnPacket(MakeRecord(0.5, net::Direction::kServerToClient));   // wrong dir
+  filter.OnPacket(MakeRecord(1.5, net::Direction::kClientToServer));   // wrong time
+  EXPECT_EQ(sink.packets(), 1u);
+}
+
+TEST(FilterSink, Chaining) {
+  CountingSink sink;
+  FilterSink inner(TimeWindow(0.0, 10.0), sink);
+  FilterSink outer(DirectionIs(net::Direction::kClientToServer), inner);
+  outer.OnPacket(MakeRecord(5.0, net::Direction::kClientToServer));
+  outer.OnPacket(MakeRecord(15.0, net::Direction::kClientToServer));
+  EXPECT_EQ(sink.packets(), 1u);
+  EXPECT_EQ(outer.passed(), 2u);
+  EXPECT_EQ(inner.passed(), 1u);
+}
+
+}  // namespace
+}  // namespace gametrace::trace

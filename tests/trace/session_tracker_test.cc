@@ -1,0 +1,149 @@
+#include "trace/session_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace gametrace::trace {
+namespace {
+
+net::PacketRecord MakeRecord(double t, std::uint32_t ip, std::uint16_t port,
+                             net::Direction dir = net::Direction::kClientToServer,
+                             std::uint16_t bytes = 40,
+                             net::PacketKind kind = net::PacketKind::kGameUpdate) {
+  net::PacketRecord r;
+  r.timestamp = t;
+  r.client_ip = net::Ipv4Address(ip);
+  r.client_port = port;
+  r.app_bytes = bytes;
+  r.direction = dir;
+  r.kind = kind;
+  return r;
+}
+
+TEST(SessionTracker, Validation) {
+  EXPECT_THROW(SessionTracker(0.0), std::invalid_argument);
+  EXPECT_THROW(SessionTracker(-5.0), std::invalid_argument);
+}
+
+TEST(SessionTracker, SingleSessionAccumulates) {
+  SessionTracker tracker(30.0);
+  for (int i = 0; i < 100; ++i) {
+    tracker.OnPacket(MakeRecord(i * 0.05, 0x0A000001, 27005));
+  }
+  tracker.OnPacket(MakeRecord(2.0, 0x0A000001, 27005, net::Direction::kServerToClient, 130));
+  EXPECT_EQ(tracker.open_sessions(), 1u);
+  const auto sessions = tracker.Finish();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].packets_in, 100u);
+  EXPECT_EQ(sessions[0].packets_out, 1u);
+  EXPECT_EQ(sessions[0].app_bytes_in, 4000u);
+  EXPECT_EQ(sessions[0].app_bytes_out, 130u);
+  EXPECT_DOUBLE_EQ(sessions[0].start, 0.0);
+  EXPECT_NEAR(sessions[0].duration(), 4.95, 1e-9);
+}
+
+TEST(SessionTracker, GapSplitsSessions) {
+  SessionTracker tracker(30.0);
+  tracker.OnPacket(MakeRecord(0.0, 0x0A000001, 27005));
+  tracker.OnPacket(MakeRecord(10.0, 0x0A000001, 27005));
+  tracker.OnPacket(MakeRecord(100.0, 0x0A000001, 27005));  // > 30 s gap
+  const auto sessions = tracker.Finish();
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_DOUBLE_EQ(sessions[0].end, 10.0);
+  EXPECT_DOUBLE_EQ(sessions[1].start, 100.0);
+}
+
+TEST(SessionTracker, GapExactlyAtTimeoutDoesNotSplit) {
+  SessionTracker tracker(30.0);
+  tracker.OnPacket(MakeRecord(0.0, 0x0A000001, 27005));
+  tracker.OnPacket(MakeRecord(30.0, 0x0A000001, 27005));
+  EXPECT_EQ(tracker.Finish().size(), 1u);
+}
+
+TEST(SessionTracker, DifferentPortsAreDifferentSessions) {
+  SessionTracker tracker(30.0);
+  tracker.OnPacket(MakeRecord(0.0, 0x0A000001, 27005));
+  tracker.OnPacket(MakeRecord(0.1, 0x0A000001, 27006));
+  EXPECT_EQ(tracker.open_sessions(), 2u);
+  EXPECT_EQ(tracker.unique_clients(), 1u);  // same IP
+}
+
+TEST(SessionTracker, UniqueClientsByIp) {
+  SessionTracker tracker(30.0);
+  tracker.OnPacket(MakeRecord(0.0, 0x0A000001, 27005));
+  tracker.OnPacket(MakeRecord(0.1, 0x0A000002, 27005));
+  tracker.OnPacket(MakeRecord(0.2, 0x0A000003, 27005));
+  EXPECT_EQ(tracker.unique_clients(), 3u);
+}
+
+TEST(SessionTracker, RejectHandshakeIgnored) {
+  SessionTracker tracker(30.0);
+  tracker.OnPacket(MakeRecord(0.0, 0x0A000001, 27005, net::Direction::kServerToClient, 32,
+                              net::PacketKind::kConnectReject));
+  EXPECT_EQ(tracker.open_sessions(), 0u);
+  EXPECT_TRUE(tracker.Finish().empty());
+}
+
+TEST(SessionTracker, SessionsSortedByStart) {
+  SessionTracker tracker(5.0);
+  tracker.OnPacket(MakeRecord(0.0, 0x0A000001, 1));
+  tracker.OnPacket(MakeRecord(1.0, 0x0A000002, 2));
+  tracker.OnPacket(MakeRecord(100.0, 0x0A000001, 1));
+  const auto sessions = tracker.Finish();
+  ASSERT_EQ(sessions.size(), 3u);
+  EXPECT_LE(sessions[0].start, sessions[1].start);
+  EXPECT_LE(sessions[1].start, sessions[2].start);
+}
+
+TEST(Session, MeanBandwidthIncludesOverhead) {
+  Session s;
+  s.start = 0.0;
+  s.end = 10.0;
+  s.packets_in = 100;
+  s.app_bytes_in = 4000;
+  // (4000 + 100*54) * 8 / 10 = 7520 bps.
+  EXPECT_DOUBLE_EQ(s.mean_bandwidth_bps(), 7520.0);
+  EXPECT_DOUBLE_EQ(s.mean_bandwidth_bps(0), 3200.0);
+}
+
+TEST(Session, ZeroDurationBandwidthIsZero) {
+  Session s;
+  s.start = 5.0;
+  s.end = 5.0;
+  s.packets_in = 1;
+  s.app_bytes_in = 40;
+  EXPECT_DOUBLE_EQ(s.mean_bandwidth_bps(), 0.0);
+}
+
+TEST(SessionTracker, BandwidthHistogramFiltersShortSessions) {
+  std::vector<Session> sessions(2);
+  sessions[0].start = 0.0;
+  sessions[0].end = 10.0;  // too short (min 30 s)
+  sessions[0].packets_in = 100;
+  sessions[1].start = 0.0;
+  sessions[1].end = 100.0;
+  sessions[1].packets_in = 1000;
+  sessions[1].app_bytes_in = 40000;
+  const auto hist = SessionTracker::BandwidthHistogram(sessions, 30.0);
+  EXPECT_EQ(hist.total(), 1u);
+}
+
+TEST(SessionTracker, ModemSessionLandsNearModemRate) {
+  // A modem player: ~24 pps in at 40 B, 20 pps out at 130 B, 60 s session.
+  SessionTracker tracker(30.0);
+  for (int i = 0; i < 60 * 24; ++i) {
+    tracker.OnPacket(MakeRecord(i / 24.0, 0x0A000001, 27005,
+                                net::Direction::kClientToServer, 40));
+  }
+  for (int i = 0; i < 60 * 20; ++i) {
+    tracker.OnPacket(MakeRecord(i / 20.0, 0x0A000001, 27005,
+                                net::Direction::kServerToClient, 130));
+  }
+  const auto sessions = tracker.Finish();
+  ASSERT_EQ(sessions.size(), 1u);
+  const double kbps = sessions[0].mean_bandwidth_bps() / 1e3;
+  EXPECT_GT(kbps, 35.0);
+  EXPECT_LT(kbps, 56.0);  // pegged at or below the 56k modem barrier
+}
+
+}  // namespace
+}  // namespace gametrace::trace

@@ -1,0 +1,118 @@
+#include "trace/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace gametrace::trace {
+namespace {
+
+net::PacketRecord MakeRecord(double t, net::Direction dir, std::uint16_t bytes,
+                             net::PacketKind kind = net::PacketKind::kGameUpdate,
+                             std::uint32_t ip = 0x0A000001) {
+  net::PacketRecord r;
+  r.timestamp = t;
+  r.client_ip = net::Ipv4Address(ip);
+  r.client_port = 27005;
+  r.app_bytes = bytes;
+  r.direction = dir;
+  r.kind = kind;
+  return r;
+}
+
+TEST(TraceSummary, EmptySummary) {
+  TraceSummary s;
+  EXPECT_EQ(s.total_packets(), 0u);
+  EXPECT_DOUBLE_EQ(s.duration(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_packet_load(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_bandwidth_bps(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_packet_size(), 0.0);
+}
+
+TEST(TraceSummary, DirectionalCounting) {
+  TraceSummary s;
+  s.OnPacket(MakeRecord(0.0, net::Direction::kClientToServer, 40));
+  s.OnPacket(MakeRecord(1.0, net::Direction::kClientToServer, 42));
+  s.OnPacket(MakeRecord(2.0, net::Direction::kServerToClient, 130));
+  EXPECT_EQ(s.packets_in(), 2u);
+  EXPECT_EQ(s.packets_out(), 1u);
+  EXPECT_EQ(s.app_bytes_in(), 82u);
+  EXPECT_EQ(s.app_bytes_out(), 130u);
+  EXPECT_DOUBLE_EQ(s.mean_packet_size_in(), 41.0);
+  EXPECT_DOUBLE_EQ(s.mean_packet_size_out(), 130.0);
+  EXPECT_NEAR(s.mean_packet_size(), 212.0 / 3.0, 1e-12);
+}
+
+TEST(TraceSummary, WireBytesIncludeOverhead) {
+  TraceSummary s(54);
+  s.OnPacket(MakeRecord(0.0, net::Direction::kClientToServer, 40));
+  EXPECT_EQ(s.wire_bytes_in(), 94u);
+  EXPECT_EQ(s.wire_bytes_total(), 94u);
+
+  TraceSummary bare(0);
+  bare.OnPacket(MakeRecord(0.0, net::Direction::kClientToServer, 40));
+  EXPECT_EQ(bare.wire_bytes_total(), 40u);
+}
+
+TEST(TraceSummary, RatesUseObservedSpan) {
+  TraceSummary s;
+  s.OnPacket(MakeRecord(10.0, net::Direction::kClientToServer, 40));
+  s.OnPacket(MakeRecord(20.0, net::Direction::kServerToClient, 40));
+  EXPECT_DOUBLE_EQ(s.duration(), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean_packet_load(), 0.2);
+  EXPECT_DOUBLE_EQ(s.mean_packet_load_in(), 0.1);
+  EXPECT_DOUBLE_EQ(s.mean_packet_load_out(), 0.1);
+}
+
+TEST(TraceSummary, DurationOverridePinsDenominator) {
+  TraceSummary s;
+  s.OnPacket(MakeRecord(0.0, net::Direction::kClientToServer, 40));
+  s.OnPacket(MakeRecord(1.0, net::Direction::kClientToServer, 40));
+  s.set_duration_override(100.0);
+  EXPECT_DOUBLE_EQ(s.duration(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean_packet_load(), 0.02);
+}
+
+TEST(TraceSummary, BandwidthMatchesBytes) {
+  TraceSummary s(0);
+  s.OnPacket(MakeRecord(0.0, net::Direction::kServerToClient, 125));
+  s.OnPacket(MakeRecord(1.0, net::Direction::kServerToClient, 125));
+  // 125 B over the 1 s span = 1000 bps... both packets count, span = 1 s.
+  EXPECT_DOUBLE_EQ(s.mean_bandwidth_bps(), 2000.0);
+  EXPECT_DOUBLE_EQ(s.mean_bandwidth_out_bps(), 2000.0);
+  EXPECT_DOUBLE_EQ(s.mean_bandwidth_in_bps(), 0.0);
+}
+
+TEST(TraceSummary, HandshakeCounting) {
+  TraceSummary s;
+  // Two attempts from one client; one accepted. One attempt from another,
+  // rejected.
+  s.OnPacket(MakeRecord(0.0, net::Direction::kClientToServer, 44,
+                        net::PacketKind::kConnectRequest, 0x0A000001));
+  s.OnPacket(MakeRecord(0.1, net::Direction::kServerToClient, 32,
+                        net::PacketKind::kConnectReject, 0x0A000001));
+  s.OnPacket(MakeRecord(5.0, net::Direction::kClientToServer, 44,
+                        net::PacketKind::kConnectRequest, 0x0A000001));
+  s.OnPacket(MakeRecord(5.1, net::Direction::kServerToClient, 96,
+                        net::PacketKind::kConnectAccept, 0x0A000001));
+  s.OnPacket(MakeRecord(6.0, net::Direction::kClientToServer, 44,
+                        net::PacketKind::kConnectRequest, 0x0A000002));
+  s.OnPacket(MakeRecord(6.1, net::Direction::kServerToClient, 32,
+                        net::PacketKind::kConnectReject, 0x0A000002));
+  EXPECT_EQ(s.attempted_connections(), 3u);
+  EXPECT_EQ(s.established_connections(), 1u);
+  EXPECT_EQ(s.refused_connections(), 2u);
+  EXPECT_EQ(s.unique_clients_attempting(), 2u);
+  EXPECT_EQ(s.unique_clients_establishing(), 1u);
+}
+
+TEST(TraceSummary, SizeStatsExposeSpread) {
+  TraceSummary s;
+  for (std::uint16_t b : {30, 40, 50}) {
+    s.OnPacket(MakeRecord(0.0, net::Direction::kClientToServer, b));
+  }
+  EXPECT_DOUBLE_EQ(s.size_stats_in().mean(), 40.0);
+  EXPECT_DOUBLE_EQ(s.size_stats_in().min(), 30.0);
+  EXPECT_DOUBLE_EQ(s.size_stats_in().max(), 50.0);
+}
+
+}  // namespace
+}  // namespace gametrace::trace

@@ -1,0 +1,139 @@
+#include "trace/trace_format.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace gametrace::trace {
+namespace {
+
+class TraceFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("gametrace_gtr_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".gtr"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+  net::ServerEndpoint server_;
+};
+
+net::PacketRecord MakeRecord(double t, std::uint16_t bytes,
+                             net::Direction dir = net::Direction::kClientToServer,
+                             net::PacketKind kind = net::PacketKind::kGameUpdate) {
+  net::PacketRecord r;
+  r.timestamp = t;
+  r.client_ip = net::Ipv4Address(10, 7, 8, 9);
+  r.client_port = 31337;
+  r.app_bytes = bytes;
+  r.direction = dir;
+  r.kind = kind;
+  return r;
+}
+
+TEST_F(TraceFormatTest, HeaderRoundTrip) {
+  server_.ip = net::Ipv4Address(172, 16, 5, 5);
+  server_.port = 27016;
+  {
+    TraceWriter writer(path_, server_);
+    writer.Flush();
+  }
+  TraceReader reader(path_);
+  EXPECT_EQ(reader.server().ip, server_.ip);
+  EXPECT_EQ(reader.server().port, server_.port);
+  EXPECT_FALSE(reader.Next().has_value());
+}
+
+TEST_F(TraceFormatTest, RecordRoundTripExact) {
+  const net::PacketRecord original =
+      MakeRecord(12345.678901, 237, net::Direction::kServerToClient, net::PacketKind::kDownload);
+  {
+    TraceWriter writer(path_, server_);
+    writer.OnPacket(original);
+    writer.Flush();
+  }
+  TraceReader reader(path_);
+  const auto read = reader.Next();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, original);  // bit-exact, including the double timestamp
+}
+
+TEST_F(TraceFormatTest, AllKindsAndDirectionsRoundTrip) {
+  {
+    TraceWriter writer(path_, server_);
+    for (int kind = 0; kind <= 6; ++kind) {
+      for (int dir = 0; dir <= 1; ++dir) {
+        writer.OnPacket(MakeRecord(kind + dir * 0.5, static_cast<std::uint16_t>(10 * kind + 1),
+                                   static_cast<net::Direction>(dir),
+                                   static_cast<net::PacketKind>(kind)));
+      }
+    }
+    writer.Flush();
+  }
+  TraceReader reader(path_);
+  const auto records = reader.ReadAll();
+  EXPECT_EQ(records.size(), 14u);
+  for (const auto& r : records) {
+    EXPECT_LE(static_cast<int>(r.kind), 6);
+  }
+}
+
+TEST_F(TraceFormatTest, DrainStreamsIntoSink) {
+  constexpr int kCount = 5000;
+  {
+    TraceWriter writer(path_, server_);
+    for (int i = 0; i < kCount; ++i) {
+      writer.OnPacket(MakeRecord(i * 0.05, static_cast<std::uint16_t>(i % 400)));
+    }
+    writer.Flush();
+    EXPECT_EQ(writer.packets_written(), static_cast<std::uint64_t>(kCount));
+  }
+  TraceReader reader(path_);
+  CountingSink counter;
+  EXPECT_EQ(reader.Drain(counter), static_cast<std::uint64_t>(kCount));
+  EXPECT_EQ(counter.packets(), static_cast<std::uint64_t>(kCount));
+}
+
+TEST_F(TraceFormatTest, BadMagicRejected) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "not a trace file at all";
+  }
+  EXPECT_THROW(TraceReader reader(path_), std::runtime_error);
+}
+
+TEST_F(TraceFormatTest, TruncatedRecordThrows) {
+  {
+    TraceWriter writer(path_, server_);
+    writer.OnPacket(MakeRecord(1.0, 40));
+    writer.Flush();
+  }
+  std::filesystem::resize_file(path_, std::filesystem::file_size(path_) - 5);
+  TraceReader reader(path_);
+  EXPECT_THROW((void)reader.Next(), std::runtime_error);
+}
+
+TEST_F(TraceFormatTest, MissingFileRejected) {
+  EXPECT_THROW(TraceReader("/nonexistent/missing.gtr"), std::runtime_error);
+  EXPECT_THROW(TraceWriter("/nonexistent/missing.gtr", server_), std::runtime_error);
+}
+
+TEST_F(TraceFormatTest, CompactFormatIsTwentyTwoBytesPerRecord) {
+  constexpr int kCount = 100;
+  {
+    TraceWriter writer(path_, server_);
+    for (int i = 0; i < kCount; ++i) writer.OnPacket(MakeRecord(i, 40));
+    writer.Flush();
+  }
+  const auto size = std::filesystem::file_size(path_);
+  EXPECT_EQ(size, 14u + 22u * kCount);  // 14-byte header + 22 B/record
+}
+
+}  // namespace
+}  // namespace gametrace::trace

@@ -1,0 +1,153 @@
+#include "web/web_traffic.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/summary.h"
+
+namespace gametrace::web {
+namespace {
+
+WebConfig FastConfig() {
+  WebConfig cfg;
+  cfg.flow_arrival_rate = 2.0;
+  cfg.mean_transfer_bytes = 50e3;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(WebTraffic, Validation) {
+  sim::Simulator s;
+  trace::CountingSink sink;
+  WebConfig bad = FastConfig();
+  bad.flow_arrival_rate = 0.0;
+  EXPECT_THROW(WebTrafficSource(s, bad, sink), std::invalid_argument);
+  bad = FastConfig();
+  bad.pareto_alpha = 1.0;
+  EXPECT_THROW(WebTrafficSource(s, bad, sink), std::invalid_argument);
+  bad = FastConfig();
+  bad.initial_window = 0;
+  EXPECT_THROW(WebTrafficSource(s, bad, sink), std::invalid_argument);
+  bad = FastConfig();
+  bad.ack_every = 0;
+  EXPECT_THROW(WebTrafficSource(s, bad, sink), std::invalid_argument);
+}
+
+TEST(WebTraffic, FlowsArriveAtConfiguredRate) {
+  sim::Simulator s;
+  trace::CountingSink sink;
+  WebTrafficSource web(s, FastConfig(), sink);
+  web.Start();
+  s.RunUntil(1000.0);
+  // Poisson(2/s * 1000 s) = 2000 +/- ~140.
+  EXPECT_NEAR(static_cast<double>(web.flows_started()), 2000.0, 200.0);
+  EXPECT_GT(web.flows_completed(), web.flows_started() * 9 / 10);
+}
+
+TEST(WebTraffic, SegmentsAreMssSizedAndAcksSmall) {
+  sim::Simulator s;
+  trace::VectorSink sink;
+  WebTrafficSource web(s, FastConfig(), sink);
+  web.Start();
+  s.RunUntil(200.0);
+  ASSERT_GT(sink.records().size(), 100u);
+  for (const auto& r : sink.records()) {
+    if (r.kind == net::PacketKind::kWebData) {
+      EXPECT_EQ(r.app_bytes, 1460);
+      EXPECT_EQ(r.direction, net::Direction::kClientToServer);
+      EXPECT_GT(r.seq, 0u);
+    } else {
+      ASSERT_EQ(r.kind, net::PacketKind::kWebAck);
+      EXPECT_EQ(r.app_bytes, 40);
+      EXPECT_EQ(r.direction, net::Direction::kServerToClient);
+    }
+  }
+}
+
+TEST(WebTraffic, DelayedAckRatio) {
+  sim::Simulator s;
+  trace::CountingSink sink;
+  WebTrafficSource web(s, FastConfig(), sink);
+  web.Start();
+  s.RunUntil(500.0);
+  // One ack per two data segments (plus an occasional final odd ack).
+  const double ratio =
+      static_cast<double>(web.data_packets()) / static_cast<double>(web.ack_packets());
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.1);
+}
+
+TEST(WebTraffic, MeanPacketSizeMatchesBulkTransferProfile) {
+  // The paper's contrast: "average packet sizes of most bi-directional TCP
+  // connections will exceed those for games" - here by an order of
+  // magnitude on the data path.
+  sim::Simulator s;
+  trace::TraceSummary summary;
+  WebTrafficSource web(s, FastConfig(), summary);
+  web.Start();
+  s.RunUntil(500.0);
+  // Bidirectional mean: (1460 * 2 + 40) / 3 ~ 990 B.
+  EXPECT_GT(summary.mean_packet_size(), 700.0);
+  EXPECT_GT(summary.mean_packet_size_in(), 10.0 * 129.5);  // data vs game out
+}
+
+TEST(WebTraffic, SlowStartDoublesPerRttWindow) {
+  // Large flows with near-deterministic size: the first flow's data
+  // segments arrive in per-RTT bursts of 2, 4, 8, ... up to the window cap.
+  sim::Simulator s;
+  trace::VectorSink sink;
+  WebConfig cfg = FastConfig();
+  cfg.flow_arrival_rate = 100.0;  // the first flow starts within ~10 ms
+  cfg.mean_transfer_bytes = 2e6;
+  cfg.pareto_alpha = 50.0;  // tight around the mean
+  cfg.max_transfer_bytes = 2e6;
+  cfg.rtt = 0.100;
+  WebTrafficSource web(s, cfg, sink);
+  web.Start();
+  s.RunUntil(0.9);  // several RTTs of the first flow
+  ASSERT_GT(web.flows_started(), 0u);
+
+  // Take the first flow (earliest data packet's endpoint) and bucket its
+  // segments by RTT round.
+  const auto& records = sink.records();
+  const auto first_data =
+      std::find_if(records.begin(), records.end(), [](const net::PacketRecord& r) {
+        return r.kind == net::PacketKind::kWebData;
+      });
+  ASSERT_NE(first_data, records.end());
+  const auto flow_ip = first_data->client_ip;
+  const auto flow_port = first_data->client_port;
+  const double t0 = first_data->timestamp;
+  std::vector<int> per_round(5, 0);
+  for (const auto& r : records) {
+    if (r.kind != net::PacketKind::kWebData || r.client_ip != flow_ip ||
+        r.client_port != flow_port) {
+      continue;
+    }
+    const auto round = static_cast<std::size_t>((r.timestamp - t0 + 0.02) / cfg.rtt);
+    if (round < per_round.size()) ++per_round[round];
+  }
+  EXPECT_EQ(per_round[0], 2);
+  EXPECT_EQ(per_round[1], 4);
+  EXPECT_EQ(per_round[2], 8);
+  EXPECT_EQ(per_round[3], 16);
+  EXPECT_EQ(per_round[4], 32);  // capped at max_window
+}
+
+TEST(WebTraffic, HeavyTailRespectsTruncation) {
+  sim::Simulator s;
+  trace::CountingSink sink;
+  WebConfig cfg = FastConfig();
+  cfg.max_transfer_bytes = 100e3;
+  WebTrafficSource web(s, cfg, sink);
+  web.Start();
+  s.RunUntil(2000.0);
+  // No flow exceeds the cap: bytes per completed flow bounded.
+  EXPECT_LE(web.data_bytes(),
+            (web.flows_started()) * static_cast<std::uint64_t>(cfg.max_transfer_bytes + 1460));
+}
+
+}  // namespace
+}  // namespace gametrace::web
