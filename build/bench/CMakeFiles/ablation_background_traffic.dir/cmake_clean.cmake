@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_background_traffic.dir/ablation_background_traffic.cc.o"
+  "CMakeFiles/ablation_background_traffic.dir/ablation_background_traffic.cc.o.d"
+  "ablation_background_traffic"
+  "ablation_background_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_background_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

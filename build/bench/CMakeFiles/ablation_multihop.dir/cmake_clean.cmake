@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multihop.dir/ablation_multihop.cc.o"
+  "CMakeFiles/ablation_multihop.dir/ablation_multihop.cc.o.d"
+  "ablation_multihop"
+  "ablation_multihop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

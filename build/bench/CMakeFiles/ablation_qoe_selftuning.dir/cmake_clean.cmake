@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qoe_selftuning.dir/ablation_qoe_selftuning.cc.o"
+  "CMakeFiles/ablation_qoe_selftuning.dir/ablation_qoe_selftuning.cc.o.d"
+  "ablation_qoe_selftuning"
+  "ablation_qoe_selftuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qoe_selftuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

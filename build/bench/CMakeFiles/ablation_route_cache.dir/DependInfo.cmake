@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_route_cache.cc" "bench/CMakeFiles/ablation_route_cache.dir/ablation_route_cache.cc.o" "gcc" "bench/CMakeFiles/ablation_route_cache.dir/ablation_route_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gametrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

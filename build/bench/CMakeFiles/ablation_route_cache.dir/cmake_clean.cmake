@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_route_cache.dir/ablation_route_cache.cc.o"
+  "CMakeFiles/ablation_route_cache.dir/ablation_route_cache.cc.o.d"
+  "ablation_route_cache"
+  "ablation_route_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_route_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tick_sync.dir/ablation_tick_sync.cc.o"
+  "CMakeFiles/ablation_tick_sync.dir/ablation_tick_sync.cc.o.d"
+  "ablation_tick_sync"
+  "ablation_tick_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tick_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_bandwidth_minute.dir/fig01_bandwidth_minute.cc.o"
+  "CMakeFiles/fig01_bandwidth_minute.dir/fig01_bandwidth_minute.cc.o.d"
+  "fig01_bandwidth_minute"
+  "fig01_bandwidth_minute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_bandwidth_minute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_packetload_minute.dir/fig02_packetload_minute.cc.o"
+  "CMakeFiles/fig02_packetload_minute.dir/fig02_packetload_minute.cc.o.d"
+  "fig02_packetload_minute"
+  "fig02_packetload_minute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_packetload_minute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_players.dir/fig03_players.cc.o"
+  "CMakeFiles/fig03_players.dir/fig03_players.cc.o.d"
+  "fig03_players"
+  "fig03_players.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_players.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

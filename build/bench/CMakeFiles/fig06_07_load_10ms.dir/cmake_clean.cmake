@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_07_load_10ms.dir/fig06_07_load_10ms.cc.o"
+  "CMakeFiles/fig06_07_load_10ms.dir/fig06_07_load_10ms.cc.o.d"
+  "fig06_07_load_10ms"
+  "fig06_07_load_10ms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_07_load_10ms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

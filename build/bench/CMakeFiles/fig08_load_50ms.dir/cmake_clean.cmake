@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_load_50ms.dir/fig08_load_50ms.cc.o"
+  "CMakeFiles/fig08_load_50ms.dir/fig08_load_50ms.cc.o.d"
+  "fig08_load_50ms"
+  "fig08_load_50ms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_load_50ms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

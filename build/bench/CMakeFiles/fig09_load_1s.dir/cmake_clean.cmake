@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_load_1s.dir/fig09_load_1s.cc.o"
+  "CMakeFiles/fig09_load_1s.dir/fig09_load_1s.cc.o.d"
+  "fig09_load_1s"
+  "fig09_load_1s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_load_1s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

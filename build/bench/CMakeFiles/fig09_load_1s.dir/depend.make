@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_load_1s.
+# This may be replaced when dependencies are built.

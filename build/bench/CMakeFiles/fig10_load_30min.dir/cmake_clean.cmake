@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_load_30min.dir/fig10_load_30min.cc.o"
+  "CMakeFiles/fig10_load_30min.dir/fig10_load_30min.cc.o.d"
+  "fig10_load_30min"
+  "fig10_load_30min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_load_30min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_packet_size_pdf.dir/fig12_packet_size_pdf.cc.o"
+  "CMakeFiles/fig12_packet_size_pdf.dir/fig12_packet_size_pdf.cc.o.d"
+  "fig12_packet_size_pdf"
+  "fig12_packet_size_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_packet_size_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

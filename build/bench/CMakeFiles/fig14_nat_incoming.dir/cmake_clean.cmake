@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_nat_incoming.dir/fig14_nat_incoming.cc.o"
+  "CMakeFiles/fig14_nat_incoming.dir/fig14_nat_incoming.cc.o.d"
+  "fig14_nat_incoming"
+  "fig14_nat_incoming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_nat_incoming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_nat_outgoing.dir/fig15_nat_outgoing.cc.o"
+  "CMakeFiles/fig15_nat_outgoing.dir/fig15_nat_outgoing.cc.o.d"
+  "fig15_nat_outgoing"
+  "fig15_nat_outgoing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_nat_outgoing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_nat_outgoing.
+# This may be replaced when dependencies are built.

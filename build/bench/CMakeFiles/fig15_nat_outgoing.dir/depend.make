@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_nat_outgoing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_application_info.dir/table3_application_info.cc.o"
+  "CMakeFiles/table3_application_info.dir/table3_application_info.cc.o.d"
+  "table3_application_info"
+  "table3_application_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_application_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

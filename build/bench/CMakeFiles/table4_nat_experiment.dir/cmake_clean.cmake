@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_nat_experiment.dir/table4_nat_experiment.cc.o"
+  "CMakeFiles/table4_nat_experiment.dir/table4_nat_experiment.cc.o.d"
+  "table4_nat_experiment"
+  "table4_nat_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_nat_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

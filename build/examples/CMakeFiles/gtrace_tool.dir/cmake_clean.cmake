@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtrace_tool.dir/gtrace_tool.cpp.o"
+  "CMakeFiles/gtrace_tool.dir/gtrace_tool.cpp.o.d"
+  "gtrace_tool"
+  "gtrace_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtrace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

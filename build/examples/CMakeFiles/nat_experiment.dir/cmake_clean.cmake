@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_experiment.dir/nat_experiment.cpp.o"
+  "CMakeFiles/nat_experiment.dir/nat_experiment.cpp.o.d"
+  "nat_experiment"
+  "nat_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

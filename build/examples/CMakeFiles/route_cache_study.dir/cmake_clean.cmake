@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_cache_study.dir/route_cache_study.cpp.o"
+  "CMakeFiles/route_cache_study.dir/route_cache_study.cpp.o.d"
+  "route_cache_study"
+  "route_cache_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_cache_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cc" "src/CMakeFiles/gametrace_core.dir/core/aggregate.cc.o" "gcc" "src/CMakeFiles/gametrace_core.dir/core/aggregate.cc.o.d"
+  "/root/repo/src/core/characterizer.cc" "src/CMakeFiles/gametrace_core.dir/core/characterizer.cc.o" "gcc" "src/CMakeFiles/gametrace_core.dir/core/characterizer.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/gametrace_core.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/gametrace_core.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/provisioning.cc" "src/CMakeFiles/gametrace_core.dir/core/provisioning.cc.o" "gcc" "src/CMakeFiles/gametrace_core.dir/core/provisioning.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/gametrace_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/gametrace_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/traffic_model.cc" "src/CMakeFiles/gametrace_core.dir/core/traffic_model.cc.o" "gcc" "src/CMakeFiles/gametrace_core.dir/core/traffic_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gametrace_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_router.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

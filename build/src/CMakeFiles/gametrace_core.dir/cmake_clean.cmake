@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gametrace_core.dir/core/aggregate.cc.o"
+  "CMakeFiles/gametrace_core.dir/core/aggregate.cc.o.d"
+  "CMakeFiles/gametrace_core.dir/core/characterizer.cc.o"
+  "CMakeFiles/gametrace_core.dir/core/characterizer.cc.o.d"
+  "CMakeFiles/gametrace_core.dir/core/experiment.cc.o"
+  "CMakeFiles/gametrace_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/gametrace_core.dir/core/provisioning.cc.o"
+  "CMakeFiles/gametrace_core.dir/core/provisioning.cc.o.d"
+  "CMakeFiles/gametrace_core.dir/core/report.cc.o"
+  "CMakeFiles/gametrace_core.dir/core/report.cc.o.d"
+  "CMakeFiles/gametrace_core.dir/core/traffic_model.cc.o"
+  "CMakeFiles/gametrace_core.dir/core/traffic_model.cc.o.d"
+  "libgametrace_core.a"
+  "libgametrace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gametrace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/client.cc" "src/CMakeFiles/gametrace_game.dir/game/client.cc.o" "gcc" "src/CMakeFiles/gametrace_game.dir/game/client.cc.o.d"
+  "/root/repo/src/game/config.cc" "src/CMakeFiles/gametrace_game.dir/game/config.cc.o" "gcc" "src/CMakeFiles/gametrace_game.dir/game/config.cc.o.d"
+  "/root/repo/src/game/cs_server.cc" "src/CMakeFiles/gametrace_game.dir/game/cs_server.cc.o" "gcc" "src/CMakeFiles/gametrace_game.dir/game/cs_server.cc.o.d"
+  "/root/repo/src/game/download.cc" "src/CMakeFiles/gametrace_game.dir/game/download.cc.o" "gcc" "src/CMakeFiles/gametrace_game.dir/game/download.cc.o.d"
+  "/root/repo/src/game/game_log.cc" "src/CMakeFiles/gametrace_game.dir/game/game_log.cc.o" "gcc" "src/CMakeFiles/gametrace_game.dir/game/game_log.cc.o.d"
+  "/root/repo/src/game/map_rotation.cc" "src/CMakeFiles/gametrace_game.dir/game/map_rotation.cc.o" "gcc" "src/CMakeFiles/gametrace_game.dir/game/map_rotation.cc.o.d"
+  "/root/repo/src/game/outage.cc" "src/CMakeFiles/gametrace_game.dir/game/outage.cc.o" "gcc" "src/CMakeFiles/gametrace_game.dir/game/outage.cc.o.d"
+  "/root/repo/src/game/packet_size_model.cc" "src/CMakeFiles/gametrace_game.dir/game/packet_size_model.cc.o" "gcc" "src/CMakeFiles/gametrace_game.dir/game/packet_size_model.cc.o.d"
+  "/root/repo/src/game/qoe.cc" "src/CMakeFiles/gametrace_game.dir/game/qoe.cc.o" "gcc" "src/CMakeFiles/gametrace_game.dir/game/qoe.cc.o.d"
+  "/root/repo/src/game/server_tick.cc" "src/CMakeFiles/gametrace_game.dir/game/server_tick.cc.o" "gcc" "src/CMakeFiles/gametrace_game.dir/game/server_tick.cc.o.d"
+  "/root/repo/src/game/session_model.cc" "src/CMakeFiles/gametrace_game.dir/game/session_model.cc.o" "gcc" "src/CMakeFiles/gametrace_game.dir/game/session_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gametrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gametrace_game.dir/game/client.cc.o"
+  "CMakeFiles/gametrace_game.dir/game/client.cc.o.d"
+  "CMakeFiles/gametrace_game.dir/game/config.cc.o"
+  "CMakeFiles/gametrace_game.dir/game/config.cc.o.d"
+  "CMakeFiles/gametrace_game.dir/game/cs_server.cc.o"
+  "CMakeFiles/gametrace_game.dir/game/cs_server.cc.o.d"
+  "CMakeFiles/gametrace_game.dir/game/download.cc.o"
+  "CMakeFiles/gametrace_game.dir/game/download.cc.o.d"
+  "CMakeFiles/gametrace_game.dir/game/game_log.cc.o"
+  "CMakeFiles/gametrace_game.dir/game/game_log.cc.o.d"
+  "CMakeFiles/gametrace_game.dir/game/map_rotation.cc.o"
+  "CMakeFiles/gametrace_game.dir/game/map_rotation.cc.o.d"
+  "CMakeFiles/gametrace_game.dir/game/outage.cc.o"
+  "CMakeFiles/gametrace_game.dir/game/outage.cc.o.d"
+  "CMakeFiles/gametrace_game.dir/game/packet_size_model.cc.o"
+  "CMakeFiles/gametrace_game.dir/game/packet_size_model.cc.o.d"
+  "CMakeFiles/gametrace_game.dir/game/qoe.cc.o"
+  "CMakeFiles/gametrace_game.dir/game/qoe.cc.o.d"
+  "CMakeFiles/gametrace_game.dir/game/server_tick.cc.o"
+  "CMakeFiles/gametrace_game.dir/game/server_tick.cc.o.d"
+  "CMakeFiles/gametrace_game.dir/game/session_model.cc.o"
+  "CMakeFiles/gametrace_game.dir/game/session_model.cc.o.d"
+  "libgametrace_game.a"
+  "libgametrace_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gametrace_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/flow.cc" "src/CMakeFiles/gametrace_net.dir/net/flow.cc.o" "gcc" "src/CMakeFiles/gametrace_net.dir/net/flow.cc.o.d"
+  "/root/repo/src/net/game_payload.cc" "src/CMakeFiles/gametrace_net.dir/net/game_payload.cc.o" "gcc" "src/CMakeFiles/gametrace_net.dir/net/game_payload.cc.o.d"
+  "/root/repo/src/net/headers.cc" "src/CMakeFiles/gametrace_net.dir/net/headers.cc.o" "gcc" "src/CMakeFiles/gametrace_net.dir/net/headers.cc.o.d"
+  "/root/repo/src/net/ip.cc" "src/CMakeFiles/gametrace_net.dir/net/ip.cc.o" "gcc" "src/CMakeFiles/gametrace_net.dir/net/ip.cc.o.d"
+  "/root/repo/src/net/pcap.cc" "src/CMakeFiles/gametrace_net.dir/net/pcap.cc.o" "gcc" "src/CMakeFiles/gametrace_net.dir/net/pcap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gametrace_net.dir/net/flow.cc.o"
+  "CMakeFiles/gametrace_net.dir/net/flow.cc.o.d"
+  "CMakeFiles/gametrace_net.dir/net/game_payload.cc.o"
+  "CMakeFiles/gametrace_net.dir/net/game_payload.cc.o.d"
+  "CMakeFiles/gametrace_net.dir/net/headers.cc.o"
+  "CMakeFiles/gametrace_net.dir/net/headers.cc.o.d"
+  "CMakeFiles/gametrace_net.dir/net/ip.cc.o"
+  "CMakeFiles/gametrace_net.dir/net/ip.cc.o.d"
+  "CMakeFiles/gametrace_net.dir/net/pcap.cc.o"
+  "CMakeFiles/gametrace_net.dir/net/pcap.cc.o.d"
+  "libgametrace_net.a"
+  "libgametrace_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gametrace_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

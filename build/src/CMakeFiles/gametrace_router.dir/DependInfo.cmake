@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/router/device_stats.cc" "src/CMakeFiles/gametrace_router.dir/router/device_stats.cc.o" "gcc" "src/CMakeFiles/gametrace_router.dir/router/device_stats.cc.o.d"
+  "/root/repo/src/router/fifo_queue.cc" "src/CMakeFiles/gametrace_router.dir/router/fifo_queue.cc.o" "gcc" "src/CMakeFiles/gametrace_router.dir/router/fifo_queue.cc.o.d"
+  "/root/repo/src/router/link.cc" "src/CMakeFiles/gametrace_router.dir/router/link.cc.o" "gcc" "src/CMakeFiles/gametrace_router.dir/router/link.cc.o.d"
+  "/root/repo/src/router/lookup_engine.cc" "src/CMakeFiles/gametrace_router.dir/router/lookup_engine.cc.o" "gcc" "src/CMakeFiles/gametrace_router.dir/router/lookup_engine.cc.o.d"
+  "/root/repo/src/router/nat_device.cc" "src/CMakeFiles/gametrace_router.dir/router/nat_device.cc.o" "gcc" "src/CMakeFiles/gametrace_router.dir/router/nat_device.cc.o.d"
+  "/root/repo/src/router/route_cache.cc" "src/CMakeFiles/gametrace_router.dir/router/route_cache.cc.o" "gcc" "src/CMakeFiles/gametrace_router.dir/router/route_cache.cc.o.d"
+  "/root/repo/src/router/routing_table.cc" "src/CMakeFiles/gametrace_router.dir/router/routing_table.cc.o" "gcc" "src/CMakeFiles/gametrace_router.dir/router/routing_table.cc.o.d"
+  "/root/repo/src/router/topology.cc" "src/CMakeFiles/gametrace_router.dir/router/topology.cc.o" "gcc" "src/CMakeFiles/gametrace_router.dir/router/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gametrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gametrace_router.dir/router/device_stats.cc.o"
+  "CMakeFiles/gametrace_router.dir/router/device_stats.cc.o.d"
+  "CMakeFiles/gametrace_router.dir/router/fifo_queue.cc.o"
+  "CMakeFiles/gametrace_router.dir/router/fifo_queue.cc.o.d"
+  "CMakeFiles/gametrace_router.dir/router/link.cc.o"
+  "CMakeFiles/gametrace_router.dir/router/link.cc.o.d"
+  "CMakeFiles/gametrace_router.dir/router/lookup_engine.cc.o"
+  "CMakeFiles/gametrace_router.dir/router/lookup_engine.cc.o.d"
+  "CMakeFiles/gametrace_router.dir/router/nat_device.cc.o"
+  "CMakeFiles/gametrace_router.dir/router/nat_device.cc.o.d"
+  "CMakeFiles/gametrace_router.dir/router/route_cache.cc.o"
+  "CMakeFiles/gametrace_router.dir/router/route_cache.cc.o.d"
+  "CMakeFiles/gametrace_router.dir/router/routing_table.cc.o"
+  "CMakeFiles/gametrace_router.dir/router/routing_table.cc.o.d"
+  "CMakeFiles/gametrace_router.dir/router/topology.cc.o"
+  "CMakeFiles/gametrace_router.dir/router/topology.cc.o.d"
+  "libgametrace_router.a"
+  "libgametrace_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gametrace_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

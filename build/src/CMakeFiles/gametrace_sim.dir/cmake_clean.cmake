@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gametrace_sim.dir/sim/diurnal.cc.o"
+  "CMakeFiles/gametrace_sim.dir/sim/diurnal.cc.o.d"
+  "CMakeFiles/gametrace_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/gametrace_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/gametrace_sim.dir/sim/random.cc.o"
+  "CMakeFiles/gametrace_sim.dir/sim/random.cc.o.d"
+  "CMakeFiles/gametrace_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/gametrace_sim.dir/sim/rng.cc.o.d"
+  "CMakeFiles/gametrace_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/gametrace_sim.dir/sim/simulator.cc.o.d"
+  "libgametrace_sim.a"
+  "libgametrace_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gametrace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorrelation.cc" "src/CMakeFiles/gametrace_stats.dir/stats/autocorrelation.cc.o" "gcc" "src/CMakeFiles/gametrace_stats.dir/stats/autocorrelation.cc.o.d"
+  "/root/repo/src/stats/empirical_distribution.cc" "src/CMakeFiles/gametrace_stats.dir/stats/empirical_distribution.cc.o" "gcc" "src/CMakeFiles/gametrace_stats.dir/stats/empirical_distribution.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/gametrace_stats.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/gametrace_stats.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/linear_regression.cc" "src/CMakeFiles/gametrace_stats.dir/stats/linear_regression.cc.o" "gcc" "src/CMakeFiles/gametrace_stats.dir/stats/linear_regression.cc.o.d"
+  "/root/repo/src/stats/quantile.cc" "src/CMakeFiles/gametrace_stats.dir/stats/quantile.cc.o" "gcc" "src/CMakeFiles/gametrace_stats.dir/stats/quantile.cc.o.d"
+  "/root/repo/src/stats/rs_hurst.cc" "src/CMakeFiles/gametrace_stats.dir/stats/rs_hurst.cc.o" "gcc" "src/CMakeFiles/gametrace_stats.dir/stats/rs_hurst.cc.o.d"
+  "/root/repo/src/stats/running_stats.cc" "src/CMakeFiles/gametrace_stats.dir/stats/running_stats.cc.o" "gcc" "src/CMakeFiles/gametrace_stats.dir/stats/running_stats.cc.o.d"
+  "/root/repo/src/stats/time_series.cc" "src/CMakeFiles/gametrace_stats.dir/stats/time_series.cc.o" "gcc" "src/CMakeFiles/gametrace_stats.dir/stats/time_series.cc.o.d"
+  "/root/repo/src/stats/variance_time.cc" "src/CMakeFiles/gametrace_stats.dir/stats/variance_time.cc.o" "gcc" "src/CMakeFiles/gametrace_stats.dir/stats/variance_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gametrace_stats.dir/stats/autocorrelation.cc.o"
+  "CMakeFiles/gametrace_stats.dir/stats/autocorrelation.cc.o.d"
+  "CMakeFiles/gametrace_stats.dir/stats/empirical_distribution.cc.o"
+  "CMakeFiles/gametrace_stats.dir/stats/empirical_distribution.cc.o.d"
+  "CMakeFiles/gametrace_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/gametrace_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/gametrace_stats.dir/stats/linear_regression.cc.o"
+  "CMakeFiles/gametrace_stats.dir/stats/linear_regression.cc.o.d"
+  "CMakeFiles/gametrace_stats.dir/stats/quantile.cc.o"
+  "CMakeFiles/gametrace_stats.dir/stats/quantile.cc.o.d"
+  "CMakeFiles/gametrace_stats.dir/stats/rs_hurst.cc.o"
+  "CMakeFiles/gametrace_stats.dir/stats/rs_hurst.cc.o.d"
+  "CMakeFiles/gametrace_stats.dir/stats/running_stats.cc.o"
+  "CMakeFiles/gametrace_stats.dir/stats/running_stats.cc.o.d"
+  "CMakeFiles/gametrace_stats.dir/stats/time_series.cc.o"
+  "CMakeFiles/gametrace_stats.dir/stats/time_series.cc.o.d"
+  "CMakeFiles/gametrace_stats.dir/stats/variance_time.cc.o"
+  "CMakeFiles/gametrace_stats.dir/stats/variance_time.cc.o.d"
+  "libgametrace_stats.a"
+  "libgametrace_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gametrace_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

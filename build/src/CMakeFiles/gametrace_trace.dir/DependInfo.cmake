@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/aggregator.cc" "src/CMakeFiles/gametrace_trace.dir/trace/aggregator.cc.o" "gcc" "src/CMakeFiles/gametrace_trace.dir/trace/aggregator.cc.o.d"
+  "/root/repo/src/trace/capture.cc" "src/CMakeFiles/gametrace_trace.dir/trace/capture.cc.o" "gcc" "src/CMakeFiles/gametrace_trace.dir/trace/capture.cc.o.d"
+  "/root/repo/src/trace/filter.cc" "src/CMakeFiles/gametrace_trace.dir/trace/filter.cc.o" "gcc" "src/CMakeFiles/gametrace_trace.dir/trace/filter.cc.o.d"
+  "/root/repo/src/trace/loss_estimator.cc" "src/CMakeFiles/gametrace_trace.dir/trace/loss_estimator.cc.o" "gcc" "src/CMakeFiles/gametrace_trace.dir/trace/loss_estimator.cc.o.d"
+  "/root/repo/src/trace/session_tracker.cc" "src/CMakeFiles/gametrace_trace.dir/trace/session_tracker.cc.o" "gcc" "src/CMakeFiles/gametrace_trace.dir/trace/session_tracker.cc.o.d"
+  "/root/repo/src/trace/summary.cc" "src/CMakeFiles/gametrace_trace.dir/trace/summary.cc.o" "gcc" "src/CMakeFiles/gametrace_trace.dir/trace/summary.cc.o.d"
+  "/root/repo/src/trace/trace_format.cc" "src/CMakeFiles/gametrace_trace.dir/trace/trace_format.cc.o" "gcc" "src/CMakeFiles/gametrace_trace.dir/trace/trace_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gametrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gametrace_trace.dir/trace/aggregator.cc.o"
+  "CMakeFiles/gametrace_trace.dir/trace/aggregator.cc.o.d"
+  "CMakeFiles/gametrace_trace.dir/trace/capture.cc.o"
+  "CMakeFiles/gametrace_trace.dir/trace/capture.cc.o.d"
+  "CMakeFiles/gametrace_trace.dir/trace/filter.cc.o"
+  "CMakeFiles/gametrace_trace.dir/trace/filter.cc.o.d"
+  "CMakeFiles/gametrace_trace.dir/trace/loss_estimator.cc.o"
+  "CMakeFiles/gametrace_trace.dir/trace/loss_estimator.cc.o.d"
+  "CMakeFiles/gametrace_trace.dir/trace/session_tracker.cc.o"
+  "CMakeFiles/gametrace_trace.dir/trace/session_tracker.cc.o.d"
+  "CMakeFiles/gametrace_trace.dir/trace/summary.cc.o"
+  "CMakeFiles/gametrace_trace.dir/trace/summary.cc.o.d"
+  "CMakeFiles/gametrace_trace.dir/trace/trace_format.cc.o"
+  "CMakeFiles/gametrace_trace.dir/trace/trace_format.cc.o.d"
+  "libgametrace_trace.a"
+  "libgametrace_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gametrace_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gametrace_web.dir/web/web_traffic.cc.o"
+  "CMakeFiles/gametrace_web.dir/web/web_traffic.cc.o.d"
+  "libgametrace_web.a"
+  "libgametrace_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gametrace_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/game/client_test.cc" "tests/CMakeFiles/game_test.dir/game/client_test.cc.o" "gcc" "tests/CMakeFiles/game_test.dir/game/client_test.cc.o.d"
+  "/root/repo/tests/game/cs_server_listener_test.cc" "tests/CMakeFiles/game_test.dir/game/cs_server_listener_test.cc.o" "gcc" "tests/CMakeFiles/game_test.dir/game/cs_server_listener_test.cc.o.d"
+  "/root/repo/tests/game/cs_server_test.cc" "tests/CMakeFiles/game_test.dir/game/cs_server_test.cc.o" "gcc" "tests/CMakeFiles/game_test.dir/game/cs_server_test.cc.o.d"
+  "/root/repo/tests/game/download_test.cc" "tests/CMakeFiles/game_test.dir/game/download_test.cc.o" "gcc" "tests/CMakeFiles/game_test.dir/game/download_test.cc.o.d"
+  "/root/repo/tests/game/game_log_test.cc" "tests/CMakeFiles/game_test.dir/game/game_log_test.cc.o" "gcc" "tests/CMakeFiles/game_test.dir/game/game_log_test.cc.o.d"
+  "/root/repo/tests/game/map_rotation_test.cc" "tests/CMakeFiles/game_test.dir/game/map_rotation_test.cc.o" "gcc" "tests/CMakeFiles/game_test.dir/game/map_rotation_test.cc.o.d"
+  "/root/repo/tests/game/outage_test.cc" "tests/CMakeFiles/game_test.dir/game/outage_test.cc.o" "gcc" "tests/CMakeFiles/game_test.dir/game/outage_test.cc.o.d"
+  "/root/repo/tests/game/packet_size_model_test.cc" "tests/CMakeFiles/game_test.dir/game/packet_size_model_test.cc.o" "gcc" "tests/CMakeFiles/game_test.dir/game/packet_size_model_test.cc.o.d"
+  "/root/repo/tests/game/qoe_test.cc" "tests/CMakeFiles/game_test.dir/game/qoe_test.cc.o" "gcc" "tests/CMakeFiles/game_test.dir/game/qoe_test.cc.o.d"
+  "/root/repo/tests/game/server_tick_test.cc" "tests/CMakeFiles/game_test.dir/game/server_tick_test.cc.o" "gcc" "tests/CMakeFiles/game_test.dir/game/server_tick_test.cc.o.d"
+  "/root/repo/tests/game/session_model_test.cc" "tests/CMakeFiles/game_test.dir/game/session_model_test.cc.o" "gcc" "tests/CMakeFiles/game_test.dir/game/session_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gametrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

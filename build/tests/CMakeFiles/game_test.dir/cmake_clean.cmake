@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_test.dir/game/client_test.cc.o"
+  "CMakeFiles/game_test.dir/game/client_test.cc.o.d"
+  "CMakeFiles/game_test.dir/game/cs_server_listener_test.cc.o"
+  "CMakeFiles/game_test.dir/game/cs_server_listener_test.cc.o.d"
+  "CMakeFiles/game_test.dir/game/cs_server_test.cc.o"
+  "CMakeFiles/game_test.dir/game/cs_server_test.cc.o.d"
+  "CMakeFiles/game_test.dir/game/download_test.cc.o"
+  "CMakeFiles/game_test.dir/game/download_test.cc.o.d"
+  "CMakeFiles/game_test.dir/game/game_log_test.cc.o"
+  "CMakeFiles/game_test.dir/game/game_log_test.cc.o.d"
+  "CMakeFiles/game_test.dir/game/map_rotation_test.cc.o"
+  "CMakeFiles/game_test.dir/game/map_rotation_test.cc.o.d"
+  "CMakeFiles/game_test.dir/game/outage_test.cc.o"
+  "CMakeFiles/game_test.dir/game/outage_test.cc.o.d"
+  "CMakeFiles/game_test.dir/game/packet_size_model_test.cc.o"
+  "CMakeFiles/game_test.dir/game/packet_size_model_test.cc.o.d"
+  "CMakeFiles/game_test.dir/game/qoe_test.cc.o"
+  "CMakeFiles/game_test.dir/game/qoe_test.cc.o.d"
+  "CMakeFiles/game_test.dir/game/server_tick_test.cc.o"
+  "CMakeFiles/game_test.dir/game/server_tick_test.cc.o.d"
+  "CMakeFiles/game_test.dir/game/session_model_test.cc.o"
+  "CMakeFiles/game_test.dir/game/session_model_test.cc.o.d"
+  "game_test"
+  "game_test.pdb"
+  "game_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

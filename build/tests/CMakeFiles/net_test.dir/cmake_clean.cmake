@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/net/flow_test.cc.o"
+  "CMakeFiles/net_test.dir/net/flow_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/game_payload_test.cc.o"
+  "CMakeFiles/net_test.dir/net/game_payload_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/headers_test.cc.o"
+  "CMakeFiles/net_test.dir/net/headers_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/ip_test.cc.o"
+  "CMakeFiles/net_test.dir/net/ip_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/pcap_test.cc.o"
+  "CMakeFiles/net_test.dir/net/pcap_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/units_test.cc.o"
+  "CMakeFiles/net_test.dir/net/units_test.cc.o.d"
+  "net_test"
+  "net_test.pdb"
+  "net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

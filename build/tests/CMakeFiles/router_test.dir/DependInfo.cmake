@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/router/device_stats_test.cc" "tests/CMakeFiles/router_test.dir/router/device_stats_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/device_stats_test.cc.o.d"
+  "/root/repo/tests/router/fifo_queue_test.cc" "tests/CMakeFiles/router_test.dir/router/fifo_queue_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/fifo_queue_test.cc.o.d"
+  "/root/repo/tests/router/link_test.cc" "tests/CMakeFiles/router_test.dir/router/link_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/link_test.cc.o.d"
+  "/root/repo/tests/router/lookup_engine_test.cc" "tests/CMakeFiles/router_test.dir/router/lookup_engine_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/lookup_engine_test.cc.o.d"
+  "/root/repo/tests/router/nat_device_test.cc" "tests/CMakeFiles/router_test.dir/router/nat_device_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/nat_device_test.cc.o.d"
+  "/root/repo/tests/router/route_cache_test.cc" "tests/CMakeFiles/router_test.dir/router/route_cache_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/route_cache_test.cc.o.d"
+  "/root/repo/tests/router/routing_table_test.cc" "tests/CMakeFiles/router_test.dir/router/routing_table_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/routing_table_test.cc.o.d"
+  "/root/repo/tests/router/topology_test.cc" "tests/CMakeFiles/router_test.dir/router/topology_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/topology_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gametrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

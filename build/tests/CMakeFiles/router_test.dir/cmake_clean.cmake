@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_test.dir/router/device_stats_test.cc.o"
+  "CMakeFiles/router_test.dir/router/device_stats_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/fifo_queue_test.cc.o"
+  "CMakeFiles/router_test.dir/router/fifo_queue_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/link_test.cc.o"
+  "CMakeFiles/router_test.dir/router/link_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/lookup_engine_test.cc.o"
+  "CMakeFiles/router_test.dir/router/lookup_engine_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/nat_device_test.cc.o"
+  "CMakeFiles/router_test.dir/router/nat_device_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/route_cache_test.cc.o"
+  "CMakeFiles/router_test.dir/router/route_cache_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/routing_table_test.cc.o"
+  "CMakeFiles/router_test.dir/router/routing_table_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/topology_test.cc.o"
+  "CMakeFiles/router_test.dir/router/topology_test.cc.o.d"
+  "router_test"
+  "router_test.pdb"
+  "router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

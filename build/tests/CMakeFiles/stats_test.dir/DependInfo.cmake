@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/autocorrelation_test.cc" "tests/CMakeFiles/stats_test.dir/stats/autocorrelation_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/autocorrelation_test.cc.o.d"
+  "/root/repo/tests/stats/empirical_distribution_test.cc" "tests/CMakeFiles/stats_test.dir/stats/empirical_distribution_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/empirical_distribution_test.cc.o.d"
+  "/root/repo/tests/stats/histogram_test.cc" "tests/CMakeFiles/stats_test.dir/stats/histogram_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/histogram_test.cc.o.d"
+  "/root/repo/tests/stats/linear_regression_test.cc" "tests/CMakeFiles/stats_test.dir/stats/linear_regression_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/linear_regression_test.cc.o.d"
+  "/root/repo/tests/stats/quantile_test.cc" "tests/CMakeFiles/stats_test.dir/stats/quantile_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/quantile_test.cc.o.d"
+  "/root/repo/tests/stats/rs_hurst_test.cc" "tests/CMakeFiles/stats_test.dir/stats/rs_hurst_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/rs_hurst_test.cc.o.d"
+  "/root/repo/tests/stats/running_stats_test.cc" "tests/CMakeFiles/stats_test.dir/stats/running_stats_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/running_stats_test.cc.o.d"
+  "/root/repo/tests/stats/time_series_test.cc" "tests/CMakeFiles/stats_test.dir/stats/time_series_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/time_series_test.cc.o.d"
+  "/root/repo/tests/stats/variance_time_test.cc" "tests/CMakeFiles/stats_test.dir/stats/variance_time_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/variance_time_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gametrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

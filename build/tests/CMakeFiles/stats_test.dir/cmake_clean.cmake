@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test.dir/stats/autocorrelation_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/autocorrelation_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/empirical_distribution_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/empirical_distribution_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/histogram_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/histogram_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/linear_regression_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/linear_regression_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/quantile_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/quantile_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/rs_hurst_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/rs_hurst_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/running_stats_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/running_stats_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/time_series_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/time_series_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/variance_time_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/variance_time_test.cc.o.d"
+  "stats_test"
+  "stats_test.pdb"
+  "stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

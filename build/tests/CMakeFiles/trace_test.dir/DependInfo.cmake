@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/aggregator_test.cc" "tests/CMakeFiles/trace_test.dir/trace/aggregator_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/aggregator_test.cc.o.d"
+  "/root/repo/tests/trace/capture_test.cc" "tests/CMakeFiles/trace_test.dir/trace/capture_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/capture_test.cc.o.d"
+  "/root/repo/tests/trace/filter_test.cc" "tests/CMakeFiles/trace_test.dir/trace/filter_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/filter_test.cc.o.d"
+  "/root/repo/tests/trace/loss_estimator_test.cc" "tests/CMakeFiles/trace_test.dir/trace/loss_estimator_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/loss_estimator_test.cc.o.d"
+  "/root/repo/tests/trace/session_tracker_test.cc" "tests/CMakeFiles/trace_test.dir/trace/session_tracker_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/session_tracker_test.cc.o.d"
+  "/root/repo/tests/trace/summary_test.cc" "tests/CMakeFiles/trace_test.dir/trace/summary_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/summary_test.cc.o.d"
+  "/root/repo/tests/trace/trace_format_test.cc" "tests/CMakeFiles/trace_test.dir/trace/trace_format_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/trace_format_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gametrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gametrace_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

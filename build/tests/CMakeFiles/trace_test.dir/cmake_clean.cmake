@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_test.dir/trace/aggregator_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/aggregator_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/capture_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/capture_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/filter_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/filter_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/loss_estimator_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/loss_estimator_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/session_tracker_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/session_tracker_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/summary_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/summary_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/trace_format_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/trace_format_test.cc.o.d"
+  "trace_test"
+  "trace_test.pdb"
+  "trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
