@@ -10,6 +10,7 @@
 #include "common.h"
 
 #include "core/aggregate.h"
+#include "core/fleet.h"
 
 int main() {
   using namespace gametrace;
@@ -19,6 +20,9 @@ int main() {
 
   core::PopulationConfig cfg;
   cfg.duration = scale.duration;
+  cfg.threads = 0;  // fan the 16 servers across all cores; result is bit-identical
+  std::cout << "  workers: " << core::ResolveWorkerCount(cfg.servers, cfg.threads) << " threads over "
+            << cfg.servers << " servers\n";
 
   cfg.modulate_interest = true;
   const auto heavy = core::SimulateAggregatePopulation(cfg);

@@ -1,9 +1,19 @@
 // Micro-benchmarks (google-benchmark) of the hot paths: workload
-// generation, stream analysis, trie lookup and route-cache access.
+// generation, stream analysis, fleet shard scaling, trie lookup and
+// route-cache access. Also emits BENCH_fleet.json (packets/sec per worker
+// count) so the perf trajectory of the sharded engine is machine-readable.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
 
 #include "core/characterizer.h"
 #include "core/experiment.h"
+#include "core/fleet.h"
 #include "game/config.h"
 #include "router/route_cache.h"
 #include "router/routing_table.h"
@@ -11,10 +21,43 @@
 #include "stats/variance_time.h"
 #include "trace/aggregator.h"
 #include "trace/capture.h"
+#include "trace/trace_format.h"
 
 namespace {
 
 using namespace gametrace;
+
+// Generates the calibrated capture once into a compact .gtr spool file;
+// analysis benchmarks then stream records from disk per iteration in O(1)
+// memory. (A VectorSink would materialise the whole capture - tens of GB
+// of records at GAMETRACE_FULL scale.)
+class SpooledCapture {
+ public:
+  explicit SpooledCapture(double duration)
+      : path_((std::filesystem::temp_directory_path() / "gametrace_perf_micro.gtr").string()) {
+    auto cfg = game::GameConfig::ScaledDefaults(duration);
+    trace::TraceWriter writer(path_, cfg.server);
+    core::RunServerTrace(cfg, writer);
+    writer.Flush();
+    packets_ = writer.packets_written();
+  }
+  ~SpooledCapture() { std::remove(path_.c_str()); }
+
+  std::uint64_t DrainInto(trace::CaptureSink& sink) const {
+    trace::TraceReader reader(path_);
+    return reader.Drain(sink);
+  }
+  [[nodiscard]] std::uint64_t packets() const noexcept { return packets_; }
+
+ private:
+  std::string path_;
+  std::uint64_t packets_ = 0;
+};
+
+const SpooledCapture& SharedCapture() {
+  static const SpooledCapture capture(60.0);
+  return capture;
+}
 
 // End-to-end workload generation throughput (packets simulated per second
 // of wall clock).
@@ -33,36 +76,47 @@ void BM_WorkloadGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadGeneration)->Arg(60)->Arg(300)->Unit(benchmark::kMillisecond);
 
-// Full analysis pipeline cost per packet.
+// Full analysis pipeline cost per packet, streamed from the spool file.
 void BM_CharacterizerPipeline(benchmark::State& state) {
-  auto cfg = game::GameConfig::ScaledDefaults(60.0);
-  trace::VectorSink capture;
-  core::RunServerTrace(cfg, capture);
-  const auto& records = capture.records();
+  const auto& capture = SharedCapture();
   for (auto _ : state) {
     core::Characterizer characterizer;
-    for (const auto& r : records) characterizer.OnPacket(r);
+    capture.DrainInto(characterizer);
     auto report = characterizer.Finish(60.0);
     benchmark::DoNotOptimize(report.summary.total_packets());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(records.size()) * state.iterations());
+  state.SetItemsProcessed(static_cast<std::int64_t>(capture.packets()) * state.iterations());
 }
 BENCHMARK(BM_CharacterizerPipeline)->Unit(benchmark::kMillisecond);
 
 // Just the binning aggregator (the per-packet hot path of Figures 1-10).
 void BM_LoadAggregator(benchmark::State& state) {
-  auto cfg = game::GameConfig::ScaledDefaults(60.0);
-  trace::VectorSink capture;
-  core::RunServerTrace(cfg, capture);
-  const auto& records = capture.records();
+  const auto& capture = SharedCapture();
   for (auto _ : state) {
     trace::LoadAggregator agg(0.010);
-    for (const auto& r : records) agg.OnPacket(r);
+    capture.DrainInto(agg);
     benchmark::DoNotOptimize(agg.packets_in().size());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(records.size()) * state.iterations());
+  state.SetItemsProcessed(static_cast<std::int64_t>(capture.packets()) * state.iterations());
 }
 BENCHMARK(BM_LoadAggregator)->Unit(benchmark::kMillisecond);
+
+// Sharded fleet engine: end-to-end packets/sec at 1/2/4/8 workers. The
+// merged report is bit-identical across the sweep; only wall clock moves.
+void BM_FleetEngine(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    auto config = core::FleetConfig::Scaled(8, 30.0);
+    config.threads = workers;
+    const auto result = core::RunFleet(config);
+    packets += result.total_packets;
+    benchmark::DoNotOptimize(result.report.summary.total_packets());
+  }
+  state.counters["packets/s"] =
+      benchmark::Counter(static_cast<double>(packets), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetEngine)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 // Variance-time computation over a day of 10 ms bins.
 void BM_VarianceTime(benchmark::State& state) {
@@ -124,6 +178,54 @@ void BM_NatExperiment(benchmark::State& state) {
 }
 BENCHMARK(BM_NatExperiment)->Unit(benchmark::kMillisecond);
 
+// Shard-scaling sweep written to BENCH_fleet.json: wall-clock packets/sec
+// for the same 8-shard fleet at 1/2/4/8 worker threads. Machine-readable so
+// CI can track the parallel-efficiency trajectory.
+void WriteFleetScalingJson(const std::string& path) {
+  const auto scale = core::ExperimentScale::FromEnv(60.0);
+  constexpr int kShards = 8;
+  constexpr std::uint64_t kSeed = 42;
+  const int worker_counts[] = {1, 2, 4, 8};
+
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"bench\": \"fleet_shard_scaling\",\n"
+      << "  \"shards\": " << kShards << ",\n"
+      << "  \"duration_seconds\": " << scale.duration << ",\n"
+      << "  \"base_seed\": " << kSeed << ",\n"
+      << "  \"runs\": [\n";
+  bool first = true;
+  for (const int workers : worker_counts) {
+    auto config = core::FleetConfig::Scaled(kShards, scale.duration);
+    config.threads = workers;
+    config.base_seed = kSeed;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = core::RunFleet(config);
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+    const double pps =
+        wall.count() > 0.0 ? static_cast<double>(result.total_packets) / wall.count() : 0.0;
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"workers\": " << workers << ", \"wall_seconds\": " << wall.count()
+        << ", \"packets\": " << result.total_packets << ", \"packets_per_second\": " << pps
+        << "}";
+    std::cerr << "fleet scaling: " << workers << " worker(s) -> " << pps << " packets/s\n";
+  }
+  out << "\n  ]\n}\n";
+  if (out) {
+    std::cerr << "wrote " << path << "\n";
+  } else {
+    std::cerr << "error: could not write " << path << "\n";
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteFleetScalingJson("BENCH_fleet.json");
+  return 0;
+}

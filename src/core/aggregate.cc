@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/fleet.h"
 #include "sim/random.h"
 #include "sim/rng.h"
 
@@ -34,6 +35,11 @@ AggregateResult SimulateAggregatePopulation(const PopulationConfig& config) {
     throw std::invalid_argument("SimulateAggregatePopulation: pareto_alpha must exceed 1");
   }
 
+  // Every server's population is a private process over a private RNG
+  // stream (split from the master serially, so seeds do not depend on the
+  // worker count), which makes the simulation embarrassingly parallel:
+  // simulate each server's whole occupancy path on the fleet worker pool,
+  // then reduce the per-server series in server order.
   sim::Rng master(config.seed);
   std::vector<ServerState> servers(static_cast<std::size_t>(config.servers));
   for (auto& s : servers) {
@@ -43,14 +49,14 @@ AggregateResult SimulateAggregatePopulation(const PopulationConfig& config) {
     s.phase_left = ParetoWithMean(s.rng, config.mean_sojourn, config.pareto_alpha);
   }
 
-  AggregateResult result{stats::TimeSeries(0.0, config.interval),
-                         stats::TimeSeries(0.0, config.interval), 0.0, {}};
-
   const auto steps = static_cast<std::size_t>(config.duration / config.interval);
   const double dt = config.interval;
-  for (std::size_t step = 0; step < steps; ++step) {
-    int total_players = 0;
-    for (auto& s : servers) {
+  std::vector<stats::TimeSeries> per_server(servers.size(),
+                                            stats::TimeSeries(0.0, config.interval));
+  ParallelFor(config.servers, config.threads, [&](int index) {
+    ServerState& s = servers[static_cast<std::size_t>(index)];
+    stats::TimeSeries& occupancy = per_server[static_cast<std::size_t>(index)];
+    for (std::size_t step = 0; step < steps; ++step) {
       if (config.modulate_interest) {
         s.phase_left -= dt;
         while (s.phase_left <= 0.0) {
@@ -74,11 +80,16 @@ AggregateResult SimulateAggregatePopulation(const PopulationConfig& config) {
         if (sim::Bernoulli(s.rng, leave_p)) ++leaving;
       }
       s.players -= leaving;
-      total_players += s.players;
+      occupancy.Set(static_cast<double>(step) * dt, static_cast<double>(s.players));
     }
+  });
+
+  AggregateResult result{stats::TimeSeries(0.0, config.interval),
+                         stats::TimeSeries(0.0, config.interval), 0.0, {}};
+  for (const auto& occupancy : per_server) result.total_players.Merge(occupancy);
+  for (std::size_t step = 0; step < result.total_players.size(); ++step) {
     const double t = static_cast<double>(step) * dt;
-    result.total_players.Set(t, static_cast<double>(total_players));
-    result.total_load_pps.Set(t, static_cast<double>(total_players) * config.pps_per_player);
+    result.total_load_pps.Set(t, result.total_players[step] * config.pps_per_player);
   }
 
   result.variance_time = stats::ComputeVarianceTime(result.total_load_pps);

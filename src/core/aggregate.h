@@ -49,6 +49,12 @@ struct PopulationConfig {
   double pps_per_player = 44.2;
 
   std::uint64_t seed = 1;
+
+  // Worker threads for the per-server population simulations (0 = one per
+  // hardware core). Servers are independent processes with pre-split RNG
+  // streams reduced in server order, so the result is bit-identical for
+  // any thread count.
+  int threads = 0;
 };
 
 struct AggregateResult {

@@ -36,6 +36,10 @@ struct CharacterizationOptions {
   std::size_t session_bw_bins = 64;
   double size_histogram_max = 500.0;    // the paper truncates at 500 B
   std::uint32_t wire_overhead = net::kWireOverheadBytes;
+
+  // Merging two characterizers requires identical analysis geometry.
+  friend bool operator==(const CharacterizationOptions&,
+                         const CharacterizationOptions&) = default;
 };
 
 struct CharacterizationReport {
@@ -66,6 +70,14 @@ class Characterizer final : public trace::CaptureSink {
 
   void OnPacket(const net::PacketRecord& record) override;
 
+  // Absorbs another (un-finished) characterizer: every accumulator is
+  // combined with its exact merge operation, so Merge-then-Finish over N
+  // per-shard partials equals one characterizer fed the interleaved stream.
+  // `other` is spent. Shards must namespace their flow identifiers
+  // (trace::ShardNamespaceSink) so sessions never collide. Throws
+  // std::invalid_argument if the analysis options differ.
+  void Merge(Characterizer&& other);
+
   // Completes the analysis. `trace_duration` pins the rate denominators
   // (pass the configured capture window; <= 0 uses the observed span).
   // The characterizer is spent afterwards.
@@ -83,5 +95,13 @@ class Characterizer final : public trace::CaptureSink {
   stats::Histogram size_in_;
   stats::Histogram size_out_;
 };
+
+// Reduces finished per-shard reports into one fleet-wide report: summaries,
+// load series, histograms and session lists merge exactly; the
+// variance-time plot and Hurst regions are recomputed from the merged base
+// series (they are nonlinear in the input, so they cannot be merged
+// point-wise). Equivalent to Characterizer::Merge before Finish. Throws
+// std::invalid_argument when `reports` is empty or geometries differ.
+[[nodiscard]] CharacterizationReport MergeReports(std::vector<CharacterizationReport> reports);
 
 }  // namespace gametrace::core

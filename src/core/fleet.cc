@@ -1,0 +1,113 @@
+#include "core/fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "sim/rng.h"
+#include "trace/capture.h"
+
+namespace gametrace::core {
+
+FleetConfig FleetConfig::Scaled(int shards, double duration) {
+  FleetConfig config;
+  config.shards = shards;
+  config.server = game::GameConfig::ScaledDefaults(duration);
+  return config;
+}
+
+int ResolveWorkerCount(int n, int threads) noexcept {
+  int workers = threads > 0 ? threads : static_cast<int>(std::thread::hardware_concurrency());
+  return std::clamp(workers, 1, std::max(n, 1));
+}
+
+void ParallelFor(int n, int threads, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  const int workers = ResolveWorkerCount(n, threads);
+  if (workers == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto worker = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+FleetResult RunFleet(const FleetConfig& config) {
+  if (config.shards <= 0) throw std::invalid_argument("RunFleet: shards must be positive");
+  if (config.shards > 245) {
+    throw std::invalid_argument("RunFleet: at most 245 shards fit the IP namespace");
+  }
+
+  struct ShardSlot {
+    std::optional<Characterizer> partial;
+    game::CsServer::Stats stats;
+    stats::TimeSeries players{0.0, 60.0};
+    std::uint64_t seed = 0;
+  };
+  std::vector<ShardSlot> slots(static_cast<std::size_t>(config.shards));
+
+  ParallelFor(config.shards, config.threads, [&](int shard) {
+    ShardSlot& slot = slots[static_cast<std::size_t>(shard)];
+    game::GameConfig server = config.server;
+    server.seed = sim::SubstreamSeed(config.base_seed, static_cast<std::uint64_t>(shard));
+    slot.seed = server.seed;
+    slot.partial.emplace(config.analysis);
+    trace::ShardNamespaceSink namespaced(static_cast<std::uint32_t>(shard), *slot.partial);
+    auto run = RunServerTrace(server, namespaced);
+    slot.stats = run.stats;
+    slot.players = std::move(run.players);
+  });
+
+  // Reduce in shard order on this thread: the only floating-point additions
+  // whose order could depend on scheduling happen here, in a fixed order.
+  Characterizer merged = std::move(*slots[0].partial);
+  stats::TimeSeries total_players = std::move(slots[0].players);
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    merged.Merge(std::move(*slots[i].partial));
+    total_players.Merge(slots[i].players);
+  }
+
+  FleetResult result{.report = merged.Finish(config.server.trace_duration),
+                     .shards = {},
+                     .total_players = std::move(total_players),
+                     .total_packets = 0,
+                     .threads_used = ResolveWorkerCount(config.shards, config.threads)};
+  result.shards.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    result.shards.push_back(ShardOutcome{static_cast<int>(i), slots[i].seed, slots[i].stats});
+    result.total_packets += slots[i].stats.packets_emitted;
+  }
+  return result;
+}
+
+}  // namespace gametrace::core

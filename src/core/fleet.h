@@ -1,0 +1,79 @@
+// Sharded parallel simulation engine: a fleet of independent servers.
+//
+// The paper's single-server analysis scopes itself carefully (§IV-B): the
+// *aggregate* traffic of the whole collection of Counter-Strike servers
+// smooths out and inherits its scaling from the user population. To study
+// fleet-scale populations without being wall-clock-bound to one thread,
+// this engine runs N independent server shards concurrently on a worker
+// pool and reduces their analyses with the exact Merge operations of the
+// stats/trace/core layers.
+//
+// Determinism invariant: the merged CharacterizationReport is a pure
+// function of (config, base_seed) - bit-identical for any worker-thread
+// count - because each shard is a deterministic single-threaded simulation
+// seeded from its own SplitMix64 substream (sim::SubstreamSeed) and the
+// reduction always runs in shard order on the calling thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "core/experiment.h"
+#include "game/config.h"
+
+namespace gametrace::core {
+
+struct FleetConfig {
+  // Number of independent server shards. Each shard's clients live in
+  // their own IP namespace (trace::ShardNamespaceSink), so at most 245
+  // shards fit above the 10/8 identity pool.
+  int shards = 4;
+  // Worker threads; 0 = one per hardware core, always capped at `shards`.
+  // Changes wall-clock only, never the result.
+  int threads = 0;
+  // Shard s simulates with seed sim::SubstreamSeed(base_seed, s).
+  std::uint64_t base_seed = 42;
+  // Template server configuration; `seed` is overridden per shard and
+  // `trace_duration` is the simulated window of every shard.
+  game::GameConfig server;
+  CharacterizationOptions analysis;
+
+  // A fleet of `shards` calibrated servers each simulating `duration`
+  // seconds (rates and shapes untouched, as in GameConfig::ScaledDefaults).
+  [[nodiscard]] static FleetConfig Scaled(int shards, double duration);
+};
+
+struct ShardOutcome {
+  int shard_id = 0;
+  std::uint64_t seed = 0;
+  game::CsServer::Stats stats;
+};
+
+struct FleetResult {
+  // Exact merge of every shard's analysis, finished against the common
+  // simulated window.
+  CharacterizationReport report;
+  std::vector<ShardOutcome> shards;
+  // Fleet-wide concurrent player count (sum of per-shard gauge series).
+  stats::TimeSeries total_players{0.0, 60.0};
+  std::uint64_t total_packets = 0;
+  int threads_used = 0;
+};
+
+// Runs every shard's RunServerTrace on the worker pool and reduces the
+// per-shard partial characterizers in shard order.
+[[nodiscard]] FleetResult RunFleet(const FleetConfig& config);
+
+// Resolved worker count for `n` work items: `threads` if positive, else one
+// per hardware core; always clamped to [1, n].
+[[nodiscard]] int ResolveWorkerCount(int n, int threads) noexcept;
+
+// Runs fn(0), ..., fn(n-1) across `threads` workers (resolved as above) and
+// blocks until all complete. Items are claimed dynamically; fn must only
+// write state owned by its own index. The first exception thrown by any
+// fn is rethrown on the calling thread after the pool drains.
+void ParallelFor(int n, int threads, const std::function<void(int)>& fn);
+
+}  // namespace gametrace::core

@@ -19,6 +19,16 @@ constexpr std::uint64_t SplitMix64(std::uint64_t& s) noexcept {
 
 }  // namespace
 
+std::uint64_t SubstreamSeed(std::uint64_t base_seed, std::uint64_t stream) noexcept {
+  // Jump the SplitMix64 sequence straight to position stream + 1: the state
+  // after n increments is base_seed + n * gamma, so no loop is needed.
+  std::uint64_t s = base_seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t s = seed;
   for (auto& word : state_) word = SplitMix64(s);

@@ -11,6 +11,17 @@
 
 namespace gametrace::sim {
 
+// Derives the seed of substream `stream` of `base_seed`: the SplitMix64
+// output at position `stream + 1` of the sequence seeded with `base_seed`.
+// Distinct (base_seed, stream) pairs give statistically independent,
+// well-mixed seeds, so a fleet of shards can each run Rng(SubstreamSeed(
+// base_seed, shard_id)) with no coordination and no overlap - and, unlike
+// Rng::Split(), the derivation is position-independent: shard k's stream
+// does not depend on how many other shards exist or in what order they are
+// created.
+[[nodiscard]] std::uint64_t SubstreamSeed(std::uint64_t base_seed,
+                                          std::uint64_t stream) noexcept;
+
 // xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64 so that any
 // 64-bit seed - including 0 - produces a well-mixed state.
 // Satisfies std::uniform_random_bit_generator.
@@ -35,6 +46,13 @@ class Rng {
   // statistically independent. Used to give each simulated client its own
   // stream so adding a client never perturbs another client's randomness.
   [[nodiscard]] Rng Split() noexcept;
+
+  // Independent generator for substream `stream` of `base_seed` (see
+  // SubstreamSeed). Stateless convenience for sharded engines.
+  [[nodiscard]] static Rng ForSubstream(std::uint64_t base_seed,
+                                        std::uint64_t stream) noexcept {
+    return Rng(SubstreamSeed(base_seed, stream));
+  }
 
  private:
   std::array<std::uint64_t, 4> state_;

@@ -43,6 +43,37 @@ void P2Quantile::Add(double x) noexcept {
   AdjustMarkers();
 }
 
+void P2Quantile::Merge(const P2Quantile& other) {
+  if (other.q_ != q_) throw std::invalid_argument("P2Quantile::Merge: quantile mismatch");
+  if (other.count_ == 0) return;
+  if (other.count_ < 5) {
+    // The other side still holds raw samples: replay them exactly.
+    for (std::uint64_t i = 0; i < other.count_; ++i) Add(other.heights_[i]);
+    return;
+  }
+  if (count_ < 5) {
+    const auto pending = heights_;
+    const auto n = count_;
+    *this = other;
+    for (std::uint64_t i = 0; i < n; ++i) Add(pending[i]);
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  count_ += other.count_;
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = (heights_[i] * na + other.heights_[i] * nb) / (na + nb);
+    // Re-derive marker positions for the combined stream length (the ideal
+    // positions the P-square update rule steers toward).
+    desired_[i] = 1.0 + (static_cast<double>(count_) - 1.0) * increments_[i];
+    positions_[i] = std::round(desired_[i]);
+  }
+  // Markers must stay strictly ordered in position for later updates.
+  for (int i = 1; i < 5; ++i) {
+    positions_[i] = std::max(positions_[i], positions_[i - 1] + 1.0);
+  }
+}
+
 void P2Quantile::AdjustMarkers() noexcept {
   for (int i = 1; i <= 3; ++i) {
     const double d = desired_[i] - positions_[i];

@@ -18,6 +18,15 @@ class P2Quantile {
 
   void Add(double x) noexcept;
 
+  // Combines another estimator of the *same* quantile q. P-square keeps only
+  // five markers, so the combination is approximate: marker heights are
+  // averaged weighted by sample count and marker positions re-derived for
+  // the combined count. Either side with fewer than 5 samples is replayed
+  // exactly. Accuracy matches single-stream P-square to within its usual
+  // estimation error; counts are exact. Throws if the target quantiles
+  // differ.
+  void Merge(const P2Quantile& other);
+
   [[nodiscard]] double Value() const noexcept;
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
 

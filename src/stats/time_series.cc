@@ -82,6 +82,15 @@ TimeSeries TimeSeries::Plus(const TimeSeries& other) const {
   return out;
 }
 
+void TimeSeries::Merge(const TimeSeries& other) {
+  if (other.start_ != start_ || other.interval_ != interval_) {
+    throw std::invalid_argument("TimeSeries::Merge: incompatible series geometry");
+  }
+  if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size(), 0.0);
+  for (std::size_t i = 0; i < other.bins_.size(); ++i) bins_[i] += other.bins_[i];
+  dropped_ += other.dropped_;
+}
+
 TimeSeries TimeSeries::Scaled(double k) const {
   TimeSeries out(start_, interval_);
   out.bins_ = bins_;

@@ -57,6 +57,12 @@ class TimeSeries {
   [[nodiscard]] TimeSeries Plus(const TimeSeries& other) const;
   [[nodiscard]] TimeSeries Scaled(double k) const;
 
+  // Bin-wise in-place add of a series with identical start/interval (sizes
+  // may differ; the result covers the longer of the two). Equivalent to
+  // having fed every sample of `other` into *this - the parallel-shard
+  // reduction. Throws std::invalid_argument on incompatible geometry.
+  void Merge(const TimeSeries& other);
+
   [[nodiscard]] double Mean() const noexcept;
   [[nodiscard]] double Variance() const noexcept;  // population variance
   [[nodiscard]] double Sum() const noexcept;

@@ -1,5 +1,7 @@
 #include "trace/aggregator.h"
 
+#include <stdexcept>
+
 namespace gametrace::trace {
 
 LoadAggregator::LoadAggregator(double interval, double start_time,
@@ -26,6 +28,16 @@ void LoadAggregator::ExtendTo(double t_end) {
   pkts_out_.ExtendTo(t_end);
   bytes_in_.ExtendTo(t_end);
   bytes_out_.ExtendTo(t_end);
+}
+
+void LoadAggregator::Merge(const LoadAggregator& other) {
+  if (other.overhead_ != overhead_) {
+    throw std::invalid_argument("LoadAggregator::Merge: wire-overhead mismatch");
+  }
+  pkts_in_.Merge(other.pkts_in_);
+  pkts_out_.Merge(other.pkts_out_);
+  bytes_in_.Merge(other.bytes_in_);
+  bytes_out_.Merge(other.bytes_out_);
 }
 
 stats::TimeSeries LoadAggregator::packets_total() const { return pkts_in_.Plus(pkts_out_); }

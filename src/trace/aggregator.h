@@ -23,6 +23,11 @@ class LoadAggregator final : public CaptureSink {
   // represented (important when computing means over a fixed window).
   void ExtendTo(double t_end);
 
+  // Bin-wise add of another aggregator over the same clock: the merged
+  // series equal a single aggregator fed both packet streams. Throws
+  // std::invalid_argument on overhead or bin-geometry mismatch.
+  void Merge(const LoadAggregator& other);
+
   // Raw per-bin counts/bytes.
   [[nodiscard]] const stats::TimeSeries& packets_in() const noexcept { return pkts_in_; }
   [[nodiscard]] const stats::TimeSeries& packets_out() const noexcept { return pkts_out_; }

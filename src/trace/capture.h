@@ -78,6 +78,28 @@ class VectorSink final : public CaptureSink {
   std::vector<net::PacketRecord> records_;
 };
 
+// Rewrites each record's client address into a per-shard namespace before
+// forwarding: identity IPs live in 10/8 (game::IdentityIp), so bumping the
+// top octet by the shard id moves shard k's clients into (10+k)/8. Flows
+// from distinct shards then can never collide in any downstream keyed
+// structure (session tracker, flow tables), which is what makes per-shard
+// analyses exactly mergeable. Supports up to 245 shards.
+class ShardNamespaceSink final : public CaptureSink {
+ public:
+  ShardNamespaceSink(std::uint32_t shard_id, CaptureSink& downstream)
+      : shift_(shard_id << 24), downstream_(&downstream) {}
+
+  void OnPacket(const net::PacketRecord& record) override {
+    net::PacketRecord shifted = record;
+    shifted.client_ip = net::Ipv4Address(record.client_ip.value() + shift_);
+    downstream_->OnPacket(shifted);
+  }
+
+ private:
+  std::uint32_t shift_;
+  CaptureSink* downstream_;
+};
+
 // Adapts a callable into a sink.
 class CallbackSink final : public CaptureSink {
  public:

@@ -55,6 +55,32 @@ void SessionTracker::OnPacket(const net::PacketRecord& record) {
   }
 }
 
+void SessionTracker::Merge(SessionTracker&& other) {
+  if (other.idle_timeout_ != idle_timeout_) {
+    throw std::invalid_argument("SessionTracker::Merge: idle-timeout mismatch");
+  }
+  closed_.insert(closed_.end(), std::make_move_iterator(other.closed_.begin()),
+                 std::make_move_iterator(other.closed_.end()));
+  for (auto& [key, session] : other.open_) {
+    auto [it, inserted] = open_.try_emplace(key, session);
+    if (!inserted) {
+      // Same endpoint active in both trackers (only possible without shard
+      // namespacing): fold into one session covering both observations.
+      Session& mine = it->second;
+      mine.start = std::min(mine.start, session.start);
+      mine.end = std::max(mine.end, session.end);
+      mine.packets_in += session.packets_in;
+      mine.packets_out += session.packets_out;
+      mine.app_bytes_in += session.app_bytes_in;
+      mine.app_bytes_out += session.app_bytes_out;
+    }
+  }
+  for (const auto& [ip, count] : other.unique_ips_) unique_ips_[ip] += count;
+  other.open_.clear();
+  other.closed_.clear();
+  other.unique_ips_.clear();
+}
+
 void SessionTracker::Close(const Key& /*key*/, Session&& session) {
   closed_.push_back(std::move(session));
 }

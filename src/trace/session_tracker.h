@@ -43,6 +43,14 @@ class SessionTracker final : public CaptureSink {
 
   void OnPacket(const net::PacketRecord& record) override;
 
+  // Absorbs another tracker's sessions (closed and still-open). Exact when
+  // the two trackers saw disjoint client endpoints - the fleet engine
+  // guarantees this by namespacing each shard's flow identifiers (see
+  // ShardNamespaceSink); an endpoint open on both sides is combined into
+  // one session spanning both. Throws std::invalid_argument if the idle
+  // timeouts differ.
+  void Merge(SessionTracker&& other);
+
   // Closes all still-open sessions as of the last packet seen and returns
   // the full session list (sorted by start time). Call once, at the end.
   [[nodiscard]] std::vector<Session> Finish();

@@ -1,5 +1,8 @@
 #include "trace/summary.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace gametrace::trace {
 
 TraceSummary::TraceSummary(std::uint32_t wire_overhead_bytes) : overhead_(wire_overhead_bytes) {}
@@ -33,6 +36,31 @@ void TraceSummary::OnPacket(const net::PacketRecord& record) {
     default:
       break;
   }
+}
+
+void TraceSummary::Merge(const TraceSummary& other) {
+  if (other.overhead_ != overhead_) {
+    throw std::invalid_argument("TraceSummary::Merge: wire-overhead mismatch");
+  }
+  packets_in_ += other.packets_in_;
+  packets_out_ += other.packets_out_;
+  app_bytes_in_ += other.app_bytes_in_;
+  app_bytes_out_ += other.app_bytes_out_;
+  size_in_.Merge(other.size_in_);
+  size_out_.Merge(other.size_out_);
+  attempts_ += other.attempts_;
+  established_ += other.established_;
+  refused_ += other.refused_;
+  attempting_clients_.insert(other.attempting_clients_.begin(),
+                             other.attempting_clients_.end());
+  establishing_clients_.insert(other.establishing_clients_.begin(),
+                               other.establishing_clients_.end());
+  if (other.first_time_ >= 0.0) {
+    first_time_ = first_time_ < 0.0 ? other.first_time_
+                                    : std::min(first_time_, other.first_time_);
+    last_time_ = std::max(last_time_, other.last_time_);
+  }
+  duration_override_ = std::max(duration_override_, other.duration_override_);
 }
 
 std::uint64_t TraceSummary::wire_bytes_in() const noexcept {

@@ -20,6 +20,13 @@ class TraceSummary final : public CaptureSink {
 
   void OnPacket(const net::PacketRecord& record) override;
 
+  // Combines another summary into this one, as if every packet fed to
+  // `other` had been fed to *this. Exact: counters and moments add (Chan
+  // parallel combine), unique-client sets union, the time span widens to
+  // cover both. Shard reduction path of the fleet engine. Throws
+  // std::invalid_argument if the wire-overhead settings differ.
+  void Merge(const TraceSummary& other);
+
   // ---- Table II: network usage --------------------------------------
   [[nodiscard]] std::uint64_t total_packets() const noexcept { return packets_in_ + packets_out_; }
   [[nodiscard]] std::uint64_t packets_in() const noexcept { return packets_in_; }

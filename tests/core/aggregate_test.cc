@@ -44,6 +44,20 @@ TEST(AggregatePopulation, Deterministic) {
   EXPECT_EQ(a.total_players.values(), b.total_players.values());
 }
 
+TEST(AggregatePopulation, BitIdenticalAcrossWorkerCounts) {
+  // Per-server RNG streams are split before the worker pool runs and the
+  // reduction is ordered, so the thread count must never change the result.
+  PopulationConfig one = FastConfig();
+  one.threads = 1;
+  PopulationConfig many = FastConfig();
+  many.threads = 8;
+  const auto a = SimulateAggregatePopulation(one);
+  const auto b = SimulateAggregatePopulation(many);
+  EXPECT_EQ(a.total_players.values(), b.total_players.values());
+  EXPECT_EQ(a.total_load_pps.values(), b.total_load_pps.values());
+  EXPECT_EQ(a.coarse_hurst, b.coarse_hurst);
+}
+
 // The paper's section IV-B point: aggregate self-similarity tracks the
 // population process. Heavy-tailed interest modulation lifts the
 // coarse-scale Hurst parameter far above the unmodulated baseline.
