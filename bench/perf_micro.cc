@@ -4,12 +4,18 @@
 // count) so the perf trajectory of the sharded engine is machine-readable.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/characterizer.h"
 #include "core/experiment.h"
@@ -21,6 +27,8 @@
 #include "stats/variance_time.h"
 #include "trace/aggregator.h"
 #include "trace/capture.h"
+#include "trace/session_tracker.h"
+#include "trace/summary.h"
 #include "trace/trace_format.h"
 
 namespace {
@@ -100,6 +108,215 @@ void BM_LoadAggregator(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(capture.packets()) * state.iterations());
 }
 BENCHMARK(BM_LoadAggregator)->Unit(benchmark::kMillisecond);
+
+// ---- Hot-path delivery sweep: scalar OnPacket vs batched OnBatch --------
+
+// A synthetic replica of the server's steady-state emission pattern: each
+// 50 ms tick produces one contiguous burst of ~22 outbound snapshots
+// followed by ~13 inbound client updates, exactly the shape CsServer hands
+// to its sink as one batch.
+struct HotpathWorkload {
+  std::vector<net::PacketRecord> records;
+  std::vector<std::span<const net::PacketRecord>> ticks;
+};
+
+HotpathWorkload MakeHotpathWorkload(std::size_t tick_count) {
+  constexpr int kClients = 22;
+  constexpr double kTick = 0.05;
+  sim::Rng rng(99);
+  HotpathWorkload w;
+  w.records.reserve(tick_count * (kClients + 13));
+  std::vector<std::pair<std::size_t, std::size_t>> extents;
+  std::uint32_t seq_out[kClients] = {};
+  std::uint32_t seq_in[kClients] = {};
+  for (std::size_t tick = 0; tick < tick_count; ++tick) {
+    const double t = static_cast<double>(tick) * kTick;
+    const std::size_t begin = w.records.size();
+    for (int c = 0; c < kClients; ++c) {  // broadcast burst
+      net::PacketRecord r;
+      r.timestamp = t + 1e-5 * static_cast<double>(c);
+      r.client_ip = net::Ipv4Address((10u << 24) | static_cast<std::uint32_t>(c + 1));
+      r.client_port = static_cast<std::uint16_t>(30000 + c);
+      r.app_bytes = static_cast<std::uint16_t>(120 + rng.NextBelow(60));
+      r.direction = net::Direction::kServerToClient;
+      r.kind = net::PacketKind::kGameUpdate;
+      r.seq = ++seq_out[c];
+      w.records.push_back(r);
+    }
+    for (int i = 0; i < 13; ++i) {  // client sends inside the tick window
+      const auto c = static_cast<int>(rng.NextBelow(kClients));
+      net::PacketRecord r;
+      r.timestamp = t + kTick * rng.NextDouble();
+      r.client_ip = net::Ipv4Address((10u << 24) | static_cast<std::uint32_t>(c + 1));
+      r.client_port = static_cast<std::uint16_t>(30000 + c);
+      r.app_bytes = static_cast<std::uint16_t>(40 + rng.NextBelow(40));
+      r.direction = net::Direction::kClientToServer;
+      r.kind = net::PacketKind::kGameUpdate;
+      r.seq = ++seq_in[c];
+      w.records.push_back(r);
+    }
+    extents.emplace_back(begin, w.records.size() - begin);
+  }
+  w.ticks.reserve(extents.size());
+  for (const auto& [begin, len] : extents) {
+    w.ticks.emplace_back(std::span<const net::PacketRecord>(w.records).subspan(begin, len));
+  }
+  return w;
+}
+
+// Analysis chains of increasing depth, as a fleet worker would stack them.
+struct SinkChain {
+  trace::CountingSink counting;
+  trace::LoadAggregator agg{0.010};
+  trace::TraceSummary summary;
+  trace::SessionTracker sessions{30.0};
+  trace::TeeSink tee;
+  std::unique_ptr<trace::ShardNamespaceSink> ns;
+  trace::CaptureSink* head = nullptr;
+
+  explicit SinkChain(int depth) {
+    switch (depth) {
+      case 1:
+        head = &counting;
+        break;
+      case 2:
+        ns = std::make_unique<trace::ShardNamespaceSink>(3, counting);
+        head = ns.get();
+        break;
+      case 3:
+        tee.Attach(counting);
+        tee.Attach(agg);
+        ns = std::make_unique<trace::ShardNamespaceSink>(3, tee);
+        head = ns.get();
+        break;
+      default:
+        tee.Attach(counting);
+        tee.Attach(agg);
+        tee.Attach(summary);
+        tee.Attach(sessions);
+        ns = std::make_unique<trace::ShardNamespaceSink>(3, tee);
+        head = ns.get();
+        break;
+    }
+  }
+};
+
+const char* ChainName(int depth) {
+  switch (depth) {
+    case 1: return "counting";
+    case 2: return "shard_ns->counting";
+    case 3: return "shard_ns->tee{counting,load_agg}";
+    default: return "shard_ns->tee{counting,load_agg,summary,sessions}";
+  }
+}
+
+const HotpathWorkload& SharedHotpathWorkload() {
+  static const HotpathWorkload workload = MakeHotpathWorkload(2000);
+  return workload;
+}
+
+void RunHotpathPass(const HotpathWorkload& w, SinkChain& chain, bool batched) {
+  if (batched) {
+    for (const auto tick : w.ticks) chain.head->OnBatch(tick);
+  } else {
+    for (const net::PacketRecord& r : w.records) chain.head->OnPacket(r);
+  }
+}
+
+// state.range(0) = chain depth, state.range(1) = 0 scalar / 1 batched.
+void BM_HotPathDelivery(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  const auto& workload = SharedHotpathWorkload();
+  SinkChain chain(depth);
+  for (auto _ : state) {
+    RunHotpathPass(workload, chain, batched);
+    benchmark::DoNotOptimize(chain.counting.packets());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(workload.records.size()) *
+                          state.iterations());
+  state.SetLabel(std::string(batched ? "batched " : "scalar ") + ChainName(depth));
+}
+BENCHMARK(BM_HotPathDelivery)
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({2, 0})->Args({2, 1})
+    ->Args({3, 0})->Args({3, 1})
+    ->Args({4, 0})->Args({4, 1});
+
+double TimeHotpathWindow(const HotpathWorkload& w, SinkChain& chain, bool batched) {
+  std::size_t passes = 0;
+  const auto start = std::chrono::steady_clock::now();
+  std::chrono::duration<double> elapsed{};
+  do {
+    RunHotpathPass(w, chain, batched);
+    ++passes;
+    elapsed = std::chrono::steady_clock::now() - start;
+  } while (elapsed.count() < 0.15);
+  return static_cast<double>(w.records.size() * passes) / elapsed.count();
+}
+
+struct HotpathPair {
+  double scalar_pps = 0.0;
+  double batched_pps = 0.0;
+};
+
+// Interleaves scalar and batched windows (best of 5 each) so machine noise
+// hits both modes evenly instead of biasing whichever ran second.
+HotpathPair MeasureHotpath(const HotpathWorkload& w, int depth) {
+  SinkChain scalar_chain(depth);
+  SinkChain batched_chain(depth);
+  RunHotpathPass(w, scalar_chain, /*batched=*/false);  // warm-up
+  RunHotpathPass(w, batched_chain, /*batched=*/true);
+  HotpathPair best;
+  for (int rep = 0; rep < 5; ++rep) {
+    best.scalar_pps =
+        std::max(best.scalar_pps, TimeHotpathWindow(w, scalar_chain, /*batched=*/false));
+    best.batched_pps =
+        std::max(best.batched_pps, TimeHotpathWindow(w, batched_chain, /*batched=*/true));
+  }
+  return best;
+}
+
+// Packets/sec sweep of scalar vs batched delivery per chain depth, written
+// to BENCH_hotpath.json. The acceptance bar for the batched path is >= 2x
+// on at least the deeper chains; `min_speedup` makes regressions visible.
+void WriteHotpathJson(const std::string& path) {
+  const auto& workload = SharedHotpathWorkload();
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"bench\": \"hotpath_delivery\",\n"
+      << "  \"ticks\": " << workload.ticks.size() << ",\n"
+      << "  \"records\": " << workload.records.size() << ",\n"
+      << "  \"runs\": [\n";
+  double min_speedup = 0.0;
+  double max_speedup = 0.0;
+  double emission_speedup = 0.0;  // depth 2: the shard tick-emission path
+  bool first = true;
+  for (int depth = 1; depth <= 4; ++depth) {
+    const auto pair = MeasureHotpath(workload, depth);
+    const double speedup = pair.scalar_pps > 0.0 ? pair.batched_pps / pair.scalar_pps : 0.0;
+    min_speedup = first ? speedup : std::min(min_speedup, speedup);
+    max_speedup = std::max(max_speedup, speedup);
+    if (depth == 2) emission_speedup = speedup;
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"chain_depth\": " << depth << ", \"chain\": \"" << ChainName(depth)
+        << "\", \"scalar_packets_per_second\": " << pair.scalar_pps
+        << ", \"batched_packets_per_second\": " << pair.batched_pps
+        << ", \"speedup\": " << speedup << "}";
+    std::cerr << "hotpath depth " << depth << ": scalar " << pair.scalar_pps
+              << " pkt/s, batched " << pair.batched_pps << " pkt/s (" << speedup << "x)\n";
+  }
+  out << "\n  ],\n"
+      << "  \"speedup\": " << emission_speedup << ",\n"
+      << "  \"min_speedup\": " << min_speedup << ",\n"
+      << "  \"max_speedup\": " << max_speedup << "\n}\n";
+  if (out) {
+    std::cerr << "wrote " << path << "\n";
+  } else {
+    std::cerr << "error: could not write " << path << "\n";
+  }
+}
 
 // Sharded fleet engine: end-to-end packets/sec at 1/2/4/8 workers. The
 // merged report is bit-identical across the sweep; only wall clock moves.
@@ -227,5 +444,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   WriteFleetScalingJson("BENCH_fleet.json");
+  WriteHotpathJson("BENCH_hotpath.json");
   return 0;
 }

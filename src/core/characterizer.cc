@@ -33,6 +33,23 @@ void Characterizer::OnPacket(const net::PacketRecord& record) {
   }
 }
 
+void Characterizer::OnBatch(std::span<const net::PacketRecord> batch) {
+  summary_.OnBatch(batch);
+  minute_agg_.OnBatch(batch);
+  sessions_.OnBatch(batch);
+  scratch_times_.clear();
+  for (const net::PacketRecord& record : batch) {
+    if (record.timestamp < options_.vt_window) scratch_times_.push_back(record.timestamp);
+    size_total_.Add(record.app_bytes);
+    if (record.direction == net::Direction::kClientToServer) {
+      size_in_.Add(record.app_bytes);
+    } else {
+      size_out_.Add(record.app_bytes);
+    }
+  }
+  vt_packets_.AddBatch(scratch_times_, 1.0);
+}
+
 void Characterizer::Merge(Characterizer&& other) {
   if (!(other.options_ == options_)) {
     throw std::invalid_argument("Characterizer::Merge: analysis options differ");

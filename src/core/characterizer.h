@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "net/packet.h"
@@ -70,6 +71,10 @@ class Characterizer final : public trace::CaptureSink {
 
   void OnPacket(const net::PacketRecord& record) override;
 
+  // Feeds every constituent analysis its batch fast path; produces exactly
+  // the same report as the per-packet path.
+  void OnBatch(std::span<const net::PacketRecord> batch) override;
+
   // Absorbs another (un-finished) characterizer: every accumulator is
   // combined with its exact merge operation, so Merge-then-Finish over N
   // per-shard partials equals one characterizer fed the interleaved stream.
@@ -94,6 +99,7 @@ class Characterizer final : public trace::CaptureSink {
   stats::Histogram size_total_;
   stats::Histogram size_in_;
   stats::Histogram size_out_;
+  std::vector<double> scratch_times_;  // reused per batch by OnBatch
 };
 
 // Reduces finished per-shard reports into one fleet-wide report: summaries,

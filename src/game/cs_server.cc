@@ -64,6 +64,7 @@ void CsServer::Run() {
 }
 
 void CsServer::OnTick(double t) {
+  batching_ = true;
   const bool frozen = outages_.active() || t < stall_until_;
   const bool map_stalled = map_rotation_.stalled();
   const double tick = config_.tick_interval;
@@ -117,6 +118,14 @@ void CsServer::OnTick(double t) {
            chat ? net::PacketKind::kChat : net::PacketKind::kGameUpdate, bytes, c.ip, c.port,
            c.seq_in++);
     }
+  }
+
+  // The whole tick - broadcast burst plus client sends - leaves as one
+  // contiguous batch: one virtual call per sink instead of one per packet.
+  batching_ = false;
+  if (!tick_batch_.empty()) {
+    sink_->OnBatch(tick_batch_);
+    tick_batch_.clear();
   }
 }
 
@@ -245,7 +254,11 @@ void CsServer::Emit(double t, net::Direction direction, net::PacketKind kind,
   record.kind = kind;
   record.seq = seq;
   ++packets_emitted_;
-  sink_->OnPacket(record);
+  if (batching_) {
+    tick_batch_.push_back(record);
+  } else {
+    sink_->OnPacket(record);
+  }
 }
 
 CsServer::Stats CsServer::stats() const {

@@ -117,6 +117,12 @@ class CsServer {
   OutageSchedule outages_;
 
   std::vector<ActiveClient> clients_;
+  // All packets emitted within one tick are buffered here and handed to the
+  // sink as a single OnBatch call (see the batch contract in
+  // trace/capture.h); handshake and download traffic outside the tick
+  // handler stays per-packet. Capacity is reused across ticks.
+  std::vector<net::PacketRecord> tick_batch_;
+  bool batching_ = false;
   std::vector<ServerEventListener*> listeners_;
   std::unordered_set<std::uint64_t> live_sessions_;
   std::unordered_map<std::size_t, int> retry_counts_;

@@ -14,23 +14,19 @@ TickEngine::TickEngine(sim::Simulator& simulator, double interval, TickFn fn)
 void TickEngine::Start(double first_at) {
   if (running_) throw std::logic_error("TickEngine::Start: already running");
   running_ = true;
-  pending_event_ = simulator_->At(first_at, [this, first_at] { Fire(first_at); });
+  // One periodic event re-armed in place by the queue: no fresh closure per
+  // firing. Stop() from within the handler cancels the arming before the
+  // queue would re-arm, so the timer halts cleanly.
+  pending_event_ = simulator_->Every(first_at, interval_, [this](double t) {
+    ++ticks_;
+    fn_(t);
+  });
 }
 
 void TickEngine::Stop() {
   if (!running_) return;
   running_ = false;
   simulator_->Cancel(pending_event_);
-}
-
-void TickEngine::Fire(double t) {
-  if (!running_) return;
-  ++ticks_;
-  // Schedule the next tick before running the handler so a handler that
-  // calls Stop() cancels the right event.
-  const double next = t + interval_;
-  pending_event_ = simulator_->At(next, [this, next] { Fire(next); });
-  fn_(t);
 }
 
 }  // namespace gametrace::game

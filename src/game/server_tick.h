@@ -30,8 +30,6 @@ class TickEngine {
   [[nodiscard]] std::uint64_t ticks_fired() const noexcept { return ticks_; }
 
  private:
-  void Fire(double t);
-
   sim::Simulator* simulator_;
   double interval_;
   TickFn fn_;

@@ -5,47 +5,109 @@
 
 namespace gametrace::sim {
 
+std::uint32_t EventQueue::AcquireSlot() {
+  if (!free_.empty()) {
+    const std::uint32_t index = free_.back();
+    free_.pop_back();
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::ReleaseSlot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.handler = nullptr;
+  slot.interval = 0.0;
+  ++slot.gen;  // invalidates any heap entry or outstanding id for this arming
+  free_.push_back(index);
+}
+
+std::uint64_t EventQueue::Arm(SimTime t, SimTime interval, Handler fn) {
+  const std::uint32_t index = AcquireSlot();
+  Slot& slot = slots_[index];
+  slot.handler = std::move(fn);
+  slot.interval = interval;
+  heap_.push(Entry{t, next_seq_++, index, slot.gen});
+  ++live_count_;
+  return (std::uint64_t{index} << 32) | slot.gen;
+}
+
 std::uint64_t EventQueue::Schedule(SimTime t, Handler fn) {
   if (!fn) throw std::invalid_argument("EventQueue::Schedule: empty handler");
-  const std::uint64_t id = handlers_.size();
-  handlers_.push_back(std::move(fn));
-  cancelled_.push_back(false);
-  heap_.push(Entry{t, next_seq_++, id});
-  ++live_count_;
-  return id;
+  return Arm(t, 0.0, std::move(fn));
+}
+
+std::uint64_t EventQueue::SchedulePeriodic(SimTime first, SimTime interval, Handler fn) {
+  if (!fn) throw std::invalid_argument("EventQueue::SchedulePeriodic: empty handler");
+  if (!(interval > 0.0)) {
+    throw std::invalid_argument("EventQueue::SchedulePeriodic: interval must be positive");
+  }
+  return Arm(first, interval, std::move(fn));
 }
 
 bool EventQueue::Cancel(std::uint64_t id) {
-  if (id >= handlers_.size()) return false;
-  if (cancelled_[id] || !handlers_[id]) return false;
-  cancelled_[id] = true;
-  handlers_[id] = nullptr;
+  const auto index = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id);
+  if (index >= slots_.size()) return false;
+  if (slots_[index].gen != gen) return false;  // already executed/cancelled/recycled
+  ReleaseSlot(index);
   --live_count_;
   return true;
 }
 
-void EventQueue::SkipCancelled() const {
-  while (!heap_.empty() && cancelled_[heap_.top().id]) heap_.pop();
+void EventQueue::SkipStale() const {
+  while (!heap_.empty() && slots_[heap_.top().slot].gen != heap_.top().gen) heap_.pop();
 }
 
 bool EventQueue::empty() const noexcept {
-  SkipCancelled();
+  SkipStale();
   return heap_.empty();
 }
 
 SimTime EventQueue::NextTime() const {
-  SkipCancelled();
+  SkipStale();
   if (heap_.empty()) throw std::logic_error("EventQueue::NextTime: empty queue");
   return heap_.top().time;
 }
 
-EventQueue::PoppedEvent EventQueue::Pop() {
-  SkipCancelled();
-  if (heap_.empty()) throw std::logic_error("EventQueue::Pop: empty queue");
+SimTime EventQueue::RunNext() {
+  SkipStale();
+  if (heap_.empty()) throw std::logic_error("EventQueue::RunNext: empty queue");
   const Entry top = heap_.top();
   heap_.pop();
-  PoppedEvent out{top.time, std::move(handlers_[top.id])};
-  handlers_[top.id] = nullptr;
+  Slot& slot = slots_[top.slot];
+  if (slot.interval > 0.0) {
+    const SimTime interval = slot.interval;
+    // Run out of a local so a handler that schedules (growing slots_) or
+    // cancels itself cannot invalidate the callable mid-invocation.
+    Handler handler = std::move(slot.handler);
+    handler(top.time);
+    Slot& current = slots_[top.slot];  // re-fetch: slots_ may have grown
+    if (current.gen == top.gen) {      // not cancelled during the firing
+      current.handler = std::move(handler);
+      heap_.push(Entry{top.time + interval, next_seq_++, top.slot, top.gen});
+    }
+  } else {
+    Handler handler = std::move(slot.handler);
+    ReleaseSlot(top.slot);
+    --live_count_;
+    handler(top.time);
+  }
+  return top.time;
+}
+
+EventQueue::PoppedEvent EventQueue::Pop() {
+  SkipStale();
+  if (heap_.empty()) throw std::logic_error("EventQueue::Pop: empty queue");
+  const Entry top = heap_.top();
+  Slot& slot = slots_[top.slot];
+  if (slot.interval > 0.0) {
+    throw std::logic_error("EventQueue::Pop: periodic event; use RunNext()");
+  }
+  heap_.pop();
+  PoppedEvent out{top.time, std::move(slot.handler)};
+  ReleaseSlot(top.slot);
   --live_count_;
   return out;
 }

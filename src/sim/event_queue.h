@@ -3,12 +3,24 @@
 // A binary heap keyed by (time, sequence). The sequence number makes
 // ordering of simultaneous events deterministic (FIFO in scheduling order),
 // which keeps whole-trace reproducibility independent of heap tie-breaking.
+//
+// Hot-path design:
+//  - Handlers are stored in InlineHandler slots (small-buffer optimized),
+//    so scheduling a capturing lambda performs no heap allocation.
+//  - Slots are recycled through a free list the moment an event executes
+//    or is cancelled; memory is bounded by the high-water mark of pending
+//    events, not by the number of events ever scheduled. Ids carry a
+//    generation counter so a recycled slot can never be cancelled (or run)
+//    through a stale id.
+//  - Periodic events (SchedulePeriodic) re-arm in place: one slot and one
+//    handler for the lifetime of the timer, no per-firing closure.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
+
+#include "sim/inline_function.h"
 
 namespace gametrace::sim {
 
@@ -16,23 +28,44 @@ using SimTime = double;  // seconds since trace start
 
 class EventQueue {
  public:
-  using Handler = std::function<void()>;
+  using Handler = InlineHandler;
 
   // Schedules `fn` at absolute time `t`. Returns an id usable with Cancel().
   std::uint64_t Schedule(SimTime t, Handler fn);
 
-  // Lazily cancels a scheduled event; the entry is discarded when popped.
-  // Returns false if the id was never issued or already executed/cancelled.
+  // Schedules `fn` at `first`, then again every `interval` seconds after
+  // each firing, re-using the same handler slot (no per-firing allocation
+  // or re-scheduling closure). The handler may accept the firing time
+  // (`[](double t) { ... }`). Runs until Cancel()led; interval must be > 0.
+  std::uint64_t SchedulePeriodic(SimTime first, SimTime interval, Handler fn);
+
+  // Cancels a scheduled or periodic event; its slot is reclaimed
+  // immediately. Returns false if the id was never issued or already
+  // executed/cancelled.
   bool Cancel(std::uint64_t id);
 
   [[nodiscard]] bool empty() const noexcept;
   [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
 
+  // Number of allocated handler slots - bounded by the high-water mark of
+  // concurrently pending events (free-list reuse), exposed so tests can
+  // assert the bound.
+  [[nodiscard]] std::size_t slot_count() const noexcept { return slots_.size(); }
+
   // Time of the next (non-cancelled) event. Queue must not be empty.
   [[nodiscard]] SimTime NextTime() const;
 
-  // Pops and returns the next event's handler, advancing past cancelled
-  // entries. Queue must not be empty.
+  // Pops the next event and invokes its handler with the event time.
+  // One-shot events release their slot before the handler runs (the handler
+  // may schedule freely); periodic events re-arm at time + interval unless
+  // cancelled from within the handler. Returns the event time. Queue must
+  // not be empty.
+  SimTime RunNext();
+
+  // Pops and returns the next one-shot event's handler without invoking it.
+  // Throws std::logic_error if the next event is periodic (periodic events
+  // cannot be moved out of their slot; use RunNext). Queue must not be
+  // empty.
   struct PoppedEvent {
     SimTime time;
     Handler handler;
@@ -43,7 +76,8 @@ class EventQueue {
   struct Entry {
     SimTime time;
     std::uint64_t seq;
-    std::uint64_t id;
+    std::uint32_t slot;
+    std::uint32_t gen;
     // Heap is a max-heap by default; invert for earliest-first, with seq as
     // the deterministic tie-break.
     bool operator<(const Entry& other) const noexcept {
@@ -52,11 +86,20 @@ class EventQueue {
     }
   };
 
-  void SkipCancelled() const;
+  struct Slot {
+    Handler handler;
+    SimTime interval = 0.0;  // > 0 -> periodic
+    std::uint32_t gen = 0;   // bumped on every release; stale heap entries/ids mismatch
+  };
+
+  std::uint32_t AcquireSlot();
+  void ReleaseSlot(std::uint32_t index);
+  std::uint64_t Arm(SimTime t, SimTime interval, Handler fn);
+  void SkipStale() const;
 
   mutable std::priority_queue<Entry> heap_;
-  std::vector<Handler> handlers_;        // id -> handler (empty when done)
-  std::vector<bool> cancelled_;          // id -> cancelled flag
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_count_ = 0;
 };

@@ -16,14 +16,19 @@ std::uint64_t Simulator::After(SimTime delay, EventQueue::Handler fn) {
   return queue_.Schedule(now_ + delay, std::move(fn));
 }
 
+std::uint64_t Simulator::Every(SimTime first_at, SimTime interval, EventQueue::Handler fn) {
+  if (first_at < now_) throw std::invalid_argument("Simulator::Every: time is in the past");
+  return queue_.SchedulePeriodic(first_at, interval, std::move(fn));
+}
+
 std::uint64_t Simulator::RunUntil(SimTime t_end) {
   stop_requested_ = false;
   std::uint64_t ran = 0;
   while (!queue_.empty() && !stop_requested_) {
-    if (queue_.NextTime() > t_end) break;
-    auto [time, handler] = queue_.Pop();
-    now_ = time;
-    handler();
+    const SimTime t = queue_.NextTime();
+    if (t > t_end) break;
+    now_ = t;
+    queue_.RunNext();
     ++ran;
     ++executed_;
   }

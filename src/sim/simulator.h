@@ -21,6 +21,12 @@ class Simulator {
   // Schedules `delay` seconds from now; delay must be >= 0.
   std::uint64_t After(SimTime delay, EventQueue::Handler fn);
 
+  // Schedules `fn` at first_at, then every `interval` seconds after each
+  // firing, without re-scheduling a fresh closure per firing. The handler
+  // may take the firing time (`[](double t) { ... }`). Runs until
+  // Cancel()led.
+  std::uint64_t Every(SimTime first_at, SimTime interval, EventQueue::Handler fn);
+
   bool Cancel(std::uint64_t id) { return queue_.Cancel(id); }
 
   // Runs events until the queue empties or the clock passes `t_end`.

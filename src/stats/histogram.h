@@ -4,7 +4,9 @@
 // histogram), Figure 12 (packet-size PDFs) and Figure 13 (packet-size CDFs).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace gametrace::stats {
@@ -18,7 +20,29 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
-  void Add(double x, std::uint64_t weight = 1) noexcept;
+  // Defined inline: the per-packet hot path of the size-distribution
+  // figures.
+  void Add(double x, std::uint64_t weight = 1) noexcept {
+    total_ += weight;
+    if (x < lo_) {
+      underflow_ += weight;
+      return;
+    }
+    if (x >= hi_) {
+      overflow_ += weight;
+      return;
+    }
+    auto bin = static_cast<std::size_t>((x - lo_) / width_);
+    // Floating-point edge case: x infinitesimally below hi_ can round to
+    // size().
+    bin = std::min(bin, counts_.size() - 1);
+    counts_[bin] += weight;
+  }
+
+  // Batch fast path: one bin lookup and one count update per same-bin run
+  // of consecutive samples. Counts are integers, so the result is identical
+  // to the scalar loop.
+  void AddBatch(std::span<const double> xs, std::uint64_t weight = 1) noexcept;
 
   [[nodiscard]] double lo() const noexcept { return lo_; }
   [[nodiscard]] double hi() const noexcept { return hi_; }

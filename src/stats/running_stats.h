@@ -4,8 +4,10 @@
 // (Tables II/III mean packet sizes and loads) without storing samples.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <span>
 
 namespace gametrace::stats {
 
@@ -16,7 +18,22 @@ namespace gametrace::stats {
 // denominator); for n < 2 it is 0.
 class RunningStats {
  public:
-  void Add(double x) noexcept;
+  // Defined inline: one Welford step per packet on the summary hot path.
+  void Add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  // Batch fast path: sequential Welford in one tight, fully inlined loop -
+  // bit-identical to per-sample Add() by construction (a Chan-style
+  // pairwise combine would not be).
+  void AddBatch(std::span<const double> xs) noexcept {
+    for (const double x : xs) Add(x);
+  }
 
   // Combines another accumulator into this one, as if every sample fed to
   // `other` had been fed to *this (Chan et al. parallel variance).

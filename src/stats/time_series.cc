@@ -11,18 +11,25 @@ TimeSeries::TimeSeries(double start_time, double interval)
   if (!(interval > 0.0)) throw std::invalid_argument("TimeSeries: interval must be positive");
 }
 
-std::size_t TimeSeries::BinIndex(double t) const noexcept {
-  return static_cast<std::size_t>((t - start_) / interval_);
-}
-
-void TimeSeries::Add(double t, double value) {
-  if (t < start_) {
-    ++dropped_;
-    return;
+void TimeSeries::AddBatch(std::span<const double> times, double value) {
+  const std::size_t n = times.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const double t = times[i];
+    if (t < start_) {
+      ++dropped_;
+      ++i;
+      continue;
+    }
+    const std::size_t bin = BinIndex(t);
+    // Extend the run while consecutive samples land in the same bin: one
+    // lookup, one resize check and one accumulation for the whole run.
+    std::size_t j = i + 1;
+    while (j < n && times[j] >= start_ && BinIndex(times[j]) == bin) ++j;
+    if (bin >= bins_.size()) bins_.resize(bin + 1, 0.0);
+    bins_[bin] += value * static_cast<double>(j - i);
+    i = j;
   }
-  const std::size_t i = BinIndex(t);
-  if (i >= bins_.size()) bins_.resize(i + 1, 0.0);
-  bins_[i] += value;
 }
 
 void TimeSeries::Set(double t, double value) {

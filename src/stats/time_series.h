@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace gametrace::stats {
@@ -19,8 +20,23 @@ class TimeSeries {
 
   // Adds `value` to the bin containing time `t`. Bins are created on demand;
   // samples before start_time are counted in dropped_before_start() and
-  // otherwise ignored.
-  void Add(double t, double value = 1.0);
+  // otherwise ignored. Defined inline: this is the per-packet hot path of
+  // every load/bandwidth figure.
+  void Add(double t, double value = 1.0) {
+    if (t < start_) {
+      ++dropped_;
+      return;
+    }
+    const std::size_t i = BinIndex(t);
+    if (i >= bins_.size()) bins_.resize(i + 1, 0.0);
+    bins_[i] += value;
+  }
+
+  // Batch fast path: adds `value` once per sample with a single bin lookup
+  // and a single accumulation per same-bin run. Exact (bit-identical to the
+  // scalar loop) whenever the accumulated values are integral, which covers
+  // every packet-count and byte-count series in the library.
+  void AddBatch(std::span<const double> times, double value = 1.0);
 
   // Overwrites the bin containing `t` (used for gauge-style series such as
   // player counts sampled once per interval).
@@ -69,9 +85,22 @@ class TimeSeries {
   [[nodiscard]] double Max() const noexcept;
   [[nodiscard]] double Min() const noexcept;
 
- private:
-  [[nodiscard]] std::size_t BinIndex(double t) const noexcept;
+  // Index of the bin containing `t` (t must be >= start_time()). Public so
+  // batch producers can run-aggregate same-bin samples with the exact
+  // binning the scalar path uses.
+  [[nodiscard]] std::size_t BinIndex(double t) const noexcept {
+    return static_cast<std::size_t>((t - start_) / interval_);
+  }
 
+  // Adds `value` directly to bin `bin` (as returned by BinIndex), skipping
+  // the time-to-bin division. For run-aggregating batch producers: adding a
+  // run's integral sum here is bit-identical to per-sample Add calls.
+  void AddAtBin(std::size_t bin, double value) {
+    if (bin >= bins_.size()) bins_.resize(bin + 1, 0.0);
+    bins_[bin] += value;
+  }
+
+ private:
   double start_;
   double interval_;
   std::vector<double> bins_;

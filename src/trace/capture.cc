@@ -3,7 +3,7 @@
 namespace gametrace::trace {
 
 void Replay(const std::vector<net::PacketRecord>& records, CaptureSink& sink) {
-  for (const auto& record : records) sink.OnPacket(record);
+  sink.OnBatch(records);
 }
 
 }  // namespace gametrace::trace

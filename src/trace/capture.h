@@ -4,11 +4,22 @@
 // trace files, the NAT device - consumes packets through CaptureSink, so a
 // single simulation run can feed any combination of analyses via TeeSink
 // without materialising 500 M records in memory.
+//
+// Batched delivery: producers that naturally emit runs of packets (the
+// game server's per-tick broadcast burst, trace-file readers) hand them
+// over through OnBatch(), one virtual call per run instead of one per
+// packet. The contract: a batch is a contiguous slice of the stream in
+// emission order (per-flow sequence order preserved) and never spans a
+// server tick. The default OnBatch loops over OnPacket, so every sink
+// observes exactly the same record sequence whether it is fed packet by
+// packet or in batches - reports are bit-identical either way.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "net/packet.h"
@@ -19,6 +30,12 @@ class CaptureSink {
  public:
   virtual ~CaptureSink() = default;
   virtual void OnPacket(const net::PacketRecord& record) = 0;
+
+  // Receives a contiguous run of records (see the batch contract above).
+  // Overrides must be equivalent to the default per-packet loop.
+  virtual void OnBatch(std::span<const net::PacketRecord> batch) {
+    for (const net::PacketRecord& record : batch) OnPacket(record);
+  }
 };
 
 // Forwards every packet to each attached sink, in attachment order.
@@ -29,6 +46,10 @@ class TeeSink final : public CaptureSink {
 
   void OnPacket(const net::PacketRecord& record) override {
     for (CaptureSink* sink : sinks_) sink->OnPacket(record);
+  }
+
+  void OnBatch(std::span<const net::PacketRecord> batch) override {
+    for (CaptureSink* sink : sinks_) sink->OnBatch(batch);
   }
 
   [[nodiscard]] std::size_t sink_count() const noexcept { return sinks_.size(); }
@@ -50,6 +71,35 @@ class CountingSink final : public CaptureSink {
     }
   }
 
+  // Two-way unrolled with independent accumulators: the 24-byte record
+  // stride defeats auto-vectorization, and a single accumulator chain
+  // serialises on the add latency. Both sums are integral, so regrouping
+  // them is exact.
+  void OnBatch(std::span<const net::PacketRecord> batch) override {
+    const net::PacketRecord* r = batch.data();
+    const std::size_t n = batch.size();
+    std::uint64_t in0 = 0;
+    std::uint64_t in1 = 0;
+    std::uint64_t bytes0 = 0;
+    std::uint64_t bytes1 = 0;
+    std::size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+      bytes0 += r[k].app_bytes;
+      in0 += r[k].direction == net::Direction::kClientToServer ? 1 : 0;
+      bytes1 += r[k + 1].app_bytes;
+      in1 += r[k + 1].direction == net::Direction::kClientToServer ? 1 : 0;
+    }
+    for (; k < n; ++k) {
+      bytes0 += r[k].app_bytes;
+      in0 += r[k].direction == net::Direction::kClientToServer ? 1 : 0;
+    }
+    const std::uint64_t in = in0 + in1;
+    packets_ += n;
+    packets_in_ += in;
+    packets_out_ += n - in;
+    app_bytes_ += bytes0 + bytes1;
+  }
+
   [[nodiscard]] std::uint64_t packets() const noexcept { return packets_; }
   [[nodiscard]] std::uint64_t packets_in() const noexcept { return packets_in_; }
   [[nodiscard]] std::uint64_t packets_out() const noexcept { return packets_out_; }
@@ -67,6 +117,10 @@ class VectorSink final : public CaptureSink {
  public:
   void OnPacket(const net::PacketRecord& record) override { records_.push_back(record); }
 
+  void OnBatch(std::span<const net::PacketRecord> batch) override {
+    records_.insert(records_.end(), batch.begin(), batch.end());
+  }
+
   [[nodiscard]] const std::vector<net::PacketRecord>& records() const noexcept {
     return records_;
   }
@@ -83,11 +137,19 @@ class VectorSink final : public CaptureSink {
 // top octet by the shard id moves shard k's clients into (10+k)/8. Flows
 // from distinct shards then can never collide in any downstream keyed
 // structure (session tracker, flow tables), which is what makes per-shard
-// analyses exactly mergeable. Supports up to 245 shards.
+// analyses exactly mergeable. Supports up to 245 shards (10 + 245 = 255
+// exhausts the top octet); larger ids are rejected at construction.
 class ShardNamespaceSink final : public CaptureSink {
  public:
+  static constexpr std::uint32_t kMaxShardId = 245;
+
   ShardNamespaceSink(std::uint32_t shard_id, CaptureSink& downstream)
-      : shift_(shard_id << 24), downstream_(&downstream) {}
+      : shift_(shard_id << 24), downstream_(&downstream) {
+    if (shard_id > kMaxShardId) {
+      throw std::invalid_argument(
+          "ShardNamespaceSink: shard_id exceeds the 245-shard IP namespace");
+    }
+  }
 
   void OnPacket(const net::PacketRecord& record) override {
     net::PacketRecord shifted = record;
@@ -95,9 +157,23 @@ class ShardNamespaceSink final : public CaptureSink {
     downstream_->OnPacket(shifted);
   }
 
+  // Rewrites the whole batch in a reused scratch buffer and forwards it as
+  // one batch: no per-record virtual call and, after warm-up, no
+  // allocation. Bulk copy first, then a shift pass over the single buffer -
+  // a fused copy+shift loop defeats vectorization (the compiler must assume
+  // the source and scratch alias) and benches ~4x slower.
+  void OnBatch(std::span<const net::PacketRecord> batch) override {
+    scratch_.assign(batch.begin(), batch.end());
+    for (net::PacketRecord& record : scratch_) {
+      record.client_ip = net::Ipv4Address(record.client_ip.value() + shift_);
+    }
+    downstream_->OnBatch(scratch_);
+  }
+
  private:
   std::uint32_t shift_;
   CaptureSink* downstream_;
+  std::vector<net::PacketRecord> scratch_;
 };
 
 // Adapts a callable into a sink.
@@ -113,7 +189,8 @@ class CallbackSink final : public CaptureSink {
 };
 
 // Replays a stored record vector into a sink (records must be time-ordered
-// if the sink cares about ordering; all library sinks do).
+// if the sink cares about ordering; all library sinks do). Delivered as one
+// batch; equivalent to the per-packet loop for every conforming sink.
 void Replay(const std::vector<net::PacketRecord>& records, CaptureSink& sink);
 
 }  // namespace gametrace::trace

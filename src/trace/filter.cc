@@ -19,6 +19,19 @@ void FilterSink::OnPacket(const net::PacketRecord& record) {
   }
 }
 
+void FilterSink::OnBatch(std::span<const net::PacketRecord> batch) {
+  scratch_.clear();
+  for (const net::PacketRecord& record : batch) {
+    if (predicate_(record)) {
+      scratch_.push_back(record);
+    } else {
+      ++dropped_;
+    }
+  }
+  passed_ += scratch_.size();
+  if (!scratch_.empty()) next_->OnBatch(scratch_);
+}
+
 FilterSink::Predicate DirectionIs(net::Direction d) {
   return [d](const net::PacketRecord& r) { return r.direction == d; };
 }

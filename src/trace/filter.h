@@ -2,6 +2,8 @@
 #pragma once
 
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "net/packet.h"
 #include "trace/capture.h"
@@ -18,6 +20,10 @@ class FilterSink final : public CaptureSink {
 
   void OnPacket(const net::PacketRecord& record) override;
 
+  // Compacts the passing records into a reused scratch buffer and forwards
+  // them as one batch (order preserved).
+  void OnBatch(std::span<const net::PacketRecord> batch) override;
+
   [[nodiscard]] std::uint64_t passed() const noexcept { return passed_; }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
@@ -26,6 +32,7 @@ class FilterSink final : public CaptureSink {
   CaptureSink* next_;
   std::uint64_t passed_ = 0;
   std::uint64_t dropped_ = 0;
+  std::vector<net::PacketRecord> scratch_;
 };
 
 // Common predicates.

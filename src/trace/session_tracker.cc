@@ -19,30 +19,48 @@ SessionTracker::SessionTracker(double idle_timeout_seconds) : idle_timeout_(idle
   }
 }
 
-void SessionTracker::OnPacket(const net::PacketRecord& record) {
+void SessionTracker::OnPacket(const net::PacketRecord& record) { Ingest(record); }
+
+void SessionTracker::OnBatch(std::span<const net::PacketRecord> batch) {
+  for (const net::PacketRecord& record : batch) Ingest(record);
+}
+
+void SessionTracker::Ingest(const net::PacketRecord& record) {
   // Handshake-refusal traffic is not a session: a rejected client exchanged
   // two packets but never played. Counting those would flood the session
   // list with zero-length entries.
   if (record.kind == net::PacketKind::kConnectReject) return;
 
   const Key key{record.client_ip.value(), record.client_port};
-  auto it = open_.find(key);
-  if (it != open_.end() && record.timestamp - it->second.end > idle_timeout_) {
-    Close(key, std::move(it->second));
-    open_.erase(it);
-    it = open_.end();
-  }
-  if (it == open_.end()) {
-    Session s;
-    s.client_ip = record.client_ip;
-    s.client_port = record.client_port;
-    s.start = record.timestamp;
-    s.end = record.timestamp;
-    it = open_.emplace(key, s).first;
-    ++unique_ips_[key.ip];
+  Session* session = nullptr;
+  if (cached_session_ != nullptr && key == cached_key_ &&
+      record.timestamp - cached_session_->end <= idle_timeout_) {
+    // Same endpoint as the previous packet and within the idle window: the
+    // slow path below would find this exact session and not close it.
+    session = cached_session_;
+  } else {
+    auto it = open_.find(key);
+    if (it != open_.end() && record.timestamp - it->second.end > idle_timeout_) {
+      Close(key, std::move(it->second));
+      open_.erase(it);
+      it = open_.end();
+      cached_session_ = nullptr;  // the erased node may be the cached one
+    }
+    if (it == open_.end()) {
+      Session s;
+      s.client_ip = record.client_ip;
+      s.client_port = record.client_port;
+      s.start = record.timestamp;
+      s.end = record.timestamp;
+      it = open_.emplace(key, s).first;
+      ++unique_ips_[key.ip];
+    }
+    session = &it->second;
+    cached_key_ = key;
+    cached_session_ = session;
   }
 
-  Session& s = it->second;
+  Session& s = *session;
   // The capture may be mildly out of order within a tick window; a session
   // never shrinks.
   s.end = std::max(s.end, record.timestamp);
@@ -79,6 +97,7 @@ void SessionTracker::Merge(SessionTracker&& other) {
   other.open_.clear();
   other.closed_.clear();
   other.unique_ips_.clear();
+  other.cached_session_ = nullptr;
 }
 
 void SessionTracker::Close(const Key& /*key*/, Session&& session) {
@@ -88,6 +107,7 @@ void SessionTracker::Close(const Key& /*key*/, Session&& session) {
 std::vector<Session> SessionTracker::Finish() {
   for (auto& [key, session] : open_) closed_.push_back(session);
   open_.clear();
+  cached_session_ = nullptr;
   std::sort(closed_.begin(), closed_.end(),
             [](const Session& a, const Session& b) { return a.start < b.start; });
   return std::move(closed_);

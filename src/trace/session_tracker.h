@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +43,10 @@ class SessionTracker final : public CaptureSink {
   explicit SessionTracker(double idle_timeout_seconds = 30.0);
 
   void OnPacket(const net::PacketRecord& record) override;
+
+  // One virtual call per batch; repeated packets from the same endpoint
+  // (the common case inside a tick burst) skip the hash lookup entirely.
+  void OnBatch(std::span<const net::PacketRecord> batch) override;
 
   // Absorbs another tracker's sessions (closed and still-open). Exact when
   // the two trackers saw disjoint client endpoints - the fleet engine
@@ -80,11 +85,16 @@ class SessionTracker final : public CaptureSink {
   };
 
   void Close(const Key& key, Session&& session);
+  void Ingest(const net::PacketRecord& record);
 
   double idle_timeout_;
   std::unordered_map<Key, Session, KeyHash> open_;
   std::vector<Session> closed_;
   std::unordered_map<std::uint32_t, std::uint32_t> unique_ips_;  // ip -> session count
+  // Memoized last-touched open session (node pointers are stable across
+  // rehash; reset whenever the element could have been erased).
+  Key cached_key_{};
+  Session* cached_session_ = nullptr;
 };
 
 }  // namespace gametrace::trace

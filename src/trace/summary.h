@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_set>
 
 #include "net/packet.h"
@@ -19,6 +20,10 @@ class TraceSummary final : public CaptureSink {
   explicit TraceSummary(std::uint32_t wire_overhead_bytes = net::kWireOverheadBytes);
 
   void OnPacket(const net::PacketRecord& record) override;
+
+  // Accumulates the whole batch with register-resident counters; identical
+  // result to the per-packet path (Welford moments stay sequential).
+  void OnBatch(std::span<const net::PacketRecord> batch) override;
 
   // Combines another summary into this one, as if every packet fed to
   // `other` had been fed to *this. Exact: counters and moments add (Chan

@@ -96,10 +96,23 @@ std::optional<net::PacketRecord> TraceReader::Next() {
 }
 
 std::uint64_t TraceReader::Drain(CaptureSink& sink) {
+  // Decode into a fixed-size buffer and hand records over in batches: the
+  // per-record virtual dispatch disappears while memory stays O(1).
+  constexpr std::size_t kBatchRecords = 1024;
+  std::vector<net::PacketRecord> batch;
+  batch.reserve(kBatchRecords);
   std::uint64_t n = 0;
   while (auto record = Next()) {
-    sink.OnPacket(*record);
-    ++n;
+    batch.push_back(*record);
+    if (batch.size() == kBatchRecords) {
+      sink.OnBatch(batch);
+      n += batch.size();
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    sink.OnBatch(batch);
+    n += batch.size();
   }
   return n;
 }

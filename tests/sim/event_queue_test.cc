@@ -1,5 +1,8 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <array>
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -100,6 +103,133 @@ TEST(EventQueue, ManyEventsStressOrder) {
     EXPECT_GE(ev.time, last);
     last = ev.time;
   }
+}
+
+TEST(EventQueue, RunNextInvokesWithEventTime) {
+  EventQueue q;
+  double seen = -1.0;
+  q.Schedule(3.25, [&](double t) { seen = t; });
+  EXPECT_DOUBLE_EQ(q.RunNext(), 3.25);
+  EXPECT_DOUBLE_EQ(seen, 3.25);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SlotCountBoundedByHighWaterPending) {
+  // The memory regression the free list exists to prevent: a long-running
+  // simulation schedules millions of events but only ever has a bounded
+  // number pending, so the slot arena must stay at the high-water mark
+  // instead of growing with the total event count.
+  EventQueue q;
+  constexpr std::size_t kPending = 64;
+  constexpr int kCycles = 1'000'000;
+  std::uint64_t fired = 0;
+  double t = 0.0;
+  for (std::size_t i = 0; i < kPending; ++i) {
+    q.Schedule(t++, [&fired] { ++fired; });
+  }
+  const std::size_t high_water = q.slot_count();
+  EXPECT_LE(high_water, kPending);
+  for (int i = 0; i < kCycles; ++i) {
+    q.RunNext();
+    q.Schedule(t++, [&fired] { ++fired; });
+    ASSERT_LE(q.slot_count(), high_water) << "slot arena grew at cycle " << i;
+  }
+  EXPECT_EQ(q.size(), kPending);
+  EXPECT_EQ(fired, kCycles);
+}
+
+TEST(EventQueue, StaleIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  const auto id1 = q.Schedule(1.0, [] {});
+  (void)q.Pop();
+  // The released slot is recycled with a new generation; the stale id must
+  // not be able to cancel the new occupant.
+  const auto id2 = q.Schedule(2.0, [] {});
+  EXPECT_EQ(q.slot_count(), 1u);
+  EXPECT_FALSE(q.Cancel(id1));
+  EXPECT_TRUE(q.Cancel(id2));
+}
+
+TEST(EventQueue, LargeHandlerFallsBackToHeap) {
+  // Captures beyond the inline capacity still work (heap fallback path).
+  EventQueue q;
+  std::array<double, 16> payload{};
+  payload.fill(1.5);
+  double sum = 0.0;
+  q.Schedule(1.0, [payload, &sum] {
+    for (const double v : payload) sum += v;
+  });
+  q.RunNext();
+  EXPECT_DOUBLE_EQ(sum, 24.0);
+}
+
+TEST(EventQueue, PeriodicFiresOnCadence) {
+  EventQueue q;
+  std::vector<double> times;
+  q.SchedulePeriodic(1.0, 0.5, [&](double t) { times.push_back(t); });
+  for (int i = 0; i < 4; ++i) q.RunNext();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 1.5, 2.0, 2.5}));
+  EXPECT_EQ(q.size(), 1u);        // still armed
+  EXPECT_EQ(q.slot_count(), 1u);  // one slot for the timer's lifetime
+}
+
+TEST(EventQueue, PeriodicCancelStops) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.SchedulePeriodic(1.0, 1.0, [&] { ++fired; });
+  q.RunNext();
+  q.RunNext();
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, PeriodicSelfCancelFromHandler) {
+  EventQueue q;
+  int fired = 0;
+  std::uint64_t id = 0;
+  id = q.SchedulePeriodic(0.0, 1.0, [&] {
+    if (++fired == 3) q.Cancel(id);
+  });
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, PeriodicInterleavesWithOneShots) {
+  EventQueue q;
+  std::vector<int> order;
+  q.SchedulePeriodic(1.0, 2.0, [&] { order.push_back(0); });  // 1, 3, 5, ...
+  q.Schedule(2.0, [&] { order.push_back(1); });
+  q.Schedule(4.0, [&] { order.push_back(2); });
+  for (int i = 0; i < 5; ++i) q.RunNext();  // up to t = 5
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 2, 0}));
+}
+
+TEST(EventQueue, PopThrowsOnPeriodic) {
+  EventQueue q;
+  q.SchedulePeriodic(1.0, 1.0, [] {});
+  EXPECT_THROW((void)q.Pop(), std::logic_error);
+}
+
+TEST(EventQueue, PeriodicValidation) {
+  EventQueue q;
+  EXPECT_THROW(q.SchedulePeriodic(1.0, 0.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.SchedulePeriodic(1.0, -1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.SchedulePeriodic(1.0, 1.0, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueue, HandlerMayRescheduleDuringRun) {
+  // One-shot slots are released before the handler runs, so a handler that
+  // immediately reschedules reuses its own slot and the arena stays at one.
+  EventQueue q;
+  int hops = 0;
+  std::function<void(double)> hop = [&](double t) {
+    if (++hops < 100) q.Schedule(t + 1.0, [&hop](double u) { hop(u); });
+  };
+  q.Schedule(0.0, [&hop](double t) { hop(t); });
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(hops, 100);
+  EXPECT_EQ(q.slot_count(), 1u);
 }
 
 }  // namespace

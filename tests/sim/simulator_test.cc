@@ -107,6 +107,36 @@ TEST(Simulator, SelfReschedulingChainTerminatesAtHorizon) {
   EXPECT_LE(ticks, 201u);
 }
 
+TEST(Simulator, EveryFiresOnCadenceUntilCancelled) {
+  Simulator s;
+  std::vector<double> times;
+  const auto id = s.Every(1.0, 2.0, [&](double t) { times.push_back(t); });
+  s.RunUntil(6.0);  // fires at 1, 3, 5
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0, 5.0}));
+  EXPECT_TRUE(s.Cancel(id));
+  s.RunUntil(20.0);
+  EXPECT_EQ(times.size(), 3u);
+}
+
+TEST(Simulator, EveryRejectsPastStart) {
+  Simulator s;
+  s.At(5.0, [&] { EXPECT_THROW(s.Every(4.0, 1.0, [] {}), std::invalid_argument); });
+  s.RunUntil(10.0);
+}
+
+TEST(Simulator, EveryClockMatchesHandlerTime) {
+  // Now() inside a periodic handler equals the firing time passed in.
+  Simulator s;
+  bool checked = false;
+  const auto id = s.Every(0.5, 0.5, [&](double t) {
+    EXPECT_DOUBLE_EQ(s.Now(), t);
+    checked = true;
+  });
+  s.RunUntil(3.0);
+  EXPECT_TRUE(checked);
+  s.Cancel(id);
+}
+
 TEST(Simulator, EventsExecutedCounter) {
   Simulator s;
   for (int i = 0; i < 5; ++i) s.At(1.0, [] {});

@@ -1,0 +1,131 @@
+// AddBatch fast paths must be bit-identical to the scalar Add loop for any
+// input split at any boundaries - the same contract the batched sinks rely
+// on (trace/capture.h). Comparisons are exact (EXPECT_EQ on doubles).
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "stats/histogram.h"
+#include "stats/running_stats.h"
+#include "stats/time_series.h"
+
+namespace gametrace::stats {
+namespace {
+
+// Values with long same-bin runs (the tick-burst pattern AddBatch
+// optimises), plus out-of-range stragglers.
+std::vector<double> RunHeavyValues(std::uint64_t seed, std::size_t n, double lo, double hi) {
+  sim::Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  double current = lo + (hi - lo) * rng.NextDouble();
+  while (out.size() < n) {
+    const std::uint64_t run = 1 + rng.NextBelow(40);
+    for (std::uint64_t i = 0; i < run && out.size() < n; ++i) out.push_back(current);
+    const std::uint64_t move = rng.NextBelow(10);
+    if (move < 7) {
+      current = lo + (hi - lo) * rng.NextDouble();  // jump within range
+    } else if (move == 7) {
+      current = lo - 1.0 - 10.0 * rng.NextDouble();  // underflow / before start
+    } else {
+      current = hi + 1.0 + 10.0 * rng.NextDouble();  // overflow / past end
+    }
+  }
+  return out;
+}
+
+// Feeds `xs` to `fn` in random contiguous chunks (including empty ones).
+template <typename Fn>
+void SplitRandomly(const std::vector<double>& xs, std::uint64_t seed, Fn fn) {
+  sim::Rng rng(seed);
+  const std::span<const double> all(xs);
+  std::size_t i = 0;
+  while (i < xs.size()) {
+    if (rng.NextBelow(16) == 0) fn(all.subspan(i, 0));
+    const std::size_t len = std::min<std::size_t>(1 + rng.NextBelow(64), xs.size() - i);
+    fn(all.subspan(i, len));
+    i += len;
+  }
+}
+
+TEST(AddBatch, TimeSeriesIdenticalToScalar) {
+  const auto times = RunHeavyValues(11, 50000, 0.0, 600.0);
+  TimeSeries scalar(0.0, 60.0), batched(0.0, 60.0);
+  for (const double t : times) scalar.Add(t, 2.0);
+  SplitRandomly(times, 111, [&](std::span<const double> chunk) {
+    batched.AddBatch(chunk, 2.0);
+  });
+  EXPECT_EQ(scalar.dropped_before_start(), batched.dropped_before_start());
+  ASSERT_EQ(scalar.size(), batched.size());
+  EXPECT_EQ(scalar.values(), batched.values());
+}
+
+TEST(AddBatch, TimeSeriesCountsDropsBeforeStart) {
+  TimeSeries ts(100.0, 10.0);
+  const std::vector<double> times{50.0, 99.9, 100.0, 105.0, 250.0};
+  ts.AddBatch(times);
+  EXPECT_EQ(ts.dropped_before_start(), 2u);
+  EXPECT_EQ(ts.Sum(), 3.0);
+}
+
+TEST(AddBatch, HistogramIdenticalToScalar) {
+  const auto xs = RunHeavyValues(12, 50000, 0.0, 500.0);
+  Histogram scalar(0.0, 500.0, 500), batched(0.0, 500.0, 500);
+  for (const double x : xs) scalar.Add(x, 3);
+  SplitRandomly(xs, 112, [&](std::span<const double> chunk) {
+    batched.AddBatch(chunk, 3);
+  });
+  ASSERT_EQ(scalar.bin_count(), batched.bin_count());
+  for (std::size_t i = 0; i < scalar.bin_count(); ++i) {
+    ASSERT_EQ(scalar.count(i), batched.count(i)) << "bin " << i;
+  }
+  EXPECT_EQ(scalar.underflow(), batched.underflow());
+  EXPECT_EQ(scalar.overflow(), batched.overflow());
+  EXPECT_EQ(scalar.total(), batched.total());
+}
+
+TEST(AddBatch, HistogramTopEdgeLandsInLastBin) {
+  // x == hi maps into the last bin (scalar Add's clamp); the batch path
+  // must agree.
+  Histogram scalar(0.0, 10.0, 10), batched(0.0, 10.0, 10);
+  const std::vector<double> xs{10.0, 10.0, 9.999, 0.0};
+  for (const double x : xs) scalar.Add(x);
+  batched.AddBatch(xs);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(scalar.count(i), batched.count(i));
+  EXPECT_EQ(scalar.overflow(), batched.overflow());
+}
+
+TEST(AddBatch, RunningStatsIdenticalToScalar) {
+  // Welford is order-sensitive; the batch path must preserve the exact
+  // sequential recurrence, so moments match bitwise at any split.
+  const auto xs = RunHeavyValues(13, 50000, -100.0, 100.0);
+  RunningStats scalar, batched;
+  for (const double x : xs) scalar.Add(x);
+  SplitRandomly(xs, 113, [&](std::span<const double> chunk) { batched.AddBatch(chunk); });
+  EXPECT_EQ(scalar.count(), batched.count());
+  EXPECT_EQ(scalar.mean(), batched.mean());
+  EXPECT_EQ(scalar.variance(), batched.variance());
+  EXPECT_EQ(scalar.min(), batched.min());
+  EXPECT_EQ(scalar.max(), batched.max());
+  EXPECT_EQ(scalar.sum(), batched.sum());
+}
+
+TEST(AddBatch, EmptyBatchIsNoOp) {
+  TimeSeries ts(0.0, 1.0);
+  Histogram h(0.0, 1.0, 4);
+  RunningStats rs;
+  const std::span<const double> empty;
+  ts.AddBatch(empty);
+  h.AddBatch(empty);
+  rs.AddBatch(empty);
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_TRUE(rs.empty());
+}
+
+}  // namespace
+}  // namespace gametrace::stats
