@@ -93,10 +93,10 @@ AggregateResult SimulateAggregatePopulation(const PopulationConfig& config) {
   }
 
   result.variance_time = stats::ComputeVarianceTime(result.total_load_pps);
-  try {
+  if (result.variance_time.PointsInRegion(2.0 * config.mean_session, config.duration / 8.0) >= 2) {
     result.coarse_hurst = result.variance_time.HurstEstimate(2.0 * config.mean_session,
                                                              config.duration / 8.0);
-  } catch (const std::invalid_argument&) {
+  } else {
     // Window too short for the preferred band (needs duration >~ 16x the
     // session time constant): fall back to everything we have.
     result.coarse_hurst =

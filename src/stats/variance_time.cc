@@ -6,6 +6,17 @@
 
 namespace gametrace::stats {
 
+std::size_t VarianceTimePlot::PointsInRegion(double min_interval_seconds,
+                                             double max_interval_seconds) const noexcept {
+  std::size_t n = 0;
+  for (const auto& p : points) {
+    if (p.interval_seconds >= min_interval_seconds && p.interval_seconds <= max_interval_seconds) {
+      ++n;
+    }
+  }
+  return n;
+}
+
 LineFit VarianceTimePlot::FitRegion(double min_interval_seconds,
                                     double max_interval_seconds) const {
   std::vector<double> xs;
@@ -72,12 +83,10 @@ HurstRegions EstimateHurstRegions(const VarianceTimePlot& plot,
   regions.mid_scale = plot.HurstEstimate(small_mid_boundary, mid_large_boundary);
   // The large-scale region may be empty for short traces; report H = 0.5
   // (the paper's asymptote) when there are not enough points to fit.
-  try {
-    regions.large_scale =
-        plot.HurstEstimate(mid_large_boundary, std::numeric_limits<double>::infinity());
-  } catch (const std::invalid_argument&) {
-    regions.large_scale = 0.5;
-  }
+  const double inf = std::numeric_limits<double>::infinity();
+  regions.large_scale = plot.PointsInRegion(mid_large_boundary, inf) >= 2
+                            ? plot.HurstEstimate(mid_large_boundary, inf)
+                            : 0.5;
   return regions;
 }
 

@@ -29,8 +29,15 @@ struct VarianceTimePlot {
   double base_variance = 0.0;  // variance of the unaggregated sequence
   std::vector<VariancePoint> points;
 
+  // Number of points whose interval size lies in
+  // [min_interval_seconds, max_interval_seconds]. Callers should confirm a
+  // region holds at least two points before asking for a fit over it.
+  [[nodiscard]] std::size_t PointsInRegion(double min_interval_seconds,
+                                           double max_interval_seconds) const noexcept;
+
   // Fits the log-log points whose interval size lies in
   // [min_interval_seconds, max_interval_seconds] and returns the fit.
+  // Contract: the region must contain at least two points.
   [[nodiscard]] LineFit FitRegion(double min_interval_seconds,
                                   double max_interval_seconds) const;
 
