@@ -7,6 +7,8 @@
 #include "sim/random.h"
 #include "sim/rng.h"
 
+#include "core/check.h"
+
 namespace gametrace::core {
 
 namespace {
@@ -27,13 +29,11 @@ struct ServerState {
 }  // namespace
 
 AggregateResult SimulateAggregatePopulation(const PopulationConfig& config) {
-  if (config.servers <= 0) throw std::invalid_argument("SimulateAggregatePopulation: servers");
-  if (!(config.interval > 0.0) || !(config.duration > config.interval * 64)) {
-    throw std::invalid_argument("SimulateAggregatePopulation: window too short");
-  }
-  if (config.pareto_alpha <= 1.0) {
-    throw std::invalid_argument("SimulateAggregatePopulation: pareto_alpha must exceed 1");
-  }
+  GT_CHECK_GT(config.servers, 0) << "SimulateAggregatePopulation: servers";
+  GT_CHECK(config.interval > 0.0 && config.duration > config.interval * 64)
+      << "SimulateAggregatePopulation: window too short";
+  GT_CHECK_GT(config.pareto_alpha, 1.0)
+      << "SimulateAggregatePopulation: pareto_alpha must exceed 1";
 
   // Every server's population is a private process over a private RNG
   // stream (split from the master serially, so seeds do not depend on the

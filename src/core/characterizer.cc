@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.h"
+
 namespace gametrace::core {
 
 namespace {
@@ -51,9 +53,7 @@ void Characterizer::OnBatch(std::span<const net::PacketRecord> batch) {
 }
 
 void Characterizer::Merge(Characterizer&& other) {
-  if (!(other.options_ == options_)) {
-    throw std::invalid_argument("Characterizer::Merge: analysis options differ");
-  }
+  GT_CHECK(other.options_ == options_) << "Characterizer::Merge: analysis options differ";
   summary_.Merge(other.summary_);
   minute_agg_.Merge(other.minute_agg_);
   vt_packets_.Merge(other.vt_packets_);
@@ -100,7 +100,7 @@ CharacterizationReport Characterizer::Finish(double trace_duration) {
 }
 
 CharacterizationReport MergeReports(std::vector<CharacterizationReport> reports) {
-  if (reports.empty()) throw std::invalid_argument("MergeReports: no reports");
+  GT_CHECK(!reports.empty()) << "MergeReports: no reports";
   CharacterizationReport merged = std::move(reports.front());
   for (std::size_t i = 1; i < reports.size(); ++i) {
     CharacterizationReport& r = reports[i];

@@ -12,6 +12,8 @@
 #include "sim/rng.h"
 #include "trace/capture.h"
 
+#include "core/check.h"
+
 namespace gametrace::core {
 
 FleetConfig FleetConfig::Scaled(int shards, double duration) {
@@ -63,10 +65,8 @@ void ParallelFor(int n, int threads, const std::function<void(int)>& fn) {
 }
 
 FleetResult RunFleet(const FleetConfig& config) {
-  if (config.shards <= 0) throw std::invalid_argument("RunFleet: shards must be positive");
-  if (config.shards > 245) {
-    throw std::invalid_argument("RunFleet: at most 245 shards fit the IP namespace");
-  }
+  GT_CHECK_GT(config.shards, 0) << "RunFleet: shards must be positive";
+  GT_CHECK_LE(config.shards, 245) << "RunFleet: at most 245 shards fit the IP namespace";
 
   struct ShardSlot {
     std::optional<Characterizer> partial;

@@ -7,6 +7,8 @@
 
 #include "net/units.h"
 
+#include "core/check.h"
+
 namespace gametrace::core {
 
 PerPlayerDemand PerPlayerDemand::PaperCalibrated() noexcept {
@@ -21,9 +23,8 @@ PerPlayerDemand PerPlayerDemand::PaperCalibrated() noexcept {
 
 stats::LineFit FitLoadVsPlayers(const stats::TimeSeries& players,
                                 const stats::TimeSeries& load) {
-  if (players.interval() != load.interval() || players.start_time() != load.start_time()) {
-    throw std::invalid_argument("FitLoadVsPlayers: series not aligned");
-  }
+  GT_CHECK(players.interval() == load.interval() && players.start_time() == load.start_time())
+      << "FitLoadVsPlayers: series not aligned";
   const std::size_t n = std::min(players.size(), load.size());
   std::vector<double> xs;
   std::vector<double> ys;
@@ -53,7 +54,7 @@ PerPlayerDemand FitDemand(const stats::TimeSeries& players, const stats::TimeSer
 
 ServerDemand DemandFor(const PerPlayerDemand& per_player, int players, double tick_interval,
                        double server_link_bps) {
-  if (players < 0) throw std::invalid_argument("DemandFor: negative players");
+  GT_CHECK_GE(players, 0) << "DemandFor: negative players";
   ServerDemand demand;
   demand.pps = per_player.pps_total() * players;
   demand.bps = per_player.bps_total() * players;

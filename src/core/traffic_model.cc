@@ -6,6 +6,8 @@
 
 #include "sim/random.h"
 
+#include "core/check.h"
+
 namespace gametrace::core {
 
 namespace {
@@ -17,9 +19,7 @@ TrafficModelFitter::TrafficModelFitter(double reorder_horizon)
     : horizon_(reorder_horizon),
       sizes_in_(0.0, kSizeMax, kSizeBins),
       sizes_out_(0.0, kSizeMax, kSizeBins) {
-  if (!(reorder_horizon >= 0.0)) {
-    throw std::invalid_argument("TrafficModelFitter: negative reorder horizon");
-  }
+  GT_CHECK(reorder_horizon >= 0.0) << "TrafficModelFitter: negative reorder horizon";
 }
 
 void TrafficModelFitter::DirectionState::Release(double up_to) {
@@ -53,9 +53,8 @@ void TrafficModelFitter::OnPacket(const net::PacketRecord& record) {
 TrafficModel TrafficModelFitter::Fit() {
   in_.Drain();
   out_.Drain();
-  if (in_.gaps.count() < 2 || out_.gaps.count() < 2) {
-    throw std::logic_error("TrafficModelFitter::Fit: not enough packets");
-  }
+  GT_CHECK(in_.gaps.count() >= 2 && out_.gaps.count() >= 2)
+      << "TrafficModelFitter::Fit: not enough packets";
   TrafficModel model;
   model.fitted_over_seconds = last_time_ - first_time_;
 
@@ -73,9 +72,8 @@ TrafficModel TrafficModelFitter::Fit() {
 
 TrafficModelGenerator::TrafficModelGenerator(TrafficModel model, std::uint64_t seed)
     : model_(std::move(model)), rng_(seed) {
-  if (model_.inbound.interarrival_mean <= 0.0 || model_.outbound.interarrival_mean <= 0.0) {
-    throw std::invalid_argument("TrafficModelGenerator: non-positive interarrival mean");
-  }
+  GT_CHECK(model_.inbound.interarrival_mean > 0.0 && model_.outbound.interarrival_mean > 0.0)
+      << "TrafficModelGenerator: non-positive interarrival mean";
 }
 
 std::uint64_t TrafficModelGenerator::Generate(double duration, trace::CaptureSink& sink) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::game {
 
 GameConfig GameConfig::PaperDefaults() {
@@ -17,9 +19,7 @@ GameConfig GameConfig::PaperDefaults() {
 }
 
 GameConfig GameConfig::ScaledDefaults(double duration_seconds) {
-  if (!(duration_seconds > 0.0)) {
-    throw std::invalid_argument("GameConfig::ScaledDefaults: duration must be positive");
-  }
+  GT_CHECK(duration_seconds > 0.0) << "GameConfig::ScaledDefaults: duration must be positive";
   GameConfig cfg = PaperDefaults();
   const double scale = duration_seconds / cfg.trace_duration;
   for (auto& t : cfg.outages.times) t *= scale;

@@ -6,6 +6,8 @@
 
 #include "sim/random.h"
 
+#include "core/check.h"
+
 namespace gametrace::game {
 
 DownloadManager::DownloadManager(sim::Simulator& simulator, const DownloadConfig& config,
@@ -15,7 +17,7 @@ DownloadManager::DownloadManager(sim::Simulator& simulator, const DownloadConfig
       rng_(rng),
       emit_(std::move(emit)),
       alive_(std::move(alive)) {
-  if (!emit_ || !alive_) throw std::invalid_argument("DownloadManager: missing callback");
+  GT_CHECK(emit_ && alive_) << "DownloadManager: missing callback";
 }
 
 void DownloadManager::OnJoin(std::uint64_t session_id, net::Ipv4Address ip, std::uint16_t port) {

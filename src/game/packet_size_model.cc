@@ -6,6 +6,8 @@
 
 #include "sim/random.h"
 
+#include "core/check.h"
+
 namespace gametrace::game {
 
 namespace {
@@ -20,9 +22,8 @@ std::uint16_t ClampRound(double x, std::uint16_t lo, std::uint16_t hi) noexcept 
 }  // namespace
 
 PacketSizeModel::PacketSizeModel(const SizeConfig& config) : config_(config) {
-  if (config.inbound_min > config.inbound_max || config.outbound_min > config.outbound_max) {
-    throw std::invalid_argument("PacketSizeModel: min exceeds max");
-  }
+  GT_CHECK(config.inbound_min <= config.inbound_max && config.outbound_min <= config.outbound_max)
+      << "PacketSizeModel: min exceeds max";
 }
 
 std::uint16_t PacketSizeModel::InboundUpdate(sim::Rng& rng) const {
@@ -62,7 +63,9 @@ std::uint16_t PacketSizeModel::HandshakeSize(net::PacketKind kind, sim::Rng& rng
       base = config_.disconnect;
       break;
     default:
-      throw std::invalid_argument("PacketSizeModel::HandshakeSize: not a control packet");
+      GT_CHECK(false) << "PacketSizeModel::HandshakeSize: kind " << static_cast<int>(kind)
+                      << " is not a control packet";
+      break;
   }
   // +/- 4 bytes of jitter (player-name lengths etc.).
   const auto jitter = static_cast<int>(rng.NextBelow(9)) - 4;

@@ -6,18 +6,16 @@
 
 #include "sim/random.h"
 
+#include "core/check.h"
+
 namespace gametrace::game {
 
 QoeMonitor::QoeMonitor(sim::Simulator& simulator, const Config& config, sim::Rng rng,
                        QuitFn quit)
     : simulator_(&simulator), config_(config), rng_(rng), quit_(std::move(quit)) {
-  if (!quit_) throw std::invalid_argument("QoeMonitor: empty quit callback");
-  if (!(config.check_interval > 0.0)) {
-    throw std::invalid_argument("QoeMonitor: check interval must be positive");
-  }
-  if (config.tolerance_min > config.tolerance_max) {
-    throw std::invalid_argument("QoeMonitor: tolerance band inverted");
-  }
+  GT_CHECK(quit_) << "QoeMonitor: empty quit callback";
+  GT_CHECK(config.check_interval > 0.0) << "QoeMonitor: check interval must be positive";
+  GT_CHECK_LE(config.tolerance_min, config.tolerance_max) << "QoeMonitor: tolerance band inverted";
 }
 
 void QoeMonitor::Start() {

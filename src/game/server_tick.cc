@@ -3,16 +3,18 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.h"
+
 namespace gametrace::game {
 
 TickEngine::TickEngine(sim::Simulator& simulator, double interval, TickFn fn)
     : simulator_(&simulator), interval_(interval), fn_(std::move(fn)) {
-  if (!(interval > 0.0)) throw std::invalid_argument("TickEngine: interval must be positive");
-  if (!fn_) throw std::invalid_argument("TickEngine: empty tick function");
+  GT_CHECK(interval > 0.0) << "TickEngine: interval must be positive";
+  GT_CHECK(fn_) << "TickEngine: empty tick function";
 }
 
 void TickEngine::Start(double first_at) {
-  if (running_) throw std::logic_error("TickEngine::Start: already running");
+  GT_CHECK(!running_) << "TickEngine::Start: already running";
   running_ = true;
   // One periodic event re-armed in place by the queue: no fresh closure per
   // firing. Stop() from within the handler cancels the arming before the

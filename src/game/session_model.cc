@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.h"
+
 namespace gametrace::game {
 
 SessionModel::SessionModel(sim::Simulator& simulator, const SessionConfig& config,
@@ -18,10 +20,8 @@ SessionModel::SessionModel(sim::Simulator& simulator, const SessionConfig& confi
       // Event rate = attempt rate / mean batch size; thinning envelope at
       // 1.5x covers diurnal curves peaking up to that multiplier.
       max_rate_(config.fresh_attempt_rate / (1.0 + config.group_mean_extra) * 1.5) {
-  if (!handler_) throw std::invalid_argument("SessionModel: empty attempt handler");
-  if (!(config.fresh_attempt_rate > 0.0)) {
-    throw std::invalid_argument("SessionModel: attempt rate must be positive");
-  }
+  GT_CHECK(handler_) << "SessionModel: empty attempt handler";
+  GT_CHECK(config.fresh_attempt_rate > 0.0) << "SessionModel: attempt rate must be positive";
 }
 
 void SessionModel::Start() { ScheduleNextArrival(); }

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::net {
 
 std::string Ipv4Address::ToString() const {
@@ -37,7 +39,7 @@ std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
 }
 
 Ipv4Prefix::Ipv4Prefix(Ipv4Address address, int length) : length_(length) {
-  if (length < 0 || length > 32) throw std::invalid_argument("Ipv4Prefix: bad length");
+  GT_CHECK(length >= 0 && length <= 32) << "Ipv4Prefix: bad length";
   address_ = Ipv4Address(address.value() & (length == 0 ? 0u : ~0u << (32 - length)));
 }
 

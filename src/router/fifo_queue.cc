@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::router {
 
 FifoQueue::FifoQueue(std::size_t capacity) : capacity_(capacity) {
-  if (capacity == 0) throw std::invalid_argument("FifoQueue: capacity must be positive");
+  GT_CHECK_NE(capacity, 0) << "FifoQueue: capacity must be positive";
 }
 
 bool FifoQueue::TryPush(QueuedPacket packet) {
@@ -18,6 +20,8 @@ bool FifoQueue::TryPush(QueuedPacket packet) {
   queue_.push_back(std::move(packet));
   ++pushes_;
   max_occupancy_ = std::max(max_occupancy_, queue_.size());
+  GT_DCHECK_LE(queue_.size(), capacity_) << "FifoQueue: occupancy exceeds capacity";
+  GT_DCHECK_LE(max_occupancy_, capacity_) << "FifoQueue: recorded high-water mark is impossible";
   return true;
 }
 

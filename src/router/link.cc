@@ -2,14 +2,14 @@
 
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::router {
 
 Link::Link(double bandwidth_bps, double propagation_delay_seconds)
     : bandwidth_bps_(bandwidth_bps), propagation_(propagation_delay_seconds) {
-  if (!(bandwidth_bps > 0.0)) throw std::invalid_argument("Link: bandwidth must be positive");
-  if (propagation_delay_seconds < 0.0) {
-    throw std::invalid_argument("Link: negative propagation delay");
-  }
+  GT_CHECK(bandwidth_bps > 0.0) << "Link: bandwidth must be positive";
+  GT_CHECK_GE(propagation_delay_seconds, 0.0) << "Link: negative propagation delay";
 }
 
 double Link::TransmitDelay(std::uint64_t wire_bytes) const noexcept {

@@ -4,16 +4,15 @@
 
 #include "sim/random.h"
 
+#include "core/check.h"
+
 namespace gametrace::router {
 
 LookupEngine::LookupEngine(double mean_capacity_pps, double jitter_fraction, sim::Rng rng)
     : capacity_pps_(mean_capacity_pps), jitter_(jitter_fraction), rng_(rng) {
-  if (!(mean_capacity_pps > 0.0)) {
-    throw std::invalid_argument("LookupEngine: capacity must be positive");
-  }
-  if (jitter_fraction < 0.0 || jitter_fraction >= 1.0) {
-    throw std::invalid_argument("LookupEngine: jitter must be in [0, 1)");
-  }
+  GT_CHECK(mean_capacity_pps > 0.0) << "LookupEngine: capacity must be positive";
+  GT_CHECK(jitter_fraction >= 0.0 && jitter_fraction < 1.0)
+      << "LookupEngine: jitter must be in [0, 1)";
 }
 
 double LookupEngine::DrawServiceTime() {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::router {
 
 namespace {
@@ -31,7 +33,7 @@ std::string_view PolicyName(CachePolicy policy) noexcept {
 
 RouteCache::RouteCache(std::size_t capacity, CachePolicy policy)
     : capacity_(capacity), policy_(policy) {
-  if (capacity == 0) throw std::invalid_argument("RouteCache: capacity must be positive");
+  GT_CHECK_NE(capacity, 0) << "RouteCache: capacity must be positive";
 }
 
 double RouteCache::hit_rate() const noexcept {

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::router {
 
 DeviceChain::DeviceChain(sim::Simulator& simulator, const Config& config)
     : simulator_(&simulator), link_delay_(config.link_delay), injector_(*this) {
-  if (config.hops.empty()) throw std::invalid_argument("DeviceChain: need at least one hop");
-  if (config.link_delay < 0.0) throw std::invalid_argument("DeviceChain: negative link delay");
+  GT_CHECK(!config.hops.empty()) << "DeviceChain: need at least one hop";
+  GT_CHECK_GE(config.link_delay, 0.0) << "DeviceChain: negative link delay";
   devices_.reserve(config.hops.size());
   for (std::size_t i = 0; i < config.hops.size(); ++i) {
     devices_.push_back(std::make_unique<NatDevice>(simulator, config.hops[i]));

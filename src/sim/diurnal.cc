@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::sim {
 
 namespace {
@@ -12,8 +14,8 @@ constexpr double kDaySeconds = 86400.0;
 
 DiurnalCurve::DiurnalCurve(std::vector<ControlPoint> points) : points_(std::move(points)) {
   for (const auto& p : points_) {
-    if (p.hour < 0.0 || p.hour >= 24.0) throw std::invalid_argument("DiurnalCurve: hour outside [0,24)");
-    if (p.multiplier < 0.0) throw std::invalid_argument("DiurnalCurve: negative multiplier");
+    GT_CHECK(p.hour >= 0.0 && p.hour < 24.0) << "DiurnalCurve: hour outside [0,24)";
+    GT_CHECK_GE(p.multiplier, 0.0) << "DiurnalCurve: negative multiplier";
   }
   std::sort(points_.begin(), points_.end(),
             [](const ControlPoint& a, const ControlPoint& b) { return a.hour < b.hour; });

@@ -3,12 +3,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.h"
+
 namespace gametrace::sim {
 
 std::uint32_t EventQueue::AcquireSlot() {
   if (!free_.empty()) {
     const std::uint32_t index = free_.back();
     free_.pop_back();
+    GT_DCHECK_LT(index, slots_.size()) << "EventQueue free list holds an out-of-range slot";
+    GT_DCHECK(!slots_[index].handler) << "EventQueue free list holds a live slot";
     return index;
   }
   slots_.emplace_back();
@@ -16,6 +20,7 @@ std::uint32_t EventQueue::AcquireSlot() {
 }
 
 void EventQueue::ReleaseSlot(std::uint32_t index) {
+  GT_DCHECK_LT(index, slots_.size()) << "EventQueue::ReleaseSlot: out-of-range slot";
   Slot& slot = slots_[index];
   slot.handler = nullptr;
   slot.interval = 0.0;
@@ -34,15 +39,13 @@ std::uint64_t EventQueue::Arm(SimTime t, SimTime interval, Handler fn) {
 }
 
 std::uint64_t EventQueue::Schedule(SimTime t, Handler fn) {
-  if (!fn) throw std::invalid_argument("EventQueue::Schedule: empty handler");
+  GT_CHECK(fn) << "EventQueue::Schedule: empty handler";
   return Arm(t, 0.0, std::move(fn));
 }
 
 std::uint64_t EventQueue::SchedulePeriodic(SimTime first, SimTime interval, Handler fn) {
-  if (!fn) throw std::invalid_argument("EventQueue::SchedulePeriodic: empty handler");
-  if (!(interval > 0.0)) {
-    throw std::invalid_argument("EventQueue::SchedulePeriodic: interval must be positive");
-  }
+  GT_CHECK(fn) << "EventQueue::SchedulePeriodic: empty handler";
+  GT_CHECK(interval > 0.0) << "EventQueue::SchedulePeriodic: interval must be positive";
   return Arm(first, interval, std::move(fn));
 }
 
@@ -57,7 +60,12 @@ bool EventQueue::Cancel(std::uint64_t id) {
 }
 
 void EventQueue::SkipStale() const {
-  while (!heap_.empty() && slots_[heap_.top().slot].gen != heap_.top().gen) heap_.pop();
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    GT_DCHECK_LT(top.slot, slots_.size()) << "EventQueue heap entry points past the slot table";
+    if (slots_[top.slot].gen == top.gen) break;
+    heap_.pop();
+  }
 }
 
 bool EventQueue::empty() const noexcept {
@@ -67,16 +75,17 @@ bool EventQueue::empty() const noexcept {
 
 SimTime EventQueue::NextTime() const {
   SkipStale();
-  if (heap_.empty()) throw std::logic_error("EventQueue::NextTime: empty queue");
+  GT_CHECK(!heap_.empty()) << "EventQueue::NextTime: empty queue";
   return heap_.top().time;
 }
 
 SimTime EventQueue::RunNext() {
   SkipStale();
-  if (heap_.empty()) throw std::logic_error("EventQueue::RunNext: empty queue");
+  GT_CHECK(!heap_.empty()) << "EventQueue::RunNext: empty queue";
   const Entry top = heap_.top();
   heap_.pop();
   Slot& slot = slots_[top.slot];
+  GT_DCHECK(slot.handler) << "EventQueue::RunNext: live heap entry with an empty handler";
   if (slot.interval > 0.0) {
     const SimTime interval = slot.interval;
     // Run out of a local so a handler that schedules (growing slots_) or
@@ -99,12 +108,11 @@ SimTime EventQueue::RunNext() {
 
 EventQueue::PoppedEvent EventQueue::Pop() {
   SkipStale();
-  if (heap_.empty()) throw std::logic_error("EventQueue::Pop: empty queue");
+  GT_CHECK(!heap_.empty()) << "EventQueue::Pop: empty queue";
   const Entry top = heap_.top();
   Slot& slot = slots_[top.slot];
-  if (slot.interval > 0.0) {
-    throw std::logic_error("EventQueue::Pop: periodic event; use RunNext()");
-  }
+  GT_CHECK_LE(slot.interval, 0.0) << "EventQueue::Pop: periodic event; use RunNext()";
+  GT_DCHECK(slot.handler) << "EventQueue::Pop: live heap entry with an empty handler";
   heap_.pop();
   PoppedEvent out{top.time, std::move(slot.handler)};
   ReleaseSlot(top.slot);

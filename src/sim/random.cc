@@ -5,6 +5,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::sim {
 
 double Uniform(Rng& rng, double lo, double hi) noexcept {
@@ -12,7 +14,7 @@ double Uniform(Rng& rng, double lo, double hi) noexcept {
 }
 
 double Exponential(Rng& rng, double mean) {
-  if (!(mean > 0.0)) throw std::invalid_argument("Exponential: mean must be > 0");
+  GT_CHECK(mean > 0.0) << "Exponential: mean must be > 0";
   // 1 - u is in (0, 1], so the log is finite.
   return -mean * std::log(1.0 - rng.NextDouble());
 }
@@ -29,8 +31,8 @@ double Normal(Rng& rng, double mean, double stddev) noexcept {
 }
 
 double LognormalFromMoments(Rng& rng, double mean, double stddev) {
-  if (!(mean > 0.0)) throw std::invalid_argument("LognormalFromMoments: mean must be > 0");
-  if (!(stddev >= 0.0)) throw std::invalid_argument("LognormalFromMoments: stddev must be >= 0");
+  GT_CHECK(mean > 0.0) << "LognormalFromMoments: mean must be > 0";
+  GT_CHECK(stddev >= 0.0) << "LognormalFromMoments: stddev must be >= 0";
   if (stddev == 0.0) return mean;
   const double variance_ratio = (stddev * stddev) / (mean * mean);
   const double sigma2 = std::log(1.0 + variance_ratio);
@@ -39,7 +41,7 @@ double LognormalFromMoments(Rng& rng, double mean, double stddev) {
 }
 
 double Pareto(Rng& rng, double x_m, double alpha) {
-  if (!(x_m > 0.0) || !(alpha > 0.0)) throw std::invalid_argument("Pareto: bad parameters");
+  GT_CHECK(x_m > 0.0 && alpha > 0.0) << "Pareto: bad parameters";
   const double u = 1.0 - rng.NextDouble();  // (0, 1]
   return x_m / std::pow(u, 1.0 / alpha);
 }
@@ -47,7 +49,7 @@ double Pareto(Rng& rng, double x_m, double alpha) {
 bool Bernoulli(Rng& rng, double p) noexcept { return rng.NextDouble() < p; }
 
 std::uint64_t Poisson(Rng& rng, double mean) {
-  if (!(mean >= 0.0)) throw std::invalid_argument("Poisson: mean must be >= 0");
+  GT_CHECK(mean >= 0.0) << "Poisson: mean must be >= 0";
   if (mean == 0.0) return 0;
   if (mean > 64.0) {
     // Normal approximation with continuity correction.
@@ -67,10 +69,10 @@ std::uint64_t Poisson(Rng& rng, double mean) {
 std::size_t Discrete(Rng& rng, std::span<const double> weights) {
   double total = 0.0;
   for (double w : weights) {
-    if (w < 0.0) throw std::invalid_argument("Discrete: negative weight");
+    GT_CHECK_GE(w, 0.0) << "Discrete: negative weight";
     total += w;
   }
-  if (!(total > 0.0)) throw std::invalid_argument("Discrete: weights sum to zero");
+  GT_CHECK(total > 0.0) << "Discrete: weights sum to zero";
   double target = rng.NextDouble() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     target -= weights[i];
@@ -80,7 +82,7 @@ std::size_t Discrete(Rng& rng, std::span<const double> weights) {
 }
 
 ZipfSampler::ZipfSampler(std::size_t n, double s) {
-  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  GT_CHECK_NE(n, 0) << "ZipfSampler: n must be > 0";
   cdf_.resize(n);
   double running = 0.0;
   for (std::size_t i = 0; i < n; ++i) {

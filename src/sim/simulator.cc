@@ -4,20 +4,22 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.h"
+
 namespace gametrace::sim {
 
 std::uint64_t Simulator::At(SimTime t, EventQueue::Handler fn) {
-  if (t < now_) throw std::invalid_argument("Simulator::At: time is in the past");
+  GT_CHECK_GE(t, now_) << "Simulator::At: time is in the past";
   return queue_.Schedule(t, std::move(fn));
 }
 
 std::uint64_t Simulator::After(SimTime delay, EventQueue::Handler fn) {
-  if (delay < 0.0) throw std::invalid_argument("Simulator::After: negative delay");
+  GT_CHECK_GE(delay, 0.0) << "Simulator::After: negative delay";
   return queue_.Schedule(now_ + delay, std::move(fn));
 }
 
 std::uint64_t Simulator::Every(SimTime first_at, SimTime interval, EventQueue::Handler fn) {
-  if (first_at < now_) throw std::invalid_argument("Simulator::Every: time is in the past");
+  GT_CHECK_GE(first_at, now_) << "Simulator::Every: time is in the past";
   return queue_.SchedulePeriodic(first_at, interval, std::move(fn));
 }
 

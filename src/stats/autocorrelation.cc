@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 
 namespace {
@@ -15,7 +17,7 @@ double MeanOf(std::span<const double> xs) {
 }  // namespace
 
 double AutocorrelationAt(std::span<const double> xs, std::size_t lag) {
-  if (lag >= xs.size()) throw std::invalid_argument("AutocorrelationAt: lag >= series length");
+  GT_CHECK_LT(lag, xs.size()) << "AutocorrelationAt: lag >= series length";
   const double mean = MeanOf(xs);
   double denom = 0.0;
   for (double x : xs) {

@@ -6,10 +6,12 @@
 
 #include "stats/histogram.h"
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 
 void EmpiricalDistribution::Add(double value, double weight) {
-  if (!(weight > 0.0)) throw std::invalid_argument("EmpiricalDistribution: weight must be > 0");
+  GT_CHECK(weight > 0.0) << "EmpiricalDistribution: weight must be > 0";
   values_.push_back(value);
   weights_.push_back(weight);
   total_weight_ += weight;
@@ -25,7 +27,7 @@ EmpiricalDistribution EmpiricalDistribution::FromHistogram(const Histogram& h) {
 }
 
 double EmpiricalDistribution::Mean() const {
-  if (empty()) throw std::logic_error("EmpiricalDistribution::Mean: empty");
+  GT_CHECK(!empty()) << "EmpiricalDistribution::Mean: empty";
   double acc = 0.0;
   for (std::size_t i = 0; i < values_.size(); ++i) acc += values_[i] * weights_[i];
   return acc / total_weight_;
@@ -65,10 +67,8 @@ void EmpiricalDistribution::EnsureSorted() const {
 }
 
 double EmpiricalDistribution::SampleByUniform(double u) const {
-  if (empty()) throw std::logic_error("EmpiricalDistribution::SampleByUniform: empty");
-  if (u < 0.0 || u >= 1.0) {
-    throw std::invalid_argument("EmpiricalDistribution::SampleByUniform: u outside [0,1)");
-  }
+  GT_CHECK(!empty()) << "EmpiricalDistribution::SampleByUniform: empty";
+  GT_CHECK(u >= 0.0 && u < 1.0) << "EmpiricalDistribution::SampleByUniform: u outside [0,1)";
   EnsureSorted();
   const double target = u * total_weight_;
   const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), target);

@@ -4,12 +4,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
-  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
-  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+  GT_CHECK(std::isfinite(lo) && std::isfinite(hi))
+      << "Histogram: bin edges must be finite (lo=" << lo << ", hi=" << hi << ")";
+  GT_CHECK(hi > lo) << "Histogram: hi must exceed lo";
+  GT_CHECK_NE(bins, 0) << "Histogram: need at least one bin";
 }
 
 void Histogram::AddBatch(std::span<const double> xs, std::uint64_t weight) noexcept {
@@ -40,10 +44,12 @@ void Histogram::AddBatch(std::span<const double> xs, std::uint64_t weight) noexc
 }
 
 double Histogram::bin_center(std::size_t bin) const {
+  GT_CHECK_LT(bin, counts_.size()) << "Histogram::bin_center: bin out of range";
   return lo_ + (static_cast<double>(bin) + 0.5) * width_;
 }
 
 double Histogram::bin_left(std::size_t bin) const {
+  GT_CHECK_LT(bin, counts_.size()) << "Histogram::bin_left: bin out of range";
   return lo_ + static_cast<double>(bin) * width_;
 }
 
@@ -70,7 +76,7 @@ std::vector<double> Histogram::Cdf() const {
 }
 
 double Histogram::Quantile(double q) const {
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument("Histogram::Quantile: q outside [0,1]");
+  GT_CHECK(q >= 0.0 && q <= 1.0) << "Histogram::Quantile: q outside [0,1]";
   if (total_ == 0) return lo_;
   const double target = q * static_cast<double>(total_);
   double running = static_cast<double>(underflow_);
@@ -87,7 +93,7 @@ double Histogram::Quantile(double q) const {
 }
 
 std::size_t Histogram::ModeBin() const {
-  if (total_in_range() == 0) throw std::logic_error("Histogram::ModeBin: empty histogram");
+  GT_CHECK_NE(total_in_range(), 0) << "Histogram::ModeBin: empty histogram";
   return static_cast<std::size_t>(
       std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
 }
@@ -103,9 +109,8 @@ double Histogram::ApproxMean() const {
 }
 
 void Histogram::Merge(const Histogram& other) {
-  if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size()) {
-    throw std::invalid_argument("Histogram::Merge: incompatible binning");
-  }
+  GT_CHECK(other.lo_ == lo_ && other.hi_ == hi_ && other.counts_.size() == counts_.size())
+      << "Histogram::Merge: incompatible binning";
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   underflow_ += other.underflow_;
   overflow_ += other.overflow_;

@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 
 // Histogram over [lo, hi) with `bins` equal-width bins.
@@ -49,7 +51,10 @@ class Histogram {
   [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
   [[nodiscard]] double bin_width() const noexcept { return width_; }
 
-  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const {
+    GT_CHECK_LT(bin, counts_.size()) << "Histogram::count: bin out of range";
+    return counts_[bin];
+  }
   [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
   [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
   // Total including under/overflow.

@@ -3,12 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 
 LineFit FitLine(std::span<const double> xs, std::span<const double> ys) {
-  if (xs.size() != ys.size()) throw std::invalid_argument("FitLine: size mismatch");
+  GT_CHECK_EQ(xs.size(), ys.size()) << "FitLine: size mismatch";
   const std::size_t n = xs.size();
-  if (n < 2) throw std::invalid_argument("FitLine: need at least two points");
+  GT_CHECK_GE(n, 2) << "FitLine: need at least two points";
 
   double sx = 0.0;
   double sy = 0.0;
@@ -29,7 +31,7 @@ LineFit FitLine(std::span<const double> xs, std::span<const double> ys) {
     sxy += dx * dy;
     syy += dy * dy;
   }
-  if (sxx == 0.0) throw std::invalid_argument("FitLine: x values are all identical");
+  GT_CHECK_NE(sxx, 0.0) << "FitLine: x values are all identical";
 
   LineFit fit;
   fit.n = n;

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 
 P2Quantile::P2Quantile(double q) : q_(q) {
-  if (!(q > 0.0 && q < 1.0)) throw std::invalid_argument("P2Quantile: q must be in (0,1)");
+  GT_CHECK(q > 0.0 && q < 1.0) << "P2Quantile: q must be in (0,1)";
   increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
 }
 
@@ -44,7 +46,7 @@ void P2Quantile::Add(double x) noexcept {
 }
 
 void P2Quantile::Merge(const P2Quantile& other) {
-  if (other.q_ != q_) throw std::invalid_argument("P2Quantile::Merge: quantile mismatch");
+  GT_CHECK_EQ(other.q_, q_) << "P2Quantile::Merge: quantile mismatch";
   if (other.count_ == 0) return;
   if (other.count_ < 5) {
     // The other side still holds raw samples: replay them exactly.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 
 LineFit RsPlot::Fit() const {
@@ -21,13 +23,10 @@ LineFit RsPlot::Fit() const {
 double RsPlot::HurstEstimate() const { return Fit().slope; }
 
 RsPlot ComputeRescaledRange(const TimeSeries& series, const RsOptions& options) {
-  if (options.ratio <= 1.0) throw std::invalid_argument("ComputeRescaledRange: ratio <= 1");
-  if (series.size() < options.min_n * options.min_blocks) {
-    throw std::invalid_argument("ComputeRescaledRange: series too short");
-  }
-  if (series.Variance() <= 0.0) {
-    throw std::invalid_argument("ComputeRescaledRange: zero variance");
-  }
+  GT_CHECK_GT(options.ratio, 1.0) << "ComputeRescaledRange: ratio <= 1";
+  GT_CHECK_GE(series.size(), options.min_n * options.min_blocks)
+      << "ComputeRescaledRange: series too short";
+  GT_CHECK_GT(series.Variance(), 0.0) << "ComputeRescaledRange: zero variance";
   const auto& xs = series.values();
 
   RsPlot plot;
@@ -70,9 +69,7 @@ RsPlot ComputeRescaledRange(const TimeSeries& series, const RsOptions& options) 
     const auto next = static_cast<std::size_t>(std::ceil(static_cast<double>(n) * options.ratio));
     n = next > n ? next : n + 1;
   }
-  if (plot.points.size() < 2) {
-    throw std::invalid_argument("ComputeRescaledRange: not enough block sizes");
-  }
+  GT_CHECK_GE(plot.points.size(), 2) << "ComputeRescaledRange: not enough block sizes";
   return plot;
 }
 

@@ -4,11 +4,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 
 TimeSeries::TimeSeries(double start_time, double interval)
     : start_(start_time), interval_(interval) {
-  if (!(interval > 0.0)) throw std::invalid_argument("TimeSeries: interval must be positive");
+  GT_CHECK(interval > 0.0) << "TimeSeries: interval must be positive";
 }
 
 void TimeSeries::AddBatch(std::span<const double> times, double value) {
@@ -53,7 +55,7 @@ void TimeSeries::ExtendTo(double t_end) {
 }
 
 TimeSeries TimeSeries::Aggregate(std::size_t factor) const {
-  if (factor == 0) throw std::invalid_argument("TimeSeries::Aggregate: factor must be >= 1");
+  GT_CHECK_NE(factor, 0) << "TimeSeries::Aggregate: factor must be >= 1";
   TimeSeries out(start_, interval_ * static_cast<double>(factor));
   const std::size_t whole = bins_.size() / factor;
   out.bins_.resize(whole, 0.0);
@@ -79,9 +81,8 @@ TimeSeries TimeSeries::Rate() const {
 }
 
 TimeSeries TimeSeries::Plus(const TimeSeries& other) const {
-  if (other.start_ != start_ || other.interval_ != interval_) {
-    throw std::invalid_argument("TimeSeries::Plus: incompatible series");
-  }
+  GT_CHECK(other.start_ == start_ && other.interval_ == interval_)
+      << "TimeSeries::Plus: incompatible series";
   TimeSeries out(start_, interval_);
   out.bins_.resize(std::max(bins_.size(), other.bins_.size()), 0.0);
   for (std::size_t i = 0; i < bins_.size(); ++i) out.bins_[i] += bins_[i];
@@ -90,9 +91,8 @@ TimeSeries TimeSeries::Plus(const TimeSeries& other) const {
 }
 
 void TimeSeries::Merge(const TimeSeries& other) {
-  if (other.start_ != start_ || other.interval_ != interval_) {
-    throw std::invalid_argument("TimeSeries::Merge: incompatible series geometry");
-  }
+  GT_CHECK(other.start_ == start_ && other.interval_ == interval_)
+      << "TimeSeries::Merge: incompatible series geometry";
   if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size(), 0.0);
   for (std::size_t i = 0; i < other.bins_.size(); ++i) bins_[i] += other.bins_[i];
   dropped_ += other.dropped_;

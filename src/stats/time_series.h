@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 
 // A sequence of equal-width time bins starting at `start_time` seconds, each
@@ -46,7 +48,10 @@ class TimeSeries {
   [[nodiscard]] double interval() const noexcept { return interval_; }
   [[nodiscard]] std::size_t size() const noexcept { return bins_.size(); }
   [[nodiscard]] bool empty() const noexcept { return bins_.empty(); }
-  [[nodiscard]] double operator[](std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] double operator[](std::size_t i) const {
+    GT_CHECK_LT(i, bins_.size()) << "TimeSeries: bin index out of range";
+    return bins_[i];
+  }
   [[nodiscard]] const std::vector<double>& values() const noexcept { return bins_; }
   [[nodiscard]] std::uint64_t dropped_before_start() const noexcept { return dropped_; }
 

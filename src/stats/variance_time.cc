@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 
 std::size_t VarianceTimePlot::PointsInRegion(double min_interval_seconds,
@@ -40,19 +42,13 @@ double VarianceTimePlot::HurstEstimate(double min_interval_seconds,
 
 VarianceTimePlot ComputeVarianceTime(const TimeSeries& base,
                                      const VarianceTimeOptions& options) {
-  if (options.ratio <= 1.0) {
-    throw std::invalid_argument("ComputeVarianceTime: ratio must exceed 1");
-  }
-  if (base.size() < options.min_blocks) {
-    throw std::invalid_argument("ComputeVarianceTime: series too short");
-  }
+  GT_CHECK_GT(options.ratio, 1.0) << "ComputeVarianceTime: ratio must exceed 1";
+  GT_CHECK_GE(base.size(), options.min_blocks) << "ComputeVarianceTime: series too short";
 
   VarianceTimePlot plot;
   plot.base_interval = base.interval();
   plot.base_variance = base.Variance();
-  if (plot.base_variance <= 0.0) {
-    throw std::invalid_argument("ComputeVarianceTime: series has zero variance");
-  }
+  GT_CHECK_GT(plot.base_variance, 0.0) << "ComputeVarianceTime: series has zero variance";
 
   std::size_t m = 1;
   while (base.size() / m >= options.min_blocks) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::trace {
 
 LoadAggregator::LoadAggregator(double interval, double start_time,
@@ -70,9 +72,7 @@ void LoadAggregator::ExtendTo(double t_end) {
 }
 
 void LoadAggregator::Merge(const LoadAggregator& other) {
-  if (other.overhead_ != overhead_) {
-    throw std::invalid_argument("LoadAggregator::Merge: wire-overhead mismatch");
-  }
+  GT_CHECK_EQ(other.overhead_, overhead_) << "LoadAggregator::Merge: wire-overhead mismatch";
   pkts_in_.Merge(other.pkts_in_);
   pkts_out_.Merge(other.pkts_out_);
   bytes_in_.Merge(other.bytes_in_);

@@ -19,12 +19,35 @@
 #include <functional>
 #include <memory>
 #include <span>
-#include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
+#include "core/check.h"
 #include "net/packet.h"
 
 namespace gametrace::trace {
+
+namespace internal {
+// Batch-contract probe: a batch is a contiguous slice of the stream in
+// emission order with *per-flow* ordering preserved - globally the tick
+// batch interleaves independent client clocks, so only timestamps within
+// one (client, direction) flow must be non-decreasing. Allocates, so only
+// ever used behind GT_DCHECK.
+inline bool BatchPreservesPerFlowOrder(std::span<const net::PacketRecord> batch) {
+  std::unordered_map<std::uint64_t, double> last_time;
+  for (const net::PacketRecord& r : batch) {
+    const std::uint64_t flow = (std::uint64_t{r.client_ip.value()} << 17) |
+                               (std::uint64_t{r.client_port} << 1) |
+                               std::uint64_t{r.direction == net::Direction::kClientToServer};
+    auto [it, inserted] = last_time.try_emplace(flow, r.timestamp);
+    if (!inserted) {
+      if (r.timestamp < it->second) return false;
+      it->second = r.timestamp;
+    }
+  }
+  return true;
+}
+}  // namespace internal
 
 class CaptureSink {
  public:
@@ -34,6 +57,8 @@ class CaptureSink {
   // Receives a contiguous run of records (see the batch contract above).
   // Overrides must be equivalent to the default per-packet loop.
   virtual void OnBatch(std::span<const net::PacketRecord> batch) {
+    GT_DCHECK(internal::BatchPreservesPerFlowOrder(batch))
+        << "CaptureSink::OnBatch: batch violates per-flow emission-order contract";
     for (const net::PacketRecord& record : batch) OnPacket(record);
   }
 };
@@ -145,10 +170,8 @@ class ShardNamespaceSink final : public CaptureSink {
 
   ShardNamespaceSink(std::uint32_t shard_id, CaptureSink& downstream)
       : shift_(shard_id << 24), downstream_(&downstream) {
-    if (shard_id > kMaxShardId) {
-      throw std::invalid_argument(
-          "ShardNamespaceSink: shard_id exceeds the 245-shard IP namespace");
-    }
+    GT_CHECK_LE(shard_id, kMaxShardId)
+        << "ShardNamespaceSink: shard_id exceeds the 245-shard IP namespace";
   }
 
   void OnPacket(const net::PacketRecord& record) override {
@@ -163,6 +186,8 @@ class ShardNamespaceSink final : public CaptureSink {
   // a fused copy+shift loop defeats vectorization (the compiler must assume
   // the source and scratch alias) and benches ~4x slower.
   void OnBatch(std::span<const net::PacketRecord> batch) override {
+    GT_DCHECK(internal::BatchPreservesPerFlowOrder(batch))
+        << "ShardNamespaceSink::OnBatch: batch violates per-flow emission-order contract";
     scratch_.assign(batch.begin(), batch.end());
     for (net::PacketRecord& record : scratch_) {
       record.client_ip = net::Ipv4Address(record.client_ip.value() + shift_);

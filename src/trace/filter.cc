@@ -3,11 +3,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.h"
+
 namespace gametrace::trace {
 
 FilterSink::FilterSink(Predicate predicate, CaptureSink& next)
     : predicate_(std::move(predicate)), next_(&next) {
-  if (!predicate_) throw std::invalid_argument("FilterSink: empty predicate");
+  GT_CHECK(predicate_) << "FilterSink: empty predicate";
 }
 
 void FilterSink::OnPacket(const net::PacketRecord& record) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::trace {
 
 double Session::mean_bandwidth_bps(std::uint32_t overhead) const noexcept {
@@ -14,9 +16,7 @@ double Session::mean_bandwidth_bps(std::uint32_t overhead) const noexcept {
 }
 
 SessionTracker::SessionTracker(double idle_timeout_seconds) : idle_timeout_(idle_timeout_seconds) {
-  if (!(idle_timeout_seconds > 0.0)) {
-    throw std::invalid_argument("SessionTracker: idle timeout must be positive");
-  }
+  GT_CHECK(idle_timeout_seconds > 0.0) << "SessionTracker: idle timeout must be positive";
 }
 
 void SessionTracker::OnPacket(const net::PacketRecord& record) { Ingest(record); }
@@ -74,9 +74,7 @@ void SessionTracker::Ingest(const net::PacketRecord& record) {
 }
 
 void SessionTracker::Merge(SessionTracker&& other) {
-  if (other.idle_timeout_ != idle_timeout_) {
-    throw std::invalid_argument("SessionTracker::Merge: idle-timeout mismatch");
-  }
+  GT_CHECK_EQ(other.idle_timeout_, idle_timeout_) << "SessionTracker::Merge: idle-timeout mismatch";
   closed_.insert(closed_.end(), std::make_move_iterator(other.closed_.begin()),
                  std::make_move_iterator(other.closed_.end()));
   for (auto& [key, session] : other.open_) {

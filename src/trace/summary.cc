@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace gametrace::trace {
 
 TraceSummary::TraceSummary(std::uint32_t wire_overhead_bytes) : overhead_(wire_overhead_bytes) {}
@@ -90,9 +92,7 @@ void TraceSummary::OnBatch(std::span<const net::PacketRecord> batch) {
 }
 
 void TraceSummary::Merge(const TraceSummary& other) {
-  if (other.overhead_ != overhead_) {
-    throw std::invalid_argument("TraceSummary::Merge: wire-overhead mismatch");
-  }
+  GT_CHECK_EQ(other.overhead_, overhead_) << "TraceSummary::Merge: wire-overhead mismatch";
   packets_in_ += other.packets_in_;
   packets_out_ += other.packets_out_;
   app_bytes_in_ += other.app_bytes_in_;

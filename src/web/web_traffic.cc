@@ -6,23 +6,19 @@
 
 #include "sim/random.h"
 
+#include "core/check.h"
+
 namespace gametrace::web {
 
 WebTrafficSource::WebTrafficSource(sim::Simulator& simulator, const WebConfig& config,
                                    trace::CaptureSink& sink)
     : simulator_(&simulator), config_(config), rng_(config.seed), sink_(&sink) {
-  if (!(config.flow_arrival_rate > 0.0)) {
-    throw std::invalid_argument("WebTrafficSource: flow arrival rate must be positive");
-  }
-  if (config.pareto_alpha <= 1.0) {
-    throw std::invalid_argument("WebTrafficSource: pareto_alpha must exceed 1");
-  }
-  if (config.initial_window == 0 || config.max_window < config.initial_window) {
-    throw std::invalid_argument("WebTrafficSource: bad window configuration");
-  }
-  if (config.ack_every <= 0) {
-    throw std::invalid_argument("WebTrafficSource: ack_every must be positive");
-  }
+  GT_CHECK(config.flow_arrival_rate > 0.0)
+      << "WebTrafficSource: flow arrival rate must be positive";
+  GT_CHECK_GT(config.pareto_alpha, 1.0) << "WebTrafficSource: pareto_alpha must exceed 1";
+  GT_CHECK(config.initial_window != 0 && config.max_window >= config.initial_window)
+      << "WebTrafficSource: bad window configuration";
+  GT_CHECK_GT(config.ack_every, 0) << "WebTrafficSource: ack_every must be positive";
 }
 
 void WebTrafficSource::Start() { ScheduleNextFlow(); }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::core {
 namespace {
 
@@ -16,13 +18,13 @@ PopulationConfig FastConfig() {
 TEST(AggregatePopulation, Validation) {
   PopulationConfig bad = FastConfig();
   bad.servers = 0;
-  EXPECT_THROW((void)SimulateAggregatePopulation(bad), std::invalid_argument);
+  EXPECT_THROW((void)SimulateAggregatePopulation(bad), gametrace::ContractViolation);
   bad = FastConfig();
   bad.duration = 10.0;
-  EXPECT_THROW((void)SimulateAggregatePopulation(bad), std::invalid_argument);
+  EXPECT_THROW((void)SimulateAggregatePopulation(bad), gametrace::ContractViolation);
   bad = FastConfig();
   bad.pareto_alpha = 1.0;
-  EXPECT_THROW((void)SimulateAggregatePopulation(bad), std::invalid_argument);
+  EXPECT_THROW((void)SimulateAggregatePopulation(bad), gametrace::ContractViolation);
 }
 
 TEST(AggregatePopulation, SeriesCoverDurationAndRespectCaps) {

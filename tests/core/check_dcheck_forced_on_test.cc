@@ -1,0 +1,41 @@
+// GT_DCHECK with GAMETRACE_ENABLE_DCHECKS forced to 1, as the asan-ubsan
+// and tsan presets do globally: the D-variants must behave exactly like
+// hard GT_CHECKs regardless of NDEBUG.
+#include <gtest/gtest.h>
+
+#undef GAMETRACE_ENABLE_DCHECKS
+#define GAMETRACE_ENABLE_DCHECKS 1
+#include "core/check.h"
+
+namespace gametrace {
+namespace {
+
+TEST(GtDcheckForcedOn, FailingDchecksThrow) {
+  EXPECT_THROW(GT_DCHECK(false), ContractViolation);
+  EXPECT_THROW(GT_DCHECK_EQ(1, 2), ContractViolation);
+  EXPECT_THROW(GT_DCHECK_NE(1, 1), ContractViolation);
+  EXPECT_THROW(GT_DCHECK_LT(2, 1), ContractViolation);
+  EXPECT_THROW(GT_DCHECK_LE(2, 1), ContractViolation);
+  EXPECT_THROW(GT_DCHECK_GT(1, 2), ContractViolation);
+  EXPECT_THROW(GT_DCHECK_GE(1, 2), ContractViolation);
+}
+
+TEST(GtDcheckForcedOn, OperandsCapturedInMessage) {
+  try {
+    GT_DCHECK_LE(9, 4) << "window overrun";
+    FAIL() << "GT_DCHECK_LE did not fire";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("(9 vs 4)"), std::string::npos) << what;
+    EXPECT_NE(what.find("window overrun"), std::string::npos) << what;
+  }
+}
+
+TEST(GtDcheckForcedOn, PassingDchecksEvaluateOnce) {
+  int evaluations = 0;
+  GT_DCHECK_EQ((++evaluations, 5), 5);
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace gametrace

@@ -1,0 +1,49 @@
+// GT_DCHECK elision semantics, pinned independently of build type.
+//
+// GAMETRACE_ENABLE_DCHECKS is a per-translation-unit switch; the two
+// #include blocks below simulate a Release TU (forced 0) and a sanitizer
+// TU (forced 1) inside one test binary, whatever CMAKE_BUILD_TYPE is.
+// This is the test that guarantees Release hot paths pay nothing for the
+// per-element contracts.
+#include <gtest/gtest.h>
+
+// Simulated Release TU: DCHECKs must vanish without evaluating operands.
+// (#undef first: the sanitizer presets define the macro on the command
+// line for every TU, and this one must override that.)
+#undef GAMETRACE_ENABLE_DCHECKS
+#define GAMETRACE_ENABLE_DCHECKS 0
+#include "core/check.h"
+
+namespace gametrace {
+namespace {
+
+int Counted(int* counter, int value) {
+  ++*counter;
+  return value;
+}
+
+TEST(GtDcheckForcedOff, OperandsNeverEvaluated) {
+  int evaluations = 0;
+  GT_DCHECK(Counted(&evaluations, 0) == 1);
+  GT_DCHECK_EQ(Counted(&evaluations, 1), 2);
+  GT_DCHECK_NE(Counted(&evaluations, 1), 1);
+  GT_DCHECK_LT(Counted(&evaluations, 2), 1);
+  GT_DCHECK_LE(Counted(&evaluations, 2), 1);
+  GT_DCHECK_GT(Counted(&evaluations, 1), 2);
+  GT_DCHECK_GE(Counted(&evaluations, 1), 2);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(GtDcheckForcedOff, FailingConditionIsANoOp) {
+  GT_DCHECK(false) << "never rendered";
+  GT_DCHECK_EQ(1, 2) << "never rendered";
+}
+
+TEST(GtDcheckForcedOff, GtCheckStillFires) {
+  // Only the D-variants are elided; hard contracts stay on in Release.
+  EXPECT_THROW(GT_CHECK(false), ContractViolation);
+  EXPECT_THROW(GT_CHECK_EQ(1, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gametrace

@@ -13,6 +13,8 @@
 
 #include "sim/rng.h"
 
+#include "core/check.h"
+
 namespace gametrace::core {
 namespace {
 
@@ -159,10 +161,10 @@ TEST(Fleet, MergeReportsEqualsAccumulatorMerge) {
 
 TEST(Fleet, Validation) {
   FleetConfig bad = SmallFleet(0, 1);
-  EXPECT_THROW((void)RunFleet(bad), std::invalid_argument);
+  EXPECT_THROW((void)RunFleet(bad), gametrace::ContractViolation);
   bad.shards = 300;
-  EXPECT_THROW((void)RunFleet(bad), std::invalid_argument);
-  EXPECT_THROW((void)MergeReports({}), std::invalid_argument);
+  EXPECT_THROW((void)RunFleet(bad), gametrace::ContractViolation);
+  EXPECT_THROW((void)MergeReports({}), gametrace::ContractViolation);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {

@@ -9,6 +9,8 @@
 #include "game/config.h"
 #include "trace/summary.h"
 
+#include "core/check.h"
+
 namespace gametrace::core {
 namespace {
 
@@ -48,7 +50,7 @@ TEST(FitLoadVsPlayers, SkipsIdleBins) {
 TEST(FitLoadVsPlayers, MisalignedSeriesRejected) {
   stats::TimeSeries players(0.0, 60.0);
   stats::TimeSeries load(0.0, 30.0);
-  EXPECT_THROW((void)FitLoadVsPlayers(players, load), std::invalid_argument);
+  EXPECT_THROW((void)FitLoadVsPlayers(players, load), gametrace::ContractViolation);
 }
 
 TEST(Provisioning, TrafficIsLinearInPlayers) {
@@ -102,7 +104,7 @@ TEST(DemandFor, ScalesWithPlayers) {
   EXPECT_NEAR(full.burst_packets, 22.0, 0.5);  // one snapshot per player per tick
   EXPECT_GT(full.burst_span_seconds, 0.0);
   EXPECT_LT(full.burst_span_seconds, 0.001);  // the burst is sub-millisecond
-  EXPECT_THROW((void)DemandFor(d, -1), std::invalid_argument);
+  EXPECT_THROW((void)DemandFor(d, -1), gametrace::ContractViolation);
 }
 
 TEST(CapacityPlanner, BurstLossFraction) {

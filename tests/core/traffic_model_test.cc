@@ -6,6 +6,8 @@
 #include "game/config.h"
 #include "trace/summary.h"
 
+#include "core/check.h"
+
 namespace gametrace::core {
 namespace {
 
@@ -19,11 +21,11 @@ net::PacketRecord MakeRecord(double t, net::Direction dir, std::uint16_t bytes) 
 
 TEST(TrafficModelFitter, RequiresPacketsInBothDirections) {
   TrafficModelFitter fitter;
-  EXPECT_THROW((void)fitter.Fit(), std::logic_error);
+  EXPECT_THROW((void)fitter.Fit(), gametrace::ContractViolation);
   fitter.OnPacket(MakeRecord(0.0, net::Direction::kClientToServer, 40));
   fitter.OnPacket(MakeRecord(0.1, net::Direction::kClientToServer, 40));
   fitter.OnPacket(MakeRecord(0.2, net::Direction::kClientToServer, 40));
-  EXPECT_THROW((void)fitter.Fit(), std::logic_error);
+  EXPECT_THROW((void)fitter.Fit(), gametrace::ContractViolation);
 }
 
 TEST(TrafficModelFitter, FitsDeterministicStream) {
@@ -43,7 +45,7 @@ TEST(TrafficModelFitter, FitsDeterministicStream) {
 
 TEST(TrafficModelGenerator, Validation) {
   TrafficModel model;
-  EXPECT_THROW(TrafficModelGenerator(model, 1), std::invalid_argument);
+  EXPECT_THROW(TrafficModelGenerator(model, 1), gametrace::ContractViolation);
 }
 
 TEST(TrafficModelGenerator, RegeneratesFittedRates) {

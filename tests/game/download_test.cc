@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::game {
 namespace {
 
@@ -40,7 +42,7 @@ class DownloadTest : public ::testing::Test {
 TEST_F(DownloadTest, Validation) {
   EXPECT_THROW(DownloadManager(sim_, DownloadConfig{}, sim::Rng(1), nullptr,
                                [](std::uint64_t) { return true; }),
-               std::invalid_argument);
+               gametrace::ContractViolation);
 }
 
 TEST_F(DownloadTest, JoinTriggersTransfer) {

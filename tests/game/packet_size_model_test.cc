@@ -4,6 +4,8 @@
 
 #include "stats/running_stats.h"
 
+#include "core/check.h"
+
 namespace gametrace::game {
 namespace {
 
@@ -13,7 +15,7 @@ TEST(PacketSizeModel, Validation) {
   SizeConfig bad;
   bad.inbound_min = 100;
   bad.inbound_max = 50;
-  EXPECT_THROW(PacketSizeModel model(bad), std::invalid_argument);
+  EXPECT_THROW(PacketSizeModel model(bad), gametrace::ContractViolation);
 }
 
 TEST(PacketSizeModel, InboundMatchesPaperMean) {
@@ -113,9 +115,9 @@ TEST(PacketSizeModel, HandshakeRejectsDataKinds) {
   PacketSizeModel model{SizeConfig{}};
   sim::Rng rng(10);
   EXPECT_THROW((void)model.HandshakeSize(net::PacketKind::kGameUpdate, rng),
-               std::invalid_argument);
+               gametrace::ContractViolation);
   EXPECT_THROW((void)model.HandshakeSize(net::PacketKind::kDownload, rng),
-               std::invalid_argument);
+               gametrace::ContractViolation);
 }
 
 // The in/out asymmetry that drives the paper's Table II/III observation:

@@ -7,6 +7,8 @@
 
 #include "core/experiment.h"
 
+#include "core/check.h"
+
 namespace gametrace::game {
 namespace {
 
@@ -29,16 +31,16 @@ QoeMonitor::Config FastConfig() {
 
 TEST(QoeMonitor, Validation) {
   sim::Simulator s;
-  EXPECT_THROW(QoeMonitor(s, FastConfig(), sim::Rng(1), nullptr), std::invalid_argument);
+  EXPECT_THROW(QoeMonitor(s, FastConfig(), sim::Rng(1), nullptr), gametrace::ContractViolation);
   auto bad = FastConfig();
   bad.check_interval = 0.0;
   EXPECT_THROW(QoeMonitor(s, bad, sim::Rng(1), [](net::Ipv4Address, std::uint16_t) {}),
-               std::invalid_argument);
+               gametrace::ContractViolation);
   auto inverted = FastConfig();
   inverted.tolerance_min = 0.5;
   inverted.tolerance_max = 0.1;
   EXPECT_THROW(QoeMonitor(s, inverted, sim::Rng(1), [](net::Ipv4Address, std::uint16_t) {}),
-               std::invalid_argument);
+               gametrace::ContractViolation);
 }
 
 TEST(QoeMonitor, TolerablePlayerStays) {

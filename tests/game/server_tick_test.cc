@@ -4,14 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::game {
 namespace {
 
 TEST(TickEngine, Validation) {
   sim::Simulator s;
-  EXPECT_THROW(TickEngine(s, 0.0, [](double) {}), std::invalid_argument);
-  EXPECT_THROW(TickEngine(s, -1.0, [](double) {}), std::invalid_argument);
-  EXPECT_THROW(TickEngine(s, 0.05, nullptr), std::invalid_argument);
+  EXPECT_THROW(TickEngine(s, 0.0, [](double) {}), gametrace::ContractViolation);
+  EXPECT_THROW(TickEngine(s, -1.0, [](double) {}), gametrace::ContractViolation);
+  EXPECT_THROW(TickEngine(s, 0.05, nullptr), gametrace::ContractViolation);
 }
 
 TEST(TickEngine, FiresAtExactInterval) {
@@ -68,7 +70,7 @@ TEST(TickEngine, DoubleStartRejected) {
   sim::Simulator s;
   TickEngine tick(s, 0.1, [](double) {});
   tick.Start(0.0);
-  EXPECT_THROW(tick.Start(0.0), std::logic_error);
+  EXPECT_THROW(tick.Start(0.0), gametrace::ContractViolation);
 }
 
 TEST(TickEngine, RestartAfterStop) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::game {
 namespace {
 
@@ -17,11 +19,11 @@ TEST(SessionModel, Validation) {
   sim::Simulator s;
   sim::DiurnalCurve flat;
   EXPECT_THROW(SessionModel(s, FastSessions(), flat, sim::Rng(1), nullptr),
-               std::invalid_argument);
+               gametrace::ContractViolation);
   SessionConfig zero = FastSessions();
   zero.fresh_attempt_rate = 0.0;
   EXPECT_THROW(SessionModel(s, zero, flat, sim::Rng(1), [](std::size_t, bool) {}),
-               std::invalid_argument);
+               gametrace::ContractViolation);
 }
 
 TEST(SessionModel, ArrivalRateMatchesConfig) {

@@ -1,0 +1,15 @@
+// Shared gtest main for every test target.
+//
+// Installs ThrowingContractHandler so a GT_CHECK violation surfaces as a
+// catchable gametrace::ContractViolation: contract tests are plain
+// EXPECT_THROW instead of ASSERT_DEATH, which would fork the process per
+// assertion and cannot run under the TSan preset at all.
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  gametrace::SetContractHandler(gametrace::ThrowingContractHandler);
+  return RUN_ALL_TESTS();
+}

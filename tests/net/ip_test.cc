@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::net {
 namespace {
 
@@ -88,8 +90,8 @@ TEST(Ipv4Prefix, HostRoute) {
 }
 
 TEST(Ipv4Prefix, LengthValidation) {
-  EXPECT_THROW(Ipv4Prefix(Ipv4Address(0u), -1), std::invalid_argument);
-  EXPECT_THROW(Ipv4Prefix(Ipv4Address(0u), 33), std::invalid_argument);
+  EXPECT_THROW(Ipv4Prefix(Ipv4Address(0u), -1), gametrace::ContractViolation);
+  EXPECT_THROW(Ipv4Prefix(Ipv4Address(0u), 33), gametrace::ContractViolation);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::router {
 namespace {
 
@@ -13,7 +15,7 @@ QueuedPacket MakePacket(double t, NatPort port = NatPort::kLan) {
   return p;
 }
 
-TEST(FifoQueue, Validation) { EXPECT_THROW(FifoQueue(0), std::invalid_argument); }
+TEST(FifoQueue, Validation) { EXPECT_THROW(FifoQueue(0), gametrace::ContractViolation); }
 
 TEST(FifoQueue, PushPopFifoOrder) {
   FifoQueue q(10);

@@ -2,13 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::router {
 namespace {
 
 TEST(Link, Validation) {
-  EXPECT_THROW(Link(0.0, 0.0), std::invalid_argument);
-  EXPECT_THROW(Link(-1.0, 0.0), std::invalid_argument);
-  EXPECT_THROW(Link(1e6, -0.1), std::invalid_argument);
+  EXPECT_THROW(Link(0.0, 0.0), gametrace::ContractViolation);
+  EXPECT_THROW(Link(-1.0, 0.0), gametrace::ContractViolation);
+  EXPECT_THROW(Link(1e6, -0.1), gametrace::ContractViolation);
 }
 
 TEST(Link, TransmitDelay) {

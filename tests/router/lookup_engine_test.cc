@@ -4,13 +4,15 @@
 
 #include "stats/running_stats.h"
 
+#include "core/check.h"
+
 namespace gametrace::router {
 namespace {
 
 TEST(LookupEngine, Validation) {
-  EXPECT_THROW(LookupEngine(0.0, 0.1, sim::Rng(1)), std::invalid_argument);
-  EXPECT_THROW(LookupEngine(1000.0, -0.1, sim::Rng(1)), std::invalid_argument);
-  EXPECT_THROW(LookupEngine(1000.0, 1.0, sim::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(LookupEngine(0.0, 0.1, sim::Rng(1)), gametrace::ContractViolation);
+  EXPECT_THROW(LookupEngine(1000.0, -0.1, sim::Rng(1)), gametrace::ContractViolation);
+  EXPECT_THROW(LookupEngine(1000.0, 1.0, sim::Rng(1)), gametrace::ContractViolation);
 }
 
 TEST(LookupEngine, MeanServiceTimeMatchesCapacity) {

@@ -4,11 +4,13 @@
 
 #include "sim/rng.h"
 
+#include "core/check.h"
+
 namespace gametrace::router {
 namespace {
 
 TEST(RouteCache, Validation) {
-  EXPECT_THROW(RouteCache(0, CachePolicy::kLru), std::invalid_argument);
+  EXPECT_THROW(RouteCache(0, CachePolicy::kLru), gametrace::ContractViolation);
 }
 
 TEST(RouteCache, MissThenHit) {

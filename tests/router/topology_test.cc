@@ -5,6 +5,8 @@
 #include "game/config.h"
 #include "core/experiment.h"
 
+#include "core/check.h"
+
 namespace gametrace::router {
 namespace {
 
@@ -30,9 +32,9 @@ net::PacketRecord MakeRecord(double t, net::Direction dir) {
 
 TEST(DeviceChain, Validation) {
   sim::Simulator s;
-  EXPECT_THROW(DeviceChain(s, {}), std::invalid_argument);
+  EXPECT_THROW(DeviceChain(s, {}), gametrace::ContractViolation);
   DeviceChain::Config negative{.hops = {QuietHop()}, .link_delay = -1.0};
-  EXPECT_THROW(DeviceChain(s, negative), std::invalid_argument);
+  EXPECT_THROW(DeviceChain(s, negative), gametrace::ContractViolation);
 }
 
 TEST(DeviceChain, SingleHopDeliversBothDirections) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::sim {
 namespace {
 
@@ -18,9 +20,9 @@ TEST(DiurnalCurve, SinglePointIsConstant) {
 }
 
 TEST(DiurnalCurve, Validation) {
-  EXPECT_THROW(DiurnalCurve({{24.0, 1.0}}), std::invalid_argument);
-  EXPECT_THROW(DiurnalCurve({{-1.0, 1.0}}), std::invalid_argument);
-  EXPECT_THROW(DiurnalCurve({{3.0, -0.5}}), std::invalid_argument);
+  EXPECT_THROW(DiurnalCurve({{24.0, 1.0}}), gametrace::ContractViolation);
+  EXPECT_THROW(DiurnalCurve({{-1.0, 1.0}}), gametrace::ContractViolation);
+  EXPECT_THROW(DiurnalCurve({{3.0, -0.5}}), gametrace::ContractViolation);
 }
 
 TEST(DiurnalCurve, InterpolatesBetweenPoints) {

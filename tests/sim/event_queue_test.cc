@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::sim {
 namespace {
 
@@ -14,8 +16,8 @@ TEST(EventQueue, EmptyBehaviour) {
   EventQueue q;
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
-  EXPECT_THROW((void)q.NextTime(), std::logic_error);
-  EXPECT_THROW((void)q.Pop(), std::logic_error);
+  EXPECT_THROW((void)q.NextTime(), gametrace::ContractViolation);
+  EXPECT_THROW((void)q.Pop(), gametrace::ContractViolation);
 }
 
 TEST(EventQueue, PopsInTimeOrder) {
@@ -87,7 +89,7 @@ TEST(EventQueue, CancelAfterPopFails) {
 
 TEST(EventQueue, EmptyHandlerRejected) {
   EventQueue q;
-  EXPECT_THROW(q.Schedule(1.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(q.Schedule(1.0, nullptr), gametrace::ContractViolation);
 }
 
 TEST(EventQueue, ManyEventsStressOrder) {
@@ -208,14 +210,14 @@ TEST(EventQueue, PeriodicInterleavesWithOneShots) {
 TEST(EventQueue, PopThrowsOnPeriodic) {
   EventQueue q;
   q.SchedulePeriodic(1.0, 1.0, [] {});
-  EXPECT_THROW((void)q.Pop(), std::logic_error);
+  EXPECT_THROW((void)q.Pop(), gametrace::ContractViolation);
 }
 
 TEST(EventQueue, PeriodicValidation) {
   EventQueue q;
-  EXPECT_THROW(q.SchedulePeriodic(1.0, 0.0, [] {}), std::invalid_argument);
-  EXPECT_THROW(q.SchedulePeriodic(1.0, -1.0, [] {}), std::invalid_argument);
-  EXPECT_THROW(q.SchedulePeriodic(1.0, 1.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(q.SchedulePeriodic(1.0, 0.0, [] {}), gametrace::ContractViolation);
+  EXPECT_THROW(q.SchedulePeriodic(1.0, -1.0, [] {}), gametrace::ContractViolation);
+  EXPECT_THROW(q.SchedulePeriodic(1.0, 1.0, nullptr), gametrace::ContractViolation);
 }
 
 TEST(EventQueue, HandlerMayRescheduleDuringRun) {

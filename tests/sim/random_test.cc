@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::sim {
 namespace {
 
@@ -39,8 +41,8 @@ TEST(Random, ExponentialMoments) {
 
 TEST(Random, ExponentialValidation) {
   Rng rng(3);
-  EXPECT_THROW((void)Exponential(rng, 0.0), std::invalid_argument);
-  EXPECT_THROW((void)Exponential(rng, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)Exponential(rng, 0.0), gametrace::ContractViolation);
+  EXPECT_THROW((void)Exponential(rng, -1.0), gametrace::ContractViolation);
 }
 
 TEST(Random, NormalMoments) {
@@ -88,8 +90,8 @@ TEST(Random, LognormalZeroStddevIsDegenerate) {
 
 TEST(Random, LognormalValidation) {
   Rng rng(8);
-  EXPECT_THROW((void)LognormalFromMoments(rng, 0.0, 1.0), std::invalid_argument);
-  EXPECT_THROW((void)LognormalFromMoments(rng, 1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)LognormalFromMoments(rng, 0.0, 1.0), gametrace::ContractViolation);
+  EXPECT_THROW((void)LognormalFromMoments(rng, 1.0, -1.0), gametrace::ContractViolation);
 }
 
 TEST(Random, ParetoTailAndScale) {
@@ -99,7 +101,7 @@ TEST(Random, ParetoTailAndScale) {
   double sum = 0.0;
   for (int i = 0; i < kDraws; ++i) sum += Pareto(rng, 1.0, 3.0);
   EXPECT_NEAR(sum / kDraws, 1.5, 0.03);
-  EXPECT_THROW((void)Pareto(rng, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)Pareto(rng, 0.0, 1.0), gametrace::ContractViolation);
 }
 
 TEST(Random, BernoulliRate) {
@@ -151,11 +153,11 @@ TEST(Random, DiscreteValidation) {
   Rng rng(15);
   const std::vector<double> zero{0.0, 0.0};
   const std::vector<double> negative{1.0, -1.0};
-  EXPECT_THROW((void)Discrete(rng, zero), std::invalid_argument);
-  EXPECT_THROW((void)Discrete(rng, negative), std::invalid_argument);
+  EXPECT_THROW((void)Discrete(rng, zero), gametrace::ContractViolation);
+  EXPECT_THROW((void)Discrete(rng, negative), gametrace::ContractViolation);
 }
 
-TEST(ZipfSampler, Validation) { EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument); }
+TEST(ZipfSampler, Validation) { EXPECT_THROW(ZipfSampler(0, 1.0), gametrace::ContractViolation); }
 
 TEST(ZipfSampler, PopularHeadsDominarte) {
   ZipfSampler zipf(1000, 1.0);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::sim {
 namespace {
 
@@ -47,8 +49,8 @@ TEST(Simulator, AfterSchedulesRelative) {
 TEST(Simulator, PastSchedulingRejected) {
   Simulator s;
   s.At(5.0, [&] {
-    EXPECT_THROW(s.At(4.0, [] {}), std::invalid_argument);
-    EXPECT_THROW(s.After(-1.0, [] {}), std::invalid_argument);
+    EXPECT_THROW(s.At(4.0, [] {}), gametrace::ContractViolation);
+    EXPECT_THROW(s.After(-1.0, [] {}), gametrace::ContractViolation);
     EXPECT_NO_THROW(s.At(5.0, [] {}));  // same time is fine
   });
   s.RunUntil(10.0);
@@ -120,7 +122,7 @@ TEST(Simulator, EveryFiresOnCadenceUntilCancelled) {
 
 TEST(Simulator, EveryRejectsPastStart) {
   Simulator s;
-  s.At(5.0, [&] { EXPECT_THROW(s.Every(4.0, 1.0, [] {}), std::invalid_argument); });
+  s.At(5.0, [&] { EXPECT_THROW(s.Every(4.0, 1.0, [] {}), gametrace::ContractViolation); });
   s.RunUntil(10.0);
 }
 

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 namespace {
 
@@ -21,7 +23,7 @@ TEST(Autocorrelation, ConstantSeriesIsZero) {
 
 TEST(Autocorrelation, LagValidation) {
   const std::vector<double> xs{1.0, 2.0};
-  EXPECT_THROW((void)AutocorrelationAt(xs, 2), std::invalid_argument);
+  EXPECT_THROW((void)AutocorrelationAt(xs, 2), gametrace::ContractViolation);
 }
 
 TEST(Autocorrelation, AlternatingSeriesNegativeAtLagOne) {

@@ -5,20 +5,22 @@
 #include "sim/rng.h"
 #include "stats/histogram.h"
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 namespace {
 
 TEST(EmpiricalDistribution, EmptyBehaviour) {
   EmpiricalDistribution d;
   EXPECT_TRUE(d.empty());
-  EXPECT_THROW((void)d.Mean(), std::logic_error);
-  EXPECT_THROW((void)d.SampleByUniform(0.5), std::logic_error);
+  EXPECT_THROW((void)d.Mean(), gametrace::ContractViolation);
+  EXPECT_THROW((void)d.SampleByUniform(0.5), gametrace::ContractViolation);
 }
 
 TEST(EmpiricalDistribution, WeightValidation) {
   EmpiricalDistribution d;
-  EXPECT_THROW(d.Add(1.0, 0.0), std::invalid_argument);
-  EXPECT_THROW(d.Add(1.0, -2.0), std::invalid_argument);
+  EXPECT_THROW(d.Add(1.0, 0.0), gametrace::ContractViolation);
+  EXPECT_THROW(d.Add(1.0, -2.0), gametrace::ContractViolation);
 }
 
 TEST(EmpiricalDistribution, PointMass) {
@@ -54,8 +56,8 @@ TEST(EmpiricalDistribution, InverseCdfBoundaries) {
 TEST(EmpiricalDistribution, UniformArgumentValidation) {
   EmpiricalDistribution d;
   d.Add(1.0);
-  EXPECT_THROW((void)d.SampleByUniform(-0.1), std::invalid_argument);
-  EXPECT_THROW((void)d.SampleByUniform(1.0), std::invalid_argument);
+  EXPECT_THROW((void)d.SampleByUniform(-0.1), gametrace::ContractViolation);
+  EXPECT_THROW((void)d.SampleByUniform(1.0), gametrace::ContractViolation);
 }
 
 TEST(EmpiricalDistribution, UnsortedInsertionOrderIsHandled) {

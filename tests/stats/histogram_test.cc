@@ -2,13 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 namespace {
 
 TEST(Histogram, ConstructionValidation) {
-  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
-  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
-  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), gametrace::ContractViolation);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), gametrace::ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), gametrace::ContractViolation);
 }
 
 TEST(Histogram, BinGeometry) {
@@ -90,8 +92,8 @@ TEST(Histogram, QuantileInterpolatesWithinBin) {
 
 TEST(Histogram, QuantileValidation) {
   Histogram h(0.0, 10.0, 10);
-  EXPECT_THROW((void)h.Quantile(-0.1), std::invalid_argument);
-  EXPECT_THROW((void)h.Quantile(1.1), std::invalid_argument);
+  EXPECT_THROW((void)h.Quantile(-0.1), gametrace::ContractViolation);
+  EXPECT_THROW((void)h.Quantile(1.1), gametrace::ContractViolation);
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty -> lo
 }
 
@@ -105,7 +107,7 @@ TEST(Histogram, ModeBin) {
 
 TEST(Histogram, ModeBinEmptyThrows) {
   Histogram h(0.0, 10.0, 10);
-  EXPECT_THROW((void)h.ModeBin(), std::logic_error);
+  EXPECT_THROW((void)h.ModeBin(), gametrace::ContractViolation);
 }
 
 TEST(Histogram, ApproxMeanFromBinCenters) {
@@ -131,7 +133,7 @@ TEST(Histogram, MergeAddsCounts) {
 TEST(Histogram, MergeIncompatibleThrows) {
   Histogram a(0.0, 10.0, 10);
   Histogram b(0.0, 10.0, 5);
-  EXPECT_THROW(a.Merge(b), std::invalid_argument);
+  EXPECT_THROW(a.Merge(b), gametrace::ContractViolation);
 }
 
 // Property sweep: for a uniform fill, every quantile q must be within one

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 namespace {
 
@@ -51,10 +53,10 @@ TEST(FitLine, HorizontalLineZeroSlope) {
 TEST(FitLine, ErrorsOnBadInput) {
   const std::vector<double> one{1.0};
   const std::vector<double> two{1.0, 2.0};
-  EXPECT_THROW((void)FitLine(one, two), std::invalid_argument);
-  EXPECT_THROW((void)FitLine(one, one), std::invalid_argument);
+  EXPECT_THROW((void)FitLine(one, two), gametrace::ContractViolation);
+  EXPECT_THROW((void)FitLine(one, one), gametrace::ContractViolation);
   const std::vector<double> same_x{2.0, 2.0};
-  EXPECT_THROW((void)FitLine(same_x, two), std::invalid_argument);
+  EXPECT_THROW((void)FitLine(same_x, two), gametrace::ContractViolation);
 }
 
 TEST(FitLine, RSquaredLowForUncorrelated) {

@@ -12,6 +12,8 @@
 #include "stats/running_stats.h"
 #include "stats/time_series.h"
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 namespace {
 
@@ -110,8 +112,8 @@ TEST(MergeProperty, TimeSeriesMergeRejectsGeometryMismatch) {
   TimeSeries a(0.0, 1.0);
   TimeSeries interval(0.0, 2.0);
   TimeSeries start(1.0, 1.0);
-  EXPECT_THROW(a.Merge(interval), std::invalid_argument);
-  EXPECT_THROW(a.Merge(start), std::invalid_argument);
+  EXPECT_THROW(a.Merge(interval), gametrace::ContractViolation);
+  EXPECT_THROW(a.Merge(start), gametrace::ContractViolation);
 }
 
 TEST(MergeProperty, TimeSeriesMergeExtendsToLongerSeries) {
@@ -158,7 +160,7 @@ TEST(MergeProperty, P2QuantileMergeSmallSides) {
   EXPECT_EQ(a.count(), 5u);
 
   P2Quantile mismatched(0.25);
-  EXPECT_THROW(a.Merge(mismatched), std::invalid_argument);
+  EXPECT_THROW(a.Merge(mismatched), gametrace::ContractViolation);
 }
 
 }  // namespace

@@ -8,12 +8,14 @@
 #include "sim/random.h"
 #include "sim/rng.h"
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 namespace {
 
 TEST(P2Quantile, Validation) {
-  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
-  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(0.0), gametrace::ContractViolation);
+  EXPECT_THROW(P2Quantile(1.0), gametrace::ContractViolation);
   EXPECT_NO_THROW(P2Quantile(0.5));
 }
 

@@ -9,21 +9,23 @@
 #include "sim/random.h"
 #include "sim/rng.h"
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 namespace {
 
 TEST(RescaledRange, Validation) {
   TimeSeries tiny(0.0, 1.0);
   for (int i = 0; i < 10; ++i) tiny.Add(static_cast<double>(i), 1.0 + i % 2);
-  EXPECT_THROW((void)ComputeRescaledRange(tiny), std::invalid_argument);
+  EXPECT_THROW((void)ComputeRescaledRange(tiny), gametrace::ContractViolation);
 
   TimeSeries constant(0.0, 1.0);
   for (int i = 0; i < 1000; ++i) constant.Add(static_cast<double>(i), 5.0);
-  EXPECT_THROW((void)ComputeRescaledRange(constant), std::invalid_argument);
+  EXPECT_THROW((void)ComputeRescaledRange(constant), gametrace::ContractViolation);
 
   TimeSeries ok(0.0, 1.0);
   for (int i = 0; i < 1000; ++i) ok.Add(static_cast<double>(i), static_cast<double>(i % 3));
-  EXPECT_THROW((void)ComputeRescaledRange(ok, {.ratio = 1.0}), std::invalid_argument);
+  EXPECT_THROW((void)ComputeRescaledRange(ok, {.ratio = 1.0}), gametrace::ContractViolation);
 }
 
 TEST(RescaledRange, IidNoiseNearHalf) {

@@ -2,12 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 namespace {
 
 TEST(TimeSeries, ConstructionValidation) {
-  EXPECT_THROW(TimeSeries(0.0, 0.0), std::invalid_argument);
-  EXPECT_THROW(TimeSeries(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(0.0, 0.0), gametrace::ContractViolation);
+  EXPECT_THROW(TimeSeries(0.0, -1.0), gametrace::ContractViolation);
 }
 
 TEST(TimeSeries, AddGrowsOnDemand) {
@@ -86,7 +88,7 @@ TEST(TimeSeries, AggregateMeanDividesByFactor) {
 
 TEST(TimeSeries, AggregateZeroFactorThrows) {
   TimeSeries s(0.0, 1.0);
-  EXPECT_THROW((void)s.Aggregate(0), std::invalid_argument);
+  EXPECT_THROW((void)s.Aggregate(0), gametrace::ContractViolation);
 }
 
 TEST(TimeSeries, RateDividesByInterval) {
@@ -110,7 +112,7 @@ TEST(TimeSeries, PlusAlignsAndPads) {
 TEST(TimeSeries, PlusIncompatibleThrows) {
   TimeSeries a(0.0, 1.0);
   TimeSeries b(0.0, 2.0);
-  EXPECT_THROW((void)a.Plus(b), std::invalid_argument);
+  EXPECT_THROW((void)a.Plus(b), gametrace::ContractViolation);
 }
 
 TEST(TimeSeries, ScaledMultiplies) {

@@ -7,6 +7,8 @@
 #include "sim/random.h"
 #include "sim/rng.h"
 
+#include "core/check.h"
+
 namespace gametrace::stats {
 namespace {
 
@@ -75,15 +77,15 @@ TEST(VarianceTime, BlockSizesAreGeometric) {
 TEST(VarianceTime, Validation) {
   TimeSeries tiny(0.0, 1.0);
   tiny.Add(0.0, 1.0);
-  EXPECT_THROW((void)ComputeVarianceTime(tiny), std::invalid_argument);
+  EXPECT_THROW((void)ComputeVarianceTime(tiny), gametrace::ContractViolation);
 
   TimeSeries constant(0.0, 1.0);
   for (int i = 0; i < 100; ++i) constant.Add(static_cast<double>(i), 5.0);
-  EXPECT_THROW((void)ComputeVarianceTime(constant), std::invalid_argument);
+  EXPECT_THROW((void)ComputeVarianceTime(constant), gametrace::ContractViolation);
 
   TimeSeries ok(0.0, 1.0);
   for (int i = 0; i < 100; ++i) ok.Add(static_cast<double>(i), static_cast<double>(i % 3));
-  EXPECT_THROW((void)ComputeVarianceTime(ok, {.ratio = 1.0}), std::invalid_argument);
+  EXPECT_THROW((void)ComputeVarianceTime(ok, {.ratio = 1.0}), gametrace::ContractViolation);
 }
 
 TEST(VarianceTime, FitRegionFiltersByInterval) {
@@ -92,7 +94,7 @@ TEST(VarianceTime, FitRegionFiltersByInterval) {
   for (int i = 0; i < 100000; ++i) s.Add(i * 0.01, sim::Normal(rng, 5.0, 1.0));
   const VarianceTimePlot plot = ComputeVarianceTime(s);
   // A region with no points throws via FitLine.
-  EXPECT_THROW((void)plot.FitRegion(1e6, 1e9), std::invalid_argument);
+  EXPECT_THROW((void)plot.FitRegion(1e6, 1e9), gametrace::ContractViolation);
   const LineFit fit = plot.FitRegion(0.0, 1e9);
   EXPECT_EQ(fit.n, plot.points.size());
 }

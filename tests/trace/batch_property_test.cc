@@ -22,6 +22,8 @@
 #include "trace/session_tracker.h"
 #include "trace/summary.h"
 
+#include "core/check.h"
+
 namespace gametrace::trace {
 namespace {
 
@@ -287,8 +289,8 @@ TEST(BatchProperty, ShardNamespaceSinkValidatesShardId) {
   CountingSink sink;
   EXPECT_NO_THROW(ShardNamespaceSink(ShardNamespaceSink::kMaxShardId, sink));
   EXPECT_THROW(ShardNamespaceSink(ShardNamespaceSink::kMaxShardId + 1, sink),
-               std::invalid_argument);
-  EXPECT_THROW(ShardNamespaceSink(1000, sink), std::invalid_argument);
+               gametrace::ContractViolation);
+  EXPECT_THROW(ShardNamespaceSink(1000, sink), gametrace::ContractViolation);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::trace {
 namespace {
 
@@ -18,7 +20,7 @@ net::PacketRecord MakeRecord(double t, net::Direction dir,
 
 TEST(FilterSink, EmptyPredicateRejected) {
   CountingSink sink;
-  EXPECT_THROW(FilterSink(nullptr, sink), std::invalid_argument);
+  EXPECT_THROW(FilterSink(nullptr, sink), gametrace::ContractViolation);
 }
 
 TEST(FilterSink, DirectionFilter) {

@@ -13,6 +13,8 @@
 #include "trace/session_tracker.h"
 #include "trace/summary.h"
 
+#include "core/check.h"
+
 namespace gametrace::trace {
 namespace {
 
@@ -104,7 +106,7 @@ TEST(TraceSummaryMerge, EmptyAndOverheadMismatch) {
   EXPECT_DOUBLE_EQ(into_empty.first_packet_time(), 1.0);
 
   TraceSummary other_overhead(10);
-  EXPECT_THROW(a.Merge(other_overhead), std::invalid_argument);
+  EXPECT_THROW(a.Merge(other_overhead), gametrace::ContractViolation);
 }
 
 TEST(LoadAggregatorMerge, EqualsSinglePassOverConcatenation) {
@@ -135,8 +137,8 @@ TEST(LoadAggregatorMerge, RejectsMismatchedGeometry) {
   LoadAggregator a(0.05);
   LoadAggregator interval(0.10);
   LoadAggregator overhead(0.05, 0.0, 10);
-  EXPECT_THROW(a.Merge(interval), std::invalid_argument);
-  EXPECT_THROW(a.Merge(overhead), std::invalid_argument);
+  EXPECT_THROW(a.Merge(interval), gametrace::ContractViolation);
+  EXPECT_THROW(a.Merge(overhead), gametrace::ContractViolation);
 }
 
 TEST(SessionTrackerMerge, DisjointShardsConcatenate) {
@@ -182,7 +184,7 @@ TEST(SessionTrackerMerge, CollidingEndpointFoldsIntoOneSession) {
 TEST(SessionTrackerMerge, RejectsTimeoutMismatch) {
   SessionTracker a(30.0);
   SessionTracker b(10.0);
-  EXPECT_THROW(a.Merge(std::move(b)), std::invalid_argument);
+  EXPECT_THROW(a.Merge(std::move(b)), gametrace::ContractViolation);
 }
 
 TEST(ShardNamespaceSink, RewritesClientAddressPerShard) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.h"
+
 namespace gametrace::trace {
 namespace {
 
@@ -20,8 +22,8 @@ net::PacketRecord MakeRecord(double t, std::uint32_t ip, std::uint16_t port,
 }
 
 TEST(SessionTracker, Validation) {
-  EXPECT_THROW(SessionTracker(0.0), std::invalid_argument);
-  EXPECT_THROW(SessionTracker(-5.0), std::invalid_argument);
+  EXPECT_THROW(SessionTracker(0.0), gametrace::ContractViolation);
+  EXPECT_THROW(SessionTracker(-5.0), gametrace::ContractViolation);
 }
 
 TEST(SessionTracker, SingleSessionAccumulates) {

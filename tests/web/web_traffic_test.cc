@@ -7,6 +7,8 @@
 
 #include "trace/summary.h"
 
+#include "core/check.h"
+
 namespace gametrace::web {
 namespace {
 
@@ -23,16 +25,16 @@ TEST(WebTraffic, Validation) {
   trace::CountingSink sink;
   WebConfig bad = FastConfig();
   bad.flow_arrival_rate = 0.0;
-  EXPECT_THROW(WebTrafficSource(s, bad, sink), std::invalid_argument);
+  EXPECT_THROW(WebTrafficSource(s, bad, sink), gametrace::ContractViolation);
   bad = FastConfig();
   bad.pareto_alpha = 1.0;
-  EXPECT_THROW(WebTrafficSource(s, bad, sink), std::invalid_argument);
+  EXPECT_THROW(WebTrafficSource(s, bad, sink), gametrace::ContractViolation);
   bad = FastConfig();
   bad.initial_window = 0;
-  EXPECT_THROW(WebTrafficSource(s, bad, sink), std::invalid_argument);
+  EXPECT_THROW(WebTrafficSource(s, bad, sink), gametrace::ContractViolation);
   bad = FastConfig();
   bad.ack_every = 0;
-  EXPECT_THROW(WebTrafficSource(s, bad, sink), std::invalid_argument);
+  EXPECT_THROW(WebTrafficSource(s, bad, sink), gametrace::ContractViolation);
 }
 
 TEST(WebTraffic, FlowsArriveAtConfiguredRate) {
