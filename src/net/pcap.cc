@@ -1,12 +1,15 @@
 #include "net/pcap.h"
 
 #include <algorithm>
-
-#include "net/game_payload.h"
 #include <array>
 #include <cmath>
 #include <cstring>
-#include <stdexcept>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "core/check.h"
+#include "net/game_payload.h"
 
 namespace gametrace::net {
 
@@ -23,7 +26,7 @@ void WritePod(std::ofstream& out, T value) {
 }
 
 template <typename T>
-bool ReadPod(std::ifstream& in, T& value) {
+bool ReadPod(std::istream& in, T& value) {
   in.read(reinterpret_cast<char*>(&value), sizeof(value));
   return static_cast<bool>(in);
 }
@@ -38,7 +41,8 @@ std::uint32_t MaybeSwap(std::uint32_t v, bool swapped) noexcept {
 
 PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
     : out_(path, std::ios::binary | std::ios::trunc), snaplen_(snaplen) {
-  if (!out_) throw std::runtime_error("PcapWriter: cannot open " + path);
+  GT_CHECK_GT(snaplen, 0u) << "PcapWriter: snaplen must be positive";
+  if (!out_) throw PcapError("PcapWriter: cannot open " + path, 0);
   WritePod(out_, kMagic);
   WritePod(out_, kVersionMajor);
   WritePod(out_, kVersionMinor);
@@ -49,6 +53,12 @@ PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
 }
 
 void PcapWriter::WriteFrame(double timestamp, std::span<const std::uint8_t> frame) {
+  // The record header stores unsigned 32-bit seconds: a negative or
+  // non-finite timestamp would be undefined behaviour in the cast below.
+  GT_CHECK(timestamp >= 0.0 && timestamp < 4294967296.0)
+      << "PcapWriter::WriteFrame: timestamp " << timestamp << " outside the pcap epoch range";
+  GT_CHECK_LE(frame.size(), std::numeric_limits<std::uint32_t>::max())
+      << "PcapWriter::WriteFrame: frame exceeds the 32-bit record length field";
   const auto secs = static_cast<std::uint32_t>(timestamp);
   const auto usecs = static_cast<std::uint32_t>(
       std::lround((timestamp - static_cast<double>(secs)) * 1e6) % 1000000);
@@ -73,48 +83,81 @@ void PcapWriter::WriteRecord(const PacketRecord& record, const ServerEndpoint& s
 
 void PcapWriter::Flush() { out_.flush(); }
 
-PcapReader::PcapReader(const std::string& path) : in_(path, std::ios::binary) {
-  if (!in_) throw std::runtime_error("PcapReader: cannot open " + path);
+PcapReader::PcapReader(const std::string& path)
+    : in_(std::make_unique<std::ifstream>(path, std::ios::binary)) {
+  if (!*in_) throw PcapError("PcapReader: cannot open " + path, 0);
+  ReadGlobalHeader();
+}
+
+PcapReader::PcapReader(std::unique_ptr<std::istream> in) : in_(std::move(in)) {
+  GT_CHECK(in_ != nullptr) << "PcapReader: null stream";
+  ReadGlobalHeader();
+}
+
+std::uint64_t PcapReader::Offset() const {
+  auto pos = in_->tellg();
+  if (pos < 0) {
+    // tellg refuses to report a position once failbit is set (e.g. after the
+    // short read being diagnosed); clear the flags to recover it.
+    in_->clear();
+    pos = in_->tellg();
+  }
+  return pos < 0 ? 0 : static_cast<std::uint64_t>(pos);
+}
+
+void PcapReader::ReadGlobalHeader() {
   std::uint32_t magic = 0;
-  if (!ReadPod(in_, magic)) throw std::runtime_error("PcapReader: truncated header");
+  if (!ReadPod(*in_, magic)) throw PcapError("PcapReader: truncated header", Offset());
   if (magic == kMagic) {
     swapped_ = false;
   } else if (MaybeSwap(magic, true) == kMagic) {
     swapped_ = true;
   } else {
-    throw std::runtime_error("PcapReader: bad magic (not a classic pcap file)");
+    throw PcapError("PcapReader: bad magic (not a classic pcap file)", 0);
   }
   std::uint16_t maj = 0;
   std::uint16_t min = 0;
   std::int32_t zone = 0;
   std::uint32_t sigfigs = 0;
-  if (!ReadPod(in_, maj) || !ReadPod(in_, min) || !ReadPod(in_, zone) ||
-      !ReadPod(in_, sigfigs) || !ReadPod(in_, snaplen_) || !ReadPod(in_, link_type_)) {
-    throw std::runtime_error("PcapReader: truncated global header");
+  if (!ReadPod(*in_, maj) || !ReadPod(*in_, min) || !ReadPod(*in_, zone) ||
+      !ReadPod(*in_, sigfigs) || !ReadPod(*in_, snaplen_) || !ReadPod(*in_, link_type_)) {
+    throw PcapError("PcapReader: truncated global header", Offset());
   }
   snaplen_ = MaybeSwap(snaplen_, swapped_);
   link_type_ = MaybeSwap(link_type_, swapped_);
+  if (snaplen_ == 0 || snaplen_ > kMaxSaneLength) {
+    throw PcapError("PcapReader: implausible snaplen " + std::to_string(snaplen_), 0);
+  }
 }
 
 std::optional<PcapPacket> PcapReader::Next() {
   std::uint32_t secs = 0;
-  if (!ReadPod(in_, secs)) return std::nullopt;  // clean EOF
+  if (!ReadPod(*in_, secs)) return std::nullopt;  // clean EOF
   std::uint32_t usecs = 0;
   std::uint32_t incl = 0;
   std::uint32_t orig = 0;
-  if (!ReadPod(in_, usecs) || !ReadPod(in_, incl) || !ReadPod(in_, orig)) {
-    throw std::runtime_error("PcapReader: truncated record header");
+  if (!ReadPod(*in_, usecs) || !ReadPod(*in_, incl) || !ReadPod(*in_, orig)) {
+    throw PcapError("PcapReader: truncated record header", Offset());
   }
   secs = MaybeSwap(secs, swapped_);
   usecs = MaybeSwap(usecs, swapped_);
   incl = MaybeSwap(incl, swapped_);
-  if (incl > snaplen_ + 65536u) throw std::runtime_error("PcapReader: implausible record length");
+  orig = MaybeSwap(orig, swapped_);
+  // Record sanity: the stored length can never exceed the capture snaplen
+  // (with slack for writers that round snaplen up to the next power of two),
+  // and the original length can never be smaller than the stored portion.
+  if (incl > std::min<std::uint64_t>(std::uint64_t{snaplen_} + 65536u, kMaxSaneLength)) {
+    throw PcapError("PcapReader: implausible record length " + std::to_string(incl), Offset());
+  }
+  if (orig < incl) {
+    throw PcapError("PcapReader: record original length below stored length", Offset());
+  }
 
   PcapPacket pkt;
   pkt.timestamp = static_cast<double>(secs) + static_cast<double>(usecs) * 1e-6;
   pkt.frame.resize(incl);
-  in_.read(reinterpret_cast<char*>(pkt.frame.data()), incl);
-  if (!in_) throw std::runtime_error("PcapReader: truncated packet body");
+  in_->read(reinterpret_cast<char*>(pkt.frame.data()), incl);
+  if (!*in_) throw PcapError("PcapReader: truncated packet body", Offset());
   return pkt;
 }
 

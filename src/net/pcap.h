@@ -4,12 +4,21 @@
 // The paper's raw material is a tcpdump capture; this module lets the
 // simulator export byte-exact equivalents and lets the analysis pipeline
 // ingest real pcap files too.
+//
+// Error model: a malformed *file* (truncated, bad magic, implausible record
+// length) is environmental input, not a bug, so it raises PcapError - a
+// std::runtime_error carrying the byte offset of the damage. Misuse of the
+// API (negative timestamps, oversized frames, zero snaplen) is a contract
+// violation and fails through GT_CHECK.
 #pragma once
 
 #include <cstdint>
 #include <fstream>
+#include <istream>
+#include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,6 +26,20 @@
 #include "net/packet.h"
 
 namespace gametrace::net {
+
+// Corrupt or truncated pcap input. `offset` is the file position (in bytes)
+// at which the reader detected the damage.
+class PcapError : public std::runtime_error {
+ public:
+  PcapError(const std::string& what, std::uint64_t offset)
+      : std::runtime_error(what + " (at byte offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+
+ private:
+  std::uint64_t offset_;
+};
 
 struct PcapPacket {
   double timestamp = 0.0;  // seconds (+ fractional microseconds)
@@ -27,10 +50,11 @@ class PcapWriter {
  public:
   // Creates/truncates `path` and writes the global header.
   // snaplen: maximum stored frame size (longer frames are truncated, with
-  // the original length recorded, exactly as tcpdump -s does).
+  // the original length recorded, exactly as tcpdump -s does). Must be > 0.
   explicit PcapWriter(const std::string& path, std::uint32_t snaplen = 65535);
 
-  // Writes a raw frame at `timestamp` seconds.
+  // Writes a raw frame at `timestamp` seconds. The timestamp must be finite
+  // and non-negative (the record header stores unsigned seconds).
   void WriteFrame(double timestamp, std::span<const std::uint8_t> frame);
 
   // Convenience: synthesises the Ethernet/IPv4/UDP frame for a simulated
@@ -50,10 +74,21 @@ class PcapWriter {
 
 class PcapReader {
  public:
+  // Largest snaplen / record length the reader accepts before declaring the
+  // file corrupt. Real capture tools cap snaplen at 256 KiB; 64 MiB leaves
+  // two orders of magnitude of headroom while still rejecting the resize
+  // bombs a corrupt length field would otherwise trigger.
+  static constexpr std::uint32_t kMaxSaneLength = 64u * 1024 * 1024;
+
+  // Opens `path`; throws PcapError if the file cannot be opened or its
+  // global header is damaged.
   explicit PcapReader(const std::string& path);
 
-  // Reads the next packet; nullopt at end of file. Throws std::runtime_error
-  // on a corrupt record.
+  // Reads from an arbitrary stream (in-memory parsing, fuzz harnesses).
+  explicit PcapReader(std::unique_ptr<std::istream> in);
+
+  // Reads the next packet; nullopt at end of file. Throws PcapError on a
+  // corrupt record.
   std::optional<PcapPacket> Next();
 
   [[nodiscard]] std::uint32_t snaplen() const noexcept { return snaplen_; }
@@ -67,7 +102,10 @@ class PcapReader {
                                            std::uint64_t* skipped = nullptr);
 
  private:
-  std::ifstream in_;
+  void ReadGlobalHeader();
+  [[nodiscard]] std::uint64_t Offset() const;
+
+  std::unique_ptr<std::istream> in_;
   bool swapped_ = false;  // file written with opposite endianness
   std::uint32_t snaplen_ = 0;
   std::uint32_t link_type_ = 0;

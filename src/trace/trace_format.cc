@@ -3,6 +3,9 @@
 #include <array>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
+
+#include "core/check.h"
 
 namespace gametrace::trace {
 
@@ -49,7 +52,7 @@ net::PacketRecord Decode(const std::array<std::uint8_t, kRecordBytes>& buf) {
 
 TraceWriter::TraceWriter(const std::string& path, const net::ServerEndpoint& server)
     : out_(path, std::ios::binary | std::ios::trunc) {
-  if (!out_) throw std::runtime_error("TraceWriter: cannot open " + path);
+  if (!out_) throw TraceError("TraceWriter: cannot open " + path);
   TraceHeader header;
   header.server = server;
   out_.write(reinterpret_cast<const char*>(&header.magic), sizeof(header.magic));
@@ -67,30 +70,40 @@ void TraceWriter::OnPacket(const net::PacketRecord& record) {
 
 void TraceWriter::Flush() { out_.flush(); }
 
-TraceReader::TraceReader(const std::string& path) : in_(path, std::ios::binary) {
-  if (!in_) throw std::runtime_error("TraceReader: cannot open " + path);
+TraceReader::TraceReader(const std::string& path)
+    : in_(std::make_unique<std::ifstream>(path, std::ios::binary)) {
+  if (!*in_) throw TraceError("TraceReader: cannot open " + path);
+  ReadHeader();
+}
+
+TraceReader::TraceReader(std::unique_ptr<std::istream> in) : in_(std::move(in)) {
+  GT_CHECK(in_ != nullptr) << "TraceReader: null stream";
+  ReadHeader();
+}
+
+void TraceReader::ReadHeader() {
   std::uint32_t magic = 0;
   std::uint32_t version = 0;
   std::uint32_t ip = 0;
   std::uint16_t port = 0;
-  in_.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in_.read(reinterpret_cast<char*>(&version), sizeof(version));
-  in_.read(reinterpret_cast<char*>(&ip), sizeof(ip));
-  in_.read(reinterpret_cast<char*>(&port), sizeof(port));
-  if (!in_ || magic != TraceHeader::kMagic) {
-    throw std::runtime_error("TraceReader: not a gametrace file");
+  in_->read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in_->read(reinterpret_cast<char*>(&version), sizeof(version));
+  in_->read(reinterpret_cast<char*>(&ip), sizeof(ip));
+  in_->read(reinterpret_cast<char*>(&port), sizeof(port));
+  if (!*in_ || magic != TraceHeader::kMagic) {
+    throw TraceError("TraceReader: not a gametrace file");
   }
-  if (version != 2) throw std::runtime_error("TraceReader: unsupported version");
+  if (version != 2) throw TraceError("TraceReader: unsupported version");
   server_.ip = net::Ipv4Address(ip);
   server_.port = port;
 }
 
 std::optional<net::PacketRecord> TraceReader::Next() {
   std::array<std::uint8_t, kRecordBytes> buf{};
-  in_.read(reinterpret_cast<char*>(buf.data()), buf.size());
-  if (in_.gcount() == 0) return std::nullopt;  // clean EOF
-  if (static_cast<std::size_t>(in_.gcount()) != buf.size()) {
-    throw std::runtime_error("TraceReader: truncated record");
+  in_->read(reinterpret_cast<char*>(buf.data()), buf.size());
+  if (in_->gcount() == 0) return std::nullopt;  // clean EOF
+  if (static_cast<std::size_t>(in_->gcount()) != buf.size()) {
+    throw TraceError("TraceReader: truncated record");
   }
   return Decode(buf);
 }

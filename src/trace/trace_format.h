@@ -7,7 +7,10 @@
 
 #include <cstdint>
 #include <fstream>
+#include <istream>
+#include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -15,6 +18,13 @@
 #include "trace/capture.h"
 
 namespace gametrace::trace {
+
+// Corrupt or truncated .gtr input (environmental error, not a contract
+// violation): unknown magic, unsupported version, torn trailing record.
+class TraceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct TraceHeader {
   static constexpr std::uint32_t kMagic = 0x47545231;  // "GTR1"
@@ -42,9 +52,12 @@ class TraceReader {
  public:
   explicit TraceReader(const std::string& path);
 
+  // Reads from an arbitrary stream (in-memory parsing, fuzz harnesses).
+  explicit TraceReader(std::unique_ptr<std::istream> in);
+
   [[nodiscard]] const net::ServerEndpoint& server() const noexcept { return server_; }
 
-  // Next record, or nullopt at EOF. Throws on a corrupt file.
+  // Next record, or nullopt at EOF. Throws TraceError on a corrupt file.
   std::optional<net::PacketRecord> Next();
 
   // Streams all remaining records into `sink`; returns the count.
@@ -53,7 +66,9 @@ class TraceReader {
   std::vector<net::PacketRecord> ReadAll();
 
  private:
-  std::ifstream in_;
+  void ReadHeader();
+
+  std::unique_ptr<std::istream> in_;
   net::ServerEndpoint server_;
 };
 
