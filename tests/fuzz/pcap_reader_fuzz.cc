@@ -1,0 +1,38 @@
+// libFuzzer smoke harness for the pcap reader.
+//
+// Treats the input bytes as a complete capture file. The reader must either
+// parse it or raise PcapError; any other escape (crash, sanitizer report,
+// contract violation, unbounded allocation) is a finding. Build via the
+// `fuzz` CMake preset; CI runs this for 30 s per push from the committed
+// seed corpus in tests/fuzz/corpus/pcap.
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "net/packet.h"
+#include "net/pcap.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::string bytes(reinterpret_cast<const char*>(data), size);
+  try {
+    gametrace::net::PcapReader reader(std::make_unique<std::istringstream>(std::move(bytes)));
+    // Exercise both the raw record path and the UDP/IPv4 decode path.
+    while (reader.Next()) {
+    }
+  } catch (const gametrace::net::PcapError&) {
+    // Expected rejection of malformed input.
+  }
+
+  std::string again(reinterpret_cast<const char*>(data), size);
+  try {
+    gametrace::net::PcapReader reader(std::make_unique<std::istringstream>(std::move(again)));
+    const gametrace::net::ServerEndpoint server{gametrace::net::Ipv4Address{192, 168, 0, 10},
+                                                27015};
+    std::uint64_t skipped = 0;
+    (void)reader.ReadAllRecords(server, &skipped);
+  } catch (const gametrace::net::PcapError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// libFuzzer smoke harness for the .gtr trace-format parser.
+//
+// The reader must either parse the bytes or raise TraceError; anything else
+// (crash, sanitizer report, contract violation) is a finding. Build via the
+// `fuzz` CMake preset; CI runs this for 30 s per push from the committed
+// seed corpus in tests/fuzz/corpus/trace.
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "trace/trace_format.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::string bytes(reinterpret_cast<const char*>(data), size);
+  try {
+    gametrace::trace::TraceReader reader(std::make_unique<std::istringstream>(std::move(bytes)));
+    while (reader.Next()) {
+    }
+  } catch (const gametrace::trace::TraceError&) {
+    // Expected rejection of malformed input.
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every first-party translation unit using the
+# compile database exported by the tidy preset.
+#
+#   cmake --preset tidy
+#   cmake --build --preset tidy        # generated headers, if any
+#   tools/run_clang_tidy.sh [extra clang-tidy args...]
+#
+# Exits non-zero if clang-tidy reports any diagnostic escalated by
+# WarningsAsErrors in .clang-tidy.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${GAMETRACE_TIDY_BUILD_DIR:-${repo_root}/build-tidy}"
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "error: ${build_dir}/compile_commands.json not found." >&2
+  echo "Run 'cmake --preset tidy' first (or set GAMETRACE_TIDY_BUILD_DIR)." >&2
+  exit 2
+fi
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${tidy}" >/dev/null 2>&1; then
+  echo "error: ${tidy} not found on PATH (set CLANG_TIDY to override)." >&2
+  exit 2
+fi
+
+runner="$(command -v run-clang-tidy || true)"
+
+cd "${repo_root}"
+mapfile -t sources < <(git ls-files 'src/*.cc' 'tests/*.cc' 'bench/*.cc' 'examples/*.cc')
+echo "clang-tidy over ${#sources[@]} translation units..."
+
+if [[ -n "${runner}" ]]; then
+  "${runner}" -clang-tidy-binary "${tidy}" -p "${build_dir}" -quiet "$@" "${sources[@]}"
+else
+  "${tidy}" -p "${build_dir}" --quiet "$@" "${sources[@]}"
+fi
