@@ -99,8 +99,9 @@ Outcome RunMix(double web_flow_rate, bool qoe_enabled, double duration) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   const auto scale = core::ExperimentScale::FromEnv(600.0);
   bench::PrintScaleBanner("Ablation - background bulk transfers on the bottleneck",
                           scale.duration, scale.full);

@@ -52,8 +52,9 @@ Outcome RunChain(int hops, double capacity_pps, std::size_t buffers, double dura
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   const auto scale = core::ExperimentScale::FromEnv(120.0);
   bench::PrintScaleBanner("Ablation - loss/delay across multiple hops", scale.duration,
                           scale.full);

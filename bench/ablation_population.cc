@@ -12,8 +12,9 @@
 #include "core/aggregate.h"
 #include "core/fleet.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   const auto scale = core::ExperimentScale::FromEnv(57600.0);
   bench::PrintScaleBanner("Ablation - population-driven aggregate self-similarity",
                           scale.duration, scale.full);
@@ -36,7 +37,7 @@ int main() {
             << "          " << core::FormatDouble(heavy.coarse_hurst, 2) << "\n";
 
   std::cout << "\n# aggregate load (pps), heavy-tailed populations, 1-min bins:\n";
-  core::PrintSeries(std::cout, heavy.total_load_pps.AggregateMean(60), "pps", 200);
+  bench::PrintSeries(std::cout, heavy.total_load_pps.AggregateMean(60), "pps", 200);
 
   std::cout << "\nPaper-vs-measured:\n";
   bench::Compare("Fixed population aggregate", "no fractal behaviour (H ~ 1/2)",

@@ -31,8 +31,9 @@ gametrace::core::NatExperimentResult RunVariant(bool qoe, double duration) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   const auto scale = core::ExperimentScale::FromEnv(1800.0);
   bench::PrintScaleBanner("Ablation - QoE self-tuning loss", scale.duration, scale.full);
 
@@ -54,7 +55,7 @@ int main() {
   report("QoE enabled  (quit above ~1.2-3.5% loss)", with);
 
   std::cout << "\n# per-minute players, QoE enabled (watch the shedding):\n";
-  core::PrintSeries(std::cout, with.players, "players", 120);
+  bench::PrintSeries(std::cout, with.players, "players", 120);
 
   std::cout << "\nPaper-vs-measured:\n";
   bench::Compare("Players shed load under loss", "yes",

@@ -13,8 +13,9 @@
 #include "router/routing_table.h"
 #include "sim/random.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   const auto scale = core::ExperimentScale::FromEnv(600.0);
   bench::PrintScaleBanner("Ablation - route cache policies (paper section IV-B)",
                           scale.duration, scale.full);

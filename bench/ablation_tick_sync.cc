@@ -64,8 +64,9 @@ Outcome RunVariant(const Variant& variant, double duration) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   const auto scale = core::ExperimentScale::FromEnv(7200.0);
   bench::PrintScaleBanner("Ablation - broadcast synchrony and map rotation", scale.duration,
                           scale.full);

@@ -6,17 +6,123 @@
 // entire 626,477 s week. Scaling shortens the simulated window only: the
 // tick, map, session and size mechanisms are untouched, so every *shape*
 // reported by the paper is preserved; totals scale with duration.
+//
+// Observability knobs (see DESIGN.md, "Observability"):
+//   --metrics-out=<path> / GAMETRACE_METRICS_OUT  - metrics JSON snapshot
+//   --trace-out=<path>   / GAMETRACE_TRACE_OUT    - Chrome trace_event JSON
+//   GAMETRACE_VERBOSE=0                           - suppress series dumps
+//   GAMETRACE_HEARTBEAT=<s>                       - stderr progress pulse
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/characterizer.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "game/config.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/prof.h"
+#include "obs/trace_log.h"
 
 namespace gametrace::bench {
+
+// Whether long series dumps go to stdout. GAMETRACE_VERBOSE=0 silences
+// them (CI perf-smoke does); anything else, or unset, keeps them.
+inline bool Verbose() {
+  static const bool verbose = [] {
+    const char* env = std::getenv("GAMETRACE_VERBOSE");
+    return env == nullptr || std::string_view(env) != "0";
+  }();
+  return verbose;
+}
+
+// core::PrintSeries behind the verbosity gate: quiet runs print a one-line
+// placeholder instead of hundreds of (t, y) rows.
+inline void PrintSeries(std::ostream& out, const stats::TimeSeries& series,
+                        std::string_view name, std::size_t max_points = 0) {
+  if (!Verbose()) {
+    out << "# " << name << ": " << series.size()
+        << " bins (suppressed; unset GAMETRACE_VERBOSE to print)\n";
+    return;
+  }
+  core::PrintSeries(out, series, name, max_points);
+}
+
+// Per-binary observability session: parses --metrics-out= / --trace-out=
+// (or the matching environment variables), binds an ambient ObsContext for
+// the bench's lifetime when either output is requested, and writes the
+// JSON files - metrics including a profiling dump - at destruction.
+// Without outputs it binds nothing, so the bench runs exactly as before.
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg(argv[i]);
+      if (arg.starts_with("--metrics-out=")) {
+        metrics_path_ = arg.substr(14);
+      } else if (arg.starts_with("--trace-out=")) {
+        trace_path_ = arg.substr(12);
+      }
+    }
+    if (metrics_path_.empty()) {
+      if (const char* env = std::getenv("GAMETRACE_METRICS_OUT")) metrics_path_ = env;
+    }
+    if (trace_path_.empty()) {
+      if (const char* env = std::getenv("GAMETRACE_TRACE_OUT")) trace_path_ = env;
+    }
+    if (metrics_path_.empty() && trace_path_.empty()) return;
+    obs::EnableProfiling(true);
+    binding_.emplace(obs::ObsContext{.metrics = &metrics_,
+                                     .trace = &trace_,
+                                     .shard_id = 0,
+                                     .heartbeat = true});
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+    if (!binding_.has_value()) return;
+    binding_.reset();
+    obs::EnableProfiling(false);
+    if (!metrics_path_.empty()) {
+      obs::DumpProfilingInto(metrics_);
+      std::ofstream out(metrics_path_);
+      if (out) {
+        metrics_.WriteJson(out);
+        std::cerr << "[gametrace] metrics written to " << metrics_path_ << "\n";
+      } else {
+        std::cerr << "[gametrace] cannot write metrics to " << metrics_path_ << "\n";
+      }
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_);
+      if (out) {
+        trace_.WriteJson(out);
+        std::cerr << "[gametrace] trace written to " << trace_path_ << "\n";
+      } else {
+        std::cerr << "[gametrace] cannot write trace to " << trace_path_ << "\n";
+      }
+    }
+  }
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] obs::TraceLog& trace() noexcept { return trace_; }
+  [[nodiscard]] bool active() const noexcept { return binding_.has_value(); }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  obs::MetricsRegistry metrics_;
+  obs::TraceLog trace_;
+  std::optional<obs::ScopedObsBinding> binding_;
+};
 
 struct CharacterizedRun {
   double duration;

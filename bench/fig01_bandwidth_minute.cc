@@ -6,15 +6,16 @@
 
 #include "net/units.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   auto run = bench::RunCharacterized(21600.0);
   bench::PrintScaleBanner("Figure 1 - per-minute bandwidth", run.duration, run.full);
 
   const auto bw_kbps = run.report.minute_bytes_in.Plus(run.report.minute_bytes_out)
                            .Rate()
                            .Scaled(8.0 / 1e3);
-  core::PrintSeries(std::cout, bw_kbps, "total bandwidth (kbps) per minute", 400);
+  bench::PrintSeries(std::cout, bw_kbps, "total bandwidth (kbps) per minute", 400);
 
   std::cout << "\nPaper-vs-measured:\n";
   bench::Compare("Long-term level", "~800-900 kbps",

@@ -3,14 +3,15 @@
 // Paper shape: ~700-800 pps long-term with heavy short-term variation.
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   auto run = bench::RunCharacterized(21600.0);
   bench::PrintScaleBanner("Figure 2 - per-minute packet load", run.duration, run.full);
 
   const auto pps =
       run.report.minute_packets_in.Plus(run.report.minute_packets_out).Rate();
-  core::PrintSeries(std::cout, pps, "total packet load (pkts/sec) per minute", 400);
+  bench::PrintSeries(std::cout, pps, "total packet load (pkts/sec) per minute", 400);
 
   std::cout << "\nPaper-vs-measured:\n";
   bench::Compare("Long-term level", "~700-800 pps",

@@ -4,12 +4,13 @@
 // dips around the three outages that recover over minutes.
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   auto run = bench::RunCharacterized(43200.0);
   bench::PrintScaleBanner("Figure 3 - players over time", run.duration, run.full);
 
-  core::PrintSeries(std::cout, run.players, "players (sampled per minute)", 400);
+  bench::PrintSeries(std::cout, run.players, "players (sampled per minute)", 400);
 
   std::cout << "\nPaper-vs-measured:\n";
   bench::Compare("Mean players", "~18 (883 kbps / 40 kbps per player / 22 slots)",

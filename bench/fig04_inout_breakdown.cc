@@ -6,20 +6,21 @@
 
 #include "net/units.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   auto run = bench::RunCharacterized(21600.0);
   bench::PrintScaleBanner("Figure 4 - in/out bandwidth and packet load", run.duration,
                           run.full);
 
   const auto& r = run.report;
-  core::PrintSeries(std::cout, r.minute_bytes_in.Rate().Scaled(8.0 / 1e3),
+  bench::PrintSeries(std::cout, r.minute_bytes_in.Rate().Scaled(8.0 / 1e3),
                     "(a) incoming bandwidth (kbps)", 200);
-  core::PrintSeries(std::cout, r.minute_bytes_out.Rate().Scaled(8.0 / 1e3),
+  bench::PrintSeries(std::cout, r.minute_bytes_out.Rate().Scaled(8.0 / 1e3),
                     "(b) outgoing bandwidth (kbps)", 200);
-  core::PrintSeries(std::cout, r.minute_packets_in.Rate(), "(c) incoming packet load (pps)",
+  bench::PrintSeries(std::cout, r.minute_packets_in.Rate(), "(c) incoming packet load (pps)",
                     200);
-  core::PrintSeries(std::cout, r.minute_packets_out.Rate(),
+  bench::PrintSeries(std::cout, r.minute_packets_out.Rate(),
                     "(d) outgoing packet load (pps)", 200);
 
   const double in_bps = r.minute_bytes_in.Rate().Scaled(8.0).Mean();

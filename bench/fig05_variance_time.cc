@@ -8,8 +8,9 @@
 //   m > 30 min       - slope -1 (H ~ 1/2): short-range dependence.
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   // 24 h gives enough whole blocks past the 30-min boundary for a stable
   // large-scale fit.
   core::CharacterizationOptions options;

@@ -7,8 +7,9 @@
 #include "game/config.h"
 #include "trace/aggregator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   const auto scale = core::ExperimentScale::FromEnv(30.0);
   const auto config = game::GameConfig::ScaledDefaults(scale.duration);
   trace::LoadAggregator agg(0.010);

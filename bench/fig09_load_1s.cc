@@ -7,8 +7,9 @@
 #include "game/config.h"
 #include "trace/aggregator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   const auto scale = core::ExperimentScale::FromEnv(18000.0);
   const auto config = game::GameConfig::ScaledDefaults(scale.duration);
   trace::LoadAggregator agg(1.0);
@@ -18,7 +19,7 @@ int main() {
                           scale.full);
 
   const auto rate = agg.packet_rate_total();
-  core::PrintSeries(std::cout, rate, "total packet load (pkts/sec), 1 s bins", 600);
+  bench::PrintSeries(std::cout, rate, "total packet load (pkts/sec), 1 s bins", 600);
 
   // Find the dips: seconds with near-zero load well inside the trace.
   std::cout << "\n# map-change dips (1 s bins with < 50 pps):\n";

@@ -9,8 +9,9 @@
 #include "game/config.h"
 #include "trace/aggregator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   // One simulated day gives 48 x 30-min bins (the paper shows 200 from the
   // full week; GAMETRACE_FULL reproduces all ~348).
   const auto scale = core::ExperimentScale::FromEnv(86400.0);

@@ -6,8 +6,9 @@
 // ~100-150 kbps.
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   auto run = bench::RunCharacterized(43200.0);
   bench::PrintScaleBanner("Figure 11 - client bandwidth histogram", run.duration, run.full);
 

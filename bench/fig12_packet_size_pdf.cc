@@ -6,8 +6,9 @@
 // around a much larger mean.
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   auto run = bench::RunCharacterized(7200.0);
   bench::PrintScaleBanner("Figure 12 - packet size PDFs", run.duration, run.full);
 

@@ -6,8 +6,9 @@
 // Internet-exchange traffic.
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   auto run = bench::RunCharacterized(7200.0);
   bench::PrintScaleBanner("Figure 13 - packet size CDFs", run.duration, run.full);
 

@@ -9,8 +9,9 @@
 
 #include "router/device_stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   auto config = core::NatExperimentConfig::Defaults();
   const auto scale = core::ExperimentScale::FromEnv(config.duration);
   if (scale.duration != config.duration && !scale.full) {
@@ -24,8 +25,8 @@ int main() {
 
   const auto& offered = result.device.load_series(router::Segment::kClientsToNat);
   const auto& delivered = result.device.load_series(router::Segment::kNatToServer);
-  core::PrintSeries(std::cout, offered, "(a) clients -> NAT (pkts/sec)", 600);
-  core::PrintSeries(std::cout, delivered, "(b) NAT -> server (pkts/sec)", 600);
+  bench::PrintSeries(std::cout, offered, "(a) clients -> NAT (pkts/sec)", 600);
+  bench::PrintSeries(std::cout, delivered, "(b) NAT -> server (pkts/sec)", 600);
 
   // Drop-out accounting: seconds where delivery fell far below offer.
   int dropouts = 0;

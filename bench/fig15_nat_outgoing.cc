@@ -8,8 +8,9 @@
 
 #include "router/device_stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   auto config = core::NatExperimentConfig::Defaults();
   const auto scale = core::ExperimentScale::FromEnv(config.duration);
   if (scale.duration != config.duration && !scale.full) {
@@ -24,8 +25,8 @@ int main() {
   const auto& offered = result.device.load_series(router::Segment::kServerToNat);
   const auto& delivered = result.device.load_series(router::Segment::kNatToClients);
   const auto& inbound_delivered = result.device.load_series(router::Segment::kNatToServer);
-  core::PrintSeries(std::cout, offered, "(a) server -> NAT (pkts/sec)", 600);
-  core::PrintSeries(std::cout, delivered, "(b) NAT -> clients (pkts/sec)", 600);
+  bench::PrintSeries(std::cout, offered, "(a) server -> NAT (pkts/sec)", 600);
+  bench::PrintSeries(std::cout, delivered, "(b) NAT -> clients (pkts/sec)", 600);
 
   // Correlation of outgoing drop-outs with incoming loss windows: count
   // outgoing quiet seconds, and how many coincide with inbound shortfall.

@@ -21,6 +21,7 @@
 #include "core/experiment.h"
 #include "core/fleet.h"
 #include "game/config.h"
+#include "obs/prof.h"
 #include "router/route_cache.h"
 #include "router/routing_table.h"
 #include "sim/random.h"
@@ -277,6 +278,87 @@ HotpathPair MeasureHotpath(const HotpathWorkload& w, int depth) {
   return best;
 }
 
+// ---- Observability overhead ------------------------------------------
+
+// A unit of work comparable to one sink dispatch, with and without the
+// profiling scope, kept out-of-line so both compile to the same core loop.
+__attribute__((noinline)) std::uint64_t ProbeWithScope(std::uint64_t x) {
+  GT_PROF_SCOPE("obs.idle_probe");
+  return x * 2654435761ULL + 1;
+}
+
+__attribute__((noinline)) std::uint64_t ProbeWithoutScope(std::uint64_t x) {
+  return x * 2654435761ULL + 1;
+}
+
+// Best-of-5 per-call nanoseconds of `probe` over 0.05 s timing windows.
+double MeasureProbeNs(std::uint64_t (*probe)(std::uint64_t)) {
+  double best = 1e18;
+  for (int rep = 0; rep < 5; ++rep) {
+    std::uint64_t x = 1;
+    std::size_t calls = 0;
+    const auto start = std::chrono::steady_clock::now();
+    std::chrono::duration<double> elapsed{};
+    do {
+      for (int i = 0; i < 4096; ++i) x = probe(x);
+      calls += 4096;
+      elapsed = std::chrono::steady_clock::now() - start;
+    } while (elapsed.count() < 0.05);
+    benchmark::DoNotOptimize(x);
+    best = std::min(best, elapsed.count() * 1e9 / static_cast<double>(calls));
+  }
+  return best;
+}
+
+// GT_PROF_SCOPE cost per call while profiling is disabled - the price every
+// build pays on the hot path whether or not anyone is watching.
+void BM_ProfScopeIdle(benchmark::State& state) {
+  obs::EnableProfiling(false);
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    x = ProbeWithScope(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfScopeIdle);
+
+struct ObsOverhead {
+  double idle_scope_ns = 0.0;    // per GT_PROF_SCOPE, profiling disabled
+  double active_scope_ns = 0.0;  // per GT_PROF_SCOPE, profiling enabled
+  double scopes_per_record = 0.0;
+  double idle_overhead_fraction = 0.0;    // share of hot-path time, idle
+  double active_overhead_fraction = 0.0;  // measured end-to-end slowdown
+};
+
+// Quantifies the GT_PROF_SCOPE tax on the deepest hot-path chain. Idle
+// overhead is per-scope cost times scope density against the measured
+// per-record budget (the scopes are compiled in, so they cannot be switched
+// off for a differential run); active overhead is a direct A/B of the
+// depth-4 batched chain with profiling on vs off.
+ObsOverhead MeasureObsOverhead(const HotpathWorkload& w, double idle_batched_pps) {
+  ObsOverhead o;
+  obs::EnableProfiling(false);
+  const double without_ns = MeasureProbeNs(&ProbeWithoutScope);
+  o.idle_scope_ns = std::max(0.0, MeasureProbeNs(&ProbeWithScope) - without_ns);
+  obs::EnableProfiling(true);
+  o.active_scope_ns = std::max(0.0, MeasureProbeNs(&ProbeWithScope) - without_ns);
+  const auto active = MeasureHotpath(w, 4);
+  obs::EnableProfiling(false);
+  obs::ResetProfiling();
+
+  // Depth-4 batched: shard_ns -> tee -> {counting, load_agg, summary,
+  // sessions} is 6 scoped OnBatch calls per 35-record tick.
+  o.scopes_per_record = 6.0 / 35.0;
+  if (idle_batched_pps > 0.0) {
+    const double record_ns = 1e9 / idle_batched_pps;
+    o.idle_overhead_fraction = o.idle_scope_ns * o.scopes_per_record / record_ns;
+    o.active_overhead_fraction =
+        std::max(0.0, 1.0 - active.batched_pps / idle_batched_pps);
+  }
+  return o;
+}
+
 // Packets/sec sweep of scalar vs batched delivery per chain depth, written
 // to BENCH_hotpath.json. The acceptance bar for the batched path is >= 2x
 // on at least the deeper chains; `min_speedup` makes regressions visible.
@@ -291,6 +373,7 @@ void WriteHotpathJson(const std::string& path) {
   double min_speedup = 0.0;
   double max_speedup = 0.0;
   double emission_speedup = 0.0;  // depth 2: the shard tick-emission path
+  double deep_batched_pps = 0.0;  // depth 4: obs overhead reference
   bool first = true;
   for (int depth = 1; depth <= 4; ++depth) {
     const auto pair = MeasureHotpath(workload, depth);
@@ -298,6 +381,7 @@ void WriteHotpathJson(const std::string& path) {
     min_speedup = first ? speedup : std::min(min_speedup, speedup);
     max_speedup = std::max(max_speedup, speedup);
     if (depth == 2) emission_speedup = speedup;
+    if (depth == 4) deep_batched_pps = pair.batched_pps;
     if (!first) out << ",\n";
     first = false;
     out << "    {\"chain_depth\": " << depth << ", \"chain\": \"" << ChainName(depth)
@@ -307,10 +391,22 @@ void WriteHotpathJson(const std::string& path) {
     std::cerr << "hotpath depth " << depth << ": scalar " << pair.scalar_pps
               << " pkt/s, batched " << pair.batched_pps << " pkt/s (" << speedup << "x)\n";
   }
+  const ObsOverhead obs = MeasureObsOverhead(workload, deep_batched_pps);
   out << "\n  ],\n"
+      << "  \"obs\": {\"idle_scope_ns\": " << obs.idle_scope_ns
+      << ", \"active_scope_ns\": " << obs.active_scope_ns
+      << ", \"scopes_per_record\": " << obs.scopes_per_record
+      << ", \"idle_overhead_fraction\": " << obs.idle_overhead_fraction
+      << ", \"active_overhead_fraction\": " << obs.active_overhead_fraction << "},\n"
       << "  \"speedup\": " << emission_speedup << ",\n"
       << "  \"min_speedup\": " << min_speedup << ",\n"
       << "  \"max_speedup\": " << max_speedup << "\n}\n";
+  std::cerr << "obs overhead: idle scope " << obs.idle_scope_ns << " ns, active scope "
+            << obs.active_scope_ns << " ns, idle fraction " << obs.idle_overhead_fraction
+            << ", active fraction " << obs.active_overhead_fraction << "\n";
+  if (obs.idle_overhead_fraction >= 0.02) {
+    std::cerr << "WARNING: idle observability overhead above the 2% budget\n";
+  }
   if (out) {
     std::cerr << "wrote " << path << "\n";
   } else {

@@ -4,8 +4,9 @@
 // connections (5,886 unique); 24,004 attempted (8,207 unique).
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   auto run = bench::RunCharacterized(86400.0);
   bench::PrintScaleBanner("Table I - general trace information", run.duration, run.full);
 

@@ -7,8 +7,9 @@
 
 #include "net/units.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   auto run = bench::RunCharacterized(21600.0);
   bench::PrintScaleBanner("Table II - network usage information", run.duration, run.full);
   const auto& s = run.report.summary;

@@ -4,8 +4,9 @@
 // size 80.33 B (39.72 in / 129.51 out).
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   auto run = bench::RunCharacterized(21600.0);
   bench::PrintScaleBanner("Table III - application information", run.duration, run.full);
   const auto& s = run.report.summary;

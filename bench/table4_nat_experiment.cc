@@ -12,8 +12,9 @@
 #include "sim/simulator.h"
 #include "trace/loss_estimator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gametrace;
+  gametrace::bench::ObsSession obs_session(argc, argv);
   auto config = core::NatExperimentConfig::Defaults();
   const auto scale = core::ExperimentScale::FromEnv(config.duration);
   if (scale.duration != config.duration && !scale.full) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/fleet.h"
+#include "obs/obs.h"
 #include "sim/random.h"
 #include "sim/rng.h"
 
@@ -53,9 +54,20 @@ AggregateResult SimulateAggregatePopulation(const PopulationConfig& config) {
   const double dt = config.interval;
   std::vector<stats::TimeSeries> per_server(servers.size(),
                                             stats::TimeSeries(0.0, config.interval));
+  // One registry per server, reduced in server order below - same
+  // determinism recipe as the fleet shards.
+  std::vector<obs::MetricsRegistry> per_server_metrics(servers.size());
+  const double occupancy_hi = static_cast<double>(config.max_players) + 1.0;
   ParallelFor(config.servers, config.threads, [&](int index) {
     ServerState& s = servers[static_cast<std::size_t>(index)];
     stats::TimeSeries& occupancy = per_server[static_cast<std::size_t>(index)];
+    obs::MetricsRegistry& metrics = per_server_metrics[static_cast<std::size_t>(index)];
+    obs::Counter& arrivals_counter = metrics.counter("aggregate.arrivals");
+    obs::Counter& blocked_counter = metrics.counter("aggregate.blocked");
+    obs::Counter& departures_counter = metrics.counter("aggregate.departures");
+    stats::Histogram& occupancy_hist = metrics.histogram(
+        "aggregate.occupancy", 0.0, occupancy_hi,
+        static_cast<std::size_t>(config.max_players) + 1);
     for (std::size_t step = 0; step < steps; ++step) {
       if (config.modulate_interest) {
         s.phase_left -= dt;
@@ -71,22 +83,29 @@ AggregateResult SimulateAggregatePopulation(const PopulationConfig& config) {
       // Arrivals (blocked at the slot cap) and exponential departures.
       const auto arrivals =
           sim::Poisson(s.rng, config.base_attempt_rate * multiplier * dt);
+      std::uint64_t accepted = 0;
       for (std::uint64_t a = 0; a < arrivals && s.players < config.max_players; ++a) {
         ++s.players;
+        ++accepted;
       }
+      arrivals_counter.Add(accepted);
+      blocked_counter.Add(arrivals - accepted);
       const double leave_p = dt / config.mean_session;
       int leaving = 0;
       for (int p = 0; p < s.players; ++p) {
         if (sim::Bernoulli(s.rng, leave_p)) ++leaving;
       }
       s.players -= leaving;
+      departures_counter.Add(static_cast<std::uint64_t>(leaving));
       occupancy.Set(static_cast<double>(step) * dt, static_cast<double>(s.players));
+      occupancy_hist.Add(static_cast<double>(s.players));
     }
   });
 
   AggregateResult result{stats::TimeSeries(0.0, config.interval),
-                         stats::TimeSeries(0.0, config.interval), 0.0, {}};
+                         stats::TimeSeries(0.0, config.interval), 0.0, {}, {}};
   for (const auto& occupancy : per_server) result.total_players.Merge(occupancy);
+  for (const auto& metrics : per_server_metrics) result.metrics.Merge(metrics);
   for (std::size_t step = 0; step < result.total_players.size(); ++step) {
     const double t = static_cast<double>(step) * dt;
     result.total_load_pps.Set(t, result.total_players[step] * config.pps_per_player);
@@ -101,6 +120,11 @@ AggregateResult SimulateAggregatePopulation(const PopulationConfig& config) {
     // session time constant): fall back to everything we have.
     result.coarse_hurst =
         result.variance_time.HurstEstimate(0.0, config.duration / 8.0);
+  }
+  // Surface the reduced accounting in the caller's ambient registry too,
+  // so --metrics-out exports see it without extra plumbing.
+  if (obs::MetricsRegistry* ambient = obs::Current().metrics; ambient != nullptr) {
+    ambient->Merge(result.metrics);
   }
   return result;
 }

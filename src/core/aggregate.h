@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "stats/time_series.h"
 #include "stats/variance_time.h"
 
@@ -66,6 +67,11 @@ struct AggregateResult {
   // (H -> 1/2); heavy-tailed interest keeps H high.
   double coarse_hurst = 0.0;
   stats::VarianceTimePlot variance_time;
+  // Population accounting, reduced from per-server registries in server
+  // order: counters "aggregate.arrivals" / "aggregate.blocked" /
+  // "aggregate.departures" and the occupancy-sample histogram
+  // "aggregate.occupancy". Bit-identical for any worker-thread count.
+  obs::MetricsRegistry metrics;
 };
 
 // Simulates the population processes and returns the aggregate series and

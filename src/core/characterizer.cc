@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/check.h"
+#include "obs/prof.h"
 
 namespace gametrace::core {
 
@@ -36,6 +37,7 @@ void Characterizer::OnPacket(const net::PacketRecord& record) {
 }
 
 void Characterizer::OnBatch(std::span<const net::PacketRecord> batch) {
+  GT_PROF_SCOPE("core.characterizer.on_batch");
   summary_.OnBatch(batch);
   minute_agg_.OnBatch(batch);
   sessions_.OnBatch(batch);

@@ -1,11 +1,53 @@
 #include "core/experiment.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace_log.h"
 #include "sim/simulator.h"
 
 namespace gametrace::core {
+
+namespace {
+
+// Heartbeat policy: GAMETRACE_HEARTBEAT=<wall seconds> forces an interval
+// (0 disables); unset, runs of an hour-plus of simulated time get a pulse
+// every 10 wall seconds and short runs stay silent. The ambient obs
+// context can veto it (fleet shards > 0 do).
+double ResolveHeartbeatInterval(double trace_duration) {
+  if (const char* env = std::getenv("GAMETRACE_HEARTBEAT"); env != nullptr) {
+    const double parsed = std::strtod(env, nullptr);
+    return parsed > 0.0 ? parsed : 0.0;
+  }
+  return trace_duration >= 3600.0 ? 10.0 : 0.0;
+}
+
+// Installs the stderr progress printer on `simulator`. `server` is
+// borrowed; the heartbeat dies with the simulator at the end of the run.
+void InstallHeartbeat(sim::Simulator& simulator, const game::CsServer& server,
+                      double duration, double interval) {
+  simulator.SetHeartbeat(
+      interval, [&server, duration](const sim::Simulator::HeartbeatStatus& s) {
+        const double rate = s.sim_seconds_per_second;
+        const double remaining = duration - s.sim_now;
+        const std::uint64_t packets = server.stats().packets_emitted;
+        const double pps = s.sim_now > 0.0 ? static_cast<double>(packets) / s.sim_now : 0.0;
+        std::fprintf(stderr,
+                     "[gametrace] sim %.0fs/%.0fs (%.1f%%)  players %d  pps %.0f  "
+                     "events/s %.2e  queue hw %zu  eta %s\n",
+                     s.sim_now, duration, 100.0 * s.sim_now / duration,
+                     server.active_players(), pps, s.events_per_second,
+                     s.queue_high_water,
+                     rate > 0.0
+                         ? (std::to_string(static_cast<long>(remaining / rate)) + "s").c_str()
+                         : "?");
+      });
+}
+
+}  // namespace
 
 ExperimentScale ExperimentScale::FromEnv(double default_duration) {
   ExperimentScale scale;
@@ -27,11 +69,35 @@ ExperimentScale ExperimentScale::FromEnv(double default_duration) {
 
 ServerTraceResult RunServerTrace(const game::GameConfig& config,
                                  std::span<trace::CaptureSink* const> sinks) {
+  const obs::ObsContext& ctx = obs::Current();
   sim::Simulator simulator;
   trace::TeeSink tee;
   for (trace::CaptureSink* sink : sinks) tee.Attach(*sink);
+
+  // Give the trace log a sim clock for the duration of the run, so RAII
+  // spans (and anything else that asks for "now") read simulator time.
+  if (ctx.trace != nullptr) {
+    ctx.trace->SetClock([&simulator] { return simulator.Now(); });
+  }
+
   game::CsServer server(simulator, config, tee);
-  server.Run();
+  if (ctx.heartbeat) {
+    const double interval = ResolveHeartbeatInterval(config.trace_duration);
+    if (interval > 0.0) InstallHeartbeat(simulator, server, config.trace_duration, interval);
+  }
+  {
+    const obs::ScopedSpan run_span(ctx.trace, "server_trace", "run");
+    server.Run();
+  }
+  if (ctx.trace != nullptr) ctx.trace->SetClock(nullptr);
+
+  // Simulator-level accounting for the metrics export.
+  if (ctx.metrics != nullptr) {
+    ctx.metrics->counter("sim.events_executed").Add(simulator.events_executed());
+    ctx.metrics->gauge("sim.queue.high_water", obs::Gauge::MergeMode::kMax)
+        .SetMax(static_cast<double>(simulator.queue_high_water()));
+  }
+
   ServerTraceResult result;
   result.stats = server.stats();
   result.players = server.player_series();
@@ -56,7 +122,11 @@ NatExperimentConfig NatExperimentConfig::Defaults() {
 }
 
 NatExperimentResult RunNatExperiment(const NatExperimentConfig& config) {
+  const obs::ObsContext& ctx = obs::Current();
   sim::Simulator simulator;
+  if (ctx.trace != nullptr) {
+    ctx.trace->SetClock([&simulator] { return simulator.Now(); });
+  }
   router::NatDevice nat(simulator, config.device);
   game::CsServer server(simulator, config.game, nat.injector());
 
@@ -97,7 +167,24 @@ NatExperimentResult RunNatExperiment(const NatExperimentConfig& config) {
   nat.Start();
   server.Start();
   if (qoe) qoe->Start();
-  simulator.RunUntil(config.duration);
+  if (ctx.heartbeat) {
+    const double interval = ResolveHeartbeatInterval(config.duration);
+    if (interval > 0.0) InstallHeartbeat(simulator, server, config.duration, interval);
+  }
+  {
+    const obs::ScopedSpan run_span(ctx.trace, "nat_experiment", "run");
+    simulator.RunUntil(config.duration);
+  }
+  if (ctx.trace != nullptr) ctx.trace->SetClock(nullptr);
+
+  if (ctx.metrics != nullptr) {
+    // The device's embedded registry (segment + queue accounting) joins
+    // the ambient export alongside the simulator-level counters.
+    ctx.metrics->Merge(nat.stats().metrics());
+    ctx.metrics->counter("sim.events_executed").Add(simulator.events_executed());
+    ctx.metrics->gauge("sim.queue.high_water", obs::Gauge::MergeMode::kMax)
+        .SetMax(static_cast<double>(simulator.queue_high_water()));
+  }
 
   NatExperimentResult result{.device = nat.stats(),
                              .server = server.stats(),

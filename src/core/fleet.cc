@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/obs.h"
 #include "sim/rng.h"
 #include "trace/capture.h"
 
@@ -73,8 +74,15 @@ FleetResult RunFleet(const FleetConfig& config) {
     game::CsServer::Stats stats;
     stats::TimeSeries players{0.0, 60.0};
     std::uint64_t seed = 0;
+    obs::MetricsRegistry metrics;
+    std::optional<obs::TraceLog> trace;
   };
   std::vector<ShardSlot> slots(static_cast<std::size_t>(config.shards));
+
+  // Category defaults of the ambient trace log (when one is bound) carry
+  // over to the shard logs, so e.g. enabling "tick" upstream enables it in
+  // every shard.
+  const obs::ObsContext ambient = obs::Current();
 
   ParallelFor(config.shards, config.threads, [&](int shard) {
     ShardSlot& slot = slots[static_cast<std::size_t>(shard)];
@@ -82,6 +90,17 @@ FleetResult RunFleet(const FleetConfig& config) {
     server.seed = sim::SubstreamSeed(config.base_seed, static_cast<std::uint64_t>(shard));
     slot.seed = server.seed;
     slot.partial.emplace(config.analysis);
+    slot.trace.emplace(/*pid=*/shard);
+    if (ambient.trace != nullptr) {
+      slot.trace->SetCategoryEnabled("tick", ambient.trace->CategoryEnabled("tick"));
+    }
+    // Each shard observes its own registry and log (merged below in shard
+    // order); only shard 0 may keep the operator heartbeat, so an N-way
+    // run does not interleave N pulses on stderr.
+    const obs::ScopedObsBinding bind({.metrics = &slot.metrics,
+                                      .trace = &*slot.trace,
+                                      .shard_id = shard,
+                                      .heartbeat = ambient.heartbeat && shard == 0});
     trace::ShardNamespaceSink namespaced(static_cast<std::uint32_t>(shard), *slot.partial);
     auto run = RunServerTrace(server, namespaced);
     slot.stats = run.stats;
@@ -106,6 +125,15 @@ FleetResult RunFleet(const FleetConfig& config) {
   for (std::size_t i = 0; i < slots.size(); ++i) {
     result.shards.push_back(ShardOutcome{static_cast<int>(i), slots[i].seed, slots[i].stats});
     result.total_packets += slots[i].stats.packets_emitted;
+    result.metrics.Merge(slots[i].metrics);
+    result.trace_log.Merge(std::move(*slots[i].trace));
+  }
+  // Flow into the caller's ambient context too, so a bound --metrics-out /
+  // --trace-out export sees the fleet without extra plumbing.
+  if (ambient.metrics != nullptr) ambient.metrics->Merge(result.metrics);
+  if (ambient.trace != nullptr) {
+    obs::TraceLog copy = result.trace_log;
+    ambient.trace->Merge(std::move(copy));
   }
   return result;
 }

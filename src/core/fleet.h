@@ -22,6 +22,8 @@
 #include "core/characterizer.h"
 #include "core/experiment.h"
 #include "game/config.h"
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
 
 namespace gametrace::core {
 
@@ -60,6 +62,12 @@ struct FleetResult {
   stats::TimeSeries total_players{0.0, 60.0};
   std::uint64_t total_packets = 0;
   int threads_used = 0;
+  // Per-shard observability, reduced in shard order: the merged registry is
+  // bit-identical for any worker-thread count, and the trace log keeps each
+  // event's originating shard as its pid. Both also flow into the caller's
+  // ambient obs context, when one is bound.
+  obs::MetricsRegistry metrics;
+  obs::TraceLog trace_log;
 };
 
 // Runs every shard's RunServerTrace on the worker pool and reduces the

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+#include "obs/prof.h"
 #include "sim/random.h"
 
 namespace gametrace::game {
@@ -39,7 +41,28 @@ CsServer::CsServer(sim::Simulator& simulator, GameConfig config, trace::CaptureS
       },
       [this](std::uint64_t session_id) { return live_sessions_.contains(session_id); });
   map_rotation_.SetCallbacks({.on_stall_begin = nullptr,
-                              .on_map_start = [this](double t) { OnMapStart(t); }});
+                              .on_map_start = [this](double t) { OnMapStart(t); },
+                              .on_round_start = [this](double t) {
+                                if (obs_.rounds_started != nullptr) obs_.rounds_started->Add();
+                                if (obs_.trace != nullptr) obs_.trace->Instant("round_start", "map", t);
+                              }});
+
+  // Bind to the ambient observability context (no-op outside a binding).
+  // Counters are registered once here so the per-event cost is one add.
+  const obs::ObsContext& ctx = obs::Current();
+  obs_.trace = ctx.trace;
+  if (ctx.metrics != nullptr) {
+    obs::MetricsRegistry& m = *ctx.metrics;
+    obs_.packets_emitted = &m.counter("server.packets_emitted");
+    obs_.attempts = &m.counter("server.connections.attempted");
+    obs_.established = &m.counter("server.connections.established");
+    obs_.refused = &m.counter("server.connections.refused");
+    obs_.orderly_disconnects = &m.counter("server.disconnects.orderly");
+    obs_.outage_disconnects = &m.counter("server.disconnects.outage");
+    obs_.maps_started = &m.counter("server.maps_started");
+    obs_.rounds_started = &m.counter("server.rounds_started");
+    obs_.peak_players = &m.gauge("server.peak_players", obs::Gauge::MergeMode::kMax);
+  }
 }
 
 void CsServer::Start() {
@@ -64,6 +87,10 @@ void CsServer::Run() {
 }
 
 void CsServer::OnTick(double t) {
+  GT_PROF_SCOPE("game.tick_emit");
+  if (obs_.trace != nullptr) {
+    obs_.trace->Complete("tick", "tick", t, t + config_.tick_interval);
+  }
   batching_ = true;
   const bool frozen = outages_.active() || t < stall_until_;
   const bool map_stalled = map_rotation_.stalled();
@@ -133,6 +160,7 @@ void CsServer::HandleAttempt(std::size_t identity, bool /*is_retry*/) {
   if (outages_.active()) return;  // the server is unreachable
   const double t = simulator_->Now();
   ++attempts_;
+  if (obs_.attempts != nullptr) obs_.attempts->Add();
   attempted_ids_.insert(identity);
   const net::Ipv4Address ip = IdentityIp(identity);
   const std::uint16_t port = DrawEphemeralPort(rng_);
@@ -142,6 +170,8 @@ void CsServer::HandleAttempt(std::size_t identity, bool /*is_retry*/) {
 
   if (static_cast<int>(clients_.size()) >= config_.max_players) {
     ++refused_;
+    if (obs_.refused != nullptr) obs_.refused->Add();
+    if (obs_.trace != nullptr) obs_.trace->Instant("refuse", "session", t);
     Emit(reply_at, net::Direction::kServerToClient, net::PacketKind::kConnectReject,
          size_model_.HandshakeSize(net::PacketKind::kConnectReject, rng_), ip, port);
     for (ServerEventListener* l : listeners_) l->OnRefuse(t, ip, port);
@@ -152,6 +182,8 @@ void CsServer::HandleAttempt(std::size_t identity, bool /*is_retry*/) {
 
   retry_counts_.erase(identity);
   ++established_count_;
+  if (obs_.established != nullptr) obs_.established->Add();
+  if (obs_.trace != nullptr) obs_.trace->Instant("connect", "session", t);
   established_ids_.insert(identity);
   Emit(reply_at, net::Direction::kServerToClient, net::PacketKind::kConnectAccept,
        size_model_.HandshakeSize(net::PacketKind::kConnectAccept, rng_), ip, port);
@@ -167,6 +199,7 @@ void CsServer::HandleAttempt(std::size_t identity, bool /*is_retry*/) {
   clients_.push_back(client);
   live_sessions_.insert(client.session_id);
   peak_players_ = std::max(peak_players_, static_cast<int>(clients_.size()));
+  if (obs_.peak_players != nullptr) obs_.peak_players->SetMax(peak_players_);
 
   for (ServerEventListener* l : listeners_) l->OnConnect(t, clients_.back());
 
@@ -185,6 +218,10 @@ void CsServer::Depart(std::uint64_t session_id, bool orderly) {
   if (it == clients_.end()) return;
   if (orderly) {
     ++orderly_disconnects_;
+    if (obs_.orderly_disconnects != nullptr) obs_.orderly_disconnects->Add();
+    if (obs_.trace != nullptr) {
+      obs_.trace->Instant("disconnect", "session", simulator_->Now());
+    }
     Emit(simulator_->Now(), net::Direction::kClientToServer, net::PacketKind::kDisconnect,
          size_model_.HandshakeSize(net::PacketKind::kDisconnect, rng_), it->ip, it->port);
   }
@@ -203,6 +240,7 @@ bool CsServer::DisconnectByEndpoint(net::Ipv4Address ip, std::uint16_t port, boo
 }
 
 void CsServer::OnOutageBegin(double t) {
+  outage_began_at_ = t;
   for (ServerEventListener* l : listeners_) l->OnOutage(t, /*begin=*/true);
   session_model_->Pause();
   // Everyone times out "at identical points in time". No disconnect packets
@@ -220,6 +258,7 @@ void CsServer::OnOutageBegin(double t) {
     }
   }
   outage_disconnects_ += clients_.size();
+  if (obs_.outage_disconnects != nullptr) obs_.outage_disconnects->Add(clients_.size());
   for (const ActiveClient& c : clients_) {
     live_sessions_.erase(c.session_id);
     for (ServerEventListener* l : listeners_) l->OnDisconnect(t, c, /*orderly=*/false);
@@ -228,11 +267,25 @@ void CsServer::OnOutageBegin(double t) {
 }
 
 void CsServer::OnOutageEnd(double t) {
+  if (obs_.trace != nullptr && outage_began_at_ >= 0.0) {
+    obs_.trace->Complete("outage", "outage", outage_began_at_, t);
+  }
+  outage_began_at_ = -1.0;
   for (ServerEventListener* l : listeners_) l->OnOutage(t, /*begin=*/false);
   session_model_->Resume();
 }
 
 void CsServer::OnMapStart(double t) {
+  if (obs_.maps_started != nullptr) obs_.maps_started->Add();
+  if (obs_.trace != nullptr) {
+    // Close the previous map's span; its end is this map's load time.
+    if (map_began_at_ >= 0.0) {
+      obs_.trace->Complete("map " + std::to_string(current_map_), "map", map_began_at_, t);
+    }
+    obs_.trace->Instant("map_start", "map", t);
+  }
+  map_began_at_ = t;
+  current_map_ = map_rotation_.maps_played();
   for (ServerEventListener* l : listeners_) l->OnMapStart(t, map_rotation_.maps_played());
   // Connected clients may need the new map's decals.
   for (const ActiveClient& c : clients_) downloads_->OnMapChange(c.session_id, c.ip, c.port);
@@ -254,6 +307,7 @@ void CsServer::Emit(double t, net::Direction direction, net::PacketKind kind,
   record.kind = kind;
   record.seq = seq;
   ++packets_emitted_;
+  if (obs_.packets_emitted != nullptr) obs_.packets_emitted->Add();
   if (batching_) {
     tick_batch_.push_back(record);
   } else {

@@ -24,6 +24,8 @@
 #include "game/packet_size_model.h"
 #include "game/server_tick.h"
 #include "game/session_model.h"
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "stats/time_series.h"
@@ -140,6 +142,27 @@ class CsServer {
   std::uint64_t outage_disconnects_ = 0;
   int peak_players_ = 0;
   std::uint64_t packets_emitted_ = 0;
+
+  // Ambient observability, captured from obs::Current() at construction.
+  // All-null outside a binding; counters mirror the Stats fields above
+  // (sim-derived, so they participate in the deterministic shard merge),
+  // the trace log receives the map/outage/session span taxonomy.
+  struct Observability {
+    obs::TraceLog* trace = nullptr;
+    obs::Counter* packets_emitted = nullptr;
+    obs::Counter* attempts = nullptr;
+    obs::Counter* established = nullptr;
+    obs::Counter* refused = nullptr;
+    obs::Counter* orderly_disconnects = nullptr;
+    obs::Counter* outage_disconnects = nullptr;
+    obs::Counter* maps_started = nullptr;
+    obs::Counter* rounds_started = nullptr;
+    obs::Gauge* peak_players = nullptr;
+  };
+  Observability obs_;
+  double outage_began_at_ = -1.0;
+  double map_began_at_ = -1.0;
+  int current_map_ = 0;
 };
 
 }  // namespace gametrace::game

@@ -44,6 +44,7 @@ void MapRotation::ScheduleNextRound() {
     if (stalled_ || epoch != map_epoch_) return;
     ++rounds_played_;
     round_started_at_ = simulator_->Now();
+    if (callbacks_.on_round_start) callbacks_.on_round_start(round_started_at_);
     ScheduleNextRound();
   });
 }

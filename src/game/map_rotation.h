@@ -21,6 +21,7 @@ class MapRotation {
   struct Callbacks {
     std::function<void(double)> on_stall_begin;  // map change starts
     std::function<void(double)> on_map_start;    // new map is live
+    std::function<void(double)> on_round_start;  // next round begins (not the map's first)
   };
 
   MapRotation(sim::Simulator& simulator, const MapConfig& config, sim::Rng rng);

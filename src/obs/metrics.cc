@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "core/check.h"
+
+namespace gametrace::obs {
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Gauge::MergeMode mode) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    GT_CHECK(it->second.merge_ == mode)
+        << "MetricsRegistry::gauge: \"" << std::string(name)
+        << "\" re-registered with a different merge mode";
+    return it->second;
+  }
+  Gauge gauge;
+  gauge.merge_ = mode;
+  return gauges_.emplace(std::string(name), gauge).first->second;
+}
+
+stats::Histogram& MetricsRegistry::histogram(std::string_view name, double lo, double hi,
+                                             std::size_t bins) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    GT_CHECK(it->second.lo() == lo && it->second.hi() == hi &&
+             it->second.bin_count() == bins)
+        << "MetricsRegistry::histogram: \"" << std::string(name)
+        << "\" re-registered with a different geometry";
+    return it->second;
+  }
+  return histograms_.emplace(std::string(name), stats::Histogram(lo, hi, bins))
+      .first->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const noexcept {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+const stats::Histogram* MetricsRegistry::find_histogram(std::string_view name) const noexcept {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, other_counter] : other.counters_) {
+    counter(name).Add(other_counter.value());
+  }
+  for (const auto& [name, other_gauge] : other.gauges_) {
+    Gauge& mine = gauge(name, other_gauge.merge_mode());
+    switch (other_gauge.merge_mode()) {
+      case Gauge::MergeMode::kSum:
+        mine.Add(other_gauge.value());
+        break;
+      case Gauge::MergeMode::kMax:
+        mine.SetMax(other_gauge.value());
+        break;
+    }
+  }
+  for (const auto& [name, other_hist] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, other_hist);
+    } else {
+      it->second.Merge(other_hist);
+    }
+  }
+}
+
+void AppendJsonNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN; serialize as null so the document stays valid.
+    out += "null";
+    return;
+  }
+  char buffer[64];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, result.ptr);
+}
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char escaped[8];
+          std::snprintf(escaped, sizeof(escaped), "\\u%04x", c);
+          out += escaped;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+namespace {
+
+void AppendHistogramJson(std::string& out, const stats::Histogram& hist) {
+  out += "{\"lo\": ";
+  AppendJsonNumber(out, hist.lo());
+  out += ", \"hi\": ";
+  AppendJsonNumber(out, hist.hi());
+  out += ", \"underflow\": " + std::to_string(hist.underflow());
+  out += ", \"overflow\": " + std::to_string(hist.overflow());
+  out += ", \"total\": " + std::to_string(hist.total());
+  out += ", \"bins\": [";
+  for (std::size_t i = 0; i < hist.bin_count(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(hist.count(i));
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out;
+  out += "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": " + std::to_string(counter.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": {\"value\": ";
+    AppendJsonNumber(out, gauge.value());
+    out += ", \"merge\": ";
+    out += gauge.merge_mode() == Gauge::MergeMode::kSum ? "\"sum\"" : "\"max\"";
+    out += "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": ";
+    AppendHistogramJson(out, hist);
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const { out << ToJson(); }
+
+}  // namespace gametrace::obs

@@ -1,0 +1,112 @@
+// MetricsRegistry: named counters, gauges and fixed-bucket histograms.
+//
+// The paper is a measurement study - every figure is the output of
+// observing a running server - and this registry is how the simulator
+// observes *itself*: each subsystem registers named instruments, fleet
+// shards own one registry apiece, and per-shard registries reduce with
+// Merge() exactly like the stats/trace accumulators, so an N-thread run
+// reports bit-identical aggregate metrics to a 1-thread run.
+//
+// Determinism contract:
+//  - Counters are exact uint64 sums; merging sums them.
+//  - Gauges carry a merge mode chosen at registration: kSum (fleet player
+//    totals) or kMax (queue high-water marks). Both are order-independent.
+//  - Histograms are stats::Histogram (integer bin counts); merging requires
+//    identical geometry and is exact.
+//  - Snapshots (WriteJson / ToJson) iterate name-sorted maps, so two
+//    registries with equal contents serialize byte-identically.
+//
+// Hot-path use: counter(name) / gauge(name) return references with stable
+// addresses for the registry's lifetime; instrumented components look the
+// instrument up once at construction and pay a single add per update.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "stats/histogram.h"
+
+namespace gametrace::obs {
+
+class MetricsRegistry;
+
+// Monotone event count (packets emitted, connections refused, drops).
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::uint64_t value_ = 0;
+};
+
+// Point-in-time level (players online, queue high-water).
+class Gauge {
+ public:
+  // How two shards' values combine under MetricsRegistry::Merge.
+  enum class MergeMode : std::uint8_t { kSum = 0, kMax = 1 };
+
+  void Set(double v) noexcept { value_ = v; }
+  void Add(double d) noexcept { value_ += d; }
+  void SetMax(double v) noexcept {
+    if (v > value_) value_ = v;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] MergeMode merge_mode() const noexcept { return merge_; }
+
+ private:
+  friend class MetricsRegistry;
+  double value_ = 0.0;
+  MergeMode merge_ = MergeMode::kSum;
+};
+
+class MetricsRegistry {
+ public:
+  // Returns the instrument registered under `name`, creating it on first
+  // use. References stay valid for the registry's lifetime (node-based
+  // storage), so hot paths cache them once.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name, Gauge::MergeMode mode = Gauge::MergeMode::kSum);
+  stats::Histogram& histogram(std::string_view name, double lo, double hi, std::size_t bins);
+
+  // Read-side conveniences for tests and thin accessors; a missing counter
+  // reads as 0, a missing gauge as 0.0.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const noexcept;
+  [[nodiscard]] double gauge_value(std::string_view name) const noexcept;
+  [[nodiscard]] const stats::Histogram* find_histogram(std::string_view name) const noexcept;
+
+  [[nodiscard]] std::size_t counter_count() const noexcept { return counters_.size(); }
+  [[nodiscard]] std::size_t gauge_count() const noexcept { return gauges_.size(); }
+  [[nodiscard]] std::size_t histogram_count() const noexcept { return histograms_.size(); }
+
+  // Absorbs another registry: counters and kSum gauges add, kMax gauges
+  // take the max, histograms merge bin-wise. Instruments present on only
+  // one side are copied through. GT_CHECK fails on a gauge merge-mode or
+  // histogram geometry conflict - that is a naming bug, not data.
+  void Merge(const MetricsRegistry& other);
+
+  // Deterministic JSON snapshot: name-sorted counters, gauges and
+  // histograms. Two registries with equal contents produce byte-identical
+  // output, which is what the fleet bit-identity tests compare.
+  void WriteJson(std::ostream& out) const;
+  [[nodiscard]] std::string ToJson() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, stats::Histogram, std::less<>> histograms_;
+};
+
+// Formats a double for JSON output (shortest round-trip form; "0" for
+// zero, no exponent unless needed). Shared by metrics and trace export so
+// snapshots are reproducible across writers.
+void AppendJsonNumber(std::string& out, double value);
+
+// Appends `text` as a JSON string literal (quoted, escaped).
+void AppendJsonString(std::string& out, std::string_view text);
+
+}  // namespace gametrace::obs

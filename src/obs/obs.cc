@@ -1,0 +1,19 @@
+#include "obs/obs.h"
+
+namespace gametrace::obs {
+
+namespace {
+
+thread_local ObsContext t_current{};
+
+}  // namespace
+
+const ObsContext& Current() noexcept { return t_current; }
+
+ScopedObsBinding::ScopedObsBinding(ObsContext context) noexcept : previous_(t_current) {
+  t_current = context;
+}
+
+ScopedObsBinding::~ScopedObsBinding() { t_current = previous_; }
+
+}  // namespace gametrace::obs

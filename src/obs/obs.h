@@ -1,0 +1,53 @@
+// Ambient observability context.
+//
+// Front-ends (gtrace_tool, benches) and the fleet runner decide *where*
+// metrics and trace events go; deep components (CsServer, NatDevice,
+// DeviceStats) just ask "what is the current context?" at construction.
+// The binding is thread-local so that fleet shards - one worker thread per
+// shard slot at any moment - each observe their own registry and trace
+// log, and the per-shard results reduce deterministically afterwards.
+//
+//   obs::MetricsRegistry metrics;
+//   obs::TraceLog trace(/*pid=*/shard_id);
+//   obs::ScopedObsBinding bind({.metrics = &metrics, .trace = &trace,
+//                               .shard_id = shard_id, .heartbeat = false});
+//   ... build simulator + server; they capture the instruments ...
+//
+// A default-constructed context (all null) is always valid: components
+// fall back to registering into nothing, which costs a null check at
+// construction and nothing per event.
+#pragma once
+
+namespace gametrace::obs {
+
+class MetricsRegistry;
+class TraceLog;
+
+struct ObsContext {
+  MetricsRegistry* metrics = nullptr;
+  TraceLog* trace = nullptr;
+  int shard_id = 0;
+  // Whether long runs started under this context may print wall-clock
+  // heartbeats to stderr. The fleet runner turns this off for shards > 0
+  // so an 8-way run does not print eight interleaved heartbeats.
+  bool heartbeat = true;
+};
+
+// The calling thread's current context; all-null outside any binding.
+[[nodiscard]] const ObsContext& Current() noexcept;
+
+// Installs `context` as the calling thread's context for the guard's
+// lifetime, restoring the previous one on destruction. Nests.
+class ScopedObsBinding {
+ public:
+  explicit ScopedObsBinding(ObsContext context) noexcept;
+  ~ScopedObsBinding();
+
+  ScopedObsBinding(const ScopedObsBinding&) = delete;
+  ScopedObsBinding& operator=(const ScopedObsBinding&) = delete;
+
+ private:
+  ObsContext previous_;
+};
+
+}  // namespace gametrace::obs

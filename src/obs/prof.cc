@@ -1,0 +1,63 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace gametrace::obs {
+
+namespace {
+
+// Head of the intrusive list of sites that have ever fired. Sites are
+// function-local statics, so they live until process exit; the list only
+// ever grows (one node per GT_PROF_SCOPE site in the binary).
+std::mutex g_sites_mutex;
+ProfSite* g_sites_head = nullptr;
+
+}  // namespace
+
+void EnableProfiling(bool enabled) noexcept {
+  g_profiling_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void RegisterProfSite(ProfSite& site) {
+  const std::lock_guard<std::mutex> lock(g_sites_mutex);
+  if (site.registered.load(std::memory_order_relaxed)) return;
+  site.next = g_sites_head;
+  g_sites_head = &site;
+  site.registered.store(true, std::memory_order_release);
+}
+
+std::vector<ProfSample> ProfilingSnapshot() {
+  std::vector<ProfSample> samples;
+  {
+    const std::lock_guard<std::mutex> lock(g_sites_mutex);
+    for (ProfSite* site = g_sites_head; site != nullptr; site = site->next) {
+      samples.push_back(ProfSample{
+          .name = site->name,
+          .calls = site->calls.load(std::memory_order_relaxed),
+          .nanos = site->nanos.load(std::memory_order_relaxed)});
+    }
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const ProfSample& a, const ProfSample& b) { return a.name < b.name; });
+  return samples;
+}
+
+void ResetProfiling() noexcept {
+  const std::lock_guard<std::mutex> lock(g_sites_mutex);
+  for (ProfSite* site = g_sites_head; site != nullptr; site = site->next) {
+    site->calls.store(0, std::memory_order_relaxed);
+    site->nanos.store(0, std::memory_order_relaxed);
+  }
+}
+
+void DumpProfilingInto(MetricsRegistry& registry) {
+  for (const ProfSample& sample : ProfilingSnapshot()) {
+    registry.counter("prof." + sample.name + ".calls").Add(sample.calls);
+    registry.counter("prof." + sample.name + ".ns").Add(sample.nanos);
+  }
+}
+
+}  // namespace gametrace::obs

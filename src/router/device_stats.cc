@@ -1,5 +1,7 @@
 #include "router/device_stats.h"
 
+#include <string>
+
 namespace gametrace::router {
 
 const char* SegmentName(Segment s) noexcept {
@@ -16,18 +18,62 @@ const char* SegmentName(Segment s) noexcept {
   return "?";
 }
 
+const char* SegmentSlug(Segment s) noexcept {
+  switch (s) {
+    case Segment::kServerToNat:
+      return "server_to_nat";
+    case Segment::kNatToClients:
+      return "nat_to_clients";
+    case Segment::kClientsToNat:
+      return "clients_to_nat";
+    case Segment::kNatToServer:
+      return "nat_to_server";
+  }
+  return "unknown";
+}
+
 DeviceStats::DeviceStats(double interval)
     : series_{stats::TimeSeries(0.0, interval), stats::TimeSeries(0.0, interval),
-              stats::TimeSeries(0.0, interval), stats::TimeSeries(0.0, interval)} {}
+              stats::TimeSeries(0.0, interval), stats::TimeSeries(0.0, interval)} {
+  BindCounters();
+}
+
+DeviceStats::DeviceStats(const DeviceStats& other)
+    : metrics_(other.metrics_),
+      series_{other.series_[0], other.series_[1], other.series_[2], other.series_[3]},
+      delay_(other.delay_),
+      delay_p50_(other.delay_p50_),
+      delay_p99_(other.delay_p99_) {
+  BindCounters();
+}
+
+DeviceStats& DeviceStats::operator=(const DeviceStats& other) {
+  if (this == &other) return *this;
+  metrics_ = other.metrics_;
+  for (int i = 0; i < kSegmentCount; ++i) series_[i] = other.series_[i];
+  delay_ = other.delay_;
+  delay_p50_ = other.delay_p50_;
+  delay_p99_ = other.delay_p99_;
+  BindCounters();
+  return *this;
+}
+
+void DeviceStats::BindCounters() {
+  for (int i = 0; i < kSegmentCount; ++i) {
+    const std::string base = std::string("nat.") + SegmentSlug(static_cast<Segment>(i));
+    packets_[i] = &metrics_.counter(base + ".packets");
+    drops_[i] = &metrics_.counter(base + ".drops");
+  }
+}
 
 void DeviceStats::Count(Segment segment, double t) {
   const auto i = static_cast<int>(segment);
-  ++packets_[i];
+  packets_[i]->Add();
   series_[i].Add(t, 1.0);
 }
 
 void DeviceStats::CountDrop(Segment arrival_segment, double t) {
-  ++drops_[static_cast<int>(arrival_segment)];
+  drops_[static_cast<int>(arrival_segment)]->Add();
   (void)t;
 }
 
@@ -38,11 +84,11 @@ void DeviceStats::RecordDelay(double seconds) {
 }
 
 std::uint64_t DeviceStats::packets(Segment s) const noexcept {
-  return packets_[static_cast<int>(s)];
+  return packets_[static_cast<int>(s)]->value();
 }
 
 std::uint64_t DeviceStats::drops(Segment arrival_segment) const noexcept {
-  return drops_[static_cast<int>(arrival_segment)];
+  return drops_[static_cast<int>(arrival_segment)]->value();
 }
 
 const stats::TimeSeries& DeviceStats::load_series(Segment s) const noexcept {

@@ -1,10 +1,17 @@
 // Per-segment accounting for the NAT experiment (paper Table IV and
 // Figures 14-15): packets counted on each of the four observation points
 // around the device, plus queueing-delay statistics.
+//
+// Counts are stored in an embedded obs::MetricsRegistry (counters
+// "nat.<segment>.packets" / "nat.<segment>.drops"), so a NAT run's device
+// accounting shows up in --metrics-out exports and merges like any other
+// registry; the packets()/drops() accessors below are thin reads over
+// cached counter references.
 #pragma once
 
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "stats/quantile.h"
 #include "stats/running_stats.h"
 #include "stats/time_series.h"
@@ -22,12 +29,20 @@ enum class Segment : std::uint8_t {
 inline constexpr int kSegmentCount = 4;
 
 [[nodiscard]] const char* SegmentName(Segment s) noexcept;
+// Metric-name-safe form ("server_to_nat", ...), used as the registry key
+// infix: "nat.<slug>.packets".
+[[nodiscard]] const char* SegmentSlug(Segment s) noexcept;
 
 class DeviceStats {
  public:
   // `interval` is the bin width of the per-segment load series (the paper
   // plots per-second loads in Figs 14-15).
   explicit DeviceStats(double interval = 1.0);
+
+  // Result structs copy DeviceStats by value; the cached counter pointers
+  // must re-bind into the copied registry, hence the custom copies.
+  DeviceStats(const DeviceStats& other);
+  DeviceStats& operator=(const DeviceStats& other);
 
   void Count(Segment segment, double t);
   void CountDrop(Segment arrival_segment, double t);
@@ -46,9 +61,18 @@ class DeviceStats {
   [[nodiscard]] double delay_p50() const noexcept { return delay_p50_.Value(); }
   [[nodiscard]] double delay_p99() const noexcept { return delay_p99_.Value(); }
 
+  // The backing registry (segment counters plus anything bound into it,
+  // e.g. the NAT device's queue instruments). Mutable access exists so
+  // NatDevice can register its queues alongside the segment counters.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+
  private:
-  std::uint64_t packets_[kSegmentCount] = {};
-  std::uint64_t drops_[kSegmentCount] = {};
+  void BindCounters();
+
+  obs::MetricsRegistry metrics_;
+  obs::Counter* packets_[kSegmentCount] = {};
+  obs::Counter* drops_[kSegmentCount] = {};
   stats::TimeSeries series_[kSegmentCount];
   stats::RunningStats delay_;
   stats::P2Quantile delay_p50_{0.50};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "core/check.h"
 
@@ -11,15 +12,31 @@ FifoQueue::FifoQueue(std::size_t capacity) : capacity_(capacity) {
   GT_CHECK_NE(capacity, 0) << "FifoQueue: capacity must be positive";
 }
 
+void FifoQueue::BindMetrics(obs::MetricsRegistry& registry, std::string_view prefix) {
+  const std::string base(prefix);
+  metric_pushes_ = &registry.counter(base + ".pushes");
+  metric_drops_ = &registry.counter(base + ".drops");
+  metric_high_water_ = &registry.gauge(base + ".high_water", obs::Gauge::MergeMode::kMax);
+  // Carry over anything counted before the binding existed.
+  metric_pushes_->Add(pushes_);
+  metric_drops_->Add(drops_);
+  metric_high_water_->SetMax(static_cast<double>(max_occupancy_));
+}
+
 bool FifoQueue::TryPush(QueuedPacket packet) {
   occupancy_.Add(static_cast<double>(queue_.size()));
   if (full()) {
     ++drops_;
+    if (metric_drops_ != nullptr) metric_drops_->Add();
     return false;
   }
   queue_.push_back(std::move(packet));
   ++pushes_;
+  if (metric_pushes_ != nullptr) metric_pushes_->Add();
   max_occupancy_ = std::max(max_occupancy_, queue_.size());
+  if (metric_high_water_ != nullptr) {
+    metric_high_water_->SetMax(static_cast<double>(max_occupancy_));
+  }
   GT_DCHECK_LE(queue_.size(), capacity_) << "FifoQueue: occupancy exceeds capacity";
   GT_DCHECK_LE(max_occupancy_, capacity_) << "FifoQueue: recorded high-water mark is impossible";
   return true;

@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string_view>
 
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "stats/running_stats.h"
 
 namespace gametrace::router {
@@ -46,6 +48,12 @@ class FifoQueue {
     return occupancy_;
   }
 
+  // Mirrors this queue's accounting into `registry` as "<prefix>.pushes" /
+  // "<prefix>.drops" counters and a "<prefix>.high_water" kMax gauge.
+  // The registry must outlive the queue; existing counts are carried over
+  // so binding after traffic has flowed loses nothing.
+  void BindMetrics(obs::MetricsRegistry& registry, std::string_view prefix);
+
  private:
   std::size_t capacity_;
   std::deque<QueuedPacket> queue_;
@@ -53,6 +61,9 @@ class FifoQueue {
   std::uint64_t drops_ = 0;
   std::size_t max_occupancy_ = 0;
   stats::RunningStats occupancy_;
+  obs::Counter* metric_pushes_ = nullptr;
+  obs::Counter* metric_drops_ = nullptr;
+  obs::Gauge* metric_high_water_ = nullptr;
 };
 
 }  // namespace gametrace::router

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+#include "obs/trace_log.h"
 #include "sim/random.h"
 
 namespace gametrace::router {
@@ -14,7 +16,16 @@ NatDevice::NatDevice(sim::Simulator& simulator, const Config& config)
       lan_q_(config.lan_buffer),
       wan_q_(config.wan_buffer),
       stats_(config.stats_interval),
-      injector_(*this) {}
+      injector_(*this),
+      trace_(obs::Current().trace) {
+  // The queue instruments live next to the segment counters, so one
+  // metrics export describes the whole device.
+  lan_q_.BindMetrics(stats_.metrics(), "nat.lan_q");
+  wan_q_.BindMetrics(stats_.metrics(), "nat.wan_q");
+  if (obs::MetricsRegistry* ambient = obs::Current().metrics; ambient != nullptr) {
+    episodes_counter_ = &ambient->counter("nat.livelock_episodes");
+  }
+}
 
 void NatDevice::InjectorSink::OnPacket(const net::PacketRecord& record) {
   const double at = std::max(device_->simulator_->Now(), record.timestamp);
@@ -32,7 +43,9 @@ void NatDevice::ScheduleNextEpisode() {
   const double gap = sim::Exponential(rng_, config_.episode_mean_interval);
   simulator_->After(gap, [this] {
     ++episodes_;
+    if (episodes_counter_ != nullptr) episodes_counter_->Add();
     const double now = simulator_->Now();
+    if (trace_ != nullptr) trace_->Instant("livelock_episode", "nat", now);
     wan_starved_until_ = now + sim::Uniform(rng_, config_.episode_min_duration,
                                             config_.episode_max_duration);
     full_stall_until_ = now + config_.episode_full_stall;
@@ -115,6 +128,11 @@ void NatDevice::CompleteService(QueuedPacket packet) {
 
 void NatDevice::Drop(const net::PacketRecord& record, Segment arrival_segment) {
   stats_.CountDrop(arrival_segment, simulator_->Now());
+  if (trace_ != nullptr) {
+    trace_->Instant(arrival_segment == Segment::kClientsToNat ? "nat_drop_incoming"
+                                                              : "nat_drop_outgoing",
+                    "nat", simulator_->Now());
+  }
   if (on_loss_) on_loss_(record, arrival_segment);
 }
 

@@ -31,6 +31,8 @@
 #include <unordered_map>
 
 #include "net/packet.h"
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
 #include "router/device_stats.h"
 #include "router/fifo_queue.h"
 #include "router/lookup_engine.h"
@@ -124,6 +126,12 @@ class NatDevice {
   int episodes_ = 0;
   std::uint64_t wake_event_ = 0;
   bool wake_pending_ = false;
+
+  // Ambient observability captured at construction: drop/livelock instants
+  // go to the trace log ("nat" category), episode counts to the ambient
+  // registry. Both null outside a binding.
+  obs::TraceLog* trace_ = nullptr;
+  obs::Counter* episodes_counter_ = nullptr;
 };
 
 }  // namespace gametrace::router

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/check.h"
+#include "obs/prof.h"
 
 namespace gametrace::sim {
 
@@ -35,6 +36,7 @@ std::uint64_t EventQueue::Arm(SimTime t, SimTime interval, Handler fn) {
   slot.interval = interval;
   heap_.push(Entry{t, next_seq_++, index, slot.gen});
   ++live_count_;
+  if (live_count_ > high_water_) high_water_ = live_count_;
   return (std::uint64_t{index} << 32) | slot.gen;
 }
 
@@ -80,6 +82,7 @@ SimTime EventQueue::NextTime() const {
 }
 
 SimTime EventQueue::RunNext() {
+  GT_PROF_SCOPE("sim.event_queue.run_next");
   SkipStale();
   GT_CHECK(!heap_.empty()) << "EventQueue::RunNext: empty queue";
   const Entry top = heap_.top();

@@ -52,6 +52,10 @@ class EventQueue {
   // assert the bound.
   [[nodiscard]] std::size_t slot_count() const noexcept { return slots_.size(); }
 
+  // Most events ever pending at once; the "sim.queue.high_water" gauge and
+  // the heartbeat report this as the memory-pressure proxy.
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+
   // Time of the next (non-cancelled) event. Queue must not be empty.
   [[nodiscard]] SimTime NextTime() const;
 
@@ -102,6 +106,7 @@ class EventQueue {
   std::vector<std::uint32_t> free_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_count_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace gametrace::sim

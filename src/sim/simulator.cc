@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -7,6 +8,16 @@
 #include "core/check.h"
 
 namespace gametrace::sim {
+
+namespace {
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 std::uint64_t Simulator::At(SimTime t, EventQueue::Handler fn) {
   GT_CHECK_GE(t, now_) << "Simulator::At: time is in the past";
@@ -23,8 +34,55 @@ std::uint64_t Simulator::Every(SimTime first_at, SimTime interval, EventQueue::H
   return queue_.SchedulePeriodic(first_at, interval, std::move(fn));
 }
 
+void Simulator::SetHeartbeat(double wall_interval_seconds, HeartbeatFn fn) {
+  if (!fn) {
+    ClearHeartbeat();
+    return;
+  }
+  GT_CHECK(wall_interval_seconds > 0.0)
+      << "Simulator::SetHeartbeat: interval must be positive";
+  heartbeat_fn_ = std::move(fn);
+  heartbeat_interval_ = wall_interval_seconds;
+  heartbeat_countdown_ = kHeartbeatStride;
+  run_start_wall_ = 0.0;  // re-anchored by the next RunUntil
+}
+
+void Simulator::ClearHeartbeat() noexcept {
+  heartbeat_fn_ = nullptr;
+  heartbeat_interval_ = 0.0;
+  heartbeat_countdown_ = 0;
+}
+
+void Simulator::MaybeBeat() {
+  heartbeat_countdown_ = kHeartbeatStride;
+  const double wall = WallSeconds();
+  if (wall - last_beat_wall_ < heartbeat_interval_) return;
+
+  const double dt_wall = wall - last_beat_wall_;
+  HeartbeatStatus status;
+  status.sim_now = now_;
+  status.events_executed = executed_;
+  status.pending = queue_.size();
+  status.queue_high_water = queue_.high_water();
+  status.wall_elapsed_seconds = wall - run_start_wall_;
+  status.events_per_second =
+      dt_wall > 0.0 ? static_cast<double>(executed_ - last_beat_executed_) / dt_wall : 0.0;
+  status.sim_seconds_per_second = dt_wall > 0.0 ? (now_ - last_beat_sim_) / dt_wall : 0.0;
+
+  last_beat_wall_ = wall;
+  last_beat_sim_ = now_;
+  last_beat_executed_ = executed_;
+  heartbeat_fn_(status);
+}
+
 std::uint64_t Simulator::RunUntil(SimTime t_end) {
   stop_requested_ = false;
+  if (heartbeat_fn_ && run_start_wall_ == 0.0) {
+    run_start_wall_ = WallSeconds();
+    last_beat_wall_ = run_start_wall_;
+    last_beat_sim_ = now_;
+    last_beat_executed_ = executed_;
+  }
   std::uint64_t ran = 0;
   while (!queue_.empty() && !stop_requested_) {
     const SimTime t = queue_.NextTime();
@@ -33,6 +91,7 @@ std::uint64_t Simulator::RunUntil(SimTime t_end) {
     queue_.RunNext();
     ++ran;
     ++executed_;
+    if (heartbeat_fn_ && --heartbeat_countdown_ == 0) MaybeBeat();
   }
   // The clock reaches t_end even if the queue drained earlier, so rate
   // computations over [0, t_end] see the idle tail.

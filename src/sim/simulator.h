@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "sim/event_queue.h"
 
@@ -43,11 +44,64 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
+  // Most events ever pending at once (see EventQueue::high_water).
+  [[nodiscard]] std::size_t queue_high_water() const noexcept {
+    return queue_.high_water();
+  }
+
+  // ---- Wall-clock heartbeat ------------------------------------------
+  //
+  // A long run (the paper's full week is ~500 M events) is silent for
+  // minutes at a time; the heartbeat gives the operator a pulse without
+  // touching simulation behaviour. The run loop checks the wall clock only
+  // once per `kHeartbeatStride` events, so an installed-but-quiet
+  // heartbeat costs a countdown decrement per event.
+  //
+  // The callback fires on the simulation thread; it must not schedule or
+  // cancel events. RunServerTrace installs a printer that knows the target
+  // end time (for the ETA) and the server's player/packet counters.
+
+  struct HeartbeatStatus {
+    SimTime sim_now = 0.0;                // simulation clock, seconds
+    std::uint64_t events_executed = 0;    // lifetime total for this simulator
+    std::size_t pending = 0;              // events currently queued
+    std::size_t queue_high_water = 0;     // max ever pending
+    double wall_elapsed_seconds = 0.0;    // since the run loop started
+    double events_per_second = 0.0;       // wall-clock rate since last beat
+    double sim_seconds_per_second = 0.0;  // sim-time advance rate since last beat
+  };
+  using HeartbeatFn = std::function<void(const HeartbeatStatus&)>;
+
+  // Installs (or, with an empty fn, removes) the heartbeat. The interval is
+  // wall-clock seconds and must be > 0 when a callback is given.
+  void SetHeartbeat(double wall_interval_seconds, HeartbeatFn fn);
+  void ClearHeartbeat() noexcept;
+  [[nodiscard]] bool has_heartbeat() const noexcept {
+    return static_cast<bool>(heartbeat_fn_);
+  }
+
  private:
+  // Events between wall-clock checks; small enough to beat within ~a second
+  // of the deadline at realistic dispatch rates, large enough that the
+  // check itself never shows up in a profile.
+  static constexpr std::uint64_t kHeartbeatStride = 4096;
+
+  void MaybeBeat();
+
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;
+
+  HeartbeatFn heartbeat_fn_;
+  double heartbeat_interval_ = 0.0;  // wall seconds
+  std::uint64_t heartbeat_countdown_ = 0;
+  // Wall-clock anchors, in steady_clock seconds (stored as doubles to keep
+  // <chrono> out of this header).
+  double run_start_wall_ = 0.0;
+  double last_beat_wall_ = 0.0;
+  SimTime last_beat_sim_ = 0.0;
+  std::uint64_t last_beat_executed_ = 0;
 };
 
 }  // namespace gametrace::sim

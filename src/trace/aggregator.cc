@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/check.h"
+#include "obs/prof.h"
 
 namespace gametrace::trace {
 
@@ -26,6 +27,7 @@ void LoadAggregator::OnPacket(const net::PacketRecord& record) {
 }
 
 void LoadAggregator::OnBatch(std::span<const net::PacketRecord> batch) {
+  GT_PROF_SCOPE("trace.load_agg.on_batch");
   // A tick burst is a long run of same-direction packets whose timestamps
   // land in the same bin; aggregate each run and pay two series updates per
   // run instead of two per packet. Bin membership is decided by the same

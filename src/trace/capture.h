@@ -24,6 +24,7 @@
 
 #include "core/check.h"
 #include "net/packet.h"
+#include "obs/prof.h"
 
 namespace gametrace::trace {
 
@@ -74,6 +75,7 @@ class TeeSink final : public CaptureSink {
   }
 
   void OnBatch(std::span<const net::PacketRecord> batch) override {
+    GT_PROF_SCOPE("trace.tee.on_batch");
     for (CaptureSink* sink : sinks_) sink->OnBatch(batch);
   }
 
@@ -101,6 +103,7 @@ class CountingSink final : public CaptureSink {
   // serialises on the add latency. Both sums are integral, so regrouping
   // them is exact.
   void OnBatch(std::span<const net::PacketRecord> batch) override {
+    GT_PROF_SCOPE("trace.counting.on_batch");
     const net::PacketRecord* r = batch.data();
     const std::size_t n = batch.size();
     std::uint64_t in0 = 0;
@@ -143,6 +146,7 @@ class VectorSink final : public CaptureSink {
   void OnPacket(const net::PacketRecord& record) override { records_.push_back(record); }
 
   void OnBatch(std::span<const net::PacketRecord> batch) override {
+    GT_PROF_SCOPE("trace.vector.on_batch");
     records_.insert(records_.end(), batch.begin(), batch.end());
   }
 
@@ -186,6 +190,7 @@ class ShardNamespaceSink final : public CaptureSink {
   // a fused copy+shift loop defeats vectorization (the compiler must assume
   // the source and scratch alias) and benches ~4x slower.
   void OnBatch(std::span<const net::PacketRecord> batch) override {
+    GT_PROF_SCOPE("trace.shard_namespace.on_batch");
     GT_DCHECK(internal::BatchPreservesPerFlowOrder(batch))
         << "ShardNamespaceSink::OnBatch: batch violates per-flow emission-order contract";
     scratch_.assign(batch.begin(), batch.end());

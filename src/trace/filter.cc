@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/check.h"
+#include "obs/prof.h"
 
 namespace gametrace::trace {
 
@@ -22,6 +23,7 @@ void FilterSink::OnPacket(const net::PacketRecord& record) {
 }
 
 void FilterSink::OnBatch(std::span<const net::PacketRecord> batch) {
+  GT_PROF_SCOPE("trace.filter.on_batch");
   scratch_.clear();
   for (const net::PacketRecord& record : batch) {
     if (predicate_(record)) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/check.h"
+#include "obs/prof.h"
 
 namespace gametrace::trace {
 
@@ -22,6 +23,7 @@ SessionTracker::SessionTracker(double idle_timeout_seconds) : idle_timeout_(idle
 void SessionTracker::OnPacket(const net::PacketRecord& record) { Ingest(record); }
 
 void SessionTracker::OnBatch(std::span<const net::PacketRecord> batch) {
+  GT_PROF_SCOPE("trace.sessions.on_batch");
   for (const net::PacketRecord& record : batch) Ingest(record);
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/check.h"
+#include "obs/prof.h"
 
 namespace gametrace::trace {
 
@@ -41,6 +42,7 @@ void TraceSummary::OnPacket(const net::PacketRecord& record) {
 }
 
 void TraceSummary::OnBatch(std::span<const net::PacketRecord> batch) {
+  GT_PROF_SCOPE("trace.summary.on_batch");
   if (batch.empty()) return;
   if (first_time_ < 0.0) first_time_ = batch.front().timestamp;
   last_time_ = batch.back().timestamp;

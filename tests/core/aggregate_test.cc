@@ -88,6 +88,32 @@ TEST(AggregatePopulation, FixedPopulationIsNearCapacity) {
   EXPECT_LE(mean_per_server, 22.0);
 }
 
+TEST(AggregatePopulation, MetricsAreBitIdenticalAcrossThreadCounts) {
+  PopulationConfig cfg = FastConfig();
+  cfg.threads = 1;
+  const auto one = SimulateAggregatePopulation(cfg);
+  cfg.threads = 2;
+  const auto two = SimulateAggregatePopulation(cfg);
+  cfg.threads = 8;
+  const auto eight = SimulateAggregatePopulation(cfg);
+
+  const std::string baseline = one.metrics.ToJson();
+  EXPECT_FALSE(baseline.empty());
+  EXPECT_EQ(baseline, two.metrics.ToJson());
+  EXPECT_EQ(baseline, eight.metrics.ToJson());
+
+  // Counters mirror the population bookkeeping, and every per-step
+  // occupancy sample lands in the histogram: servers x one sample per
+  // second of simulated time.
+  EXPECT_GT(one.metrics.counter_value("aggregate.arrivals"), 0u);
+  EXPECT_GT(one.metrics.counter_value("aggregate.departures"), 0u);
+  const auto* occupancy = one.metrics.find_histogram("aggregate.occupancy");
+  ASSERT_NE(occupancy, nullptr);
+  EXPECT_EQ(occupancy->total(),
+            static_cast<std::uint64_t>(cfg.servers) *
+                static_cast<std::uint64_t>(cfg.duration / cfg.interval));
+}
+
 TEST(AggregatePopulation, ModulationLowersMeanOccupancy) {
   PopulationConfig modulated = FastConfig();
   PopulationConfig fixed = FastConfig();

@@ -9,8 +9,12 @@
 #include <atomic>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace_log.h"
 #include "sim/rng.h"
 
 #include "core/check.h"
@@ -97,6 +101,44 @@ TEST(Fleet, ReportIsBitIdenticalAcrossWorkerCounts) {
   EXPECT_EQ(one.total_players.values(), eight.total_players.values());
   EXPECT_EQ(one.total_packets, two.total_packets);
   EXPECT_EQ(one.total_packets, eight.total_packets);
+}
+
+// The observability acceptance test: per-shard metrics registries reduce in
+// shard order, so the merged registry snapshot is byte-identical at 1, 2
+// and 8 worker threads.
+TEST(Fleet, MetricsAreBitIdenticalAcrossWorkerCounts) {
+  const auto one = RunFleet(SmallFleet(3, 1));
+  const auto two = RunFleet(SmallFleet(3, 2));
+  const auto eight = RunFleet(SmallFleet(3, 8));
+
+  const std::string baseline = one.metrics.ToJson();
+  EXPECT_FALSE(baseline.empty());
+  EXPECT_EQ(baseline, two.metrics.ToJson());
+  EXPECT_EQ(baseline, eight.metrics.ToJson());
+
+  // The merged registry carries the fleet totals, not one shard's.
+  EXPECT_EQ(one.metrics.counter_value("server.packets_emitted"), one.total_packets);
+}
+
+TEST(Fleet, TraceLogKeepsPerShardPids) {
+  const auto result = RunFleet(SmallFleet(3, 0));
+  ASSERT_GT(result.trace_log.size(), 0u);
+  std::set<int> pids;
+  for (const auto& event : result.trace_log.events()) pids.insert(event.pid);
+  EXPECT_EQ(pids, (std::set<int>{0, 1, 2}));
+  EXPECT_EQ(result.trace_log.dropped(), 0u);
+}
+
+TEST(Fleet, AmbientObsContextReceivesFleetTotals) {
+  obs::MetricsRegistry ambient_metrics;
+  obs::TraceLog ambient_trace;
+  FleetResult result = [&] {
+    const obs::ScopedObsBinding bind(
+        {.metrics = &ambient_metrics, .trace = &ambient_trace, .heartbeat = false});
+    return RunFleet(SmallFleet(2, 1));
+  }();
+  EXPECT_EQ(ambient_metrics.counter_value("server.packets_emitted"), result.total_packets);
+  EXPECT_EQ(ambient_trace.size(), result.trace_log.size());
 }
 
 TEST(Fleet, ShardsGetDistinctSubstreamSeedsAndTraffic) {

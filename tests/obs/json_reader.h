@@ -1,0 +1,219 @@
+// Minimal recursive-descent JSON reader for round-trip tests.
+//
+// Parses the exact dialect the obs exporters emit (objects, arrays,
+// strings with escapes, numbers, true/false/null) into a tree of
+// JsonValue nodes. Strict: trailing garbage, unknown escapes or malformed
+// numbers throw std::runtime_error, so a test that parses an export also
+// vouches for its syntactic validity.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gametrace::testing {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> members;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kind == Kind::kObject && members.count(key) > 0;
+  }
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    if (!has(key)) throw std::runtime_error("missing key: " + key);
+    return members.at(key);
+  }
+};
+
+class JsonReader {
+ public:
+  // Parses `text` as a single JSON document.
+  static JsonValue Parse(std::string_view text) {
+    JsonReader reader(text);
+    JsonValue value = reader.ParseValue();
+    reader.SkipWhitespace();
+    if (reader.pos_ != text.size()) throw std::runtime_error("trailing garbage after JSON");
+    return value;
+  }
+
+ private:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at offset " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool Consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    SkipWhitespace();
+    JsonValue v;
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.text = ParseString();
+        return v;
+      case 't':
+        if (!Consume("true")) break;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!Consume("false")) break;
+        v.kind = JsonValue::Kind::kBool;
+        return v;
+      case 'n':
+        if (!Consume("null")) break;
+        return v;
+      default: return ParseNumber();
+    }
+    throw std::runtime_error("bad JSON literal at offset " + std::to_string(pos_));
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      v.members.emplace(std::move(key), ParseValue());
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return v;
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(ParseValue());
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return v;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      const char c = Peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = Peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else throw std::runtime_error("bad \\u escape");
+          }
+          pos_ += 4;
+          // The exporters only escape control characters, all < 0x80.
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: throw std::runtime_error("unknown escape in JSON string");
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    std::size_t used = 0;
+    const std::string token(text_.substr(start, pos_ - start));
+    v.number = std::stod(token, &used);
+    if (used != token.size()) throw std::runtime_error("bad JSON number: " + token);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gametrace::testing

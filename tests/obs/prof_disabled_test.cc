@@ -1,0 +1,60 @@
+// GT_PROF_SCOPE elision semantics: with the per-TU switch forced off the
+// macro must vanish entirely - no site object, no registration, not even
+// evaluation of the name expression. Mirrors the GT_DCHECK elision test
+// (tests/core/check_dcheck_modes_test.cc); this is the guarantee that a
+// GAMETRACE_OBS=OFF build pays literally nothing on the hot path.
+#undef GAMETRACE_ENABLE_OBS
+#define GAMETRACE_ENABLE_OBS 0
+#include "obs/prof.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace gametrace::obs {
+namespace {
+
+// Referenced only inside the elided macro below, hence maybe_unused: its
+// never being called is exactly what the test asserts.
+[[maybe_unused]] const char* CountedName(int* counter) {
+  ++*counter;
+  return "test.prof.disabled_tu";
+}
+
+bool SiteExists(const char* name) {
+  const auto snapshot = ProfilingSnapshot();
+  return std::any_of(snapshot.begin(), snapshot.end(),
+                     [name](const ProfSample& s) { return s.name == name; });
+}
+
+TEST(ProfScopeDisabledTu, NameExpressionNeverEvaluated) {
+  int evaluations = 0;
+  EnableProfiling(true);
+  {
+    GT_PROF_SCOPE(CountedName(&evaluations));
+  }
+  EnableProfiling(false);
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_FALSE(SiteExists("test.prof.disabled_tu"));
+}
+
+TEST(ProfScopeDisabledTu, ExpandsToADiscardableStatement) {
+  // Two scopes in one block: the expansion must not declare clashing
+  // identifiers or otherwise fail to compile.
+  GT_PROF_SCOPE("a"); GT_PROF_SCOPE("b");
+  if (true) GT_PROF_SCOPE("inside unbraced if");  // must parse as one statement
+  SUCCEED();
+}
+
+TEST(ProfScopeDisabledTu, RuntimeApiStillLinks) {
+  // The runtime surface (snapshot/reset/enable) stays available in
+  // obs-disabled builds; only the macro sites disappear.
+  EnableProfiling(true);
+  EXPECT_TRUE(ProfilingEnabled());
+  EnableProfiling(false);
+  EXPECT_FALSE(ProfilingEnabled());
+  ResetProfiling();
+}
+
+}  // namespace
+}  // namespace gametrace::obs

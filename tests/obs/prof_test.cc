@@ -1,0 +1,97 @@
+// GT_PROF_SCOPE accounting semantics, with the per-TU switch forced on so
+// the behaviour is pinned whatever the build-wide GAMETRACE_OBS setting is.
+#undef GAMETRACE_ENABLE_OBS
+#define GAMETRACE_ENABLE_OBS 1
+#include "obs/prof.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace gametrace::obs {
+namespace {
+
+std::uint64_t CallsFor(const char* name) {
+  const auto snapshot = ProfilingSnapshot();
+  const auto it = std::find_if(snapshot.begin(), snapshot.end(),
+                               [name](const ProfSample& s) { return s.name == name; });
+  return it == snapshot.end() ? 0 : it->calls;
+}
+
+void ScopedWork() { GT_PROF_SCOPE("test.prof.scoped_work"); }
+
+TEST(ProfScope, IdleScopesRecordNothing) {
+  EnableProfiling(false);
+  ResetProfiling();
+  for (int i = 0; i < 10; ++i) ScopedWork();
+  EXPECT_EQ(CallsFor("test.prof.scoped_work"), 0u);
+}
+
+TEST(ProfScope, ActiveScopesCountCallsAndTime) {
+  EnableProfiling(true);
+  ResetProfiling();
+  for (int i = 0; i < 7; ++i) ScopedWork();
+  EnableProfiling(false);
+  EXPECT_EQ(CallsFor("test.prof.scoped_work"), 7u);
+}
+
+TEST(ProfScope, EnableMidstreamOnlyCountsActiveWindow) {
+  EnableProfiling(false);
+  ResetProfiling();
+  ScopedWork();  // idle: not counted
+  EnableProfiling(true);
+  ScopedWork();
+  ScopedWork();
+  EnableProfiling(false);
+  ScopedWork();  // idle again
+  EXPECT_EQ(CallsFor("test.prof.scoped_work"), 2u);
+}
+
+TEST(ProfScope, SnapshotIsNameSorted) {
+  EnableProfiling(true);
+  ResetProfiling();
+  {
+    GT_PROF_SCOPE("test.prof.zzz");
+  }
+  {
+    GT_PROF_SCOPE("test.prof.aaa");
+  }
+  EnableProfiling(false);
+  const auto snapshot = ProfilingSnapshot();
+  EXPECT_TRUE(std::is_sorted(snapshot.begin(), snapshot.end(),
+                             [](const ProfSample& a, const ProfSample& b) {
+                               return a.name < b.name;
+                             }));
+}
+
+TEST(ProfScope, DumpProfilingIntoWritesCounterPairs) {
+  EnableProfiling(true);
+  ResetProfiling();
+  for (int i = 0; i < 3; ++i) ScopedWork();
+  EnableProfiling(false);
+
+  MetricsRegistry registry;
+  DumpProfilingInto(registry);
+  EXPECT_EQ(registry.counter_value("prof.test.prof.scoped_work.calls"), 3u);
+  // Nanosecond totals are wall-clock and can legitimately round to zero on
+  // an empty scope; the counter must exist either way.
+  EXPECT_EQ(registry.ToJson().find("prof.test.prof.scoped_work.ns") == std::string::npos,
+            false);
+}
+
+TEST(ProfScope, ResetZeroesButKeepsSites) {
+  EnableProfiling(true);
+  ResetProfiling();
+  ScopedWork();
+  EXPECT_EQ(CallsFor("test.prof.scoped_work"), 1u);
+  ResetProfiling();
+  EXPECT_EQ(CallsFor("test.prof.scoped_work"), 0u);
+  ScopedWork();
+  EnableProfiling(false);
+  EXPECT_EQ(CallsFor("test.prof.scoped_work"), 1u);
+}
+
+}  // namespace
+}  // namespace gametrace::obs

@@ -57,6 +57,49 @@ TEST(DeviceStats, DropsTracked) {
   EXPECT_EQ(stats.drops(Segment::kServerToNat), 1u);
 }
 
+TEST(DeviceStats, AccessorsAreThinReadsOverTheRegistry) {
+  DeviceStats stats(1.0);
+  stats.Count(Segment::kClientsToNat, 0.5);
+  stats.Count(Segment::kClientsToNat, 0.6);
+  stats.CountDrop(Segment::kServerToNat, 0.7);
+  EXPECT_EQ(stats.metrics().counter_value("nat.clients_to_nat.packets"), 2u);
+  EXPECT_EQ(stats.metrics().counter_value("nat.server_to_nat.drops"), 1u);
+  EXPECT_EQ(stats.packets(Segment::kClientsToNat),
+            stats.metrics().counter_value("nat.clients_to_nat.packets"));
+  EXPECT_EQ(stats.drops(Segment::kServerToNat),
+            stats.metrics().counter_value("nat.server_to_nat.drops"));
+}
+
+TEST(DeviceStats, SegmentSlugs) {
+  EXPECT_STREQ(SegmentSlug(Segment::kServerToNat), "server_to_nat");
+  EXPECT_STREQ(SegmentSlug(Segment::kNatToClients), "nat_to_clients");
+  EXPECT_STREQ(SegmentSlug(Segment::kClientsToNat), "clients_to_nat");
+  EXPECT_STREQ(SegmentSlug(Segment::kNatToServer), "nat_to_server");
+}
+
+TEST(DeviceStats, CopyRebindsCachedCounters) {
+  DeviceStats original(1.0);
+  original.Count(Segment::kClientsToNat, 0.1);
+
+  // Copies (result structs return DeviceStats by value) must re-bind the
+  // cached counter pointers into their own registry: updating the copy may
+  // not bleed into the original, and vice versa.
+  DeviceStats copy(original);
+  EXPECT_EQ(copy.packets(Segment::kClientsToNat), 1u);
+  copy.Count(Segment::kClientsToNat, 0.2);
+  copy.Count(Segment::kNatToServer, 0.3);
+  EXPECT_EQ(copy.packets(Segment::kClientsToNat), 2u);
+  EXPECT_EQ(copy.packets(Segment::kNatToServer), 1u);
+  EXPECT_EQ(original.packets(Segment::kClientsToNat), 1u);
+  EXPECT_EQ(original.packets(Segment::kNatToServer), 0u);
+
+  DeviceStats assigned(5.0);
+  assigned = original;
+  assigned.CountDrop(Segment::kClientsToNat, 0.4);
+  EXPECT_EQ(assigned.drops(Segment::kClientsToNat), 1u);
+  EXPECT_EQ(original.drops(Segment::kClientsToNat), 0u);
+}
+
 TEST(DeviceStats, DelayStatistics) {
   DeviceStats stats(1.0);
   for (int i = 1; i <= 100; ++i) stats.RecordDelay(i * 1e-3);

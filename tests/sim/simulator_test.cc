@@ -146,5 +146,58 @@ TEST(Simulator, EventsExecutedCounter) {
   EXPECT_EQ(s.events_executed(), 5u);
 }
 
+TEST(Simulator, QueueHighWaterTracksMaxPending) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.At(1.0 + 0.1 * i, [] {});
+  EXPECT_EQ(s.queue_high_water(), 7u);
+  s.RunUntil(10.0);
+  // The mark is a lifetime max, not the current depth.
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.queue_high_water(), 7u);
+}
+
+TEST(Simulator, HeartbeatFiresOnLongRuns) {
+  Simulator s;
+  int beats = 0;
+  Simulator::HeartbeatStatus last;
+  // A vanishing wall interval: the beat fires at every stride boundary.
+  s.SetHeartbeat(1e-9, [&](const Simulator::HeartbeatStatus& status) {
+    ++beats;
+    last = status;
+  });
+  EXPECT_TRUE(s.has_heartbeat());
+  for (int i = 0; i < 10000; ++i) s.At(1.0 + 1e-4 * i, [] {});
+  s.RunUntil(10.0);
+  EXPECT_GE(beats, 1);
+  EXPECT_LE(beats, 2);  // one per 4096-event stride
+  EXPECT_GT(last.events_executed, 0u);
+  EXPECT_GT(last.sim_now, 0.0);
+  EXPECT_EQ(last.queue_high_water, 10000u);
+  EXPECT_GE(last.wall_elapsed_seconds, 0.0);
+}
+
+TEST(Simulator, HeartbeatNeverFiresWithinLongInterval) {
+  Simulator s;
+  int beats = 0;
+  s.SetHeartbeat(3600.0, [&](const Simulator::HeartbeatStatus&) { ++beats; });
+  for (int i = 0; i < 10000; ++i) s.At(1.0, [] {});
+  s.RunUntil(2.0);
+  EXPECT_EQ(beats, 0);
+}
+
+TEST(Simulator, HeartbeatClearsAndValidates) {
+  Simulator s;
+  s.SetHeartbeat(1.0, [](const Simulator::HeartbeatStatus&) {});
+  EXPECT_TRUE(s.has_heartbeat());
+  s.ClearHeartbeat();
+  EXPECT_FALSE(s.has_heartbeat());
+  // An empty callback clears too; a non-positive interval is a contract bug.
+  s.SetHeartbeat(1.0, [](const Simulator::HeartbeatStatus&) {});
+  s.SetHeartbeat(5.0, nullptr);
+  EXPECT_FALSE(s.has_heartbeat());
+  EXPECT_THROW(s.SetHeartbeat(0.0, [](const Simulator::HeartbeatStatus&) {}),
+               gametrace::ContractViolation);
+}
+
 }  // namespace
 }  // namespace gametrace::sim

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_hotpath.json against the committed baseline.
+
+Shared CI runners are too noisy to gate on absolute packets/sec, so the
+comparison uses machine-independent quantities only:
+
+  * per-chain batched/scalar speedup ratios (fresh must be within
+    --tolerance, default 25%, of the committed value), and
+  * the observability budget: the idle GT_PROF_SCOPE overhead fraction
+    must stay under --obs-budget (default 2%) in absolute terms.
+
+Exit status 0 when everything holds, 1 with a per-check report otherwise.
+
+Usage:
+    bench_compare.py --fresh build-release/BENCH_hotpath.json \
+                     [--baseline BENCH_hotpath.json] [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True, help="just-generated BENCH_hotpath.json")
+    parser.add_argument("--baseline", default="BENCH_hotpath.json",
+                        help="committed baseline (default: %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative speedup regression (default: %(default)s)")
+    parser.add_argument("--obs-budget", type=float, default=0.02,
+                        help="max idle observability overhead fraction (default: %(default)s)")
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    failures = []
+
+    base_by_depth = {r["chain_depth"]: r for r in baseline.get("runs", [])}
+    for run in fresh.get("runs", []):
+        depth = run["chain_depth"]
+        base = base_by_depth.get(depth)
+        if base is None:
+            print(f"  depth {depth}: no baseline entry, skipped")
+            continue
+        floor = base["speedup"] * (1.0 - args.tolerance)
+        ok = run["speedup"] >= floor
+        print(f"  depth {depth} ({run['chain']}): speedup {run['speedup']:.3f} "
+              f"vs baseline {base['speedup']:.3f} (floor {floor:.3f}) "
+              f"{'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            failures.append(
+                f"depth {depth} speedup {run['speedup']:.3f} fell below {floor:.3f} "
+                f"(baseline {base['speedup']:.3f}, tolerance {args.tolerance:.0%})")
+
+    missing = set(base_by_depth) - {r["chain_depth"] for r in fresh.get("runs", [])}
+    if missing:
+        failures.append(f"fresh run is missing chain depths {sorted(missing)}")
+
+    obs = fresh.get("obs")
+    if obs is None:
+        failures.append("fresh run has no 'obs' section (idle overhead unchecked)")
+    else:
+        idle = obs["idle_overhead_fraction"]
+        ok = idle < args.obs_budget
+        print(f"  obs idle overhead: {idle:.4%} (budget {args.obs_budget:.0%}) "
+              f"{'ok' if ok else 'OVER BUDGET'}")
+        print(f"  obs idle scope: {obs['idle_scope_ns']:.3f} ns, "
+              f"active scope: {obs['active_scope_ns']:.3f} ns")
+        if not ok:
+            failures.append(
+                f"idle observability overhead {idle:.4%} exceeds {args.obs_budget:.0%} budget")
+
+    if failures:
+        print("bench_compare: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
