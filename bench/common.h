@@ -7,17 +7,21 @@
 // tick, map, session and size mechanisms are untouched, so every *shape*
 // reported by the paper is preserved; totals scale with duration.
 //
-// Observability knobs (see DESIGN.md, "Observability"):
+// Observability knobs (see DESIGN.md, "Observability", and
+// src/obs/exporter.h for the full flag/env list):
 //   --metrics-out=<path> / GAMETRACE_METRICS_OUT  - metrics JSON snapshot
 //   --trace-out=<path>   / GAMETRACE_TRACE_OUT    - Chrome trace_event JSON
+//   --flight-out=<path>  / GAMETRACE_FLIGHT_OUT   - snapshot-stream JSONL
+//   --alerts-out=<path>  / GAMETRACE_ALERTS_OUT   - watchdog alerts JSONL
+//   --prom-out=<path>    / GAMETRACE_PROM_OUT     - Prometheus text format
+//   --flight-sample=<s>  / GAMETRACE_FLIGHT_SAMPLE- sampling period
+//   --flight-dump=<path> / GAMETRACE_FLIGHT_DUMP  - black-box dump path
 //   GAMETRACE_VERBOSE=0                           - suppress series dumps
 //   GAMETRACE_HEARTBEAT=<s>                       - stderr progress pulse
 #pragma once
 
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <string_view>
 
@@ -25,10 +29,7 @@
 #include "core/experiment.h"
 #include "core/report.h"
 #include "game/config.h"
-#include "obs/metrics.h"
-#include "obs/obs.h"
-#include "obs/prof.h"
-#include "obs/trace_log.h"
+#include "obs/exporter.h"
 
 namespace gametrace::bench {
 
@@ -54,75 +55,14 @@ inline void PrintSeries(std::ostream& out, const stats::TimeSeries& series,
   core::PrintSeries(out, series, name, max_points);
 }
 
-// Per-binary observability session: parses --metrics-out= / --trace-out=
-// (or the matching environment variables), binds an ambient ObsContext for
-// the bench's lifetime when either output is requested, and writes the
-// JSON files - metrics including a profiling dump - at destruction.
-// Without outputs it binds nothing, so the bench runs exactly as before.
-class ObsSession {
- public:
-  ObsSession(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      const std::string_view arg(argv[i]);
-      if (arg.starts_with("--metrics-out=")) {
-        metrics_path_ = arg.substr(14);
-      } else if (arg.starts_with("--trace-out=")) {
-        trace_path_ = arg.substr(12);
-      }
-    }
-    if (metrics_path_.empty()) {
-      if (const char* env = std::getenv("GAMETRACE_METRICS_OUT")) metrics_path_ = env;
-    }
-    if (trace_path_.empty()) {
-      if (const char* env = std::getenv("GAMETRACE_TRACE_OUT")) trace_path_ = env;
-    }
-    if (metrics_path_.empty() && trace_path_.empty()) return;
-    obs::EnableProfiling(true);
-    binding_.emplace(obs::ObsContext{.metrics = &metrics_,
-                                     .trace = &trace_,
-                                     .shard_id = 0,
-                                     .heartbeat = true});
-  }
-
-  ObsSession(const ObsSession&) = delete;
-  ObsSession& operator=(const ObsSession&) = delete;
-
-  ~ObsSession() {
-    if (!binding_.has_value()) return;
-    binding_.reset();
-    obs::EnableProfiling(false);
-    if (!metrics_path_.empty()) {
-      obs::DumpProfilingInto(metrics_);
-      std::ofstream out(metrics_path_);
-      if (out) {
-        metrics_.WriteJson(out);
-        std::cerr << "[gametrace] metrics written to " << metrics_path_ << "\n";
-      } else {
-        std::cerr << "[gametrace] cannot write metrics to " << metrics_path_ << "\n";
-      }
-    }
-    if (!trace_path_.empty()) {
-      std::ofstream out(trace_path_);
-      if (out) {
-        trace_.WriteJson(out);
-        std::cerr << "[gametrace] trace written to " << trace_path_ << "\n";
-      } else {
-        std::cerr << "[gametrace] cannot write trace to " << trace_path_ << "\n";
-      }
-    }
-  }
-
-  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
-  [[nodiscard]] obs::TraceLog& trace() noexcept { return trace_; }
-  [[nodiscard]] bool active() const noexcept { return binding_.has_value(); }
-
- private:
-  std::string metrics_path_;
-  std::string trace_path_;
-  obs::MetricsRegistry metrics_;
-  obs::TraceLog trace_;
-  std::optional<obs::ScopedObsBinding> binding_;
-};
+// Per-binary observability session: obs::ExportSession parses the
+// observability flags (or the matching environment variables), binds an
+// ambient ObsContext for the bench's lifetime when any output is
+// requested, arms the flight recorder, watchdog and black-box dump guard,
+// and writes every requested file - metrics including a profiling dump -
+// at destruction. Without outputs it binds nothing, so the bench runs
+// exactly as before.
+using ObsSession = obs::ExportSession;
 
 struct CharacterizedRun {
   double duration;

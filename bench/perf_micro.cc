@@ -21,6 +21,8 @@
 #include "core/experiment.h"
 #include "core/fleet.h"
 #include "game/config.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "obs/prof.h"
 #include "router/route_cache.h"
 #include "router/routing_table.h"
@@ -359,6 +361,62 @@ ObsOverhead MeasureObsOverhead(const HotpathWorkload& w, double idle_batched_pps
   return o;
 }
 
+// ---- Flight-recorder sampling overhead --------------------------------
+
+struct FlightOverhead {
+  double sample_ns = 0.0;           // one registry snapshot + ring push
+  double records_per_minute = 0.0;  // paper-scale traffic per sample period
+  double overhead_fraction = 0.0;   // sampling share of the per-minute budget
+};
+
+// The flight recorder charges the sim one registry copy per sampling period
+// (default one sim-minute). Price that copy against the hot-path cost of the
+// traffic a sample period spans at the paper's mean load (Table III: ~270
+// pps), using the measured deep-chain batched throughput as the per-record
+// budget. The budget for the whole observability layer is < 2% idle.
+FlightOverhead MeasureFlightOverhead(double batched_pps) {
+  // A registry shaped like a real run's snapshot: the server session and
+  // traffic counters plus the NAT and simulator gauges.
+  obs::MetricsRegistry metrics;
+  const char* counters[] = {"server.packets_emitted",  "server.bytes_emitted",
+                            "server.bytes_to_clients", "server.connections.attempted",
+                            "server.connections.established", "server.connections.refused",
+                            "server.disconnects.orderly", "server.disconnects.outage",
+                            "server.maps_started", "server.rounds_started",
+                            "nat.device.packets", "nat.device.drops"};
+  std::uint64_t value = 1;
+  for (const char* name : counters) metrics.counter(name).Add(value += 977);
+  metrics.gauge("server.active_players").Set(21.0);
+  metrics.gauge("server.peak_players", obs::Gauge::MergeMode::kMax).Set(22.0);
+  metrics.gauge("sim.queue.high_water", obs::Gauge::MergeMode::kMax).Set(512.0);
+
+  obs::FlightRecorder recorder;
+  FlightOverhead o;
+  o.sample_ns = 1e18;
+  for (int rep = 0; rep < 5; ++rep) {
+    std::size_t samples = 0;
+    double t = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    std::chrono::duration<double> elapsed{};
+    do {
+      for (int i = 0; i < 64; ++i) {
+        obs::MetricsRegistry view = metrics;  // what InstallFlightSampling does
+        recorder.Sample(t += 60.0, std::move(view));
+      }
+      samples += 64;
+      elapsed = std::chrono::steady_clock::now() - start;
+    } while (elapsed.count() < 0.05);
+    o.sample_ns = std::min(o.sample_ns, elapsed.count() * 1e9 / static_cast<double>(samples));
+  }
+
+  o.records_per_minute = 270.0 * 60.0;  // Table III mean load over one period
+  if (batched_pps > 0.0) {
+    const double record_ns = 1e9 / batched_pps;
+    o.overhead_fraction = o.sample_ns / (o.records_per_minute * record_ns);
+  }
+  return o;
+}
+
 // Packets/sec sweep of scalar vs batched delivery per chain depth, written
 // to BENCH_hotpath.json. The acceptance bar for the batched path is >= 2x
 // on at least the deeper chains; `min_speedup` makes regressions visible.
@@ -392,20 +450,30 @@ void WriteHotpathJson(const std::string& path) {
               << " pkt/s, batched " << pair.batched_pps << " pkt/s (" << speedup << "x)\n";
   }
   const ObsOverhead obs = MeasureObsOverhead(workload, deep_batched_pps);
+  const FlightOverhead flight = MeasureFlightOverhead(deep_batched_pps);
   out << "\n  ],\n"
       << "  \"obs\": {\"idle_scope_ns\": " << obs.idle_scope_ns
       << ", \"active_scope_ns\": " << obs.active_scope_ns
       << ", \"scopes_per_record\": " << obs.scopes_per_record
       << ", \"idle_overhead_fraction\": " << obs.idle_overhead_fraction
       << ", \"active_overhead_fraction\": " << obs.active_overhead_fraction << "},\n"
+      << "  \"flight\": {\"sample_ns\": " << flight.sample_ns
+      << ", \"sample_period_seconds\": 60"
+      << ", \"records_per_minute\": " << flight.records_per_minute
+      << ", \"overhead_fraction\": " << flight.overhead_fraction << "},\n"
       << "  \"speedup\": " << emission_speedup << ",\n"
       << "  \"min_speedup\": " << min_speedup << ",\n"
       << "  \"max_speedup\": " << max_speedup << "\n}\n";
   std::cerr << "obs overhead: idle scope " << obs.idle_scope_ns << " ns, active scope "
             << obs.active_scope_ns << " ns, idle fraction " << obs.idle_overhead_fraction
             << ", active fraction " << obs.active_overhead_fraction << "\n";
+  std::cerr << "flight sampling: " << flight.sample_ns << " ns/snapshot, fraction "
+            << flight.overhead_fraction << " of a paper-scale minute\n";
   if (obs.idle_overhead_fraction >= 0.02) {
     std::cerr << "WARNING: idle observability overhead above the 2% budget\n";
+  }
+  if (flight.overhead_fraction >= 0.02) {
+    std::cerr << "WARNING: flight sampling overhead above the 2% budget\n";
   }
   if (out) {
     std::cerr << "wrote " << path << "\n";

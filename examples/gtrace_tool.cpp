@@ -7,16 +7,15 @@
 //   gtrace_tool hurst <trace.gtr|trace.pcap>
 //   gtrace_tool loss <trace.gtr|trace.pcap>
 //
-// Any command additionally accepts --metrics-out=<json> (metrics registry
-// snapshot, including hot-path profiling counters) and --trace-out=<json>
-// (sim-time spans in Chrome trace_event format, openable in Perfetto).
+// Any command additionally accepts the shared observability flags (see
+// src/obs/exporter.h): --metrics-out=<json>, --trace-out=<json>,
+// --flight-out=<jsonl>, --alerts-out=<jsonl>, --prom-out=<txt>,
+// --flight-sample=<seconds> and --flight-dump=<json>.
 //
 // Works on traces produced by this toolkit or any UDP/IPv4 pcap whose
 // server endpoint matches the default (192.168.0.10:27015).
 #include <algorithm>
-#include <fstream>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,10 +26,7 @@
 #include "game/config.h"
 #include "net/pcap.h"
 #include "net/units.h"
-#include "obs/metrics.h"
-#include "obs/obs.h"
-#include "obs/prof.h"
-#include "obs/trace_log.h"
+#include "obs/exporter.h"
 #include "stats/rs_hurst.h"
 #include "trace/loss_estimator.h"
 #include "trace/trace_format.h"
@@ -189,87 +185,33 @@ void Usage() {
                "  hurst     <trace>\n"
                "  loss      <trace>\n"
                "options (any command):\n"
-               "  --metrics-out=<json>  write a metrics + profiling snapshot\n"
-               "  --trace-out=<json>    write sim-time spans (Chrome trace_event)\n";
+               "  --metrics-out=<json>    write a metrics + profiling snapshot\n"
+               "  --trace-out=<json>      write sim-time spans (Chrome trace_event)\n"
+               "  --flight-out=<jsonl>    write the flight-recorder snapshot stream\n"
+               "  --alerts-out=<jsonl>    write watchdog SLO alerts\n"
+               "  --prom-out=<txt>        write Prometheus text exposition\n"
+               "  --flight-sample=<s>     sim-seconds between snapshots (default 60)\n"
+               "  --flight-dump=<json>    black-box path (default flight_dump.json)\n";
 }
-
-// Observability for one invocation: binds an ambient ObsContext while the
-// command runs and writes the requested JSON files afterwards. Inactive
-// (and free) when neither flag was given.
-class ObsWriter {
- public:
-  ObsWriter(std::string metrics_path, std::string trace_path)
-      : metrics_path_(std::move(metrics_path)), trace_path_(std::move(trace_path)) {
-    if (metrics_path_.empty() && trace_path_.empty()) return;
-    obs::EnableProfiling(true);
-    binding_.emplace(obs::ObsContext{.metrics = &metrics_,
-                                     .trace = &trace_,
-                                     .shard_id = 0,
-                                     .heartbeat = true});
-  }
-
-  // Returns 0, or 1 if a requested file could not be written.
-  int Finish() {
-    if (!binding_.has_value()) return 0;
-    binding_.reset();
-    obs::EnableProfiling(false);
-    int status = 0;
-    if (!metrics_path_.empty()) {
-      obs::DumpProfilingInto(metrics_);
-      std::ofstream out(metrics_path_);
-      if (out) {
-        metrics_.WriteJson(out);
-        std::cerr << "metrics written to " << metrics_path_ << "\n";
-      } else {
-        std::cerr << "error: cannot write " << metrics_path_ << "\n";
-        status = 1;
-      }
-    }
-    if (!trace_path_.empty()) {
-      std::ofstream out(trace_path_);
-      if (out) {
-        trace_.WriteJson(out);
-        std::cerr << "trace written to " << trace_path_ << "\n";
-      } else {
-        std::cerr << "error: cannot write " << trace_path_ << "\n";
-        status = 1;
-      }
-    }
-    return status;
-  }
-
- private:
-  std::string metrics_path_;
-  std::string trace_path_;
-  obs::MetricsRegistry metrics_;
-  obs::TraceLog trace_;
-  std::optional<obs::ScopedObsBinding> binding_;
-};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   // Observability flags are position-independent and work for any command.
-  std::string metrics_out;
-  std::string trace_out;
+  obs::ExportOptions obs_options;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
-    if (arg.starts_with("--metrics-out=")) {
-      metrics_out = arg.substr(14);
-    } else if (arg.starts_with("--trace-out=")) {
-      trace_out = arg.substr(12);
-    } else {
-      positional.emplace_back(arg);
-    }
+    if (!obs_options.TryParseFlag(arg)) positional.emplace_back(arg);
   }
+  obs_options.ApplyEnvDefaults();
   if (positional.size() < 2) {
     Usage();
     return 2;
   }
   const std::string command = positional.front();
   const std::vector<std::string> args(positional.begin() + 1, positional.end());
-  ObsWriter obs_writer(std::move(metrics_out), std::move(trace_out));
+  obs::ExportSession obs_session(std::move(obs_options));
   int status = 2;
   bool known = true;
   try {
@@ -296,6 +238,6 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  const int obs_status = obs_writer.Finish();
+  const int obs_status = obs_session.Finish();
   return status != 0 ? status : obs_status;
 }

@@ -2,11 +2,17 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 
+#include "obs/exporter.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/prom.h"
 #include "obs/trace_log.h"
+#include "obs/watchdog.h"
 #include "sim/simulator.h"
 
 namespace gametrace::core {
@@ -25,12 +31,26 @@ double ResolveHeartbeatInterval(double trace_duration) {
   return trace_duration >= 3600.0 ? 10.0 : 0.0;
 }
 
+// Refreshes the --prom-out file with the ambient registry's current
+// contents; called from the wall-clock heartbeat so a scrape pipeline sees
+// a live view during long runs. Quiet on write failure by design - the
+// final ExportSession write reports loudly.
+void FlushPrometheus(const char* prom_path, const obs::MetricsRegistry& metrics) {
+  std::ofstream out(prom_path);
+  if (out) obs::WritePrometheusText(metrics, out);
+}
+
 // Installs the stderr progress printer on `simulator`. `server` is
 // borrowed; the heartbeat dies with the simulator at the end of the run.
 void InstallHeartbeat(sim::Simulator& simulator, const game::CsServer& server,
                       double duration, double interval) {
+  const obs::ObsContext& ctx = obs::Current();
+  const char* prom_path = ctx.metrics != nullptr ? ctx.prom_path : nullptr;
+  const obs::MetricsRegistry* metrics = ctx.metrics;
   simulator.SetHeartbeat(
-      interval, [&server, duration](const sim::Simulator::HeartbeatStatus& s) {
+      interval,
+      [&server, duration, prom_path, metrics](const sim::Simulator::HeartbeatStatus& s) {
+        if (prom_path != nullptr) FlushPrometheus(prom_path, *metrics);
         const double rate = s.sim_seconds_per_second;
         const double remaining = duration - s.sim_now;
         const std::uint64_t packets = server.stats().packets_emitted;
@@ -45,6 +65,29 @@ void InstallHeartbeat(sim::Simulator& simulator, const game::CsServer& server,
                          ? (std::to_string(static_cast<long>(remaining / rate)) + "s").c_str()
                          : "?");
       });
+}
+
+// Schedules the flight-recorder sampling pulse: every sampling period the
+// ambient registry (refreshed with the simulator's queue high-water mark)
+// is snapshotted into the recorder and the watchdog catches up on the new
+// snapshot. `extra` (may be null) is merged on top of the ambient registry
+// first - the NAT experiment's device registry only reaches the ambient
+// export at the end of the run, but its packet counters drive the
+// meltdown rule and must be visible per snapshot.
+void InstallFlightSampling(sim::Simulator& simulator, const obs::ObsContext& ctx,
+                           const obs::MetricsRegistry* extra) {
+  if (ctx.recorder == nullptr || ctx.metrics == nullptr) return;
+  const double period = ctx.recorder->options().sample_period_seconds;
+  simulator.Every(period, period,
+                  [&simulator, metrics = ctx.metrics, recorder = ctx.recorder,
+                   watchdog = ctx.watchdog, extra](double t) {
+                    metrics->gauge("sim.queue.high_water", obs::Gauge::MergeMode::kMax)
+                        .SetMax(static_cast<double>(simulator.queue_high_water()));
+                    obs::MetricsRegistry view = *metrics;
+                    if (extra != nullptr) view.Merge(*extra);
+                    recorder->Sample(t, std::move(view));
+                    if (watchdog != nullptr) watchdog->CatchUp(*recorder);
+                  });
 }
 
 }  // namespace
@@ -85,6 +128,7 @@ ServerTraceResult RunServerTrace(const game::GameConfig& config,
     const double interval = ResolveHeartbeatInterval(config.trace_duration);
     if (interval > 0.0) InstallHeartbeat(simulator, server, config.trace_duration, interval);
   }
+  InstallFlightSampling(simulator, ctx, /*extra=*/nullptr);
   {
     const obs::ScopedSpan run_span(ctx.trace, "server_trace", "run");
     server.Run();
@@ -171,6 +215,7 @@ NatExperimentResult RunNatExperiment(const NatExperimentConfig& config) {
     const double interval = ResolveHeartbeatInterval(config.duration);
     if (interval > 0.0) InstallHeartbeat(simulator, server, config.duration, interval);
   }
+  InstallFlightSampling(simulator, ctx, &nat.stats().metrics());
   {
     const obs::ScopedSpan run_span(ctx.trace, "nat_experiment", "run");
     simulator.RunUntil(config.duration);

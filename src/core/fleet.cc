@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "obs/watchdog.h"
 #include "sim/rng.h"
 #include "trace/capture.h"
 
@@ -76,6 +77,7 @@ FleetResult RunFleet(const FleetConfig& config) {
     std::uint64_t seed = 0;
     obs::MetricsRegistry metrics;
     std::optional<obs::TraceLog> trace;
+    std::optional<obs::FlightRecorder> recorder;
   };
   std::vector<ShardSlot> slots(static_cast<std::size_t>(config.shards));
 
@@ -90,17 +92,24 @@ FleetResult RunFleet(const FleetConfig& config) {
     server.seed = sim::SubstreamSeed(config.base_seed, static_cast<std::uint64_t>(shard));
     slot.seed = server.seed;
     slot.partial.emplace(config.analysis);
-    slot.trace.emplace(/*pid=*/shard);
+    slot.trace.emplace(/*pid=*/shard, config.trace_max_events);
     if (ambient.trace != nullptr) {
       slot.trace->SetCategoryEnabled("tick", ambient.trace->CategoryEnabled("tick"));
     }
+    // An ambient flight recorder sets the sampling grid; every shard then
+    // records its own snapshot stream on that grid. Shards never run a
+    // watchdog or flush Prometheus - alerting and exposition happen once,
+    // against the merged stream.
+    if (ambient.recorder != nullptr) slot.recorder.emplace(ambient.recorder->options());
     // Each shard observes its own registry and log (merged below in shard
     // order); only shard 0 may keep the operator heartbeat, so an N-way
     // run does not interleave N pulses on stderr.
-    const obs::ScopedObsBinding bind({.metrics = &slot.metrics,
-                                      .trace = &*slot.trace,
-                                      .shard_id = shard,
-                                      .heartbeat = ambient.heartbeat && shard == 0});
+    const obs::ScopedObsBinding bind(
+        {.metrics = &slot.metrics,
+         .trace = &*slot.trace,
+         .recorder = slot.recorder.has_value() ? &*slot.recorder : nullptr,
+         .shard_id = shard,
+         .heartbeat = ambient.heartbeat && shard == 0});
     trace::ShardNamespaceSink namespaced(static_cast<std::uint32_t>(shard), *slot.partial);
     auto run = RunServerTrace(server, namespaced);
     slot.stats = run.stats;
@@ -127,13 +136,22 @@ FleetResult RunFleet(const FleetConfig& config) {
     result.total_packets += slots[i].stats.packets_emitted;
     result.metrics.Merge(slots[i].metrics);
     result.trace_log.Merge(std::move(*slots[i].trace));
+    if (slots[i].recorder.has_value()) result.recorder.Merge(*slots[i].recorder);
   }
+  // Bounded-buffer trace loss would otherwise be invisible in the merged
+  // registry: the per-shard drop counts only live inside the TraceLog.
+  result.metrics.counter("obs.trace.dropped_events").Add(result.trace_log.dropped());
   // Flow into the caller's ambient context too, so a bound --metrics-out /
   // --trace-out export sees the fleet without extra plumbing.
   if (ambient.metrics != nullptr) ambient.metrics->Merge(result.metrics);
   if (ambient.trace != nullptr) {
     obs::TraceLog copy = result.trace_log;
     ambient.trace->Merge(std::move(copy));
+  }
+  if (ambient.recorder != nullptr) {
+    ambient.recorder->Merge(result.recorder);
+    // Alert once, over the merged deterministic stream.
+    if (ambient.watchdog != nullptr) ambient.watchdog->CatchUp(*ambient.recorder);
   }
   return result;
 }

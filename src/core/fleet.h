@@ -22,6 +22,7 @@
 #include "core/characterizer.h"
 #include "core/experiment.h"
 #include "game/config.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace_log.h"
 
@@ -41,6 +42,9 @@ struct FleetConfig {
   // `trace_duration` is the simulated window of every shard.
   game::GameConfig server;
   CharacterizationOptions analysis;
+  // Per-shard trace-log capacity. The default matches a standalone run;
+  // tests shrink it to exercise bounded-buffer drop accounting.
+  std::size_t trace_max_events = obs::TraceLog::kDefaultMaxEvents;
 
   // A fleet of `shards` calibrated servers each simulating `duration`
   // seconds (rates and shapes untouched, as in GameConfig::ScaledDefaults).
@@ -68,6 +72,11 @@ struct FleetResult {
   // ambient obs context, when one is bound.
   obs::MetricsRegistry metrics;
   obs::TraceLog trace_log;
+  // Shard flight recorders merged snapshot-by-snapshot in shard order;
+  // empty unless the ambient context binds a recorder (which sets the
+  // sampling grid every shard follows). Byte-identical JSONL at any worker
+  // count, like `metrics`.
+  obs::FlightRecorder recorder;
 };
 
 // Runs every shard's RunServerTrace on the worker pool and reduces the

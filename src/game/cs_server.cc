@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 #include "obs/prof.h"
 #include "sim/random.h"
@@ -54,6 +55,9 @@ CsServer::CsServer(sim::Simulator& simulator, GameConfig config, trace::CaptureS
   if (ctx.metrics != nullptr) {
     obs::MetricsRegistry& m = *ctx.metrics;
     obs_.packets_emitted = &m.counter("server.packets_emitted");
+    obs_.bytes_emitted = &m.counter("server.bytes_emitted");
+    obs_.bytes_to_clients = &m.counter("server.bytes_to_clients");
+    obs_.active_players = &m.gauge("server.active_players", obs::Gauge::MergeMode::kSum);
     obs_.attempts = &m.counter("server.connections.attempted");
     obs_.established = &m.counter("server.connections.established");
     obs_.refused = &m.counter("server.connections.refused");
@@ -200,6 +204,9 @@ void CsServer::HandleAttempt(std::size_t identity, bool /*is_retry*/) {
   live_sessions_.insert(client.session_id);
   peak_players_ = std::max(peak_players_, static_cast<int>(clients_.size()));
   if (obs_.peak_players != nullptr) obs_.peak_players->SetMax(peak_players_);
+  if (obs_.active_players != nullptr) {
+    obs_.active_players->Set(static_cast<double>(clients_.size()));
+  }
 
   for (ServerEventListener* l : listeners_) l->OnConnect(t, clients_.back());
 
@@ -228,6 +235,9 @@ void CsServer::Depart(std::uint64_t session_id, bool orderly) {
   for (ServerEventListener* l : listeners_) l->OnDisconnect(simulator_->Now(), *it, orderly);
   *it = clients_.back();
   clients_.pop_back();
+  if (obs_.active_players != nullptr) {
+    obs_.active_players->Set(static_cast<double>(clients_.size()));
+  }
 }
 
 bool CsServer::DisconnectByEndpoint(net::Ipv4Address ip, std::uint16_t port, bool orderly) {
@@ -264,6 +274,10 @@ void CsServer::OnOutageBegin(double t) {
     for (ServerEventListener* l : listeners_) l->OnDisconnect(t, c, /*orderly=*/false);
   }
   clients_.clear();
+  if (obs_.active_players != nullptr) obs_.active_players->Set(0.0);
+  // An injected outage is exactly the kind of event the black box exists
+  // for; leave a post-mortem when a dump guard is armed (no-op otherwise).
+  obs::DumpFlightNow("outage");
 }
 
 void CsServer::OnOutageEnd(double t) {
@@ -307,7 +321,13 @@ void CsServer::Emit(double t, net::Direction direction, net::PacketKind kind,
   record.kind = kind;
   record.seq = seq;
   ++packets_emitted_;
+  const std::uint64_t wire_bytes = net::WireBytes(bytes);
+  wire_bytes_emitted_ += wire_bytes;
   if (obs_.packets_emitted != nullptr) obs_.packets_emitted->Add();
+  if (obs_.bytes_emitted != nullptr) obs_.bytes_emitted->Add(wire_bytes);
+  if (obs_.bytes_to_clients != nullptr && direction == net::Direction::kServerToClient) {
+    obs_.bytes_to_clients->Add(wire_bytes);
+  }
   if (batching_) {
     tick_batch_.push_back(record);
   } else {
@@ -329,6 +349,7 @@ CsServer::Stats CsServer::stats() const {
   s.peak_players = peak_players_;
   s.ticks = tick_engine_.ticks_fired();
   s.packets_emitted = packets_emitted_;
+  s.wire_bytes_emitted = wire_bytes_emitted_;
   s.downloads_started = downloads_->transfers_started();
   return s;
 }

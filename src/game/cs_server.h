@@ -61,6 +61,9 @@ class CsServer {
     int peak_players = 0;
     std::uint64_t ticks = 0;
     std::uint64_t packets_emitted = 0;
+    // On-the-wire bytes (headers included) across all emitted packets -
+    // the numerator of the paper's per-client bandwidth figures.
+    std::uint64_t wire_bytes_emitted = 0;
     std::uint64_t downloads_started = 0;
   };
 
@@ -142,6 +145,7 @@ class CsServer {
   std::uint64_t outage_disconnects_ = 0;
   int peak_players_ = 0;
   std::uint64_t packets_emitted_ = 0;
+  std::uint64_t wire_bytes_emitted_ = 0;
 
   // Ambient observability, captured from obs::Current() at construction.
   // All-null outside a binding; counters mirror the Stats fields above
@@ -150,6 +154,13 @@ class CsServer {
   struct Observability {
     obs::TraceLog* trace = nullptr;
     obs::Counter* packets_emitted = nullptr;
+    obs::Counter* bytes_emitted = nullptr;
+    // Downstream (server->client) wire bytes only: the last-mile traffic
+    // the per-client saturation SLO rule compares against a modem.
+    obs::Counter* bytes_to_clients = nullptr;
+    // Current connected-player level (kSum: fleet shards add up to the
+    // fleet-wide population). Feeds the per-client bandwidth SLO rule.
+    obs::Gauge* active_players = nullptr;
     obs::Counter* attempts = nullptr;
     obs::Counter* established = nullptr;
     obs::Counter* refused = nullptr;

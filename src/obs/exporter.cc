@@ -1,0 +1,174 @@
+#include "obs/exporter.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <system_error>
+#include <utility>
+
+#include "obs/prof.h"
+#include "obs/prom.h"
+
+namespace gametrace::obs {
+
+namespace {
+
+// Consumes "--<flag>=<value>" into `value`; empty values are rejected so a
+// typo like "--metrics-out=" fails the parse instead of activating an
+// output with nowhere to go.
+bool ParseStringFlag(std::string_view arg, std::string_view flag, std::string& value) {
+  if (!arg.starts_with(flag)) return false;
+  const std::string_view rest = arg.substr(flag.size());
+  if (rest.empty()) return false;
+  value.assign(rest);
+  return true;
+}
+
+bool ParsePositiveSeconds(std::string_view text, double& value) {
+  const std::string copy(text);
+  char* end = nullptr;
+  const double parsed = std::strtod(copy.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !(parsed > 0.0)) return false;
+  value = parsed;
+  return true;
+}
+
+void EnvDefault(const char* name, std::string& value) {
+  if (!value.empty()) return;
+  if (const char* env = std::getenv(name)) value = env;
+}
+
+}  // namespace
+
+bool ExportOptions::TryParseFlag(std::string_view arg) {
+  if (ParseStringFlag(arg, "--metrics-out=", metrics_path)) return true;
+  if (ParseStringFlag(arg, "--trace-out=", trace_path)) return true;
+  if (ParseStringFlag(arg, "--flight-out=", flight_path)) return true;
+  if (ParseStringFlag(arg, "--alerts-out=", alerts_path)) return true;
+  if (ParseStringFlag(arg, "--prom-out=", prom_path)) return true;
+  if (ParseStringFlag(arg, "--flight-dump=", dump_path)) return true;
+  if (arg.starts_with("--flight-sample=")) {
+    return ParsePositiveSeconds(arg.substr(16), sample_period_seconds);
+  }
+  return false;
+}
+
+void ExportOptions::ApplyEnvDefaults() {
+  EnvDefault("GAMETRACE_METRICS_OUT", metrics_path);
+  EnvDefault("GAMETRACE_TRACE_OUT", trace_path);
+  EnvDefault("GAMETRACE_FLIGHT_OUT", flight_path);
+  EnvDefault("GAMETRACE_ALERTS_OUT", alerts_path);
+  EnvDefault("GAMETRACE_PROM_OUT", prom_path);
+  if (dump_path == ExportOptions{}.dump_path) {
+    if (const char* env = std::getenv("GAMETRACE_FLIGHT_DUMP")) dump_path = env;
+  }
+  if (const char* env = std::getenv("GAMETRACE_FLIGHT_SAMPLE")) {
+    ParsePositiveSeconds(env, sample_period_seconds);
+  }
+}
+
+bool OpenOutputFile(const std::string& path, std::ofstream& out) {
+  const std::filesystem::path target(path);
+  const std::filesystem::path parent = target.parent_path();
+  std::error_code ec;
+  if (!parent.empty()) {
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      std::cerr << "[gametrace] error: cannot write " << path
+                << " (creating directory " << parent.string() << ": " << ec.message() << ")\n";
+      return false;
+    }
+  }
+  out.open(target);
+  if (!out) {
+    std::cerr << "[gametrace] error: cannot write " << path << " (open failed)\n";
+    return false;
+  }
+  return true;
+}
+
+ExportSession::ExportSession(ExportOptions options) : options_(std::move(options)) {
+  if (!options_.any_output()) return;
+  recorder_ = FlightRecorder(FlightRecorder::Options{
+      .sample_period_seconds = options_.sample_period_seconds,
+  });
+  watchdog_ = WatchdogEngine(WatchdogEngine::BuiltinRules());
+  EnableProfiling(true);
+  dump_guard_.emplace(options_.dump_path);
+  binding_.emplace(ObsContext{
+      .metrics = &metrics_,
+      .trace = &trace_,
+      .recorder = &recorder_,
+      .watchdog = &watchdog_,
+      .prom_path = options_.prom_path.empty() ? nullptr : options_.prom_path.c_str(),
+      .shard_id = 0,
+      .heartbeat = true,
+  });
+}
+
+namespace {
+
+ExportOptions OptionsFromArgs(int argc, char** argv) {
+  ExportOptions options;
+  for (int i = 1; i < argc; ++i) options.TryParseFlag(argv[i]);
+  options.ApplyEnvDefaults();
+  return options;
+}
+
+}  // namespace
+
+ExportSession::ExportSession(int argc, char** argv) : ExportSession(OptionsFromArgs(argc, argv)) {}
+
+ExportSession::~ExportSession() { Finish(); }
+
+int ExportSession::Finish() {
+  if (!binding_.has_value() || finished_) return 0;
+  finished_ = true;
+  binding_.reset();
+  EnableProfiling(false);
+
+  // Alerts for any snapshots the run sampled but never evaluated (the
+  // cursor makes this a no-op when live evaluation kept up), then the
+  // export-time folds: profiling and alert counters never enter the
+  // deterministic merge, only the written files.
+  watchdog_.CatchUp(recorder_);
+  DumpProfilingInto(metrics_);
+  watchdog_.DumpInto(metrics_);
+  watchdog_.DumpInto(trace_);
+
+  // Surface bounded-buffer trace loss. RunFleet already exports the merged
+  // total; top up rather than Add so single-run and fleet paths agree.
+  const std::uint64_t dropped = trace_.dropped();
+  Counter& dropped_counter = metrics_.counter("obs.trace.dropped_events");
+  if (dropped > dropped_counter.value()) dropped_counter.Add(dropped - dropped_counter.value());
+
+  int status = 0;
+  const auto write_file = [&status](const std::string& path, const std::string& content,
+                                    const char* what) {
+    if (path.empty()) return;
+    std::ofstream out;
+    if (!OpenOutputFile(path, out)) {
+      status = 1;
+      return;
+    }
+    out << content;
+    if (!out.good()) {
+      std::cerr << "[gametrace] error: cannot write " << path << " (write failed)\n";
+      status = 1;
+      return;
+    }
+    std::cerr << "[gametrace] " << what << " written to " << path << "\n";
+  };
+
+  write_file(options_.metrics_path, metrics_.ToJson(), "metrics");
+  write_file(options_.trace_path, trace_.ToJson(), "trace");
+  write_file(options_.flight_path, recorder_.ToJsonl(), "flight snapshots");
+  write_file(options_.alerts_path, watchdog_.ToJsonl(), "alerts");
+  // Last, so the text includes the profiling and alert counters.
+  write_file(options_.prom_path, ToPrometheusText(metrics_), "prometheus metrics");
+
+  dump_guard_.reset();
+  return status;
+}
+
+}  // namespace gametrace::obs

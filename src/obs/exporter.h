@@ -1,0 +1,113 @@
+// ExportSession: one object owning a front-end's whole observability
+// surface - metrics registry, trace log, flight recorder, watchdog, the
+// black-box dump guard and the ambient binding - plus the flag/env parsing
+// every binary shares.
+//
+//   obs::ExportOptions options;
+//   for (each arg) if (options.TryParseFlag(arg)) continue;  // consumed
+//   options.ApplyEnvDefaults();
+//   obs::ExportSession session(std::move(options));
+//   ... run the workload ...
+//   return session.Finish();  // writes every requested file
+//
+// Flags / environment variables (flag wins):
+//   --metrics-out=<json>    GAMETRACE_METRICS_OUT   metrics + profiling
+//   --trace-out=<json>      GAMETRACE_TRACE_OUT     Chrome trace_event
+//   --flight-out=<jsonl>    GAMETRACE_FLIGHT_OUT    snapshot stream
+//   --alerts-out=<jsonl>    GAMETRACE_ALERTS_OUT    watchdog alerts
+//   --prom-out=<txt>        GAMETRACE_PROM_OUT      Prometheus text
+//   --flight-sample=<s>     GAMETRACE_FLIGHT_SAMPLE sampling period
+//   --flight-dump=<json>    GAMETRACE_FLIGHT_DUMP   black-box path
+//
+// A session with no output requested binds nothing and costs nothing -
+// benches without flags run exactly as before. An active session always
+// arms the flight recorder and the black-box guard, so any GT_CHECK
+// violation mid-run leaves flight_dump.json even if only --metrics-out
+// was asked for.
+#pragma once
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace_log.h"
+#include "obs/watchdog.h"
+
+namespace gametrace::obs {
+
+struct ExportOptions {
+  std::string metrics_path;
+  std::string trace_path;
+  std::string flight_path;
+  std::string alerts_path;
+  std::string prom_path;
+  // Where a GT_CHECK violation or DumpFlightNow writes the black box while
+  // the session is active.
+  std::string dump_path = "flight_dump.json";
+  double sample_period_seconds = 60.0;
+
+  // Consumes one "--<name>=<value>" observability flag; returns false (and
+  // leaves the options untouched) for anything else, so front-ends can
+  // forward unrecognized arguments to their own parsing.
+  bool TryParseFlag(std::string_view arg);
+
+  // Fills every field still at its default from the matching environment
+  // variable. Call after the flag loop so flags win.
+  void ApplyEnvDefaults();
+
+  // True when any of the five output files was requested (the dump path
+  // alone does not activate a session - it only matters once one is).
+  [[nodiscard]] bool any_output() const noexcept {
+    return !metrics_path.empty() || !trace_path.empty() || !flight_path.empty() ||
+           !alerts_path.empty() || !prom_path.empty();
+  }
+};
+
+// Opens `path` for writing, creating missing parent directories. On
+// failure prints "[gametrace] error: cannot write <path> (<why>)" to
+// stderr and returns false - requested output must never vanish silently.
+bool OpenOutputFile(const std::string& path, std::ofstream& out);
+
+class ExportSession {
+ public:
+  explicit ExportSession(ExportOptions options);
+
+  // Convenience: parse observability flags out of argv (non-destructively;
+  // unrecognized arguments are ignored) and apply environment defaults.
+  ExportSession(int argc, char** argv);
+
+  ExportSession(const ExportSession&) = delete;
+  ExportSession& operator=(const ExportSession&) = delete;
+
+  // Finish() if the front-end did not call it; write errors only reach the
+  // exit code through an explicit Finish().
+  ~ExportSession();
+
+  // Unbinds, evaluates any un-watched snapshots, folds in the profiling
+  // and alert counters plus the trace-drop total, and writes every
+  // requested file. Idempotent; returns 0 on success, 1 if any file could
+  // not be written.
+  int Finish();
+
+  [[nodiscard]] bool active() const noexcept { return binding_.has_value(); }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] TraceLog& trace() noexcept { return trace_; }
+  [[nodiscard]] FlightRecorder& recorder() noexcept { return recorder_; }
+  [[nodiscard]] WatchdogEngine& watchdog() noexcept { return watchdog_; }
+
+ private:
+  ExportOptions options_;
+  bool finished_ = false;
+  MetricsRegistry metrics_;
+  TraceLog trace_;
+  FlightRecorder recorder_;
+  WatchdogEngine watchdog_;
+  std::optional<ScopedFlightDump> dump_guard_;
+  std::optional<ScopedObsBinding> binding_;
+};
+
+}  // namespace gametrace::obs

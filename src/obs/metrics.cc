@@ -185,4 +185,52 @@ std::string MetricsRegistry::ToJson() const {
 
 void MetricsRegistry::WriteJson(std::ostream& out) const { out << ToJson(); }
 
+void MetricsRegistry::ForEachCounter(
+    const std::function<void(std::string_view, const Counter&)>& fn) const {
+  for (const auto& [name, counter] : counters_) fn(name, counter);
+}
+
+void MetricsRegistry::ForEachGauge(
+    const std::function<void(std::string_view, const Gauge&)>& fn) const {
+  for (const auto& [name, gauge] : gauges_) fn(name, gauge);
+}
+
+void MetricsRegistry::ForEachHistogram(
+    const std::function<void(std::string_view, const stats::Histogram&)>& fn) const {
+  for (const auto& [name, hist] : histograms_) fn(name, hist);
+}
+
+void MetricsRegistry::AppendCompactJson(std::string& out) const {
+  out += "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": " + std::to_string(counter.value());
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": {\"value\": ";
+    AppendJsonNumber(out, gauge.value());
+    out += ", \"merge\": ";
+    out += gauge.merge_mode() == Gauge::MergeMode::kSum ? "\"sum\"" : "\"max\"";
+    out += "}";
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": ";
+    AppendHistogramJson(out, hist);
+  }
+  out += "}}";
+}
+
 }  // namespace gametrace::obs

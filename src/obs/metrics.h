@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -89,11 +90,22 @@ class MetricsRegistry {
   // histogram geometry conflict - that is a naming bug, not data.
   void Merge(const MetricsRegistry& other);
 
+  // Name-ordered visitation, for exporters (Prometheus text, flight
+  // recorder JSONL) that need to walk the instruments without owning them.
+  void ForEachCounter(const std::function<void(std::string_view, const Counter&)>& fn) const;
+  void ForEachGauge(const std::function<void(std::string_view, const Gauge&)>& fn) const;
+  void ForEachHistogram(
+      const std::function<void(std::string_view, const stats::Histogram&)>& fn) const;
+
   // Deterministic JSON snapshot: name-sorted counters, gauges and
   // histograms. Two registries with equal contents produce byte-identical
   // output, which is what the fleet bit-identity tests compare.
   void WriteJson(std::ostream& out) const;
   [[nodiscard]] std::string ToJson() const;
+
+  // Single-line form of ToJson (same content, no indentation or trailing
+  // newline) - one flight-recorder snapshot per JSONL line.
+  void AppendCompactJson(std::string& out) const;
 
  private:
   std::map<std::string, Counter, std::less<>> counters_;

@@ -22,10 +22,22 @@ namespace gametrace::obs {
 
 class MetricsRegistry;
 class TraceLog;
+class FlightRecorder;
+class WatchdogEngine;
 
 struct ObsContext {
   MetricsRegistry* metrics = nullptr;
   TraceLog* trace = nullptr;
+  // Live telemetry (see obs/flight_recorder.h, obs/watchdog.h): when a
+  // recorder is bound, runs sample `metrics` into it on a sim-time period;
+  // when a watchdog is also bound, SLO rules are evaluated against each new
+  // snapshot as it lands. Fleet shards get their own recorder and no
+  // watchdog - alerts are evaluated once, on the merged stream.
+  FlightRecorder* recorder = nullptr;
+  WatchdogEngine* watchdog = nullptr;
+  // Destination for the heartbeat's periodic Prometheus text flush (null =
+  // no flush). Borrowed; the binder keeps the string alive.
+  const char* prom_path = nullptr;
   int shard_id = 0;
   // Whether long runs started under this context may print wall-clock
   // heartbeats to stderr. The fleet runner turns this off for shards > 0

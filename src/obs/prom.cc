@@ -1,0 +1,99 @@
+#include "obs/prom.h"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "stats/histogram.h"
+
+namespace gametrace::obs {
+
+namespace {
+
+void AppendPromNumber(std::string& out, double value) {
+  if (std::isnan(value)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(value)) {
+    out += value > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buffer[64];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, result.ptr);
+}
+
+void AppendHeader(std::string& out, const std::string& prom_name, std::string_view source_name,
+                  const char* type) {
+  out += "# HELP " + prom_name + " gametrace instrument ";
+  out += source_name;
+  out += "\n# TYPE " + prom_name + " ";
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(std::string_view name) {
+  std::string out = "gametrace_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+    out += keep ? c : '_';
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  registry.ForEachCounter([&out](std::string_view name, const Counter& counter) {
+    const std::string prom = PrometheusMetricName(name);
+    AppendHeader(out, prom, name, "counter");
+    out += prom + " " + std::to_string(counter.value()) + "\n";
+  });
+  registry.ForEachGauge([&out](std::string_view name, const Gauge& gauge) {
+    const std::string prom = PrometheusMetricName(name);
+    AppendHeader(out, prom, name, "gauge");
+    out += prom + " ";
+    AppendPromNumber(out, gauge.value());
+    out += '\n';
+  });
+  registry.ForEachHistogram([&out](std::string_view name, const stats::Histogram& hist) {
+    const std::string prom = PrometheusMetricName(name);
+    AppendHeader(out, prom, name, "histogram");
+    // Buckets are cumulative; underflow mass sits below every bin's right
+    // edge, overflow only below +Inf.
+    std::uint64_t cumulative = hist.underflow();
+    for (std::size_t i = 0; i < hist.bin_count(); ++i) {
+      cumulative += hist.count(i);
+      out += prom + "_bucket{le=\"";
+      const double right_edge =
+          i + 1 == hist.bin_count() ? hist.hi() : hist.bin_left(i) + hist.bin_width();
+      AppendPromNumber(out, right_edge);
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(hist.total()) + "\n";
+    // The fixed-bin histogram keeps no exact sample sum; reconstruct one
+    // from bin centers, with underflow priced at lo and overflow at hi.
+    double approx_sum = static_cast<double>(hist.underflow()) * hist.lo() +
+                        static_cast<double>(hist.overflow()) * hist.hi();
+    for (std::size_t i = 0; i < hist.bin_count(); ++i) {
+      approx_sum += static_cast<double>(hist.count(i)) * hist.bin_center(i);
+    }
+    out += prom + "_sum ";
+    AppendPromNumber(out, approx_sum);
+    out += '\n';
+    out += prom + "_count " + std::to_string(hist.total()) + "\n";
+  });
+  return out;
+}
+
+void WritePrometheusText(const MetricsRegistry& registry, std::ostream& out) {
+  out << ToPrometheusText(registry);
+}
+
+}  // namespace gametrace::obs

@@ -1,0 +1,35 @@
+// Prometheus text exposition (format 0.0.4) for a MetricsRegistry.
+//
+// Front-ends write this alongside the JSON snapshot (--prom-out) so a real
+// scrape pipeline - node_exporter textfile collector, Pushgateway, or just
+// promtool - can ingest a run without a translation step, and the
+// heartbeat refreshes the file periodically during long runs so the
+// "live" view is never staler than one heartbeat interval.
+//
+// Mapping:
+//  - Instrument names sanitize to [a-zA-Z0-9_] and gain a "gametrace_"
+//    prefix: "server.packets_emitted" -> "gametrace_server_packets_emitted".
+//  - Counters and gauges map directly (counter / gauge types).
+//  - stats::Histogram maps to a Prometheus histogram: cumulative _bucket
+//    lines at each bin's right edge plus +Inf, an exact _count, and an
+//    approximate _sum reconstructed from bin centers (underflow counted at
+//    lo, overflow at hi) - the fixed-bin histogram does not keep an exact
+//    sample sum, and the approximation error is bounded by half a bin
+//    width per sample.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace gametrace::obs {
+
+class MetricsRegistry;
+
+// "server.packets_emitted" -> "gametrace_server_packets_emitted".
+[[nodiscard]] std::string PrometheusMetricName(std::string_view name);
+
+void WritePrometheusText(const MetricsRegistry& registry, std::ostream& out);
+[[nodiscard]] std::string ToPrometheusText(const MetricsRegistry& registry);
+
+}  // namespace gametrace::obs

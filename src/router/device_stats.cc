@@ -64,16 +64,20 @@ void DeviceStats::BindCounters() {
     packets_[i] = &metrics_.counter(base + ".packets");
     drops_[i] = &metrics_.counter(base + ".drops");
   }
+  offered_ = &metrics_.counter("nat.device.packets");
+  dropped_ = &metrics_.counter("nat.device.drops");
 }
 
 void DeviceStats::Count(Segment segment, double t) {
   const auto i = static_cast<int>(segment);
   packets_[i]->Add();
+  if (segment == Segment::kServerToNat || segment == Segment::kClientsToNat) offered_->Add();
   series_[i].Add(t, 1.0);
 }
 
 void DeviceStats::CountDrop(Segment arrival_segment, double t) {
   drops_[static_cast<int>(arrival_segment)]->Add();
+  dropped_->Add();
   (void)t;
 }
 

@@ -73,6 +73,12 @@ class DeviceStats {
   obs::MetricsRegistry metrics_;
   obs::Counter* packets_[kSegmentCount] = {};
   obs::Counter* drops_[kSegmentCount] = {};
+  // Device-wide totals: "nat.device.packets" counts everything *offered*
+  // to the device (the two entry segments - the pps axis of Table IV, and
+  // what the meltdown SLO rule watches); "nat.device.drops" counts every
+  // drop regardless of arrival segment.
+  obs::Counter* offered_ = nullptr;
+  obs::Counter* dropped_ = nullptr;
   stats::TimeSeries series_[kSegmentCount];
   stats::RunningStats delay_;
   stats::P2Quantile delay_p50_{0.50};

@@ -1,0 +1,135 @@
+// Fleet-level flight telemetry: the merged snapshot stream and the alert
+// sequence evaluated over it are byte-identical at any worker count, and
+// bounded-buffer trace loss surfaces in the merged registry.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fleet.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace_log.h"
+#include "obs/watchdog.h"
+
+#include "../obs/json_reader.h"
+
+namespace gametrace::core {
+namespace {
+
+using gametrace::testing::JsonReader;
+
+FleetConfig SmallFleet(int threads) {
+  FleetConfig config = FleetConfig::Scaled(3, 180.0);
+  config.threads = threads;
+  config.base_seed = 4242;
+  return config;
+}
+
+struct ObservedFleet {
+  std::string flight_jsonl;   // ambient recorder after the merge
+  std::string merged_jsonl;   // FleetResult::recorder
+  std::string alerts_jsonl;   // ambient watchdog over the merged stream
+  std::uint64_t total_packets = 0;
+};
+
+ObservedFleet RunObserved(int threads) {
+  obs::MetricsRegistry metrics;
+  obs::TraceLog trace;
+  obs::FlightRecorder recorder(obs::FlightRecorder::Options{.sample_period_seconds = 60.0});
+  obs::WatchdogEngine watchdog(obs::WatchdogEngine::BuiltinRules());
+
+  ObservedFleet observed;
+  {
+    const obs::ScopedObsBinding bind({.metrics = &metrics,
+                                      .trace = &trace,
+                                      .recorder = &recorder,
+                                      .watchdog = &watchdog,
+                                      .heartbeat = false});
+    const FleetResult result = RunFleet(SmallFleet(threads));
+    observed.merged_jsonl = result.recorder.ToJsonl();
+    observed.total_packets = result.total_packets;
+  }
+  observed.flight_jsonl = recorder.ToJsonl();
+  observed.alerts_jsonl = watchdog.ToJsonl();
+  return observed;
+}
+
+// The acceptance-criteria test: the exported snapshot stream is a pure
+// function of (config, base_seed), bit-for-bit, at 1, 2 and 8 workers.
+TEST(FlightFleet, SnapshotStreamIsByteIdenticalAcrossWorkerCounts) {
+  const ObservedFleet one = RunObserved(1);
+  const ObservedFleet two = RunObserved(2);
+  const ObservedFleet eight = RunObserved(8);
+
+  ASSERT_FALSE(one.flight_jsonl.empty());
+  EXPECT_EQ(one.flight_jsonl, two.flight_jsonl);
+  EXPECT_EQ(one.flight_jsonl, eight.flight_jsonl);
+  // The ambient recorder adopted the merged stream wholesale.
+  EXPECT_EQ(one.flight_jsonl, one.merged_jsonl);
+  EXPECT_EQ(two.flight_jsonl, two.merged_jsonl);
+
+  // A 180 s fleet on a 60 s grid holds exactly three snapshots, and every
+  // line parses with the merged (fleet-total) counters inside.
+  std::istringstream lines(one.flight_jsonl);
+  std::string line;
+  std::vector<double> timestamps;
+  double previous_packets = -1.0;
+  while (std::getline(lines, line)) {
+    const auto doc = JsonReader::Parse(line);
+    timestamps.push_back(doc.at("t").number);
+    const double packets = doc.at("metrics").at("counters").at("server.packets_emitted").number;
+    EXPECT_GE(packets, previous_packets) << "snapshot counters must be monotone";
+    previous_packets = packets;
+  }
+  EXPECT_EQ(timestamps, (std::vector<double>{60.0, 120.0, 180.0}));
+  EXPECT_GT(previous_packets, 0.0);
+  EXPECT_LE(previous_packets, static_cast<double>(one.total_packets));
+}
+
+TEST(FlightFleet, AlertSequenceIsIdenticalAcrossWorkerCounts) {
+  const ObservedFleet one = RunObserved(1);
+  const ObservedFleet two = RunObserved(2);
+  const ObservedFleet eight = RunObserved(8);
+
+  EXPECT_EQ(one.alerts_jsonl, two.alerts_jsonl);
+  EXPECT_EQ(one.alerts_jsonl, eight.alerts_jsonl);
+
+  // Whatever the sequence is, every line must be a well-formed alert.
+  std::istringstream lines(one.alerts_jsonl);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto doc = JsonReader::Parse(line);
+    EXPECT_TRUE(doc.has("t"));
+    EXPECT_TRUE(doc.has("rule"));
+    EXPECT_TRUE(doc.has("value"));
+    EXPECT_TRUE(doc.has("threshold"));
+  }
+}
+
+TEST(FlightFleet, ShardsWithoutAnAmbientRecorderSampleNothing) {
+  const FleetResult result = RunFleet(SmallFleet(2));
+  EXPECT_TRUE(result.recorder.empty());
+  EXPECT_EQ(result.recorder.total_samples(), 0u);
+}
+
+TEST(FlightFleet, TraceDropTotalsSurfaceInTheMergedRegistry) {
+  FleetConfig config = SmallFleet(2);
+  config.trace_max_events = 16;  // force bounded-buffer loss in every shard
+  const FleetResult result = RunFleet(config);
+
+  EXPECT_GT(result.trace_log.dropped(), 0u);
+  EXPECT_EQ(result.metrics.counter_value("obs.trace.dropped_events"),
+            result.trace_log.dropped());
+
+  // An unconstrained run reports an explicit zero, not a missing counter.
+  const FleetResult roomy = RunFleet(SmallFleet(2));
+  EXPECT_EQ(roomy.trace_log.dropped(), 0u);
+  EXPECT_EQ(roomy.metrics.counter_value("obs.trace.dropped_events"), 0u);
+  EXPECT_NE(roomy.metrics.ToJson().find("obs.trace.dropped_events"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gametrace::core

@@ -1,0 +1,238 @@
+// WatchdogEngine tests: each signal kind against hand-built snapshot
+// pairs, the zero baseline at the start of history, the CatchUp cursor
+// (live + final evaluation never double-counts), the built-in paper
+// thresholds, and the three export surfaces.
+#include "obs/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
+
+#include "json_reader.h"
+
+namespace gametrace::obs {
+namespace {
+
+using gametrace::testing::JsonReader;
+
+FlightRecorder::Snapshot Snap(double t, std::uint64_t counter, double gauge) {
+  FlightRecorder::Snapshot snapshot;
+  snapshot.t_seconds = t;
+  snapshot.metrics.counter("c").Add(counter);
+  snapshot.metrics.gauge("g").Set(gauge);
+  return snapshot;
+}
+
+SloRule Rule(SloRule::Signal signal, double threshold,
+             SloRule::Direction direction = SloRule::Direction::kAbove) {
+  return SloRule{.name = "rule",
+                 .metric = signal == SloRule::Signal::kGaugeValue ||
+                                   signal == SloRule::Signal::kGaugeDelta
+                               ? "g"
+                               : "c",
+                 .signal = signal,
+                 .direction = direction,
+                 .threshold = threshold,
+                 .scale = 1.0,
+                 .divide_by_gauge = {},
+                 .description = "test rule"};
+}
+
+TEST(Watchdog, GaugeValueComparesTheCurrentLevel) {
+  WatchdogEngine above({Rule(SloRule::Signal::kGaugeValue, 10.0)});
+  above.Observe(nullptr, Snap(60.0, 0, 11.0));
+  above.Observe(nullptr, Snap(120.0, 0, 10.0));  // not strictly above
+  ASSERT_EQ(above.alerts().size(), 1u);
+  EXPECT_EQ(above.alerts()[0].t_seconds, 60.0);
+  EXPECT_EQ(above.alerts()[0].value, 11.0);
+  EXPECT_EQ(above.alerts()[0].threshold, 10.0);
+
+  WatchdogEngine below({Rule(SloRule::Signal::kGaugeValue, 10.0, SloRule::Direction::kBelow)});
+  below.Observe(nullptr, Snap(60.0, 0, 9.0));
+  below.Observe(nullptr, Snap(120.0, 0, 11.0));
+  ASSERT_EQ(below.alerts().size(), 1u);
+  EXPECT_EQ(below.alerts()[0].value, 9.0);
+}
+
+TEST(Watchdog, DeltaAndRateUseAZeroBaselineAtStartOfHistory) {
+  WatchdogEngine delta({Rule(SloRule::Signal::kGaugeDelta, 1000.0)});
+  delta.Observe(nullptr, Snap(60.0, 0, 2000.0));  // delta from implicit zero
+  ASSERT_EQ(delta.alerts().size(), 1u);
+  EXPECT_EQ(delta.alerts()[0].value, 2000.0);
+
+  WatchdogEngine rate({Rule(SloRule::Signal::kCounterRatePerSecond, 10.0)});
+  rate.Observe(nullptr, Snap(60.0, 1200, 0.0));  // 1200 / 60 s from t = 0
+  ASSERT_EQ(rate.alerts().size(), 1u);
+  EXPECT_EQ(rate.alerts()[0].value, 20.0);
+}
+
+TEST(Watchdog, CounterDeltaBetweenSnapshots) {
+  WatchdogEngine engine({Rule(SloRule::Signal::kCounterDelta, 50.0)});
+  const auto first = Snap(60.0, 100, 0.0);
+  const auto second = Snap(120.0, 200, 0.0);  // delta 100 > 50
+  const auto third = Snap(180.0, 230, 0.0);   // delta 30, quiet
+  engine.Observe(&first, second);
+  engine.Observe(&second, third);
+  ASSERT_EQ(engine.alerts().size(), 1u);
+  EXPECT_EQ(engine.alerts()[0].t_seconds, 120.0);
+  EXPECT_EQ(engine.alerts()[0].value, 100.0);
+}
+
+TEST(Watchdog, CounterShrinkReadsAsNoProgress) {
+  WatchdogEngine engine({Rule(SloRule::Signal::kCounterDelta, 0.5)});
+  const auto first = Snap(60.0, 100, 0.0);
+  engine.Observe(&first, Snap(120.0, 40, 0.0));  // shrink, not a wraparound
+  EXPECT_TRUE(engine.alerts().empty());
+}
+
+TEST(Watchdog, RateSkipsZeroElapsedTime) {
+  WatchdogEngine engine({Rule(SloRule::Signal::kCounterRatePerSecond, 1.0)});
+  const auto first = Snap(60.0, 0, 0.0);
+  engine.Observe(&first, Snap(60.0, 1000000, 0.0));  // dt = 0: rate undefined
+  EXPECT_TRUE(engine.alerts().empty());
+}
+
+TEST(Watchdog, ScaleAndGaugeNormalizationApplyInOrder) {
+  SloRule rule = Rule(SloRule::Signal::kCounterRatePerSecond, 56000.0);
+  rule.scale = 8.0;  // bytes/s -> bits/s
+  rule.divide_by_gauge = "g";
+  WatchdogEngine engine({rule});
+
+  const auto first = Snap(0.0, 0, 0.0);
+  // 600000 B over 60 s = 10 kB/s = 80 kbit/s; over 1 player that is above
+  // the 56 kbit threshold, over 4 players it is 20 kbit and quiet.
+  engine.Observe(&first, Snap(60.0, 600000, 1.0));
+  engine.Observe(&first, Snap(60.0, 600000, 4.0));
+  ASSERT_EQ(engine.alerts().size(), 1u);
+  EXPECT_EQ(engine.alerts()[0].value, 80000.0);
+
+  // A zero denominator skips the rule instead of dividing by zero.
+  engine.Observe(&first, Snap(60.0, 600000, 0.0));
+  EXPECT_EQ(engine.alerts().size(), 1u);
+}
+
+TEST(Watchdog, CatchUpCursorNeverDoubleCounts) {
+  FlightRecorder recorder;
+  WatchdogEngine engine({Rule(SloRule::Signal::kGaugeValue, 10.0)});
+
+  FlightRecorder::Snapshot s1 = Snap(60.0, 0, 20.0);
+  recorder.Sample(s1.t_seconds, s1.metrics);
+  engine.CatchUp(recorder);
+  engine.CatchUp(recorder);  // idempotent: nothing new to evaluate
+  EXPECT_EQ(engine.alerts().size(), 1u);
+
+  FlightRecorder::Snapshot s2 = Snap(120.0, 0, 30.0);
+  recorder.Sample(s2.t_seconds, s2.metrics);
+  engine.CatchUp(recorder);
+  ASSERT_EQ(engine.alerts().size(), 2u);
+  EXPECT_EQ(engine.alerts()[1].t_seconds, 120.0);
+
+  // A fresh engine replaying the whole stream lands on the same sequence -
+  // live evaluation and post-merge evaluation agree.
+  WatchdogEngine replay({Rule(SloRule::Signal::kGaugeValue, 10.0)});
+  replay.CatchUp(recorder);
+  EXPECT_EQ(replay.ToJsonl(), engine.ToJsonl());
+}
+
+TEST(Watchdog, CatchUpResumesPastEvictedSnapshots) {
+  FlightRecorder recorder(
+      FlightRecorder::Options{.sample_period_seconds = 60.0, .max_snapshots = 2});
+  WatchdogEngine engine({Rule(SloRule::Signal::kGaugeValue, 0.5)});
+  for (int i = 1; i <= 4; ++i) {
+    recorder.Sample(60.0 * i, Snap(0.0, 0, 1.0).metrics);
+  }
+  // Snapshots 0 and 1 were evicted before the engine ever saw them; only
+  // the two held ones can be evaluated.
+  engine.CatchUp(recorder);
+  ASSERT_EQ(engine.alerts().size(), 2u);
+  EXPECT_EQ(engine.alerts()[0].t_seconds, 180.0);
+  EXPECT_EQ(engine.alerts()[1].t_seconds, 240.0);
+}
+
+TEST(Watchdog, BuiltinRulesEncodeThePaperThresholds) {
+  const auto rules = WatchdogEngine::BuiltinRules();
+  ASSERT_EQ(rules.size(), 4u);
+
+  auto find = [&rules](const std::string& name) -> const SloRule& {
+    for (const auto& rule : rules) {
+      if (rule.name == name) return rule;
+    }
+    ADD_FAILURE() << "missing builtin rule " << name;
+    return rules.front();
+  };
+  const SloRule& bandwidth = find("client.bandwidth.saturation");
+  EXPECT_EQ(bandwidth.metric, "server.bytes_to_clients");
+  EXPECT_EQ(bandwidth.threshold, 56000.0);  // the 56k modem ceiling
+  EXPECT_EQ(bandwidth.scale, 8.0);
+  EXPECT_EQ(bandwidth.divide_by_gauge, "server.active_players");
+
+  EXPECT_EQ(find("nat.meltdown").metric, "nat.device.packets");
+  EXPECT_EQ(find("nat.meltdown").threshold, 850.0);  // Table IV
+  EXPECT_EQ(find("server.refusals.spike").threshold, 0.25);
+  EXPECT_EQ(find("sim.queue.growth").signal, SloRule::Signal::kGaugeDelta);
+}
+
+TEST(Watchdog, BuiltinMeltdownFiresOnSyntheticOverload) {
+  WatchdogEngine engine(WatchdogEngine::BuiltinRules());
+  FlightRecorder::Snapshot first;
+  first.t_seconds = 60.0;
+  first.metrics.counter("nat.device.packets").Add(30000);  // 500 pps, healthy
+  FlightRecorder::Snapshot second;
+  second.t_seconds = 120.0;
+  second.metrics.counter("nat.device.packets").Add(90000);  // +60000 in 60 s
+
+  engine.Observe(nullptr, first);
+  engine.Observe(&first, second);
+  ASSERT_EQ(engine.alerts().size(), 1u);
+  EXPECT_EQ(engine.alerts()[0].rule, "nat.meltdown");
+  EXPECT_EQ(engine.alerts()[0].t_seconds, 120.0);
+  EXPECT_EQ(engine.alerts()[0].value, 1000.0);  // pps over the last minute
+}
+
+TEST(Watchdog, AlertsSurfaceAsCountersInstantsAndJsonl) {
+  WatchdogEngine engine({Rule(SloRule::Signal::kGaugeValue, 10.0)});
+  engine.Observe(nullptr, Snap(60.0, 0, 20.0));
+  engine.Observe(nullptr, Snap(120.0, 0, 30.0));
+
+  MetricsRegistry registry;
+  engine.DumpInto(registry);
+  EXPECT_EQ(registry.counter_value("alert.rule"), 2u);
+
+  TraceLog trace;
+  engine.DumpInto(trace);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.events()[0].name, "alert.rule");
+  EXPECT_EQ(std::string(trace.events()[0].cat), "alert");
+  EXPECT_EQ(trace.events()[0].ph, 'i');
+
+  std::istringstream lines(engine.ToJsonl());
+  std::string line;
+  std::vector<double> times;
+  while (std::getline(lines, line)) {
+    const auto doc = JsonReader::Parse(line);
+    EXPECT_EQ(doc.at("rule").text, "rule");
+    EXPECT_EQ(doc.at("threshold").number, 10.0);
+    EXPECT_EQ(doc.at("description").text, "test rule");
+    times.push_back(doc.at("t").number);
+  }
+  EXPECT_EQ(times, (std::vector<double>{60.0, 120.0}));
+
+  std::ostringstream streamed;
+  engine.WriteJsonl(streamed);
+  EXPECT_EQ(streamed.str(), engine.ToJsonl());
+}
+
+TEST(Watchdog, DefaultConstructedEngineNeverAlerts) {
+  WatchdogEngine engine;
+  engine.Observe(nullptr, Snap(60.0, 1000000, 1000000.0));
+  EXPECT_TRUE(engine.alerts().empty());
+}
+
+}  // namespace
+}  // namespace gametrace::obs

@@ -5,9 +5,12 @@ Shared CI runners are too noisy to gate on absolute packets/sec, so the
 comparison uses machine-independent quantities only:
 
   * per-chain batched/scalar speedup ratios (fresh must be within
-    --tolerance, default 25%, of the committed value), and
+    --tolerance, default 25%, of the committed value),
   * the observability budget: the idle GT_PROF_SCOPE overhead fraction
-    must stay under --obs-budget (default 2%) in absolute terms.
+    must stay under --obs-budget (default 2%) in absolute terms, and
+  * the flight-recorder budget: sampling one registry snapshot per
+    sim-minute must also stay under --obs-budget relative to the hot-path
+    cost of a paper-scale minute of traffic.
 
 Exit status 0 when everything holds, 1 with a per-check report otherwise.
 
@@ -78,6 +81,20 @@ def main():
         if not ok:
             failures.append(
                 f"idle observability overhead {idle:.4%} exceeds {args.obs_budget:.0%} budget")
+
+    flight = fresh.get("flight")
+    if flight is None:
+        failures.append("fresh run has no 'flight' section (sampling overhead unchecked)")
+    else:
+        fraction = flight["overhead_fraction"]
+        ok = fraction < args.obs_budget
+        print(f"  flight sampling overhead: {fraction:.4%} (budget {args.obs_budget:.0%}) "
+              f"{'ok' if ok else 'OVER BUDGET'}")
+        print(f"  flight sample cost: {flight['sample_ns']:.0f} ns/snapshot over "
+              f"{flight['records_per_minute']:.0f} records/minute")
+        if not ok:
+            failures.append(
+                f"flight sampling overhead {fraction:.4%} exceeds {args.obs_budget:.0%} budget")
 
     if failures:
         print("bench_compare: FAIL")

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Render a flight-recorder snapshot stream (--flight-out JSONL) for humans.
+
+Default mode prints one unicode sparkline per selected metric with min/max
+annotations and, when the metric has a watchdog SLO threshold, an overlay
+marking the samples that sit on the wrong side of it. CSV mode emits the
+stream as a spreadsheet-ready table instead.
+
+The derived per-minute signals mirror the WatchdogEngine's built-in rules
+(src/obs/watchdog.cc), so a threshold marker here and an alert in
+--alerts-out agree by construction:
+
+  client_kbps   8 * d(server.bytes_to_clients)/dt / server.active_players
+                against the 56 kbps modem ceiling (Fig 11)
+  nat_pps       d(nat.device.packets)/dt against ~850 pps (Table IV)
+  refusals_ps   d(server.connections.refused)/dt against 0.25/s (Table III)
+
+Usage:
+    flight_view.py flight.jsonl                      # sparklines, key metrics
+    flight_view.py flight.jsonl --metrics nat_pps    # one derived signal
+    flight_view.py flight.jsonl --csv                # full stream as CSV
+    flight_view.py flight.jsonl --alerts alerts.jsonl  # annotate alert times
+
+Exit status 0 on success, 1 for unreadable/empty/malformed input.
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+SPARK_CHARS = " .:-=+*#%@"
+BLOCKS = "▁▂▃▄▅▆▇█"
+
+# Derived signals and their SLO thresholds (name, threshold, direction).
+THRESHOLDS = {
+    "client_kbps": (56.0, "above"),
+    "nat_pps": (850.0, "above"),
+    "refusals_ps": (0.25, "above"),
+}
+
+DEFAULT_METRICS = [
+    "client_kbps",
+    "nat_pps",
+    "refusals_ps",
+    "server.active_players",
+    "server.packets_emitted",
+    "sim.queue.high_water",
+]
+
+
+def read_stream(path):
+    """Parses the JSONL snapshot stream into a list of snapshot dicts."""
+    snapshots = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for number, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except ValueError as err:
+                    sys.exit(f"flight_view: {path}:{number}: bad JSON: {err}")
+                for key in ("t", "seq", "metrics"):
+                    if key not in doc:
+                        sys.exit(f"flight_view: {path}:{number}: missing '{key}'")
+                snapshots.append(doc)
+    except OSError as err:
+        sys.exit(f"flight_view: cannot read {path}: {err}")
+    if not snapshots:
+        sys.exit(f"flight_view: {path} holds no snapshots")
+    return snapshots
+
+
+def read_alerts(path):
+    alerts = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    alerts.append(json.loads(line))
+    except (OSError, ValueError) as err:
+        sys.exit(f"flight_view: cannot read alerts {path}: {err}")
+    return alerts
+
+
+def counter(snapshot, name):
+    return snapshot["metrics"].get("counters", {}).get(name, 0)
+
+
+def gauge(snapshot, name):
+    entry = snapshot["metrics"].get("gauges", {}).get(name)
+    return entry["value"] if entry else 0.0
+
+
+def raw_value(snapshot, name):
+    counters = snapshot["metrics"].get("counters", {})
+    if name in counters:
+        return float(counters[name])
+    return gauge(snapshot, name)
+
+
+def derive_series(snapshots, name):
+    """Returns the per-snapshot values of `name` (raw or derived)."""
+    if name not in THRESHOLDS:
+        return [raw_value(s, name) for s in snapshots]
+    values = []
+    prev_t, prev = 0.0, None
+    for snapshot in snapshots:
+        dt = snapshot["t"] - prev_t
+        if dt <= 0:
+            values.append(0.0)
+        elif name == "client_kbps":
+            delta = counter(snapshot, "server.bytes_to_clients") - (
+                counter(prev, "server.bytes_to_clients") if prev else 0)
+            players = gauge(snapshot, "server.active_players")
+            values.append(8.0 * delta / dt / players / 1e3 if players > 0 else 0.0)
+        elif name == "nat_pps":
+            delta = counter(snapshot, "nat.device.packets") - (
+                counter(prev, "nat.device.packets") if prev else 0)
+            values.append(delta / dt)
+        else:  # refusals_ps
+            delta = counter(snapshot, "server.connections.refused") - (
+                counter(prev, "server.connections.refused") if prev else 0)
+            values.append(delta / dt)
+        prev_t, prev = snapshot["t"], snapshot
+    return values
+
+
+def threshold_for(name):
+    if name in THRESHOLDS:
+        value, direction = THRESHOLDS[name]
+        # client_kbps renders in kbps; its rule threshold is 56000 bit/s.
+        return value, direction
+    return None, None
+
+
+def sparkline(values):
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return BLOCKS[0] * len(values)
+    span = hi - lo
+    return "".join(BLOCKS[min(int((v - lo) / span * 8), 7)] for v in values)
+
+
+def overlay(values, threshold, direction):
+    marks = []
+    for v in values:
+        breached = v > threshold if direction == "above" else v < threshold
+        marks.append("!" if breached else " ")
+    return "".join(marks)
+
+
+def print_sparklines(snapshots, names, alerts):
+    t0, t1 = snapshots[0]["t"], snapshots[-1]["t"]
+    print(f"{len(snapshots)} snapshots, t = {t0:g} .. {t1:g} s "
+          f"(seq {snapshots[0]['seq']:.0f}..{snapshots[-1]['seq']:.0f})")
+    label_width = max(len(n) for n in names)
+    for name in names:
+        values = derive_series(snapshots, name)
+        threshold, direction = threshold_for(name)
+        line = sparkline(values)
+        stats = f"min {min(values):g}  max {max(values):g}"
+        if threshold is not None:
+            stats += f"  slo {direction} {threshold:g}"
+        print(f"  {name:<{label_width}}  {line}  {stats}")
+        if threshold is not None:
+            marks = overlay(values, threshold, direction)
+            if "!" in marks:
+                print(f"  {'':<{label_width}}  {marks}  breached samples")
+    if alerts:
+        print(f"{len(alerts)} alert(s):")
+        for alert in alerts:
+            print(f"  t={alert.get('t', 0):>8g}  {alert.get('rule', '?')}: "
+                  f"{alert.get('value', 0):g} vs {alert.get('threshold', 0):g}")
+
+
+def print_csv(snapshots, names, out):
+    writer = csv.writer(out)
+    writer.writerow(["t", "seq"] + names)
+    columns = [derive_series(snapshots, name) for name in names]
+    for i, snapshot in enumerate(snapshots):
+        writer.writerow([snapshot["t"], int(snapshot["seq"])] +
+                        [columns[j][i] for j in range(len(names))])
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("stream", help="snapshot JSONL written by --flight-out")
+    parser.add_argument("--metrics", nargs="+", default=None,
+                        help="metric names or derived signals "
+                             f"({', '.join(sorted(THRESHOLDS))})")
+    parser.add_argument("--csv", action="store_true", help="emit CSV instead of sparklines")
+    parser.add_argument("--alerts", default=None,
+                        help="alerts JSONL written by --alerts-out, appended to the view")
+    args = parser.parse_args()
+
+    snapshots = read_stream(args.stream)
+    if args.metrics is not None:
+        names = args.metrics
+    else:
+        present = set(snapshots[-1]["metrics"].get("counters", {}))
+        present |= set(snapshots[-1]["metrics"].get("gauges", {}))
+        names = [n for n in DEFAULT_METRICS if n in present or n in THRESHOLDS]
+    alerts = read_alerts(args.alerts) if args.alerts else []
+
+    if args.csv:
+        print_csv(snapshots, names, sys.stdout)
+    else:
+        print_sparklines(snapshots, names, alerts)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # piping into head is fine
+        sys.exit(0)
