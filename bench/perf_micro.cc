@@ -30,6 +30,7 @@
 #include "stats/variance_time.h"
 #include "trace/aggregator.h"
 #include "trace/capture.h"
+#include "trace/fused_chain.h"
 #include "trace/session_tracker.h"
 #include "trace/summary.h"
 #include "trace/trace_format.h"
@@ -112,15 +113,20 @@ void BM_LoadAggregator(benchmark::State& state) {
 }
 BENCHMARK(BM_LoadAggregator)->Unit(benchmark::kMillisecond);
 
-// ---- Hot-path delivery sweep: scalar OnPacket vs batched OnBatch --------
+// ---- Hot-path delivery sweep: scalar vs batched AoS vs columnar-fused ---
 
 // A synthetic replica of the server's steady-state emission pattern: each
 // 50 ms tick produces one contiguous burst of ~22 outbound snapshots
 // followed by ~13 inbound client updates, exactly the shape CsServer hands
-// to its sink as one batch.
+// to its sink as one batch. The same stream is held both as AoS records
+// (per-tick spans) and pre-columnised (per-tick PacketBatch views), so each
+// delivery tier starts from its native representation - as it would in the
+// live server, where the tick buffer is born columnar.
 struct HotpathWorkload {
   std::vector<net::PacketRecord> records;
   std::vector<std::span<const net::PacketRecord>> ticks;
+  net::ColumnarBatch columns;
+  std::vector<net::PacketBatch> column_ticks;
 };
 
 HotpathWorkload MakeHotpathWorkload(std::size_t tick_count) {
@@ -161,13 +167,20 @@ HotpathWorkload MakeHotpathWorkload(std::size_t tick_count) {
     extents.emplace_back(begin, w.records.size() - begin);
   }
   w.ticks.reserve(extents.size());
+  w.columns.Append(w.records);
+  w.column_ticks.reserve(extents.size());
+  const net::PacketBatch all_columns = w.columns.View();
   for (const auto& [begin, len] : extents) {
     w.ticks.emplace_back(std::span<const net::PacketRecord>(w.records).subspan(begin, len));
+    w.column_ticks.push_back(all_columns.Slice(begin, len));
   }
   return w;
 }
 
 // Analysis chains of increasing depth, as a fleet worker would stack them.
+// `head` is the unfused chain entry; `columnar_head` is the FuseChain
+// compilation of the same chain (or the bare terminal at depth 1, which has
+// nothing to fuse).
 struct SinkChain {
   trace::CountingSink counting;
   trace::LoadAggregator agg{0.010};
@@ -175,7 +188,9 @@ struct SinkChain {
   trace::SessionTracker sessions{30.0};
   trace::TeeSink tee;
   std::unique_ptr<trace::ShardNamespaceSink> ns;
+  std::unique_ptr<trace::FusedChain> fused;
   trace::CaptureSink* head = nullptr;
+  trace::CaptureSink* columnar_head = nullptr;
 
   explicit SinkChain(int depth) {
     switch (depth) {
@@ -201,8 +216,12 @@ struct SinkChain {
         head = ns.get();
         break;
     }
+    if (ns != nullptr) fused = trace::FuseChain(*ns);
+    columnar_head = fused != nullptr ? fused.get() : head;
   }
 };
+
+enum class Delivery { kScalar = 0, kBatched = 1, kColumnarFused = 2 };
 
 const char* ChainName(int depth) {
   switch (depth) {
@@ -218,64 +237,101 @@ const HotpathWorkload& SharedHotpathWorkload() {
   return workload;
 }
 
-void RunHotpathPass(const HotpathWorkload& w, SinkChain& chain, bool batched) {
-  if (batched) {
-    for (const auto tick : w.ticks) chain.head->OnBatch(tick);
-  } else {
-    for (const net::PacketRecord& r : w.records) chain.head->OnPacket(r);
+void RunHotpathPass(const HotpathWorkload& w, SinkChain& chain, Delivery mode) {
+  switch (mode) {
+    case Delivery::kScalar:
+      for (const net::PacketRecord& r : w.records) chain.head->OnPacket(r);
+      break;
+    case Delivery::kBatched:
+      for (const auto tick : w.ticks) chain.head->OnBatch(tick);
+      break;
+    case Delivery::kColumnarFused:
+      for (const net::PacketBatch& tick : w.column_ticks) chain.columnar_head->OnColumns(tick);
+      break;
   }
 }
 
-// state.range(0) = chain depth, state.range(1) = 0 scalar / 1 batched.
+const char* DeliveryName(Delivery mode) {
+  switch (mode) {
+    case Delivery::kScalar:
+      return "scalar ";
+    case Delivery::kBatched:
+      return "batched ";
+    default:
+      return "columnar-fused ";
+  }
+}
+
+// state.range(0) = chain depth,
+// state.range(1) = 0 scalar / 1 batched AoS / 2 columnar-fused.
 void BM_HotPathDelivery(benchmark::State& state) {
   const int depth = static_cast<int>(state.range(0));
-  const bool batched = state.range(1) != 0;
+  const auto mode = static_cast<Delivery>(state.range(1));
   const auto& workload = SharedHotpathWorkload();
   SinkChain chain(depth);
   for (auto _ : state) {
-    RunHotpathPass(workload, chain, batched);
+    RunHotpathPass(workload, chain, mode);
     benchmark::DoNotOptimize(chain.counting.packets());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(workload.records.size()) *
                           state.iterations());
-  state.SetLabel(std::string(batched ? "batched " : "scalar ") + ChainName(depth));
+  state.SetLabel(std::string(DeliveryName(mode)) + ChainName(depth));
 }
 BENCHMARK(BM_HotPathDelivery)
-    ->Args({1, 0})->Args({1, 1})
-    ->Args({2, 0})->Args({2, 1})
-    ->Args({3, 0})->Args({3, 1})
-    ->Args({4, 0})->Args({4, 1});
+    ->Args({1, 0})->Args({1, 1})->Args({1, 2})
+    ->Args({2, 0})->Args({2, 1})->Args({2, 2})
+    ->Args({3, 0})->Args({3, 1})->Args({3, 2})
+    ->Args({4, 0})->Args({4, 1})->Args({4, 2});
 
-double TimeHotpathWindow(const HotpathWorkload& w, SinkChain& chain, bool batched) {
+double TimeHotpathWindow(const HotpathWorkload& w, SinkChain& chain, Delivery mode) {
   std::size_t passes = 0;
   const auto start = std::chrono::steady_clock::now();
   std::chrono::duration<double> elapsed{};
   do {
-    RunHotpathPass(w, chain, batched);
+    RunHotpathPass(w, chain, mode);
     ++passes;
     elapsed = std::chrono::steady_clock::now() - start;
   } while (elapsed.count() < 0.15);
   return static_cast<double>(w.records.size() * passes) / elapsed.count();
 }
 
-struct HotpathPair {
+struct HotpathTriple {
   double scalar_pps = 0.0;
   double batched_pps = 0.0;
+  double columnar_pps = 0.0;
 };
 
-// Interleaves scalar and batched windows (best of 5 each) so machine noise
-// hits both modes evenly instead of biasing whichever ran second.
-HotpathPair MeasureHotpath(const HotpathWorkload& w, int depth) {
+// Interleaves the three delivery modes (best of 7 windows each, rotating
+// which mode leads every rep) so machine noise and frequency drift hit every
+// mode evenly instead of biasing whichever ran last.
+HotpathTriple MeasureHotpath(const HotpathWorkload& w, int depth) {
   SinkChain scalar_chain(depth);
   SinkChain batched_chain(depth);
-  RunHotpathPass(w, scalar_chain, /*batched=*/false);  // warm-up
-  RunHotpathPass(w, batched_chain, /*batched=*/true);
-  HotpathPair best;
-  for (int rep = 0; rep < 5; ++rep) {
-    best.scalar_pps =
-        std::max(best.scalar_pps, TimeHotpathWindow(w, scalar_chain, /*batched=*/false));
-    best.batched_pps =
-        std::max(best.batched_pps, TimeHotpathWindow(w, batched_chain, /*batched=*/true));
+  SinkChain columnar_chain(depth);
+  RunHotpathPass(w, scalar_chain, Delivery::kScalar);  // warm-up
+  RunHotpathPass(w, batched_chain, Delivery::kBatched);
+  RunHotpathPass(w, columnar_chain, Delivery::kColumnarFused);
+  HotpathTriple best;
+  const auto window = [&](Delivery mode) {
+    switch (mode) {
+      case Delivery::kScalar:
+        best.scalar_pps =
+            std::max(best.scalar_pps, TimeHotpathWindow(w, scalar_chain, mode));
+        break;
+      case Delivery::kBatched:
+        best.batched_pps =
+            std::max(best.batched_pps, TimeHotpathWindow(w, batched_chain, mode));
+        break;
+      case Delivery::kColumnarFused:
+        best.columnar_pps =
+            std::max(best.columnar_pps, TimeHotpathWindow(w, columnar_chain, mode));
+        break;
+    }
+  };
+  constexpr Delivery kModes[] = {Delivery::kScalar, Delivery::kBatched,
+                                 Delivery::kColumnarFused};
+  for (int rep = 0; rep < 7; ++rep) {
+    for (int m = 0; m < 3; ++m) window(kModes[(rep + m) % 3]);
   }
   return best;
 }
@@ -417,9 +473,10 @@ FlightOverhead MeasureFlightOverhead(double batched_pps) {
   return o;
 }
 
-// Packets/sec sweep of scalar vs batched delivery per chain depth, written
-// to BENCH_hotpath.json. The acceptance bar for the batched path is >= 2x
-// on at least the deeper chains; `min_speedup` makes regressions visible.
+// Packets/sec sweep of scalar vs batched-AoS vs columnar-fused delivery per
+// chain depth, written to BENCH_hotpath.json. Acceptance bars: batched must
+// never lose to scalar (min_speedup >= 1.0) and the columnar-fused tier must
+// beat scalar by > 2x at every depth (min_columnar_speedup).
 void WriteHotpathJson(const std::string& path) {
   const auto& workload = SharedHotpathWorkload();
   std::ofstream out(path);
@@ -430,24 +487,36 @@ void WriteHotpathJson(const std::string& path) {
       << "  \"runs\": [\n";
   double min_speedup = 0.0;
   double max_speedup = 0.0;
+  double min_columnar_speedup = 0.0;
+  double max_columnar_speedup = 0.0;
   double emission_speedup = 0.0;  // depth 2: the shard tick-emission path
   double deep_batched_pps = 0.0;  // depth 4: obs overhead reference
   bool first = true;
   for (int depth = 1; depth <= 4; ++depth) {
-    const auto pair = MeasureHotpath(workload, depth);
-    const double speedup = pair.scalar_pps > 0.0 ? pair.batched_pps / pair.scalar_pps : 0.0;
+    const auto triple = MeasureHotpath(workload, depth);
+    const double speedup =
+        triple.scalar_pps > 0.0 ? triple.batched_pps / triple.scalar_pps : 0.0;
+    const double columnar_speedup =
+        triple.scalar_pps > 0.0 ? triple.columnar_pps / triple.scalar_pps : 0.0;
     min_speedup = first ? speedup : std::min(min_speedup, speedup);
     max_speedup = std::max(max_speedup, speedup);
+    min_columnar_speedup =
+        first ? columnar_speedup : std::min(min_columnar_speedup, columnar_speedup);
+    max_columnar_speedup = std::max(max_columnar_speedup, columnar_speedup);
     if (depth == 2) emission_speedup = speedup;
-    if (depth == 4) deep_batched_pps = pair.batched_pps;
+    if (depth == 4) deep_batched_pps = triple.batched_pps;
     if (!first) out << ",\n";
     first = false;
     out << "    {\"chain_depth\": " << depth << ", \"chain\": \"" << ChainName(depth)
-        << "\", \"scalar_packets_per_second\": " << pair.scalar_pps
-        << ", \"batched_packets_per_second\": " << pair.batched_pps
-        << ", \"speedup\": " << speedup << "}";
-    std::cerr << "hotpath depth " << depth << ": scalar " << pair.scalar_pps
-              << " pkt/s, batched " << pair.batched_pps << " pkt/s (" << speedup << "x)\n";
+        << "\", \"scalar_packets_per_second\": " << triple.scalar_pps
+        << ", \"batched_packets_per_second\": " << triple.batched_pps
+        << ", \"columnar_fused_packets_per_second\": " << triple.columnar_pps
+        << ", \"speedup\": " << speedup
+        << ", \"columnar_speedup\": " << columnar_speedup << "}";
+    std::cerr << "hotpath depth " << depth << ": scalar " << triple.scalar_pps
+              << " pkt/s, batched " << triple.batched_pps << " pkt/s (" << speedup
+              << "x), columnar-fused " << triple.columnar_pps << " pkt/s ("
+              << columnar_speedup << "x)\n";
   }
   const ObsOverhead obs = MeasureObsOverhead(workload, deep_batched_pps);
   const FlightOverhead flight = MeasureFlightOverhead(deep_batched_pps);
@@ -463,7 +532,9 @@ void WriteHotpathJson(const std::string& path) {
       << ", \"overhead_fraction\": " << flight.overhead_fraction << "},\n"
       << "  \"speedup\": " << emission_speedup << ",\n"
       << "  \"min_speedup\": " << min_speedup << ",\n"
-      << "  \"max_speedup\": " << max_speedup << "\n}\n";
+      << "  \"max_speedup\": " << max_speedup << ",\n"
+      << "  \"min_columnar_speedup\": " << min_columnar_speedup << ",\n"
+      << "  \"max_columnar_speedup\": " << max_columnar_speedup << "\n}\n";
   std::cerr << "obs overhead: idle scope " << obs.idle_scope_ns << " ns, active scope "
             << obs.active_scope_ns << " ns, idle fraction " << obs.idle_overhead_fraction
             << ", active fraction " << obs.active_overhead_fraction << "\n";

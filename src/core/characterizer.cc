@@ -54,6 +54,27 @@ void Characterizer::OnBatch(std::span<const net::PacketRecord> batch) {
   vt_packets_.AddBatch(scratch_times_, 1.0);
 }
 
+void Characterizer::OnColumns(const net::PacketBatch& batch) {
+  GT_PROF_SCOPE("core.characterizer.on_columns");
+  summary_.AccumulateColumns(batch);
+  minute_agg_.AccumulateColumns(batch);
+  sessions_.AccumulateColumns(batch);
+  const std::size_t n = batch.count;
+  const double* ts = batch.timestamps;
+  scratch_times_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ts[i] < options_.vt_window) scratch_times_.push_back(ts[i]);
+  }
+  vt_packets_.AddBatch(scratch_times_, 1.0);
+  const std::span<const std::uint16_t> sizes(batch.app_bytes, n);
+  const std::span<const std::uint8_t> dirs(batch.directions, n);
+  constexpr auto kIn = static_cast<std::uint8_t>(net::Direction::kClientToServer);
+  constexpr auto kOut = static_cast<std::uint8_t>(net::Direction::kServerToClient);
+  size_total_.AddColumn(sizes);
+  size_in_.AddColumn(sizes, dirs, kIn);
+  size_out_.AddColumn(sizes, dirs, kOut);
+}
+
 void Characterizer::Merge(Characterizer&& other) {
   GT_CHECK(other.options_ == options_) << "Characterizer::Merge: analysis options differ";
   summary_.Merge(other.summary_);

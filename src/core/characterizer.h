@@ -75,6 +75,11 @@ class Characterizer final : public trace::CaptureSink {
   // the same report as the per-packet path.
   void OnBatch(std::span<const net::PacketRecord> batch) override;
 
+  // Columnar fast path: each constituent analysis consumes the raw columns
+  // through its AccumulateColumns/AddColumn kernel - no record
+  // materialisation anywhere in the pipeline. Same report, bit-identical.
+  void OnColumns(const net::PacketBatch& batch) override;
+
   // Absorbs another (un-finished) characterizer: every accumulator is
   // combined with its exact merge operation, so Merge-then-Finish over N
   // per-shard partials equals one characterizer fed the interleaved stream.

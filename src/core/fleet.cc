@@ -13,6 +13,7 @@
 #include "obs/watchdog.h"
 #include "sim/rng.h"
 #include "trace/capture.h"
+#include "trace/fused_chain.h"
 
 #include "core/check.h"
 
@@ -110,8 +111,13 @@ FleetResult RunFleet(const FleetConfig& config) {
          .recorder = slot.recorder.has_value() ? &*slot.recorder : nullptr,
          .shard_id = shard,
          .heartbeat = ambient.heartbeat && shard == 0});
+    // Fuse the shard chain: the shard-id validation still happens in the
+    // ShardNamespaceSink constructor, but delivery goes through the fused
+    // sink - the namespace shift is applied to the IP column once and the
+    // characterizer is reached without interior virtual hops.
     trace::ShardNamespaceSink namespaced(static_cast<std::uint32_t>(shard), *slot.partial);
-    auto run = RunServerTrace(server, namespaced);
+    const std::unique_ptr<trace::FusedChain> fused = trace::FuseChain(namespaced);
+    auto run = RunServerTrace(server, *fused);
     slot.stats = run.stats;
     slot.players = std::move(run.players);
   });

@@ -152,11 +152,12 @@ void CsServer::OnTick(double t) {
   }
 
   // The whole tick - broadcast burst plus client sends - leaves as one
-  // contiguous batch: one virtual call per sink instead of one per packet.
+  // columnar batch: one virtual call per sink instead of one per packet,
+  // and columnar consumers read the arrays the tick built directly.
   batching_ = false;
   if (!tick_batch_.empty()) {
-    sink_->OnBatch(tick_batch_);
-    tick_batch_.clear();
+    sink_->OnColumns(tick_batch_.View());
+    tick_batch_.Clear();
   }
 }
 
@@ -329,7 +330,7 @@ void CsServer::Emit(double t, net::Direction direction, net::PacketKind kind,
     obs_.bytes_to_clients->Add(wire_bytes);
   }
   if (batching_) {
-    tick_batch_.push_back(record);
+    tick_batch_.PushRecord(record);
   } else {
     sink_->OnPacket(record);
   }

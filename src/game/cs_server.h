@@ -122,11 +122,13 @@ class CsServer {
   OutageSchedule outages_;
 
   std::vector<ActiveClient> clients_;
-  // All packets emitted within one tick are buffered here and handed to the
-  // sink as a single OnBatch call (see the batch contract in
-  // trace/capture.h); handshake and download traffic outside the tick
-  // handler stays per-packet. Capacity is reused across ticks.
-  std::vector<net::PacketRecord> tick_batch_;
+  // All packets emitted within one tick are buffered here column-wise and
+  // handed to the sink as a single OnColumns call (see the delivery-tier
+  // contract in trace/capture.h): the stream is born columnar, so sinks
+  // with columnar kernels never see an AoS record at all. Handshake and
+  // download traffic outside the tick handler stays per-packet. Capacity is
+  // reused across ticks.
+  net::ColumnarBatch tick_batch_;
   bool batching_ = false;
   std::vector<ServerEventListener*> listeners_;
   std::unordered_set<std::uint64_t> live_sessions_;

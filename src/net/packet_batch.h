@@ -1,0 +1,228 @@
+// Columnar packet batches: the struct-of-arrays twin of PacketRecord.
+//
+// The paper's analyses reduce ~500 M packets to per-interval loads, size
+// histograms and flow statistics - a workload that consumes whole *fields*
+// (every timestamp, every size), not whole records. Delivering a tick's
+// burst as one contiguous array per field lets the stats kernels run
+// auto-vectorisable loops over dense u16/u8/double data instead of striding
+// through 24-byte records, and lets per-field transforms (the shard IP
+// namespace shift) touch one column instead of copying every record.
+//
+// Two types:
+//  * PacketBatch      - a non-owning view: one pointer per column + a count.
+//                       Cheap to copy, cheap to re-point (column substitution
+//                       is how ShardNamespaceSink/FusedChain rewrite IPs
+//                       without copying the other six columns).
+//  * ColumnarBatch    - owning storage, reusable across ticks (capacity is
+//                       kept by Clear), built either record-by-record by a
+//                       producer (CsServer::Emit) or in bulk from an AoS
+//                       span (replay readers, the OnBatch->OnColumns shim).
+//
+// Invariant: a PacketBatch describes exactly the same record sequence as
+// the AoS batch it mirrors - RecordAt(i) reconstructs record i bit-for-bit,
+// so columnar and AoS delivery are interchangeable and reports stay
+// bit-identical (the columnar property tests enforce this per sink).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace gametrace::net {
+
+// Non-owning struct-of-arrays view over a contiguous run of packets. All
+// column pointers are valid for `count` elements (or null when count == 0).
+// The view follows the batch contract of trace/capture.h: emission order,
+// per-flow timestamp order preserved, never spanning a server tick.
+struct PacketBatch {
+  std::size_t count = 0;
+  const double* timestamps = nullptr;
+  const std::uint32_t* client_ips = nullptr;
+  const std::uint32_t* seqs = nullptr;
+  const std::uint16_t* client_ports = nullptr;
+  const std::uint16_t* app_bytes = nullptr;
+  const std::uint8_t* directions = nullptr;  // static_cast<Direction>
+  const std::uint8_t* kinds = nullptr;       // static_cast<PacketKind>
+
+  [[nodiscard]] std::size_t size() const noexcept { return count; }
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+
+  [[nodiscard]] Direction direction(std::size_t i) const noexcept {
+    return static_cast<Direction>(directions[i]);
+  }
+  [[nodiscard]] PacketKind kind(std::size_t i) const noexcept {
+    return static_cast<PacketKind>(kinds[i]);
+  }
+
+  // Reconstructs record i exactly as the producer emitted it.
+  [[nodiscard]] PacketRecord RecordAt(std::size_t i) const noexcept {
+    PacketRecord r;
+    r.timestamp = timestamps[i];
+    r.client_ip = Ipv4Address(client_ips[i]);
+    r.seq = seqs[i];
+    r.client_port = client_ports[i];
+    r.app_bytes = app_bytes[i];
+    r.direction = direction(i);
+    r.kind = kind(i);
+    return r;
+  }
+
+  // Appends the whole batch to `out` as AoS records (the bridge used by
+  // sinks without a columnar override).
+  void MaterializeInto(std::vector<PacketRecord>& out) const {
+    out.reserve(out.size() + count);
+    for (std::size_t i = 0; i < count; ++i) out.push_back(RecordAt(i));
+  }
+
+  // A view of the same batch with the client-IP column replaced (the shard
+  // namespace rewrite: six columns alias, one is swapped).
+  [[nodiscard]] PacketBatch WithClientIps(const std::uint32_t* ips) const noexcept {
+    PacketBatch view = *this;
+    view.client_ips = ips;
+    return view;
+  }
+
+  // A view over rows [offset, offset + n) of this batch. The caller must
+  // keep the slice within a contract-conforming boundary (it still may not
+  // span a server tick).
+  [[nodiscard]] PacketBatch Slice(std::size_t offset, std::size_t n) const noexcept {
+    PacketBatch view;
+    view.count = n;
+    if (n == 0) return view;
+    view.timestamps = timestamps + offset;
+    view.client_ips = client_ips + offset;
+    view.seqs = seqs + offset;
+    view.client_ports = client_ports + offset;
+    view.app_bytes = app_bytes + offset;
+    view.directions = directions + offset;
+    view.kinds = kinds + offset;
+    return view;
+  }
+};
+
+// Owning columnar storage. The column vectors are capacity buffers sized to
+// the high-water batch; a separate logical `size_` tracks the live prefix.
+// Clear() just resets the size, so the fill/flush cycle a sink repeats every
+// batch (ShardNamespaceSink's interior rewrite, FusedChain's AoS shim)
+// performs zero allocation and zero re-initialisation after warm-up - the
+// transpose is nothing but dense stores.
+class ColumnarBatch {
+ public:
+  void Clear() noexcept { size_ = 0; }
+
+  void Reserve(std::size_t n) {
+    if (n > timestamps_.size()) GrowTo(n);
+  }
+
+  void PushRecord(const PacketRecord& r) {
+    const std::size_t i = size_;
+    if (i == timestamps_.size()) GrowTo(i + 1);
+    timestamps_[i] = r.timestamp;
+    client_ips_[i] = r.client_ip.value();
+    seqs_[i] = r.seq;
+    client_ports_[i] = r.client_port;
+    app_bytes_[i] = r.app_bytes;
+    directions_[i] = static_cast<std::uint8_t>(r.direction);
+    kinds_[i] = static_cast<std::uint8_t>(r.kind);
+    size_ = i + 1;
+  }
+
+  // Bulk AoS -> SoA transpose (replay readers, OnBatch shims). Appends.
+  // One pass, no per-element capacity checks: each record is read once and
+  // fanned out to the seven column streams - this runs once per batch on
+  // the interior-rewrite path, so it must not eat the fusion win.
+  void Append(std::span<const PacketRecord> records) { AppendWithIpShift(records, 0); }
+
+  // Append + the shard namespace rewrite in the same pass: the client-IP
+  // column is written pre-shifted, so an interior rewrite sink transposes
+  // and rewrites for the cost of the transpose alone.
+  void AppendWithIpShift(std::span<const PacketRecord> records, std::uint32_t ip_shift) {
+    const std::size_t old = size_;
+    const std::size_t n = records.size();
+    const PacketRecord* r = records.data();
+    if (old + n > timestamps_.size()) GrowTo(old + n);
+    double* ts = timestamps_.data() + old;
+    std::uint32_t* ips = client_ips_.data() + old;
+    std::uint32_t* seqs = seqs_.data() + old;
+    std::uint16_t* ports = client_ports_.data() + old;
+    std::uint16_t* bytes = app_bytes_.data() + old;
+    std::uint8_t* dirs = directions_.data() + old;
+    std::uint8_t* kinds = kinds_.data() + old;
+    for (std::size_t i = 0; i < n; ++i) {
+      ts[i] = r[i].timestamp;
+      ips[i] = r[i].client_ip.value() + ip_shift;
+      seqs[i] = r[i].seq;
+      ports[i] = r[i].client_port;
+      bytes[i] = r[i].app_bytes;
+      dirs[i] = static_cast<std::uint8_t>(r[i].direction);
+      kinds[i] = static_cast<std::uint8_t>(r[i].kind);
+    }
+    size_ = old + n;
+  }
+
+  // Appends record i of `batch`, copying column-wise (no AoS round trip).
+  void PushFrom(const PacketBatch& batch, std::size_t i) {
+    const std::size_t j = size_;
+    if (j == timestamps_.size()) GrowTo(j + 1);
+    timestamps_[j] = batch.timestamps[i];
+    client_ips_[j] = batch.client_ips[i];
+    seqs_[j] = batch.seqs[i];
+    client_ports_[j] = batch.client_ports[i];
+    app_bytes_[j] = batch.app_bytes[i];
+    directions_[j] = batch.directions[i];
+    kinds_[j] = batch.kinds[i];
+    size_ = j + 1;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  // Mutable access to the client-IP column, for in-place per-field
+  // transforms on a freshly built private copy (the shard namespace shift
+  // in ShardNamespaceSink::OnBatch). The other columns stay immutable.
+  [[nodiscard]] std::span<std::uint32_t> mutable_client_ips() noexcept {
+    return std::span<std::uint32_t>(client_ips_.data(), size_);
+  }
+
+  [[nodiscard]] PacketBatch View() const noexcept {
+    PacketBatch view;
+    view.count = size_;
+    if (view.count == 0) return view;
+    view.timestamps = timestamps_.data();
+    view.client_ips = client_ips_.data();
+    view.seqs = seqs_.data();
+    view.client_ports = client_ports_.data();
+    view.app_bytes = app_bytes_.data();
+    view.directions = directions_.data();
+    view.kinds = kinds_.data();
+    return view;
+  }
+
+ private:
+  // Capacity growth: amortised doubling from a 64-record floor. The vector
+  // elements beyond `size_` are uninitialised scratch by design.
+  void GrowTo(std::size_t n) {
+    std::size_t cap = timestamps_.size() < 64 ? 64 : timestamps_.size() * 2;
+    if (cap < n) cap = n;
+    timestamps_.resize(cap);
+    client_ips_.resize(cap);
+    seqs_.resize(cap);
+    client_ports_.resize(cap);
+    app_bytes_.resize(cap);
+    directions_.resize(cap);
+    kinds_.resize(cap);
+  }
+
+  std::size_t size_ = 0;
+  std::vector<double> timestamps_;
+  std::vector<std::uint32_t> client_ips_;
+  std::vector<std::uint32_t> seqs_;
+  std::vector<std::uint16_t> client_ports_;
+  std::vector<std::uint16_t> app_bytes_;
+  std::vector<std::uint8_t> directions_;
+  std::vector<std::uint8_t> kinds_;
+};
+
+}  // namespace gametrace::net

@@ -18,6 +18,18 @@ void EmpiricalDistribution::Add(double value, double weight) {
   dirty_ = true;
 }
 
+void EmpiricalDistribution::AddColumn(std::span<const std::uint16_t> xs) {
+  if (xs.empty()) return;
+  values_.reserve(values_.size() + xs.size());
+  weights_.reserve(weights_.size() + xs.size());
+  for (const std::uint16_t x : xs) {
+    values_.push_back(static_cast<double>(x));
+    weights_.push_back(1.0);
+  }
+  total_weight_ += static_cast<double>(xs.size());
+  dirty_ = true;
+}
+
 EmpiricalDistribution EmpiricalDistribution::FromHistogram(const Histogram& h) {
   EmpiricalDistribution d;
   for (std::size_t i = 0; i < h.bin_count(); ++i) {

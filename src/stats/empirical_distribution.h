@@ -19,6 +19,10 @@ class EmpiricalDistribution {
   // Adds a point mass. Weight must be positive.
   void Add(double value, double weight = 1.0);
 
+  // Columnar bulk add: appends every sample of a dense u16 column as a unit
+  // point mass in one reserve + tight loop (no per-sample weight check).
+  void AddColumn(std::span<const std::uint16_t> xs);
+
   // Builds from a histogram's in-range bins (bin centers weighted by count).
   static EmpiricalDistribution FromHistogram(const Histogram& h);
 

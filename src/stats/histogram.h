@@ -46,6 +46,16 @@ class Histogram {
   // to the scalar loop.
   void AddBatch(std::span<const double> xs, std::uint64_t weight = 1) noexcept;
 
+  // Columnar kernels over a dense u16 sample column (packet sizes straight
+  // from a net::PacketBatch): no 24-byte record stride, and the range tests
+  // run over sequential u16 loads the compiler can unroll. Counts are
+  // integral, so the result is identical to per-sample Add.
+  void AddColumn(std::span<const std::uint16_t> xs) noexcept;
+  // Masked variant: adds only samples whose mask byte equals `match`
+  // (direction-split size histograms). mask must be at least xs.size() long.
+  void AddColumn(std::span<const std::uint16_t> xs, std::span<const std::uint8_t> mask,
+                 std::uint8_t match) noexcept;
+
   [[nodiscard]] double lo() const noexcept { return lo_; }
   [[nodiscard]] double hi() const noexcept { return hi_; }
   [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }

@@ -40,6 +40,17 @@ class TimeSeries {
   // every packet-count and byte-count series in the library.
   void AddBatch(std::span<const double> times, double value = 1.0);
 
+  // Columnar kernel over a dense timestamp column: identical to AddBatch
+  // (same run aggregation); named for symmetry with the other columnar
+  // kernels so call sites read uniformly.
+  void AddColumn(std::span<const double> times, double value = 1.0) { AddBatch(times, value); }
+
+  // Masked variant for direction-split series: adds `value` at times[i] only
+  // where mask[i] == match, run-aggregated within the selection. mask must
+  // be at least times.size() long.
+  void AddColumn(std::span<const double> times, std::span<const std::uint8_t> mask,
+                 std::uint8_t match, double value = 1.0);
+
   // Overwrites the bin containing `t` (used for gauge-style series such as
   // player counts sampled once per interval).
   void Set(double t, double value);

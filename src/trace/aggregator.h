@@ -24,6 +24,13 @@ class LoadAggregator final : public CaptureSink {
   // tight inlined loop.
   void OnBatch(std::span<const net::PacketRecord> batch) override;
 
+  void OnColumns(const net::PacketBatch& batch) override;
+
+  // Columnar kernel (non-virtual: FusedChain calls it directly): the same
+  // run-aggregated binning as OnBatch, reading the dense timestamp,
+  // direction and size columns instead of striding through records.
+  void AccumulateColumns(const net::PacketBatch& batch);
+
   // Pads all series with zero bins up to `t_end` so trailing idle time is
   // represented (important when computing means over a fixed window).
   void ExtendTo(double t_end);

@@ -1,9 +1,21 @@
 #include "trace/capture.h"
 
+#include <algorithm>
+
 namespace gametrace::trace {
 
 void Replay(const std::vector<net::PacketRecord>& records, CaptureSink& sink) {
-  sink.OnBatch(records);
+  // Transpose into bounded columnar chunks: memory stays O(chunk) while
+  // every sink gets the columnar fast path. 4096 records keep all seven
+  // columns (~96 KB) comfortably inside L2.
+  constexpr std::size_t kChunk = 4096;
+  net::ColumnarBatch columns;
+  const std::span<const net::PacketRecord> all(records);
+  for (std::size_t i = 0; i < all.size(); i += kChunk) {
+    columns.Clear();
+    columns.Append(all.subspan(i, std::min(kChunk, all.size() - i)));
+    sink.OnColumns(columns.View());
+  }
 }
 
 }  // namespace gametrace::trace

@@ -5,49 +5,132 @@
 // single simulation run can feed any combination of analyses via TeeSink
 // without materialising 500 M records in memory.
 //
-// Batched delivery: producers that naturally emit runs of packets (the
-// game server's per-tick broadcast burst, trace-file readers) hand them
-// over through OnBatch(), one virtual call per run instead of one per
-// packet. The contract: a batch is a contiguous slice of the stream in
-// emission order (per-flow sequence order preserved) and never spans a
-// server tick. The default OnBatch loops over OnPacket, so every sink
-// observes exactly the same record sequence whether it is fed packet by
-// packet or in batches - reports are bit-identical either way.
+// Delivery tiers, cheapest first:
+//  * OnColumns() - columnar batches (net::PacketBatch): one contiguous
+//    array per field, built once per tick by the producer. Sinks with a
+//    columnar kernel consume raw columns (auto-vectorisable loops, no
+//    24-byte record stride); the default bridges to OnBatch through a
+//    reusable materialisation scratch, so every sink stays correct.
+//  * OnBatch() - a contiguous AoS slice, one virtual call per run.
+//  * OnPacket() - the scalar path, one virtual call per packet.
+// The contract for both batch forms: a batch is a contiguous slice of the
+// stream in emission order (per-flow sequence order preserved) and never
+// spans a server tick. Every tier observes exactly the same record
+// sequence - reports are bit-identical whichever entry point feeds a sink.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/check.h"
 #include "net/packet.h"
+#include "net/packet_batch.h"
 #include "obs/prof.h"
 
 namespace gametrace::trace {
 
 namespace internal {
+
 // Batch-contract probe: a batch is a contiguous slice of the stream in
 // emission order with *per-flow* ordering preserved - globally the tick
 // batch interleaves independent client clocks, so only timestamps within
-// one (client, direction) flow must be non-decreasing. Allocates, so only
-// ever used behind GT_DCHECK.
-inline bool BatchPreservesPerFlowOrder(std::span<const net::PacketRecord> batch) {
-  std::unordered_map<std::uint64_t, double> last_time;
-  for (const net::PacketRecord& r : batch) {
-    const std::uint64_t flow = (std::uint64_t{r.client_ip.value()} << 17) |
-                               (std::uint64_t{r.client_port} << 1) |
-                               std::uint64_t{r.direction == net::Direction::kClientToServer};
-    auto [it, inserted] = last_time.try_emplace(flow, r.timestamp);
-    if (!inserted) {
-      if (r.timestamp < it->second) return false;
-      it->second = r.timestamp;
+// one (client, direction) flow must be non-decreasing.
+//
+// Reusable flat scratch (open addressing, epoch-tagged slots) so the probe
+// allocates only up to the high-water batch size per thread: DCHECK builds
+// stay usable at paper-week scale instead of building a fresh unordered_map
+// per batch. Only ever used behind GT_DCHECK.
+class FlowOrderScratch {
+ public:
+  bool CheckBatch(std::span<const net::PacketRecord> batch) {
+    BeginBatch(batch.size());
+    for (const net::PacketRecord& r : batch) {
+      if (!Observe(FlowKeyOf(r.client_ip.value(), r.client_port,
+                             r.direction == net::Direction::kClientToServer),
+                   r.timestamp)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool CheckColumns(const net::PacketBatch& batch) {
+    BeginBatch(batch.count);
+    for (std::size_t i = 0; i < batch.count; ++i) {
+      if (!Observe(FlowKeyOf(batch.client_ips[i], batch.client_ports[i],
+                             batch.directions[i] ==
+                                 static_cast<std::uint8_t>(net::Direction::kClientToServer)),
+                   batch.timestamps[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t flow = 0;
+    double last = 0.0;
+    std::uint32_t epoch = 0;
+  };
+
+  static std::uint64_t FlowKeyOf(std::uint32_t ip, std::uint16_t port, bool inbound) noexcept {
+    return (std::uint64_t{ip} << 17) | (std::uint64_t{port} << 1) | std::uint64_t{inbound};
+  }
+
+  void BeginBatch(std::size_t n) {
+    std::size_t want = 16;
+    while (want < 2 * n) want *= 2;  // load factor <= 0.5
+    if (slots_.size() < want) {
+      slots_.assign(want, Slot{});
+      epoch_ = 0;
+    }
+    if (++epoch_ == 0) {  // epoch counter wrapped: invalidate stale tags
+      for (Slot& s : slots_) s.epoch = 0;
+      epoch_ = 1;
     }
   }
-  return true;
+
+  bool Observe(std::uint64_t flow, double t) noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(flow * 0x9E3779B97F4A7C15ULL) & mask;
+    for (;;) {
+      Slot& slot = slots_[i];
+      if (slot.epoch != epoch_) {  // free this batch: claim it
+        slot.flow = flow;
+        slot.last = t;
+        slot.epoch = epoch_;
+        return true;
+      }
+      if (slot.flow == flow) {
+        if (t < slot.last) return false;
+        slot.last = t;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::uint32_t epoch_ = 0;
+};
+
+inline FlowOrderScratch& FlowOrderProbe() {
+  thread_local FlowOrderScratch scratch;
+  return scratch;
 }
+
+inline bool BatchPreservesPerFlowOrder(std::span<const net::PacketRecord> batch) {
+  return FlowOrderProbe().CheckBatch(batch);
+}
+
+inline bool ColumnsPreservePerFlowOrder(const net::PacketBatch& batch) {
+  return FlowOrderProbe().CheckColumns(batch);
+}
+
 }  // namespace internal
 
 class CaptureSink {
@@ -62,6 +145,22 @@ class CaptureSink {
         << "CaptureSink::OnBatch: batch violates per-flow emission-order contract";
     for (const net::PacketRecord& record : batch) OnPacket(record);
   }
+
+  // Receives the same run as a columnar view. Overrides must be equivalent
+  // to the default bridge, which materialises the records into a reusable
+  // scratch and forwards them down the OnBatch/OnPacket path.
+  virtual void OnColumns(const net::PacketBatch& batch) {
+    GT_DCHECK(internal::ColumnsPreservePerFlowOrder(batch))
+        << "CaptureSink::OnColumns: batch violates per-flow emission-order contract";
+    bridge_scratch_.clear();
+    batch.MaterializeInto(bridge_scratch_);
+    OnBatch(bridge_scratch_);
+  }
+
+ private:
+  // Owned by the base so the AoS bridge is allocation-free after warm-up
+  // for every sink that has no columnar kernel of its own.
+  std::vector<net::PacketRecord> bridge_scratch_;
 };
 
 // Forwards every packet to each attached sink, in attachment order.
@@ -79,7 +178,13 @@ class TeeSink final : public CaptureSink {
     for (CaptureSink* sink : sinks_) sink->OnBatch(batch);
   }
 
+  void OnColumns(const net::PacketBatch& batch) override {
+    GT_PROF_SCOPE("trace.tee.on_columns");
+    for (CaptureSink* sink : sinks_) sink->OnColumns(batch);
+  }
+
   [[nodiscard]] std::size_t sink_count() const noexcept { return sinks_.size(); }
+  [[nodiscard]] const std::vector<CaptureSink*>& sinks() const noexcept { return sinks_; }
 
  private:
   std::vector<CaptureSink*> sinks_;
@@ -128,6 +233,31 @@ class CountingSink final : public CaptureSink {
     app_bytes_ += bytes0 + bytes1;
   }
 
+  void OnColumns(const net::PacketBatch& batch) override {
+    GT_PROF_SCOPE("trace.counting.on_columns");
+    AccumulateColumns(batch);
+  }
+
+  // Columnar kernel (non-virtual: FusedChain calls it directly). Dense u16
+  // size and u8 direction columns auto-vectorise; integral sums regroup
+  // exactly.
+  void AccumulateColumns(const net::PacketBatch& batch) noexcept {
+    const std::uint16_t* bytes = batch.app_bytes;
+    const std::uint8_t* dirs = batch.directions;
+    const std::size_t n = batch.count;
+    std::uint64_t in = 0;
+    std::uint64_t sum = 0;
+    constexpr auto kIn = static_cast<std::uint8_t>(net::Direction::kClientToServer);
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += bytes[i];
+      in += dirs[i] == kIn ? 1 : 0;
+    }
+    packets_ += n;
+    packets_in_ += in;
+    packets_out_ += n - in;
+    app_bytes_ += sum;
+  }
+
   [[nodiscard]] std::uint64_t packets() const noexcept { return packets_; }
   [[nodiscard]] std::uint64_t packets_in() const noexcept { return packets_in_; }
   [[nodiscard]] std::uint64_t packets_out() const noexcept { return packets_out_; }
@@ -148,6 +278,11 @@ class VectorSink final : public CaptureSink {
   void OnBatch(std::span<const net::PacketRecord> batch) override {
     GT_PROF_SCOPE("trace.vector.on_batch");
     records_.insert(records_.end(), batch.begin(), batch.end());
+  }
+
+  void OnColumns(const net::PacketBatch& batch) override {
+    GT_PROF_SCOPE("trace.vector.on_columns");
+    batch.MaterializeInto(records_);
   }
 
   [[nodiscard]] const std::vector<net::PacketRecord>& records() const noexcept {
@@ -184,26 +319,44 @@ class ShardNamespaceSink final : public CaptureSink {
     downstream_->OnPacket(shifted);
   }
 
-  // Rewrites the whole batch in a reused scratch buffer and forwards it as
-  // one batch: no per-record virtual call and, after warm-up, no
-  // allocation. Bulk copy first, then a shift pass over the single buffer -
-  // a fused copy+shift loop defeats vectorization (the compiler must assume
-  // the source and scratch alias) and benches ~4x slower.
+  // An interior rewrite must materialise a private copy of the batch
+  // anyway, so build that copy *columnar*: the namespace shift then touches
+  // one dense 4-byte lane instead of a field inside every 24-byte record,
+  // and the batch continues downstream on the columnar tier where every
+  // library sink has its fastest kernel. Equivalent per the delivery-tier
+  // contract (reports are bit-identical whichever tier feeds a sink).
   void OnBatch(std::span<const net::PacketRecord> batch) override {
     GT_PROF_SCOPE("trace.shard_namespace.on_batch");
     GT_DCHECK(internal::BatchPreservesPerFlowOrder(batch))
         << "ShardNamespaceSink::OnBatch: batch violates per-flow emission-order contract";
-    scratch_.assign(batch.begin(), batch.end());
-    for (net::PacketRecord& record : scratch_) {
-      record.client_ip = net::Ipv4Address(record.client_ip.value() + shift_);
-    }
-    downstream_->OnBatch(scratch_);
+    column_scratch_.Clear();
+    column_scratch_.AppendWithIpShift(batch, shift_);
+    downstream_->OnColumns(column_scratch_.View());
   }
+
+  // The columnar payoff: the rewrite touches exactly one column. Copy+shift
+  // the 4-byte IP lane into a reused scratch and re-point the view; the
+  // other six columns are forwarded untouched.
+  void OnColumns(const net::PacketBatch& batch) override {
+    GT_PROF_SCOPE("trace.shard_namespace.on_columns");
+    GT_DCHECK(internal::ColumnsPreservePerFlowOrder(batch))
+        << "ShardNamespaceSink::OnColumns: batch violates per-flow emission-order contract";
+    ip_scratch_.resize(batch.count);
+    const std::uint32_t* src = batch.client_ips;
+    std::uint32_t* dst = ip_scratch_.data();
+    const std::uint32_t shift = shift_;
+    for (std::size_t i = 0; i < batch.count; ++i) dst[i] = src[i] + shift;
+    downstream_->OnColumns(batch.WithClientIps(dst));
+  }
+
+  [[nodiscard]] std::uint32_t shard_shift() const noexcept { return shift_; }
+  [[nodiscard]] CaptureSink& downstream() const noexcept { return *downstream_; }
 
  private:
   std::uint32_t shift_;
   CaptureSink* downstream_;
-  std::vector<net::PacketRecord> scratch_;
+  net::ColumnarBatch column_scratch_;
+  std::vector<std::uint32_t> ip_scratch_;
 };
 
 // Adapts a callable into a sink.
@@ -219,8 +372,9 @@ class CallbackSink final : public CaptureSink {
 };
 
 // Replays a stored record vector into a sink (records must be time-ordered
-// if the sink cares about ordering; all library sinks do). Delivered as one
-// batch; equivalent to the per-packet loop for every conforming sink.
+// if the sink cares about ordering; all library sinks do). Columnised in
+// bounded chunks and delivered via OnColumns; equivalent to the per-packet
+// loop for every conforming sink.
 void Replay(const std::vector<net::PacketRecord>& records, CaptureSink& sink);
 
 }  // namespace gametrace::trace

@@ -36,6 +36,25 @@ void FilterSink::OnBatch(std::span<const net::PacketRecord> batch) {
   if (!scratch_.empty()) next_->OnBatch(scratch_);
 }
 
+void FilterSink::OnColumns(const net::PacketBatch& batch) {
+  GT_PROF_SCOPE("trace.filter.on_columns");
+  // The predicate sees full records (it is an arbitrary std::function over
+  // PacketRecord), so each candidate is reconstructed from the columns; the
+  // survivors are compacted column-wise and forwarded as columns so the
+  // downstream fast path is preserved.
+  column_scratch_.Clear();
+  const std::size_t n = batch.count;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (predicate_(batch.RecordAt(i))) {
+      column_scratch_.PushFrom(batch, i);
+    } else {
+      ++dropped_;
+    }
+  }
+  passed_ += column_scratch_.size();
+  if (!column_scratch_.empty()) next_->OnColumns(column_scratch_.View());
+}
+
 FilterSink::Predicate DirectionIs(net::Direction d) {
   return [d](const net::PacketRecord& r) { return r.direction == d; };
 }

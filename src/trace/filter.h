@@ -24,6 +24,10 @@ class FilterSink final : public CaptureSink {
   // them as one batch (order preserved).
   void OnBatch(std::span<const net::PacketRecord> batch) override;
 
+  // Compacts column-wise into a reused columnar scratch (order preserved),
+  // so the columnar fast path survives the filter.
+  void OnColumns(const net::PacketBatch& batch) override;
+
   [[nodiscard]] std::uint64_t passed() const noexcept { return passed_; }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
@@ -33,6 +37,7 @@ class FilterSink final : public CaptureSink {
   std::uint64_t passed_ = 0;
   std::uint64_t dropped_ = 0;
   std::vector<net::PacketRecord> scratch_;
+  net::ColumnarBatch column_scratch_;
 };
 
 // Common predicates.

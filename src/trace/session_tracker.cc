@@ -27,51 +27,128 @@ void SessionTracker::OnBatch(std::span<const net::PacketRecord> batch) {
   for (const net::PacketRecord& record : batch) Ingest(record);
 }
 
+void SessionTracker::OnColumns(const net::PacketBatch& batch) {
+  GT_PROF_SCOPE("trace.sessions.on_columns");
+  AccumulateColumns(batch);
+}
+
+void SessionTracker::AccumulateColumns(const net::PacketBatch& batch) {
+  constexpr auto kReject = static_cast<std::uint8_t>(net::PacketKind::kConnectReject);
+  constexpr auto kIn = static_cast<std::uint8_t>(net::Direction::kClientToServer);
+  const std::size_t n = batch.count;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (batch.kinds[i] == kReject) continue;
+    IngestFields(batch.timestamps[i], batch.client_ips[i], batch.client_ports[i],
+                 batch.directions[i] == kIn, batch.app_bytes[i]);
+  }
+}
+
 void SessionTracker::Ingest(const net::PacketRecord& record) {
   // Handshake-refusal traffic is not a session: a rejected client exchanged
   // two packets but never played. Counting those would flood the session
   // list with zero-length entries.
   if (record.kind == net::PacketKind::kConnectReject) return;
+  IngestFields(record.timestamp, record.client_ip.value(), record.client_port,
+               record.direction == net::Direction::kClientToServer, record.app_bytes);
+}
 
-  const Key key{record.client_ip.value(), record.client_port};
-  Session* session = nullptr;
-  if (cached_session_ != nullptr && key == cached_key_ &&
-      record.timestamp - cached_session_->end <= idle_timeout_) {
-    // Same endpoint as the previous packet and within the idle window: the
-    // slow path below would find this exact session and not close it.
-    session = cached_session_;
-  } else {
-    auto it = open_.find(key);
-    if (it != open_.end() && record.timestamp - it->second.end > idle_timeout_) {
-      Close(key, std::move(it->second));
-      open_.erase(it);
-      it = open_.end();
-      cached_session_ = nullptr;  // the erased node may be the cached one
+std::size_t SessionTracker::FindSlot(std::uint64_t key, std::size_t& insert_slot) const noexcept {
+  const std::size_t mask = keys_.size() - 1;
+  std::size_t i = HomeSlot(key);
+  insert_slot = kNoSlot;
+  while (true) {
+    const std::uint8_t state = states_[i];
+    if (state == kEmpty) {
+      if (insert_slot == kNoSlot) insert_slot = i;
+      return kNoSlot;
     }
-    if (it == open_.end()) {
-      Session s;
-      s.client_ip = record.client_ip;
-      s.client_port = record.client_port;
-      s.start = record.timestamp;
-      s.end = record.timestamp;
-      it = open_.emplace(key, s).first;
-      ++unique_ips_[key.ip];
+    if (state == kLive && keys_[i] == key) return i;
+    if (state == kDead && insert_slot == kNoSlot) insert_slot = i;
+    i = (i + 1) & mask;
+  }
+}
+
+std::size_t SessionTracker::ClaimSlot(std::uint64_t key, std::size_t slot) {
+  if (keys_.empty() || (live_ + dead_ + 1) * 10 >= keys_.size() * 7) {
+    // Rehashing drops tombstones; double only when the live population
+    // itself needs the room.
+    const std::size_t cap = std::max<std::size_t>(64, keys_.size());
+    Rehash((live_ + 1) * 10 >= cap * 7 ? cap * 2 : cap);
+    std::size_t insert_slot = kNoSlot;
+    (void)FindSlot(key, insert_slot);  // key is absent: yields the fresh home
+    slot = insert_slot;
+  } else if (states_[slot] == kDead) {
+    --dead_;
+  }
+  keys_[slot] = key;
+  states_[slot] = kLive;
+  ++live_;
+  return slot;
+}
+
+void SessionTracker::Rehash(std::size_t new_capacity) {
+  std::vector<std::uint64_t> old_keys = std::move(keys_);
+  std::vector<std::uint8_t> old_states = std::move(states_);
+  std::vector<Session> old_sessions = std::move(sessions_);
+  keys_.assign(new_capacity, 0);
+  states_.assign(new_capacity, kEmpty);
+  sessions_.assign(new_capacity, Session{});
+  dead_ = 0;
+  cached_slot_ = kNoSlot;  // slots re-home
+  const std::size_t mask = new_capacity - 1;
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_states[i] != kLive) continue;
+    std::size_t j = HomeSlot(old_keys[i]);
+    while (states_[j] != kEmpty) j = (j + 1) & mask;
+    keys_[j] = old_keys[i];
+    states_[j] = kLive;
+    sessions_[j] = old_sessions[i];
+  }
+}
+
+void SessionTracker::IngestFields(double t, std::uint32_t ip, std::uint16_t port, bool inbound,
+                                  std::uint16_t bytes) {
+  const std::uint64_t key = FlowKey(ip, port);
+  std::size_t slot = cached_slot_;
+  if (slot == kNoSlot || cached_key_ != key || t - sessions_[slot].end > idle_timeout_) {
+    std::size_t insert_slot = kNoSlot;
+    slot = keys_.empty() ? kNoSlot : FindSlot(key, insert_slot);
+    if (slot != kNoSlot && t - sessions_[slot].end > idle_timeout_) {
+      // Idle-expired: the endpoint left and came back. Close the old
+      // session and start a fresh one - same key, so the slot is reused
+      // in place (no occupancy change, no growth to consider).
+      closed_.push_back(sessions_[slot]);
+      Session& s = sessions_[slot];
+      s = Session{};
+      s.client_ip = net::Ipv4Address{ip};
+      s.client_port = port;
+      s.start = t;
+      s.end = t;
+      ++unique_ips_[ip];
+    } else if (slot == kNoSlot) {
+      slot = ClaimSlot(key, insert_slot);
+      Session& s = sessions_[slot];
+      s = Session{};
+      s.client_ip = net::Ipv4Address{ip};
+      s.client_port = port;
+      s.start = t;
+      s.end = t;
+      ++unique_ips_[ip];
     }
-    session = &it->second;
     cached_key_ = key;
-    cached_session_ = session;
+    cached_slot_ = slot;
   }
 
-  Session& s = *session;
+  Session& s = sessions_[slot];
   // The capture may be mildly out of order within a tick window; a session
   // never shrinks.
-  s.end = std::max(s.end, record.timestamp);
-  if (record.direction == net::Direction::kClientToServer) {
+  s.end = std::max(s.end, t);
+  if (inbound) {
     ++s.packets_in;
-    s.app_bytes_in += record.app_bytes;
+    s.app_bytes_in += bytes;
   } else {
     ++s.packets_out;
-    s.app_bytes_out += record.app_bytes;
+    s.app_bytes_out += bytes;
   }
 }
 
@@ -79,12 +156,19 @@ void SessionTracker::Merge(SessionTracker&& other) {
   GT_CHECK_EQ(other.idle_timeout_, idle_timeout_) << "SessionTracker::Merge: idle-timeout mismatch";
   closed_.insert(closed_.end(), std::make_move_iterator(other.closed_.begin()),
                  std::make_move_iterator(other.closed_.end()));
-  for (auto& [key, session] : other.open_) {
-    auto [it, inserted] = open_.try_emplace(key, session);
-    if (!inserted) {
+  for (std::size_t i = 0; i < other.keys_.size(); ++i) {
+    if (other.states_[i] != kLive) continue;
+    const std::uint64_t key = other.keys_[i];
+    const Session& session = other.sessions_[i];
+    std::size_t insert_slot = kNoSlot;
+    std::size_t slot = keys_.empty() ? kNoSlot : FindSlot(key, insert_slot);
+    if (slot == kNoSlot) {
+      slot = ClaimSlot(key, insert_slot);
+      sessions_[slot] = session;
+    } else {
       // Same endpoint active in both trackers (only possible without shard
       // namespacing): fold into one session covering both observations.
-      Session& mine = it->second;
+      Session& mine = sessions_[slot];
       mine.start = std::min(mine.start, session.start);
       mine.end = std::max(mine.end, session.end);
       mine.packets_in += session.packets_in;
@@ -94,20 +178,27 @@ void SessionTracker::Merge(SessionTracker&& other) {
     }
   }
   for (const auto& [ip, count] : other.unique_ips_) unique_ips_[ip] += count;
-  other.open_.clear();
+  other.keys_.clear();
+  other.states_.clear();
+  other.sessions_.clear();
+  other.live_ = 0;
+  other.dead_ = 0;
   other.closed_.clear();
   other.unique_ips_.clear();
-  other.cached_session_ = nullptr;
-}
-
-void SessionTracker::Close(const Key& /*key*/, Session&& session) {
-  closed_.push_back(std::move(session));
+  other.cached_slot_ = kNoSlot;
+  cached_slot_ = kNoSlot;  // ClaimSlot may have rehashed
 }
 
 std::vector<Session> SessionTracker::Finish() {
-  for (auto& [key, session] : open_) closed_.push_back(session);
-  open_.clear();
-  cached_session_ = nullptr;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (states_[i] == kLive) closed_.push_back(sessions_[i]);
+  }
+  keys_.clear();
+  states_.clear();
+  sessions_.clear();
+  live_ = 0;
+  dead_ = 0;
+  cached_slot_ = kNoSlot;
   std::sort(closed_.begin(), closed_.end(),
             [](const Session& a, const Session& b) { return a.start < b.start; });
   return std::move(closed_);

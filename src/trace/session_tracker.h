@@ -48,6 +48,13 @@ class SessionTracker final : public CaptureSink {
   // (the common case inside a tick burst) skip the hash lookup entirely.
   void OnBatch(std::span<const net::PacketRecord> batch) override;
 
+  void OnColumns(const net::PacketBatch& batch) override;
+
+  // Columnar kernel (non-virtual: FusedChain calls it directly). Session
+  // tracking is hash-bound per record, but the columnar form reads only the
+  // five fields it needs and skips rejects via the dense kind column.
+  void AccumulateColumns(const net::PacketBatch& batch);
+
   // Absorbs another tracker's sessions (closed and still-open). Exact when
   // the two trackers saw disjoint client endpoints - the fleet engine
   // guarantees this by namespacing each shard's flow identifiers (see
@@ -60,7 +67,7 @@ class SessionTracker final : public CaptureSink {
   // the full session list (sorted by start time). Call once, at the end.
   [[nodiscard]] std::vector<Session> Finish();
 
-  [[nodiscard]] std::size_t open_sessions() const noexcept { return open_.size(); }
+  [[nodiscard]] std::size_t open_sessions() const noexcept { return live_; }
   [[nodiscard]] std::size_t closed_sessions() const noexcept { return closed_.size(); }
 
   // Number of distinct client IPs seen across all sessions so far.
@@ -73,28 +80,51 @@ class SessionTracker final : public CaptureSink {
       double max_bps = 160000.0, std::size_t bins = 64);
 
  private:
-  struct Key {
-    std::uint32_t ip;
-    std::uint16_t port;
-    friend bool operator==(const Key&, const Key&) = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const noexcept {
-      return std::hash<std::uint64_t>{}((std::uint64_t{k.ip} << 16) | k.port);
-    }
-  };
+  // Open sessions live in a flat open-addressing table keyed by the 48-bit
+  // (ip, port) endpoint. std::unordered_map cost one modulo-by-prime plus a
+  // node dereference per lookup - measurably the whole session-tracking
+  // budget on the hot path. Here the probe is one multiply (Fibonacci
+  // hashing, which scatters the near-sequential endpoint keys well), a
+  // power-of-two mask and a scan over a dense key array; the Session
+  // payloads sit in a parallel vector so probing never drags 56-byte
+  // records through the cache. Idle-timeout closes leave tombstones
+  // (state kDead); the table rehashes when full + dead slots pass ~70%.
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kLive = 1;
+  static constexpr std::uint8_t kDead = 2;
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 
-  void Close(const Key& key, Session&& session);
+  [[nodiscard]] static std::uint64_t FlowKey(std::uint32_t ip, std::uint16_t port) noexcept {
+    return (std::uint64_t{ip} << 16) | port;
+  }
+  [[nodiscard]] std::size_t HomeSlot(std::uint64_t key) const noexcept {
+    // Fibonacci hashing: the top bits of key * 2^64/phi, masked to capacity.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 32) & (keys_.size() - 1);
+  }
+
   void Ingest(const net::PacketRecord& record);
+  void IngestFields(double t, std::uint32_t ip, std::uint16_t port, bool inbound,
+                    std::uint16_t bytes);
+  // Finds the live slot for `key`, or kNoSlot. `insert_slot` receives the
+  // slot an insertion of `key` must use (first tombstone on the probe path,
+  // else the terminating empty slot).
+  [[nodiscard]] std::size_t FindSlot(std::uint64_t key, std::size_t& insert_slot) const noexcept;
+  // Claims `slot` for a fresh session of `key`, growing (and re-homing
+  // `slot`) if the table is too full. Returns the claimed slot.
+  std::size_t ClaimSlot(std::uint64_t key, std::size_t slot);
+  void Rehash(std::size_t new_capacity);
 
   double idle_timeout_;
-  std::unordered_map<Key, Session, KeyHash> open_;
+  std::vector<std::uint64_t> keys_;    // capacity-sized, power of two
+  std::vector<std::uint8_t> states_;   // kEmpty / kLive / kDead
+  std::vector<Session> sessions_;     // parallel payloads for kLive slots
+  std::size_t live_ = 0;
+  std::size_t dead_ = 0;
   std::vector<Session> closed_;
   std::unordered_map<std::uint32_t, std::uint32_t> unique_ips_;  // ip -> session count
-  // Memoized last-touched open session (node pointers are stable across
-  // rehash; reset whenever the element could have been erased).
-  Key cached_key_{};
-  Session* cached_session_ = nullptr;
+  // Memoized last-touched open slot (invalidated by rehash and Merge).
+  std::uint64_t cached_key_ = 0;
+  std::size_t cached_slot_ = kNoSlot;
 };
 
 }  // namespace gametrace::trace

@@ -25,6 +25,14 @@ class TraceSummary final : public CaptureSink {
   // result to the per-packet path (Welford moments stay sequential).
   void OnBatch(std::span<const net::PacketRecord> batch) override;
 
+  void OnColumns(const net::PacketBatch& batch) override;
+
+  // Columnar kernel (non-virtual: FusedChain calls it directly): the same
+  // per-direction sweeps as OnBatch over raw u8/u16 columns. Per-direction
+  // order - all the sequential Welford moments depend on - is preserved, so
+  // results stay bit-identical.
+  void AccumulateColumns(const net::PacketBatch& batch);
+
   // Combines another summary into this one, as if every packet fed to
   // `other` had been fed to *this. Exact: counters and moments add (Chan
   // parallel combine), unique-client sets union, the time span widens to

@@ -109,22 +109,23 @@ std::optional<net::PacketRecord> TraceReader::Next() {
 }
 
 std::uint64_t TraceReader::Drain(CaptureSink& sink) {
-  // Decode into a fixed-size buffer and hand records over in batches: the
-  // per-record virtual dispatch disappears while memory stays O(1).
+  // Decode straight into columnar chunks and deliver via OnColumns: the
+  // per-record virtual dispatch disappears, columnar sinks consume the
+  // columns directly, and memory stays O(1).
   constexpr std::size_t kBatchRecords = 1024;
-  std::vector<net::PacketRecord> batch;
-  batch.reserve(kBatchRecords);
+  net::ColumnarBatch batch;
+  batch.Reserve(kBatchRecords);
   std::uint64_t n = 0;
   while (auto record = Next()) {
-    batch.push_back(*record);
+    batch.PushRecord(*record);
     if (batch.size() == kBatchRecords) {
-      sink.OnBatch(batch);
+      sink.OnColumns(batch.View());
       n += batch.size();
-      batch.clear();
+      batch.Clear();
     }
   }
   if (!batch.empty()) {
-    sink.OnBatch(batch);
+    sink.OnColumns(batch.View());
     n += batch.size();
   }
   return n;
