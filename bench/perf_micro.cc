@@ -8,7 +8,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <thread>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -630,40 +632,122 @@ void BM_NatExperiment(benchmark::State& state) {
 }
 BENCHMARK(BM_NatExperiment)->Unit(benchmark::kMillisecond);
 
-// Shard-scaling sweep written to BENCH_fleet.json: wall-clock packets/sec
-// for the same 8-shard fleet at 1/2/4/8 worker threads. Machine-readable so
-// CI can track the parallel-efficiency trajectory.
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+// Fleet-scaling sweep written to BENCH_fleet.json: wall-clock packets/sec
+// for the same fleet at 1/2/4/8 worker threads under the work-stealing
+// scheduler. The sweep also byte-compares the merged metrics snapshot
+// across worker counts, so the determinism contract is re-proven at bench
+// scale on every run. Machine-readable so CI can enforce the scaling
+// floor (tools/bench_compare.py).
+//
+// Scale knobs:
+//   GAMETRACE_FLEET_SERVERS=<n>   fleet size (default 96; 1024 under
+//                                 GAMETRACE_FULL - with the 540 s default
+//                                 window that is a ~500M-packet paper-week
+//                                 workload)
+//   GAMETRACE_FLEET_DURATION=<s>  per-server simulated seconds (default
+//                                 60; 540 under GAMETRACE_FULL)
+//   GAMETRACE_FLEET_REPS=<n>      repetitions per worker count, best (lowest)
+//                                 wall time kept (default 1). CI sets this >1
+//                                 on the fresh sweep so one noisy-neighbor
+//                                 stall on a shared runner cannot fail the
+//                                 scaling floor on its own.
 void WriteFleetScalingJson(const std::string& path) {
   const auto scale = core::ExperimentScale::FromEnv(60.0);
-  constexpr int kShards = 8;
+  const int servers = EnvInt("GAMETRACE_FLEET_SERVERS", scale.full ? 1024 : 96);
+  const double duration =
+      EnvInt("GAMETRACE_FLEET_DURATION", static_cast<int>(scale.full ? 540.0 : scale.duration));
+  const int reps = std::max(1, EnvInt("GAMETRACE_FLEET_REPS", 1));
   constexpr std::uint64_t kSeed = 42;
+  const int available_cores = static_cast<int>(std::thread::hardware_concurrency());
   const int worker_counts[] = {1, 2, 4, 8};
 
   std::ofstream out(path);
   out << "{\n"
       << "  \"bench\": \"fleet_shard_scaling\",\n"
-      << "  \"shards\": " << kShards << ",\n"
-      << "  \"duration_seconds\": " << scale.duration << ",\n"
+      << "  \"shards\": " << servers << ",\n"
+      << "  \"duration_seconds\": " << duration << ",\n"
       << "  \"base_seed\": " << kSeed << ",\n"
+      << "  \"available_cores\": " << available_cores << ",\n"
+      << "  \"reps_per_point\": " << reps << ",\n"
       << "  \"runs\": [\n";
   bool first = true;
+  double single_worker_pps = 0.0;
+  double last_speedup = 0.0;
+  std::string baseline_metrics;
+  bool deterministic = true;
+  std::uint64_t total_packets = 0;
   for (const int workers : worker_counts) {
-    auto config = core::FleetConfig::Scaled(kShards, scale.duration);
-    config.threads = workers;
-    config.base_seed = kSeed;
-    const auto start = std::chrono::steady_clock::now();
-    const auto result = core::RunFleet(config);
-    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+    // Best-of-reps: every repetition runs the identical deterministic
+    // fleet, so the minimum wall time is the least-contended measurement
+    // of the same work and each rep's merged metrics still feed the
+    // cross-worker byte-compare.
+    double best_wall = 0.0;
+    std::uint64_t best_steals = 0;
+    std::uint64_t run_packets = 0;
+    double sched_units = 0.0;
+    double sched_unit_size = 0.0;
+    double sched_peak_live = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto config = core::FleetConfig::Scaled(servers, duration);
+      config.threads = workers;
+      config.base_seed = kSeed;
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = core::RunFleet(config);
+      const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+
+      const std::string metrics_json = result.metrics.ToJson();
+      if (baseline_metrics.empty()) {
+        baseline_metrics = metrics_json;
+      } else if (metrics_json != baseline_metrics) {
+        deterministic = false;
+      }
+
+      std::uint64_t steals = 0;
+      for (int w = 0; w < workers; ++w) {
+        steals += result.scheduler_metrics.counter_value("fleet.worker." + std::to_string(w) +
+                                                         ".steals");
+      }
+      if (rep == 0 || wall.count() < best_wall) {
+        best_wall = wall.count();
+        best_steals = steals;
+      }
+      run_packets = result.total_packets;
+      sched_units = result.scheduler_metrics.gauge_value("fleet.scheduler.units");
+      sched_unit_size = result.scheduler_metrics.gauge_value("fleet.scheduler.unit_size");
+      sched_peak_live =
+          result.scheduler_metrics.gauge_value("fleet.scheduler.peak_live_units");
+    }
     const double pps =
-        wall.count() > 0.0 ? static_cast<double>(result.total_packets) / wall.count() : 0.0;
+        best_wall > 0.0 ? static_cast<double>(run_packets) / best_wall : 0.0;
+    if (workers == 1) single_worker_pps = pps;
+    const double speedup = single_worker_pps > 0.0 ? pps / single_worker_pps : 0.0;
+    last_speedup = speedup;
+    total_packets = run_packets;
+
     if (!first) out << ",\n";
     first = false;
-    out << "    {\"workers\": " << workers << ", \"wall_seconds\": " << wall.count()
-        << ", \"packets\": " << result.total_packets << ", \"packets_per_second\": " << pps
-        << "}";
-    std::cerr << "fleet scaling: " << workers << " worker(s) -> " << pps << " packets/s\n";
+    out << "    {\"workers\": " << workers << ", \"wall_seconds\": " << best_wall
+        << ", \"packets\": " << run_packets << ", \"packets_per_second\": " << pps
+        << ", \"speedup\": " << speedup << ", \"steals\": " << best_steals
+        << ", \"units\": " << sched_units << ", \"unit_size\": " << sched_unit_size
+        << ", \"peak_live_units\": " << sched_peak_live << "}";
+    std::cerr << "fleet scaling: " << workers << " worker(s) -> " << pps << " packets/s ("
+              << speedup << "x, " << best_steals << " steals, best of " << reps << ")\n";
   }
-  out << "\n  ]\n}\n";
+  out << "\n  ],\n"
+      << "  \"packets_per_run\": " << total_packets << ",\n"
+      << "  \"max_workers\": 8,\n"
+      << "  \"speedup_at_max_workers\": " << last_speedup << ",\n"
+      << "  \"deterministic_across_workers\": " << (deterministic ? "true" : "false") << "\n}\n";
+  if (!deterministic) {
+    std::cerr << "ERROR: merged metrics differ across worker counts\n";
+  }
   if (out) {
     std::cerr << "wrote " << path << "\n";
   } else {
@@ -678,7 +762,9 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  WriteFleetScalingJson("BENCH_fleet.json");
-  WriteHotpathJson("BENCH_hotpath.json");
+  // The JSON writers run real workloads; CI stages that only need one of
+  // the two reports can skip the other.
+  if (EnvInt("GAMETRACE_SKIP_FLEET", 0) == 0) WriteFleetScalingJson("BENCH_fleet.json");
+  if (EnvInt("GAMETRACE_SKIP_HOTPATH", 0) == 0) WriteHotpathJson("BENCH_hotpath.json");
   return 0;
 }

@@ -76,6 +76,7 @@ void Characterizer::OnColumns(const net::PacketBatch& batch) {
 }
 
 void Characterizer::Merge(Characterizer&& other) {
+  GT_PROF_SCOPE("core.characterizer.merge");
   GT_CHECK(other.options_ == options_) << "Characterizer::Merge: analysis options differ";
   summary_.Merge(other.summary_);
   minute_agg_.Merge(other.minute_agg_);

@@ -2,14 +2,24 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <optional>
-#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "game/client.h"
 #include "obs/obs.h"
+#include "obs/prof.h"
 #include "obs/watchdog.h"
 #include "sim/rng.h"
 #include "trace/capture.h"
@@ -18,6 +28,52 @@
 #include "core/check.h"
 
 namespace gametrace::core {
+namespace {
+
+// Everything one shard produces, parked until the merge cursor reaches it.
+struct ServerResult {
+  std::uint64_t seed = 0;
+  game::CsServer::Stats stats;
+  stats::TimeSeries players{0.0, 60.0};
+  std::optional<Characterizer> partial;
+  obs::MetricsRegistry metrics;
+  std::optional<obs::TraceLog> trace;
+  std::optional<obs::FlightRecorder> recorder;
+};
+
+// A contiguous run of shards executed as one schedulable task. Per-server
+// results are kept separate (not pre-folded) so the master reduction can
+// fold in strictly increasing server order whatever the unit size - the
+// merge operators on floating accumulators are deterministic for a fixed
+// fold order but not associative in bits, so grouping must never reach
+// the fold.
+struct UnitResult {
+  int first_server = 0;
+  std::vector<ServerResult> servers;
+};
+
+// Per-worker scheduler telemetry, written by exactly one worker thread and
+// read after the join.
+struct WorkerTelemetry {
+  std::uint64_t steals = 0;
+  std::uint64_t idle_ns = 0;
+  std::uint64_t shards_run = 0;
+  std::uint64_t units_run = 0;
+};
+
+void PinThreadToCore(int index) {
+#if defined(__linux__)
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(index) % cores, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)index;
+#endif
+}
+
+}  // namespace
 
 FleetConfig FleetConfig::Scaled(int shards, double duration) {
   FleetConfig config;
@@ -31,7 +87,7 @@ int ResolveWorkerCount(int n, int threads) noexcept {
   return std::clamp(workers, 1, std::max(n, 1));
 }
 
-void ParallelFor(int n, int threads, const std::function<void(int)>& fn) {
+void ParallelFor(int n, int threads, FunctionRef<void(int)> fn) {
   if (n <= 0) return;
   const int workers = ResolveWorkerCount(n, threads);
   if (workers == 1) {
@@ -69,84 +125,291 @@ void ParallelFor(int n, int threads, const std::function<void(int)>& fn) {
 
 FleetResult RunFleet(const FleetConfig& config) {
   GT_CHECK_GT(config.shards, 0) << "RunFleet: shards must be positive";
-  GT_CHECK_LE(config.shards, 245) << "RunFleet: at most 245 shards fit the IP namespace";
+  const std::size_t population = config.server.sessions.population;
+  GT_CHECK_LE(static_cast<std::size_t>(config.shards), game::MaxDisjointServers(population))
+      << "RunFleet: shard count exceeds the disjoint IP namespace at population "
+      << population;
 
-  struct ShardSlot {
-    std::optional<Characterizer> partial;
-    game::CsServer::Stats stats;
-    stats::TimeSeries players{0.0, 60.0};
-    std::uint64_t seed = 0;
-    obs::MetricsRegistry metrics;
-    std::optional<obs::TraceLog> trace;
-    std::optional<obs::FlightRecorder> recorder;
-  };
-  std::vector<ShardSlot> slots(static_cast<std::size_t>(config.shards));
+  const int servers = config.shards;
+  int unit_size = config.schedule.unit_size;
+  if (unit_size <= 0) unit_size = std::max(1, servers / 256);
+  unit_size = std::min(unit_size, servers);
+  const int units = (servers + unit_size - 1) / unit_size;
+  const int workers = ResolveWorkerCount(units, config.threads);
+  const int window_units =
+      std::max(1, workers * std::max(1, config.schedule.max_live_units_per_worker));
 
   // Category defaults of the ambient trace log (when one is bound) carry
   // over to the shard logs, so e.g. enabling "tick" upstream enables it in
   // every shard.
   const obs::ObsContext ambient = obs::Current();
 
-  ParallelFor(config.shards, config.threads, [&](int shard) {
-    ShardSlot& slot = slots[static_cast<std::size_t>(shard)];
-    game::GameConfig server = config.server;
-    server.seed = sim::SubstreamSeed(config.base_seed, static_cast<std::uint64_t>(shard));
-    slot.seed = server.seed;
-    slot.partial.emplace(config.analysis);
-    slot.trace.emplace(/*pid=*/shard, config.trace_max_events);
+  // ---- Scheduler state ---------------------------------------------------
+  // Units are dealt round-robin, so every queue holds an ascending
+  // sequence and queue k's front is the lowest unclaimed unit of worker k.
+  // Own pops take the front, steals take the back of the fullest victim:
+  // together with FIFO pops this keeps the globally lowest unclaimed unit
+  // at some queue front, which is what makes the admission window
+  // deadlock-free (the worker owning that front is never blocked on a
+  // higher unit than the one it will claim next).
+  struct WorkerQueue {
+    std::mutex m;
+    std::deque<int> q;
+  };
+  std::vector<WorkerQueue> queues(static_cast<std::size_t>(workers));
+  for (int u = 0; u < units; ++u) {
+    queues[static_cast<std::size_t>(u % workers)].q.push_back(u);
+  }
+
+  // ---- Streaming reduction state (all guarded by reduce_m) ---------------
+  std::mutex reduce_m;
+  std::condition_variable admission_cv;
+  int cursor = 0;  // next unit index the master fold will absorb
+  int live_units = 0;
+  int peak_live_units = 0;
+  std::uint64_t merged_units = 0;
+  // Completed-but-unmerged units park here; in-flight units always lie in
+  // [cursor, cursor + window_units), so indexing by unit % window_units is
+  // collision-free and the ring is the whole memory bound.
+  std::vector<std::optional<UnitResult>> parked(static_cast<std::size_t>(window_units));
+
+  std::optional<Characterizer> master;
+  std::optional<stats::TimeSeries> total_players;
+  std::vector<ShardOutcome> shard_outcomes(static_cast<std::size_t>(servers));
+  std::uint64_t total_packets = 0;
+  obs::MetricsRegistry merged_metrics;
+  obs::TraceLog merged_trace;
+  obs::FlightRecorder merged_recorder;
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_m;
+
+  std::vector<WorkerTelemetry> telemetry(static_cast<std::size_t>(workers));
+
+  // ---- One shard, exactly as a standalone run would execute it -----------
+  auto run_server = [&](int server) {
+    ServerResult r;
+    game::GameConfig server_config = config.server;
+    server_config.seed =
+        sim::SubstreamSeed(config.base_seed, static_cast<std::uint64_t>(server));
+    if (config.configure_shard) config.configure_shard(server, server_config);
+    GT_CHECK_LE(server_config.sessions.population, population)
+        << "RunFleet: configure_shard grew shard " << server
+        << "'s identity pool beyond the template's - the IP namespaces would collide";
+    r.seed = server_config.seed;
+    r.partial.emplace(config.analysis);
+    r.trace.emplace(/*pid=*/server, config.trace_max_events);
     if (ambient.trace != nullptr) {
-      slot.trace->SetCategoryEnabled("tick", ambient.trace->CategoryEnabled("tick"));
+      r.trace->SetCategoryEnabled("tick", ambient.trace->CategoryEnabled("tick"));
     }
     // An ambient flight recorder sets the sampling grid; every shard then
     // records its own snapshot stream on that grid. Shards never run a
     // watchdog or flush Prometheus - alerting and exposition happen once,
     // against the merged stream.
-    if (ambient.recorder != nullptr) slot.recorder.emplace(ambient.recorder->options());
-    // Each shard observes its own registry and log (merged below in shard
+    if (ambient.recorder != nullptr) r.recorder.emplace(ambient.recorder->options());
+    // Each shard observes its own registry and log (folded below in shard
     // order); only shard 0 may keep the operator heartbeat, so an N-way
     // run does not interleave N pulses on stderr.
     const obs::ScopedObsBinding bind(
-        {.metrics = &slot.metrics,
-         .trace = &*slot.trace,
-         .recorder = slot.recorder.has_value() ? &*slot.recorder : nullptr,
-         .shard_id = shard,
-         .heartbeat = ambient.heartbeat && shard == 0});
-    // Fuse the shard chain: the shard-id validation still happens in the
-    // ShardNamespaceSink constructor, but delivery goes through the fused
-    // sink - the namespace shift is applied to the IP column once and the
-    // characterizer is reached without interior virtual hops.
-    trace::ShardNamespaceSink namespaced(static_cast<std::uint32_t>(shard), *slot.partial);
+        {.metrics = &r.metrics,
+         .trace = &*r.trace,
+         .recorder = r.recorder.has_value() ? &*r.recorder : nullptr,
+         .shard_id = server,
+         .heartbeat = ambient.heartbeat && server == 0});
+    // Fuse the shard chain: the namespace shift is applied to the IP
+    // column once and the characterizer is reached without interior
+    // virtual hops. The shift packs this server into the host bits the
+    // identity pool leaves unused, so thousands of shards stay disjoint.
+    trace::ShardNamespaceSink namespaced(
+        trace::ShardNamespaceSink::ExplicitShift{
+            game::ShardIpShift(static_cast<std::uint32_t>(server), population)},
+        *r.partial);
     const std::unique_ptr<trace::FusedChain> fused = trace::FuseChain(namespaced);
-    auto run = RunServerTrace(server, *fused);
-    slot.stats = run.stats;
-    slot.players = std::move(run.players);
-  });
+    auto run = RunServerTrace(server_config, *fused);
+    r.stats = run.stats;
+    r.players = std::move(run.players);
+    return r;
+  };
 
-  // Reduce in shard order on this thread: the only floating-point additions
-  // whose order could depend on scheduling happen here, in a fixed order.
-  Characterizer merged = std::move(*slots[0].partial);
-  stats::TimeSeries total_players = std::move(slots[0].players);
-  for (std::size_t i = 1; i < slots.size(); ++i) {
-    merged.Merge(std::move(*slots[i].partial));
-    total_players.Merge(slots[i].players);
-  }
+  // ---- Master fold, strictly in server order (caller holds reduce_m) -----
+  auto absorb = [&](UnitResult&& unit) {
+    GT_PROF_SCOPE("core.fleet.merge");
+    int server = unit.first_server;
+    for (ServerResult& r : unit.servers) {
+      if (!master.has_value()) {
+        master.emplace(std::move(*r.partial));
+        total_players.emplace(std::move(r.players));
+      } else {
+        master->Merge(std::move(*r.partial));
+        total_players->Merge(r.players);
+      }
+      shard_outcomes[static_cast<std::size_t>(server)] = ShardOutcome{server, r.seed, r.stats};
+      total_packets += r.stats.packets_emitted;
+      merged_metrics.Merge(r.metrics);
+      merged_trace.Merge(std::move(*r.trace));
+      if (r.recorder.has_value()) merged_recorder.Merge(*r.recorder);
+      ++server;
+    }
+  };
 
-  FleetResult result{.report = merged.Finish(config.server.trace_duration),
-                     .shards = {},
-                     .total_players = std::move(total_players),
-                     .total_packets = 0,
-                     .threads_used = ResolveWorkerCount(config.shards, config.threads)};
-  result.shards.reserve(slots.size());
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    result.shards.push_back(ShardOutcome{static_cast<int>(i), slots[i].seed, slots[i].stats});
-    result.total_packets += slots[i].stats.packets_emitted;
-    result.metrics.Merge(slots[i].metrics);
-    result.trace_log.Merge(std::move(*slots[i].trace));
-    if (slots[i].recorder.has_value()) result.recorder.Merge(*slots[i].recorder);
+  auto worker_main = [&](int w) {
+    if (config.schedule.pin_threads) PinThreadToCore(w);
+    WorkerTelemetry& tele = telemetry[static_cast<std::size_t>(w)];
+    WorkerQueue& own = queues[static_cast<std::size_t>(w)];
+    for (;;) {
+      if (failed.load(std::memory_order_acquire)) return;
+
+      // Claim: own front first, then steal from the back of the fullest
+      // peer. Queues only drain, so finding every queue empty means every
+      // unit is claimed and this worker is done.
+      int unit = -1;
+      {
+        const std::lock_guard<std::mutex> lock(own.m);
+        if (!own.q.empty()) {
+          unit = own.q.front();
+          own.q.pop_front();
+        }
+      }
+      if (unit < 0 && config.schedule.steal && workers > 1) {
+        GT_PROF_SCOPE("core.fleet.steal");
+        for (;;) {
+          int victim = -1;
+          std::size_t victim_backlog = 0;
+          for (int v = 0; v < workers; ++v) {
+            if (v == w) continue;
+            const std::lock_guard<std::mutex> lock(queues[static_cast<std::size_t>(v)].m);
+            if (queues[static_cast<std::size_t>(v)].q.size() > victim_backlog) {
+              victim_backlog = queues[static_cast<std::size_t>(v)].q.size();
+              victim = v;
+            }
+          }
+          if (victim < 0) break;
+          const std::lock_guard<std::mutex> lock(queues[static_cast<std::size_t>(victim)].m);
+          auto& victim_q = queues[static_cast<std::size_t>(victim)].q;
+          if (victim_q.empty()) continue;  // raced with the victim; rescan
+          unit = victim_q.back();
+          victim_q.pop_back();
+          ++tele.steals;
+          break;
+        }
+      }
+      if (unit < 0) return;
+
+      // Admission: hold the claimed unit until it fits the live window.
+      // Waiting here (not before claiming) is what bounds memory - the
+      // unit's results do not exist yet.
+      {
+        std::unique_lock<std::mutex> lock(reduce_m);
+        if (unit >= cursor + window_units) {
+          const auto wait_start = std::chrono::steady_clock::now();
+          admission_cv.wait(lock, [&] {
+            return failed.load(std::memory_order_relaxed) || unit < cursor + window_units;
+          });
+          tele.idle_ns += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - wait_start)
+                  .count());
+          if (failed.load(std::memory_order_relaxed)) return;
+        }
+        ++live_units;
+        peak_live_units = std::max(peak_live_units, live_units);
+      }
+
+      // Run every shard of the unit sequentially on this worker.
+      UnitResult unit_result;
+      unit_result.first_server = unit * unit_size;
+      const int last_server = std::min(servers, unit_result.first_server + unit_size);
+      try {
+        unit_result.servers.reserve(
+            static_cast<std::size_t>(last_server - unit_result.first_server));
+        for (int s = unit_result.first_server; s < last_server; ++s) {
+          unit_result.servers.push_back(run_server(s));
+          ++tele.shards_run;
+        }
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_m);
+          if (!error) error = std::current_exception();
+        }
+        // The store must happen under reduce_m: a peer that just evaluated
+        // the admission predicate (saw failed==false) but has not yet
+        // blocked would otherwise miss this notify and sleep forever once
+        // this worker - the last possible notifier - exits.
+        {
+          const std::lock_guard<std::mutex> lock(reduce_m);
+          failed.store(true, std::memory_order_release);
+        }
+        admission_cv.notify_all();
+        return;
+      }
+      ++tele.units_run;
+
+      // Park, then drain every consecutive ready unit starting at the
+      // cursor. Whichever worker completes the missing unit performs the
+      // whole run of merges; the fold order is the unit order (hence the
+      // server order), never the completion order.
+      {
+        const std::lock_guard<std::mutex> lock(reduce_m);
+        parked[static_cast<std::size_t>(unit % window_units)] = std::move(unit_result);
+        while (parked[static_cast<std::size_t>(cursor % window_units)].has_value()) {
+          UnitResult ready =
+              std::move(*parked[static_cast<std::size_t>(cursor % window_units)]);
+          parked[static_cast<std::size_t>(cursor % window_units)].reset();
+          absorb(std::move(ready));
+          ++cursor;
+          --live_units;
+          ++merged_units;
+        }
+        admission_cv.notify_all();
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker_main(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker_main, w);
+    for (auto& t : pool) t.join();
   }
+  if (error) std::rethrow_exception(error);
+  GT_CHECK_EQ(merged_units, static_cast<std::uint64_t>(units))
+      << "RunFleet: scheduler lost work units (internal bug)";
+
+  FleetResult result{.report = master->Finish(config.server.trace_duration),
+                     .shards = std::move(shard_outcomes),
+                     .total_players = std::move(*total_players),
+                     .total_packets = total_packets,
+                     .threads_used = workers,
+                     .metrics = std::move(merged_metrics),
+                     .trace_log = std::move(merged_trace),
+                     .recorder = std::move(merged_recorder)};
   // Bounded-buffer trace loss would otherwise be invisible in the merged
   // registry: the per-shard drop counts only live inside the TraceLog.
   result.metrics.counter("obs.trace.dropped_events").Add(result.trace_log.dropped());
+
+  // Scheduler telemetry is worker-count-dependent by construction, so it
+  // goes in its own registry - result.metrics, the flight stream and the
+  // ambient context keep the bit-identical-across-workers contract.
+  obs::MetricsRegistry& sched = result.scheduler_metrics;
+  sched.gauge("fleet.scheduler.workers").Set(static_cast<double>(workers));
+  sched.gauge("fleet.scheduler.units").Set(static_cast<double>(units));
+  sched.gauge("fleet.scheduler.unit_size").Set(static_cast<double>(unit_size));
+  sched.gauge("fleet.scheduler.window_units").Set(static_cast<double>(window_units));
+  sched.gauge("fleet.scheduler.peak_live_units", obs::Gauge::MergeMode::kMax)
+      .Set(static_cast<double>(peak_live_units));
+  sched.counter("fleet.scheduler.merged_units").Add(merged_units);
+  for (int w = 0; w < workers; ++w) {
+    const std::string prefix = "fleet.worker." + std::to_string(w);
+    const WorkerTelemetry& tele = telemetry[static_cast<std::size_t>(w)];
+    sched.counter(prefix + ".steals").Add(tele.steals);
+    sched.counter(prefix + ".idle_ns").Add(tele.idle_ns);
+    sched.counter(prefix + ".shards_run").Add(tele.shards_run);
+    sched.counter(prefix + ".units_run").Add(tele.units_run);
+  }
+
   // Flow into the caller's ambient context too, so a bound --metrics-out /
   // --trace-out export sees the fleet without extra plumbing.
   if (ambient.metrics != nullptr) ambient.metrics->Merge(result.metrics);

@@ -4,15 +4,27 @@
 // *aggregate* traffic of the whole collection of Counter-Strike servers
 // smooths out and inherits its scaling from the user population. To study
 // fleet-scale populations without being wall-clock-bound to one thread,
-// this engine runs N independent server shards concurrently on a worker
-// pool and reduces their analyses with the exact Merge operations of the
+// this engine runs N independent 22-slot server shards concurrently and
+// reduces their analyses with the exact Merge operations of the
 // stats/trace/core layers.
+//
+// Scheduling (DESIGN.md "Fleet scheduling"): servers are grouped into
+// contiguous *work units* (shards-of-shards) distributed round-robin over
+// per-worker queues; a worker that drains its own queue steals from the
+// back of the fullest peer, so uneven shards never idle workers. Shard
+// results are *streamed* into the master accumulators as units complete -
+// an admission window bounds the in-flight set to
+// workers * max_live_units_per_worker units, so peak memory is O(live
+// shards per worker), never O(total shards).
 //
 // Determinism invariant: the merged CharacterizationReport is a pure
 // function of (config, base_seed) - bit-identical for any worker-thread
-// count - because each shard is a deterministic single-threaded simulation
-// seeded from its own SplitMix64 substream (sim::SubstreamSeed) and the
-// reduction always runs in shard order on the calling thread.
+// count, unit size, window, steal policy or completion order - because
+// each shard is a deterministic single-threaded simulation seeded from its
+// own SplitMix64 substream (sim::SubstreamSeed), and the streaming
+// reduction folds per-server results in strictly increasing server order
+// regardless of which worker finished first (completed units park in a
+// bounded ring until the merge cursor reaches them).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +33,7 @@
 
 #include "core/characterizer.h"
 #include "core/experiment.h"
+#include "core/function_ref.h"
 #include "game/config.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -28,20 +41,51 @@
 
 namespace gametrace::core {
 
+// Scheduler knobs. Every field changes wall-clock and memory only, never
+// the merged result (the unit partition is a pure function of the server
+// count and unit_size, and the merge order is always server order).
+struct FleetSchedule {
+  // Servers per work unit; 0 = auto (shards/256, clamped to >= 1), chosen
+  // so a large fleet presents a few hundred steal-able units. Must not
+  // depend on the worker count, or the unit partition would too.
+  int unit_size = 0;
+  // Admission window: at most workers * this many units may be in flight
+  // (running or parked awaiting their merge turn) at once. This is the
+  // memory bound - each in-flight unit holds its servers' analysis
+  // partials until the streaming reduction absorbs them.
+  int max_live_units_per_worker = 2;
+  // Scan other workers' queues when ours drains (from the back, so the
+  // victim's front - the next unit the merge cursor wants - stays put).
+  bool steal = true;
+  // Pin worker w to CPU w % hardware_concurrency (Linux only; elsewhere a
+  // no-op). Off by default: helps dedicated boxes, hurts shared CI.
+  bool pin_threads = false;
+};
+
 struct FleetConfig {
   // Number of independent server shards. Each shard's clients live in
-  // their own IP namespace (trace::ShardNamespaceSink), so at most 245
-  // shards fit above the 10/8 identity pool.
+  // their own IP namespace (game::ShardIpShift packs servers into the
+  // host bits the identity pool leaves unused), so thousands of shards -
+  // up to game::MaxDisjointServers(population), 251,904 at the default
+  // 9000-identity pool - stay exactly mergeable.
   int shards = 4;
-  // Worker threads; 0 = one per hardware core, always capped at `shards`.
-  // Changes wall-clock only, never the result.
+  // Worker threads; 0 = one per hardware core, always capped at the work
+  // unit count. Changes wall-clock only, never the result.
   int threads = 0;
   // Shard s simulates with seed sim::SubstreamSeed(base_seed, s).
   std::uint64_t base_seed = 42;
   // Template server configuration; `seed` is overridden per shard and
   // `trace_duration` is the simulated window of every shard.
   game::GameConfig server;
+  // Optional per-shard specialisation, applied after the substream seed
+  // is assigned: heterogeneous fleets (mixed slot caps, rates, genres)
+  // and deliberately uneven test workloads. Must be a pure function of
+  // the shard index and thread-safe (it runs on worker threads in any
+  // order), and must leave trace_duration and the analysis geometry
+  // alone so shard results stay mergeable on one grid.
+  std::function<void(int shard, game::GameConfig&)> configure_shard;
   CharacterizationOptions analysis;
+  FleetSchedule schedule;
   // Per-shard trace-log capacity. The default matches a standalone run;
   // tests shrink it to exercise bounded-buffer drop accounting.
   std::size_t trace_max_events = obs::TraceLog::kDefaultMaxEvents;
@@ -77,10 +121,17 @@ struct FleetResult {
   // sampling grid every shard follows). Byte-identical JSONL at any worker
   // count, like `metrics`.
   obs::FlightRecorder recorder;
+  // Scheduler telemetry: fleet.worker.<i>.{steals,idle_ns,shards_run,
+  // units_run} counters plus fleet.scheduler.{units,unit_size,window,
+  // workers,merged_units,peak_live_units}. Worker-count-DEPENDENT by
+  // nature, so it lives here - never in `metrics`, the flight stream or
+  // the ambient context, which stay bit-identical across worker counts.
+  obs::MetricsRegistry scheduler_metrics;
 };
 
-// Runs every shard's RunServerTrace on the worker pool and reduces the
-// per-shard partial characterizers in shard order.
+// Runs every shard's RunServerTrace on the work-stealing worker pool and
+// streams the per-shard partials into the master accumulators in shard
+// order as units complete.
 [[nodiscard]] FleetResult RunFleet(const FleetConfig& config);
 
 // Resolved worker count for `n` work items: `threads` if positive, else one
@@ -90,7 +141,9 @@ struct FleetResult {
 // Runs fn(0), ..., fn(n-1) across `threads` workers (resolved as above) and
 // blocks until all complete. Items are claimed dynamically; fn must only
 // write state owned by its own index. The first exception thrown by any
-// fn is rethrown on the calling thread after the pool drains.
-void ParallelFor(int n, int threads, const std::function<void(int)>& fn);
+// fn is rethrown on the calling thread after the pool drains. Takes a
+// FunctionRef, so the dispatch path never allocates: the callable is
+// borrowed for the duration of the call, which joins before returning.
+void ParallelFor(int n, int threads, FunctionRef<void(int)> fn);
 
 }  // namespace gametrace::core

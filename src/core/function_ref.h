@@ -1,0 +1,48 @@
+// FunctionRef: a non-owning, trivially copyable reference to a callable.
+//
+// std::function on the ParallelFor dispatch path costs a type-erasure
+// allocation (or SBO copy) per call site, and the indirection defeats
+// inlining of the claim loop. A FunctionRef is two words - the callable's
+// address and a thunk - so handing a lambda to the worker pool is free.
+// The referenced callable must outlive every invocation; ParallelFor and
+// the fleet scheduler satisfy this trivially because they join their
+// workers before returning.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace gametrace::core {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  // Implicit by design, mirroring std::function_ref (P0792): call sites
+  // pass lambdas directly.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return std::invoke(*static_cast<std::remove_reference_t<F>*>(obj),
+                             std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace gametrace::core

@@ -4,6 +4,8 @@
 
 #include "sim/random.h"
 
+#include "core/check.h"
+
 namespace gametrace::game {
 
 ClientProfile DrawProfile(const ClientMixConfig& mix, sim::Rng& rng) {
@@ -23,6 +25,26 @@ ClientProfile DrawProfile(const ClientMixConfig& mix, sim::Rng& rng) {
   }
   profile.update_rate = std::max(5.0, sim::Normal(rng, mean, stddev));
   return profile;
+}
+
+int IdentityIndexBits(std::size_t population) noexcept {
+  int bits = 0;
+  while (bits < 24 && (std::size_t{1} << bits) < population) ++bits;
+  return bits;
+}
+
+std::size_t MaxDisjointServers(std::size_t population) noexcept {
+  return std::size_t{246} << (24 - IdentityIndexBits(population));
+}
+
+std::uint32_t ShardIpShift(std::uint32_t server_id, std::size_t population) {
+  GT_CHECK_LE(population, std::size_t{1} << 24)
+      << "ShardIpShift: identity pool exceeds the 24-bit host space";
+  GT_CHECK_LT(server_id, MaxDisjointServers(population))
+      << "ShardIpShift: server id does not fit the namespace at population " << population;
+  const std::uint32_t octet = server_id % 246u;
+  const std::uint32_t sub = server_id / 246u;
+  return (octet << 24) | sub;
 }
 
 net::Ipv4Address IdentityIp(std::size_t index) noexcept {

@@ -28,6 +28,40 @@ struct ClientProfile {
 // share prefixes - matters for the route-cache ablation).
 [[nodiscard]] net::Ipv4Address IdentityIp(std::size_t index) noexcept;
 
+// ---------------------------------------------------------------------------
+// Fleet IP-namespace packing.
+//
+// IdentityIp bit-reverses the pool index into the 24-bit host part of
+// 10/8, so a population of P identities only occupies the top
+// ceil(log2(P)) host bits - the low 24 - ceil(log2(P)) bits of every
+// identity address are zero. The fleet exploits the unused low bits to
+// pack far more than the 246 per-octet server namespaces: server s maps
+// its clients through an additive shift of
+//     ((s % 246) << 24) | (s / 246)
+// which lands shard s in top octet 10 + (s % 246) at low-bit offset
+// s / 246. Two servers collide only if they share both coordinates, so
+// with the default 9000-identity pool (14 index bits, 10 free low bits)
+// 246 * 1024 = 251,904 servers coexist with provably disjoint client
+// address spaces - the property that makes per-shard analyses exactly
+// mergeable.
+// ---------------------------------------------------------------------------
+
+// Bits of the 24-bit host space a pool of `population` identities
+// occupies: the smallest b with 2^b >= population (0 for population <= 1).
+[[nodiscard]] int IdentityIndexBits(std::size_t population) noexcept;
+
+// Largest fleet whose per-server client namespaces stay pairwise disjoint
+// at this population: 246 << (24 - IdentityIndexBits(population)).
+[[nodiscard]] std::size_t MaxDisjointServers(std::size_t population) noexcept;
+
+// The additive IP shift for server `server_id` of a fleet whose servers
+// each draw from `population` identities. GT_CHECKs that the id fits the
+// namespace (server_id < MaxDisjointServers(population)) and that the
+// population fits the 24-bit host space. Feed the result to
+// trace::ShardNamespaceSink's explicit-shift constructor. Ids <= 245
+// produce exactly the classic per-octet shift (server_id << 24).
+[[nodiscard]] std::uint32_t ShardIpShift(std::uint32_t server_id, std::size_t population);
+
 // Random ephemeral source port for a new session.
 [[nodiscard]] std::uint16_t DrawEphemeralPort(sim::Rng& rng) noexcept;
 

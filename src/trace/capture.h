@@ -301,17 +301,29 @@ class VectorSink final : public CaptureSink {
 // top octet by the shard id moves shard k's clients into (10+k)/8. Flows
 // from distinct shards then can never collide in any downstream keyed
 // structure (session tracker, flow tables), which is what makes per-shard
-// analyses exactly mergeable. Supports up to 245 shards (10 + 245 = 255
-// exhausts the top octet); larger ids are rejected at construction.
+// analyses exactly mergeable. The shard-id constructor supports up to 245
+// shards (10 + 245 = 255 exhausts the top octet); fleets beyond that pass
+// an ExplicitShift computed by game::ShardIpShift, which packs additional
+// servers into the host bits the identity pool leaves unused (thousands
+// of disjoint namespaces at the default population).
 class ShardNamespaceSink final : public CaptureSink {
  public:
   static constexpr std::uint32_t kMaxShardId = 245;
+
+  // A pre-computed additive IP shift. The caller vouches for namespace
+  // disjointness (game::ShardIpShift GT_CHECKs it from the population).
+  struct ExplicitShift {
+    std::uint32_t value = 0;
+  };
 
   ShardNamespaceSink(std::uint32_t shard_id, CaptureSink& downstream)
       : shift_(shard_id << 24), downstream_(&downstream) {
     GT_CHECK_LE(shard_id, kMaxShardId)
         << "ShardNamespaceSink: shard_id exceeds the 245-shard IP namespace";
   }
+
+  ShardNamespaceSink(ExplicitShift shift, CaptureSink& downstream)
+      : shift_(shift.value), downstream_(&downstream) {}
 
   void OnPacket(const net::PacketRecord& record) override {
     net::PacketRecord shifted = record;

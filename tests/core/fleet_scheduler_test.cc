@@ -1,0 +1,185 @@
+// Work-stealing scheduler tests: the streaming ordered reduction must keep
+// the fleet result a pure function of (config, base_seed) whatever the
+// worker count, unit size, admission window or steal policy - even when
+// the per-shard workloads are deliberately uneven - while the live-unit
+// window bounds memory and the telemetry accounts for every shard.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/fleet.h"
+#include "game/client.h"
+#include "obs/metrics.h"
+
+#include "core/check.h"
+
+namespace gametrace::core {
+namespace {
+
+// A fleet whose shards differ strongly in cost: shard s hosts between 4
+// and 21 slots and sees its own arrival pressure, so unit runtimes are
+// skewed and completion order under threads is far from submission order.
+FleetConfig UnevenFleet(int shards) {
+  FleetConfig config = FleetConfig::Scaled(shards, 120.0);
+  config.base_seed = 99;
+  config.configure_shard = [](int shard, game::GameConfig& server) {
+    server.max_players = 4 + (shard * 7) % 18;
+    server.sessions.fresh_attempt_rate *= 0.5 + 0.25 * (shard % 5);
+    server.sessions.initial_players = server.max_players - 2;
+  };
+  return config;
+}
+
+TEST(FleetScheduler, ReportBitIdenticalAcrossWorkerCounts) {
+  FleetConfig config = UnevenFleet(7);
+
+  config.threads = 1;
+  const auto one = RunFleet(config);
+  config.threads = 3;
+  const auto three = RunFleet(config);
+  config.threads = 7;
+  const auto seven = RunFleet(config);
+
+  const std::string baseline = one.metrics.ToJson();
+  EXPECT_FALSE(baseline.empty());
+  EXPECT_EQ(baseline, three.metrics.ToJson());
+  EXPECT_EQ(baseline, seven.metrics.ToJson());
+  EXPECT_EQ(one.total_packets, three.total_packets);
+  EXPECT_EQ(one.total_packets, seven.total_packets);
+  EXPECT_EQ(one.total_players.values(), three.total_players.values());
+  EXPECT_EQ(one.total_players.values(), seven.total_players.values());
+  EXPECT_EQ(one.report.summary.app_bytes_total(), three.report.summary.app_bytes_total());
+  EXPECT_EQ(one.report.summary.size_stats_out().variance(),
+            seven.report.summary.size_stats_out().variance());
+  EXPECT_EQ(one.report.minute_packets_in.values(), seven.report.minute_packets_in.values());
+  EXPECT_EQ(one.report.hurst.mid_scale, seven.report.hurst.mid_scale);
+}
+
+// Scheduling knobs move work between workers and change the completion
+// order, but the fold order is always the server order: the result bits
+// cannot depend on unit size, window, stealing or pinning.
+TEST(FleetScheduler, ReportBitIdenticalAcrossScheduleShapes) {
+  FleetConfig config = UnevenFleet(6);
+  config.threads = 3;
+  const auto baseline = RunFleet(config);
+  const std::string metrics_json = baseline.metrics.ToJson();
+
+  config.schedule.unit_size = 4;
+  const auto coarse = RunFleet(config);
+  EXPECT_EQ(metrics_json, coarse.metrics.ToJson());
+  EXPECT_EQ(baseline.report.summary.size_stats_out().variance(),
+            coarse.report.summary.size_stats_out().variance());
+  EXPECT_EQ(baseline.report.minute_bytes_out.values(), coarse.report.minute_bytes_out.values());
+
+  config.schedule.unit_size = 1;
+  config.schedule.max_live_units_per_worker = 1;
+  const auto tight = RunFleet(config);
+  EXPECT_EQ(metrics_json, tight.metrics.ToJson());
+  EXPECT_EQ(baseline.report.hurst.small_scale, tight.report.hurst.small_scale);
+
+  config.schedule.steal = false;
+  config.schedule.pin_threads = true;
+  const auto static_pinned = RunFleet(config);
+  EXPECT_EQ(metrics_json, static_pinned.metrics.ToJson());
+  EXPECT_EQ(baseline.report.summary.app_bytes_total(),
+            static_pinned.report.summary.app_bytes_total());
+}
+
+TEST(FleetScheduler, AdmissionWindowBoundsLiveUnits) {
+  FleetConfig config = FleetConfig::Scaled(24, 30.0);
+  config.threads = 3;
+  config.schedule.unit_size = 1;
+  config.schedule.max_live_units_per_worker = 1;
+  const auto result = RunFleet(config);
+
+  // 3 workers x 1 live unit each: never more than 3 units' results alive.
+  EXPECT_EQ(result.scheduler_metrics.gauge_value("fleet.scheduler.window_units"), 3.0);
+  EXPECT_LE(result.scheduler_metrics.gauge_value("fleet.scheduler.peak_live_units"), 3.0);
+  EXPECT_GE(result.scheduler_metrics.gauge_value("fleet.scheduler.peak_live_units"), 1.0);
+}
+
+TEST(FleetScheduler, TelemetryAccountsForEveryShardAndUnit) {
+  FleetConfig config = UnevenFleet(9);
+  config.threads = 3;
+  config.schedule.unit_size = 2;  // 5 units: 4 full + 1 remainder
+  const auto result = RunFleet(config);
+
+  const obs::MetricsRegistry& sched = result.scheduler_metrics;
+  EXPECT_EQ(sched.gauge_value("fleet.scheduler.workers"), 3.0);
+  EXPECT_EQ(sched.gauge_value("fleet.scheduler.units"), 5.0);
+  EXPECT_EQ(sched.gauge_value("fleet.scheduler.unit_size"), 2.0);
+  EXPECT_EQ(sched.counter_value("fleet.scheduler.merged_units"), 5u);
+
+  std::uint64_t shards_run = 0;
+  std::uint64_t units_run = 0;
+  for (int w = 0; w < 3; ++w) {
+    const std::string prefix = "fleet.worker." + std::to_string(w);
+    shards_run += sched.counter_value(prefix + ".shards_run");
+    units_run += sched.counter_value(prefix + ".units_run");
+    // idle_ns / steals exist for every worker (possibly zero).
+    (void)sched.counter_value(prefix + ".idle_ns");
+    (void)sched.counter_value(prefix + ".steals");
+  }
+  EXPECT_EQ(shards_run, 9u);
+  EXPECT_EQ(units_run, 5u);
+}
+
+// Scheduler telemetry is worker-count-dependent by design, so it must stay
+// out of the merged result registry - which keeps the bit-identity
+// contract - and live only in scheduler_metrics.
+TEST(FleetScheduler, SchedulerTelemetryStaysOutOfMergedMetrics) {
+  FleetConfig config = UnevenFleet(4);
+  config.threads = 2;
+  const auto result = RunFleet(config);
+  EXPECT_EQ(result.metrics.ToJson().find("fleet."), std::string::npos);
+  EXPECT_NE(result.scheduler_metrics.ToJson().find("fleet.scheduler.units"), std::string::npos);
+}
+
+// 250 shards exceeds the old one-octet-per-shard limit of 245: the packed
+// namespace keeps every shard's clients disjoint, so the merged unique
+// client count is exactly the sum over shards.
+TEST(FleetScheduler, WideNamespaceKeepsManyShardsDisjoint) {
+  FleetConfig config = FleetConfig::Scaled(250, 15.0);
+  config.threads = 0;
+  config.base_seed = 7;
+  const auto result = RunFleet(config);
+
+  std::uint64_t per_shard_unique = 0;
+  for (const auto& shard : result.shards) per_shard_unique += shard.stats.unique_attempting;
+  EXPECT_EQ(result.report.summary.unique_clients_attempting(), per_shard_unique);
+  EXPECT_EQ(result.report.summary.total_packets(), result.total_packets);
+}
+
+TEST(FleetScheduler, ConfigureShardCannotGrowTheIdentityPool) {
+  FleetConfig config = FleetConfig::Scaled(2, 10.0);
+  config.threads = 1;
+  config.configure_shard = [](int, game::GameConfig& server) {
+    server.sessions.population *= 2;  // would collide with the next shard
+  };
+  EXPECT_THROW((void)RunFleet(config), gametrace::ContractViolation);
+}
+
+TEST(IdentityNamespace, PackingMathMatchesTheDocumentedScheme) {
+  EXPECT_EQ(game::IdentityIndexBits(1), 0);
+  EXPECT_EQ(game::IdentityIndexBits(2), 1);
+  EXPECT_EQ(game::IdentityIndexBits(9000), 14);
+  EXPECT_EQ(game::IdentityIndexBits(std::size_t{1} << 24), 24);
+
+  EXPECT_EQ(game::MaxDisjointServers(9000), std::size_t{246} << 10);  // 251,904
+  EXPECT_EQ(game::MaxDisjointServers(std::size_t{1} << 24), 246u);
+
+  // Ids up to 245 reproduce the classic per-octet shift exactly.
+  EXPECT_EQ(game::ShardIpShift(0, 9000), 0u);
+  EXPECT_EQ(game::ShardIpShift(1, 9000), 1u << 24);
+  EXPECT_EQ(game::ShardIpShift(245, 9000), 245u << 24);
+  // Id 246 wraps to octet 0 at sub-namespace offset 1.
+  EXPECT_EQ(game::ShardIpShift(246, 9000), 1u);
+  EXPECT_EQ(game::ShardIpShift(247, 9000), (1u << 24) | 1u);
+
+  // Out-of-range ids are a contract violation, not a silent collision.
+  EXPECT_THROW((void)game::ShardIpShift(251904, 9000), gametrace::ContractViolation);
+}
+
+}  // namespace
+}  // namespace gametrace::core

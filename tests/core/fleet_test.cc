@@ -204,7 +204,10 @@ TEST(Fleet, MergeReportsEqualsAccumulatorMerge) {
 TEST(Fleet, Validation) {
   FleetConfig bad = SmallFleet(0, 1);
   EXPECT_THROW((void)RunFleet(bad), gametrace::ContractViolation);
-  bad.shards = 300;
+  // The packed namespace admits game::MaxDisjointServers(population)
+  // servers - 251,904 at the default 9000-identity pool - and rejects the
+  // first id beyond it.
+  bad.shards = 300000;
   EXPECT_THROW((void)RunFleet(bad), gametrace::ContractViolation);
   EXPECT_THROW((void)MergeReports({}), gametrace::ContractViolation);
 }

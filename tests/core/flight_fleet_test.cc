@@ -22,9 +22,16 @@ namespace {
 using gametrace::testing::JsonReader;
 
 FleetConfig SmallFleet(int threads) {
-  FleetConfig config = FleetConfig::Scaled(3, 180.0);
+  FleetConfig config = FleetConfig::Scaled(7, 180.0);
   config.threads = threads;
   config.base_seed = 4242;
+  // Deliberately uneven shards: completion order under threads is far from
+  // submission order, which is exactly what the streamed ordered reduction
+  // must hide.
+  config.configure_shard = [](int shard, game::GameConfig& server) {
+    server.max_players = 6 + (shard * 5) % 16;
+    server.sessions.initial_players = server.max_players - 2;
+  };
   return config;
 }
 
@@ -58,18 +65,19 @@ ObservedFleet RunObserved(int threads) {
 }
 
 // The acceptance-criteria test: the exported snapshot stream is a pure
-// function of (config, base_seed), bit-for-bit, at 1, 2 and 8 workers.
+// function of (config, base_seed), bit-for-bit, at 1, 3 and 7 workers -
+// with uneven shards, so units genuinely complete out of order.
 TEST(FlightFleet, SnapshotStreamIsByteIdenticalAcrossWorkerCounts) {
   const ObservedFleet one = RunObserved(1);
-  const ObservedFleet two = RunObserved(2);
-  const ObservedFleet eight = RunObserved(8);
+  const ObservedFleet three = RunObserved(3);
+  const ObservedFleet seven = RunObserved(7);
 
   ASSERT_FALSE(one.flight_jsonl.empty());
-  EXPECT_EQ(one.flight_jsonl, two.flight_jsonl);
-  EXPECT_EQ(one.flight_jsonl, eight.flight_jsonl);
+  EXPECT_EQ(one.flight_jsonl, three.flight_jsonl);
+  EXPECT_EQ(one.flight_jsonl, seven.flight_jsonl);
   // The ambient recorder adopted the merged stream wholesale.
   EXPECT_EQ(one.flight_jsonl, one.merged_jsonl);
-  EXPECT_EQ(two.flight_jsonl, two.merged_jsonl);
+  EXPECT_EQ(three.flight_jsonl, three.merged_jsonl);
 
   // A 180 s fleet on a 60 s grid holds exactly three snapshots, and every
   // line parses with the merged (fleet-total) counters inside.
@@ -91,11 +99,11 @@ TEST(FlightFleet, SnapshotStreamIsByteIdenticalAcrossWorkerCounts) {
 
 TEST(FlightFleet, AlertSequenceIsIdenticalAcrossWorkerCounts) {
   const ObservedFleet one = RunObserved(1);
-  const ObservedFleet two = RunObserved(2);
-  const ObservedFleet eight = RunObserved(8);
+  const ObservedFleet three = RunObserved(3);
+  const ObservedFleet seven = RunObserved(7);
 
-  EXPECT_EQ(one.alerts_jsonl, two.alerts_jsonl);
-  EXPECT_EQ(one.alerts_jsonl, eight.alerts_jsonl);
+  EXPECT_EQ(one.alerts_jsonl, three.alerts_jsonl);
+  EXPECT_EQ(one.alerts_jsonl, seven.alerts_jsonl);
 
   // Whatever the sequence is, every line must be a well-formed alert.
   std::istringstream lines(one.alerts_jsonl);

@@ -206,6 +206,25 @@ TEST(ShardNamespaceSink, RewritesClientAddressPerShard) {
   EXPECT_EQ(base.records()[0].client_ip.value(), 0x0A001234u);  // shard 0 untouched
 }
 
+TEST(ShardNamespaceSink, ExplicitShiftAppliesArbitraryPackedOffsets) {
+  // The fleet's packed namespace hands the sink a precomputed shift: top
+  // octet plus a sub-namespace offset in the host bits the identity pool
+  // leaves unused (game::ShardIpShift). The sink just adds it.
+  VectorSink captured;
+  ShardNamespaceSink packed(ShardNamespaceSink::ExplicitShift{(3u << 24) | 7u}, captured);
+  packed.OnPacket(MakeRecord(1.0, net::Direction::kClientToServer, 40,
+                             net::PacketKind::kGameUpdate, 0x0A001200, 4242));
+  ASSERT_EQ(captured.records().size(), 1u);
+  EXPECT_EQ(captured.records()[0].client_ip.value(), 0x0D001207u);
+  EXPECT_EQ(packed.shard_shift(), (3u << 24) | 7u);
+
+  // An explicit shift equal to the classic per-octet one behaves exactly
+  // like the shard-id constructor.
+  VectorSink classic;
+  ShardNamespaceSink by_id(3, classic);
+  EXPECT_EQ(by_id.shard_shift(), 3u << 24);
+}
+
 TEST(ShardNamespaceSink, DistinctShardsNeverCollide) {
   // Identical per-shard streams stay disjoint after namespacing, so a merged
   // tracker sees shards * clients sessions.
