@@ -37,6 +37,7 @@ namespace gametrace::bench {
 // them (CI perf-smoke does); anything else, or unset, keeps them.
 inline bool Verbose() {
   static const bool verbose = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): bench main thread, pre-measurement
     const char* env = std::getenv("GAMETRACE_VERBOSE");
     return env == nullptr || std::string_view(env) != "0";
   }();

@@ -633,6 +633,7 @@ void BM_NatExperiment(benchmark::State& state) {
 BENCHMARK(BM_NatExperiment)->Unit(benchmark::kMillisecond);
 
 int EnvInt(const char* name, int fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): bench main thread, pre-measurement
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
   return std::atoi(value);

@@ -99,6 +99,11 @@ using ContractHandler = void (*)(const ContractFailure&);
 
 namespace internal {
 
+// seq_cst (the defaults below) on purpose: the slot holds a lone function
+// pointer with no associated payload to publish, so no weaker ordering
+// buys anything, and installs are rare (test setup, ScopedFlightDump)
+// while failure-path loads are never hot. Handlers that need shared state
+// must synchronize it themselves (obs::ScopedFlightDump uses a mutex).
 inline std::atomic<ContractHandler>& ContractHandlerSlot() {
   static std::atomic<ContractHandler> slot{&AbortContractHandler};
   return slot;

@@ -24,6 +24,7 @@ namespace {
 // every 10 wall seconds and short runs stay silent. The ambient obs
 // context can veto it (fleet shards > 0 do).
 double ResolveHeartbeatInterval(double trace_duration) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at run setup, before workers exist
   if (const char* env = std::getenv("GAMETRACE_HEARTBEAT"); env != nullptr) {
     const double parsed = std::strtod(env, nullptr);
     return parsed > 0.0 ? parsed : 0.0;
@@ -95,11 +96,13 @@ void InstallFlightSampling(sim::Simulator& simulator, const obs::ObsContext& ctx
 ExperimentScale ExperimentScale::FromEnv(double default_duration) {
   ExperimentScale scale;
   scale.duration = default_duration;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at run setup, before workers exist
   if (const char* env = std::getenv("GAMETRACE_DURATION"); env != nullptr) {
     const double parsed = std::strtod(env, nullptr);
     if (parsed > 0.0) scale.duration = parsed;
     return scale;
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at run setup, before workers exist
   if (const char* env = std::getenv("GAMETRACE_FULL"); env != nullptr) {
     const std::string value(env);
     if (!value.empty() && value != "0") {

@@ -3,10 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -17,6 +15,7 @@
 #include <sched.h>
 #endif
 
+#include "core/thread_annotations.h"
 #include "game/client.h"
 #include "obs/obs.h"
 #include "obs/prof.h"
@@ -61,6 +60,191 @@ struct WorkerTelemetry {
   std::uint64_t units_run = 0;
 };
 
+// One work-stealing deque. Units are dealt round-robin, so every queue
+// holds an ascending sequence and queue k's front is the lowest unclaimed
+// unit of worker k. Own pops take the front, steals take the back of the
+// fullest victim: together with FIFO pops this keeps the globally lowest
+// unclaimed unit at some queue front, which is what makes the admission
+// window deadlock-free (the worker owning that front is never blocked on a
+// higher unit than the one it will claim next).
+struct WorkerQueue {
+  core::Mutex m;
+  std::deque<int> q GT_GUARDED_BY(m);
+};
+
+// The streaming ordered reduction. Completed-but-unmerged units park in a
+// bounded ring; in-flight units always lie in [cursor, cursor + window),
+// so indexing by unit % window is collision-free and the ring is the whole
+// memory bound. Every piece of cross-worker state is a member here, with
+// its locking contract in the type: the master accumulators and the
+// cursor/ring under m_, the first-error slot under error_m_, and the
+// failure flag an atomic whose publication protocol is documented at its
+// store site.
+class StreamingReduction {
+ public:
+  StreamingReduction(int servers, int window_units)
+      : window_units_(window_units),
+        parked_(static_cast<std::size_t>(window_units)),
+        shard_outcomes_(static_cast<std::size_t>(servers)) {}
+
+  // Fast-path check for worker loops. memory_order_acquire pairs with the
+  // release store in Poison(): a worker that observes the flag also
+  // observes every write the failing worker published before raising it
+  // (the error itself is additionally ordered by error_m_, so acquire here
+  // is belt-and-braces for the flag's own consumers, not a correctness
+  // requirement).
+  [[nodiscard]] bool Failed() const noexcept {
+    return failed_.load(std::memory_order_acquire);
+  }
+
+  // Admission: holds the *claimed* unit until it fits the live window.
+  // Waiting here (not before claiming) is what bounds memory - the unit's
+  // results do not exist yet. Returns false if the run failed while
+  // waiting; accumulates any blocked time into `idle_ns`.
+  [[nodiscard]] bool Admit(int unit, std::uint64_t& idle_ns) GT_EXCLUDES(m_) {
+    const core::MutexLock lock(m_);
+    if (unit >= cursor_ + window_units_ && !failed_.load(std::memory_order_relaxed)) {
+      const auto wait_start = std::chrono::steady_clock::now();
+      // Guarded predicate spelled as an explicit loop: a wait lambda would
+      // read cursor_ outside any annotated scope (see CondVar::Wait note).
+      while (!failed_.load(std::memory_order_relaxed) && unit >= cursor_ + window_units_) {
+        admission_cv_.Wait(m_);
+      }
+      idle_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wait_start)
+              .count());
+    }
+    if (failed_.load(std::memory_order_relaxed)) return false;
+    ++live_units_;
+    peak_live_units_ = std::max(peak_live_units_, live_units_);
+    return true;
+  }
+
+  // Parks the completed unit, then drains every consecutive ready unit
+  // starting at the cursor. Whichever worker completes the missing unit
+  // performs the whole run of merges; the fold order is the unit order
+  // (hence the server order), never the completion order.
+  void Commit(int unit, UnitResult&& result) GT_EXCLUDES(m_) {
+    const core::MutexLock lock(m_);
+    parked_[static_cast<std::size_t>(unit % window_units_)] = std::move(result);
+    while (parked_[static_cast<std::size_t>(cursor_ % window_units_)].has_value()) {
+      UnitResult ready =
+          std::move(*parked_[static_cast<std::size_t>(cursor_ % window_units_)]);
+      parked_[static_cast<std::size_t>(cursor_ % window_units_)].reset();
+      Absorb(std::move(ready));
+      ++cursor_;
+      --live_units_;
+      ++merged_units_;
+    }
+    admission_cv_.NotifyAll();
+  }
+
+  // Records the first error and poisons the admission window.
+  void Poison(std::exception_ptr error) GT_EXCLUDES(m_, error_m_) {
+    {
+      const core::MutexLock lock(error_m_);
+      if (!error_) error_ = std::move(error);
+    }
+    {
+      // The release store must happen under m_: a peer that just evaluated
+      // the admission predicate (saw failed_ == false) but has not yet
+      // blocked would otherwise miss this notify and sleep forever once
+      // this worker - the last possible notifier - exits.
+      const core::MutexLock lock(m_);
+      failed_.store(true, std::memory_order_release);
+    }
+    admission_cv_.NotifyAll();
+  }
+
+  // Post-join: rethrows the first recorded error on the calling thread.
+  void RethrowIfFailed() GT_EXCLUDES(error_m_) {
+    std::exception_ptr error;
+    {
+      const core::MutexLock lock(error_m_);
+      error = std::move(error_);
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  // Post-join: moves the master accumulators out. Locking is uncontended
+  // here (workers are joined) but keeps the contract uniform - no member
+  // is ever touched without its capability.
+  struct Harvest {
+    std::optional<Characterizer> master;
+    std::optional<stats::TimeSeries> total_players;
+    std::vector<ShardOutcome> shard_outcomes;
+    std::uint64_t total_packets = 0;
+    obs::MetricsRegistry metrics;
+    obs::TraceLog trace;
+    obs::FlightRecorder recorder;
+    std::uint64_t merged_units = 0;
+    int peak_live_units = 0;
+  };
+  [[nodiscard]] Harvest TakeResults() GT_EXCLUDES(m_) {
+    const core::MutexLock lock(m_);
+    Harvest h;
+    h.master = std::move(master_);
+    h.total_players = std::move(total_players_);
+    h.shard_outcomes = std::move(shard_outcomes_);
+    h.total_packets = total_packets_;
+    h.metrics = std::move(merged_metrics_);
+    h.trace = std::move(merged_trace_);
+    h.recorder = std::move(merged_recorder_);
+    h.merged_units = merged_units_;
+    h.peak_live_units = peak_live_units_;
+    return h;
+  }
+
+ private:
+  // Master fold, strictly in server order.
+  void Absorb(UnitResult&& unit) GT_REQUIRES(m_) {
+    GT_PROF_SCOPE("core.fleet.merge");
+    int server = unit.first_server;
+    for (ServerResult& r : unit.servers) {
+      if (!master_.has_value()) {
+        master_.emplace(std::move(*r.partial));
+        total_players_.emplace(std::move(r.players));
+      } else {
+        master_->Merge(std::move(*r.partial));
+        total_players_->Merge(r.players);
+      }
+      shard_outcomes_[static_cast<std::size_t>(server)] =
+          ShardOutcome{server, r.seed, r.stats};
+      total_packets_ += r.stats.packets_emitted;
+      merged_metrics_.Merge(r.metrics);
+      merged_trace_.Merge(std::move(*r.trace));
+      if (r.recorder.has_value()) merged_recorder_.Merge(*r.recorder);
+      ++server;
+    }
+  }
+
+  const int window_units_;
+
+  core::Mutex m_;
+  core::CondVar admission_cv_;
+  int cursor_ GT_GUARDED_BY(m_) = 0;  // next unit index the master fold will absorb
+  int live_units_ GT_GUARDED_BY(m_) = 0;
+  int peak_live_units_ GT_GUARDED_BY(m_) = 0;
+  std::uint64_t merged_units_ GT_GUARDED_BY(m_) = 0;
+  std::vector<std::optional<UnitResult>> parked_ GT_GUARDED_BY(m_);
+
+  std::optional<Characterizer> master_ GT_GUARDED_BY(m_);
+  std::optional<stats::TimeSeries> total_players_ GT_GUARDED_BY(m_);
+  std::vector<ShardOutcome> shard_outcomes_ GT_GUARDED_BY(m_);
+  std::uint64_t total_packets_ GT_GUARDED_BY(m_) = 0;
+  obs::MetricsRegistry merged_metrics_ GT_GUARDED_BY(m_);
+  obs::TraceLog merged_trace_ GT_GUARDED_BY(m_);
+  obs::FlightRecorder merged_recorder_ GT_GUARDED_BY(m_);
+
+  // Written once (false -> true) under m_ with release; read with acquire
+  // outside m_ on worker fast paths and relaxed under m_ in the admission
+  // predicate, where the mutex already orders it.
+  std::atomic<bool> failed_{false};
+  core::Mutex error_m_;
+  std::exception_ptr error_ GT_GUARDED_BY(error_m_);
+};
+
 void PinThreadToCore(int index) {
 #if defined(__linux__)
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
@@ -95,10 +279,16 @@ void ParallelFor(int n, int threads, FunctionRef<void(int)> fn) {
     return;
   }
 
+  // First-error slot, with its locking contract in the type.
+  struct ErrorSlot {
+    core::Mutex m;
+    std::exception_ptr error GT_GUARDED_BY(m);
+  } slot;
+  // relaxed everywhere: the flag only curtails the claim loop; the error
+  // object itself is published via slot.m, and thread join orders
+  // everything before the rethrow.
   std::atomic<int> next{0};
   std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mutex;
   auto worker = [&]() {
     while (!failed.load(std::memory_order_relaxed)) {
       const int i = next.fetch_add(1, std::memory_order_relaxed);
@@ -107,8 +297,8 @@ void ParallelFor(int n, int threads, FunctionRef<void(int)> fn) {
         fn(i);
       } catch (...) {
         {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!error) error = std::current_exception();
+          const core::MutexLock lock(slot.m);
+          if (!slot.error) slot.error = std::current_exception();
         }
         failed.store(true, std::memory_order_relaxed);
         return;
@@ -120,7 +310,10 @@ void ParallelFor(int n, int threads, FunctionRef<void(int)> fn) {
   pool.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  {
+    const core::MutexLock lock(slot.m);
+    if (slot.error) std::rethrow_exception(slot.error);
+  }
 }
 
 FleetResult RunFleet(const FleetConfig& config) {
@@ -145,45 +338,14 @@ FleetResult RunFleet(const FleetConfig& config) {
   const obs::ObsContext ambient = obs::Current();
 
   // ---- Scheduler state ---------------------------------------------------
-  // Units are dealt round-robin, so every queue holds an ascending
-  // sequence and queue k's front is the lowest unclaimed unit of worker k.
-  // Own pops take the front, steals take the back of the fullest victim:
-  // together with FIFO pops this keeps the globally lowest unclaimed unit
-  // at some queue front, which is what makes the admission window
-  // deadlock-free (the worker owning that front is never blocked on a
-  // higher unit than the one it will claim next).
-  struct WorkerQueue {
-    std::mutex m;
-    std::deque<int> q;
-  };
   std::vector<WorkerQueue> queues(static_cast<std::size_t>(workers));
   for (int u = 0; u < units; ++u) {
-    queues[static_cast<std::size_t>(u % workers)].q.push_back(u);
+    WorkerQueue& queue = queues[static_cast<std::size_t>(u % workers)];
+    const core::MutexLock lock(queue.m);  // uncontended: workers not started
+    queue.q.push_back(u);
   }
 
-  // ---- Streaming reduction state (all guarded by reduce_m) ---------------
-  std::mutex reduce_m;
-  std::condition_variable admission_cv;
-  int cursor = 0;  // next unit index the master fold will absorb
-  int live_units = 0;
-  int peak_live_units = 0;
-  std::uint64_t merged_units = 0;
-  // Completed-but-unmerged units park here; in-flight units always lie in
-  // [cursor, cursor + window_units), so indexing by unit % window_units is
-  // collision-free and the ring is the whole memory bound.
-  std::vector<std::optional<UnitResult>> parked(static_cast<std::size_t>(window_units));
-
-  std::optional<Characterizer> master;
-  std::optional<stats::TimeSeries> total_players;
-  std::vector<ShardOutcome> shard_outcomes(static_cast<std::size_t>(servers));
-  std::uint64_t total_packets = 0;
-  obs::MetricsRegistry merged_metrics;
-  obs::TraceLog merged_trace;
-  obs::FlightRecorder merged_recorder;
-
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_m;
+  StreamingReduction reduction(servers, window_units);
 
   std::vector<WorkerTelemetry> telemetry(static_cast<std::size_t>(workers));
 
@@ -232,40 +394,19 @@ FleetResult RunFleet(const FleetConfig& config) {
     return r;
   };
 
-  // ---- Master fold, strictly in server order (caller holds reduce_m) -----
-  auto absorb = [&](UnitResult&& unit) {
-    GT_PROF_SCOPE("core.fleet.merge");
-    int server = unit.first_server;
-    for (ServerResult& r : unit.servers) {
-      if (!master.has_value()) {
-        master.emplace(std::move(*r.partial));
-        total_players.emplace(std::move(r.players));
-      } else {
-        master->Merge(std::move(*r.partial));
-        total_players->Merge(r.players);
-      }
-      shard_outcomes[static_cast<std::size_t>(server)] = ShardOutcome{server, r.seed, r.stats};
-      total_packets += r.stats.packets_emitted;
-      merged_metrics.Merge(r.metrics);
-      merged_trace.Merge(std::move(*r.trace));
-      if (r.recorder.has_value()) merged_recorder.Merge(*r.recorder);
-      ++server;
-    }
-  };
-
   auto worker_main = [&](int w) {
     if (config.schedule.pin_threads) PinThreadToCore(w);
     WorkerTelemetry& tele = telemetry[static_cast<std::size_t>(w)];
     WorkerQueue& own = queues[static_cast<std::size_t>(w)];
     for (;;) {
-      if (failed.load(std::memory_order_acquire)) return;
+      if (reduction.Failed()) return;
 
       // Claim: own front first, then steal from the back of the fullest
       // peer. Queues only drain, so finding every queue empty means every
       // unit is claimed and this worker is done.
       int unit = -1;
       {
-        const std::lock_guard<std::mutex> lock(own.m);
+        const core::MutexLock lock(own.m);
         if (!own.q.empty()) {
           unit = own.q.front();
           own.q.pop_front();
@@ -278,43 +419,26 @@ FleetResult RunFleet(const FleetConfig& config) {
           std::size_t victim_backlog = 0;
           for (int v = 0; v < workers; ++v) {
             if (v == w) continue;
-            const std::lock_guard<std::mutex> lock(queues[static_cast<std::size_t>(v)].m);
-            if (queues[static_cast<std::size_t>(v)].q.size() > victim_backlog) {
-              victim_backlog = queues[static_cast<std::size_t>(v)].q.size();
+            WorkerQueue& peer = queues[static_cast<std::size_t>(v)];
+            const core::MutexLock lock(peer.m);
+            if (peer.q.size() > victim_backlog) {
+              victim_backlog = peer.q.size();
               victim = v;
             }
           }
           if (victim < 0) break;
-          const std::lock_guard<std::mutex> lock(queues[static_cast<std::size_t>(victim)].m);
-          auto& victim_q = queues[static_cast<std::size_t>(victim)].q;
-          if (victim_q.empty()) continue;  // raced with the victim; rescan
-          unit = victim_q.back();
-          victim_q.pop_back();
+          WorkerQueue& chosen = queues[static_cast<std::size_t>(victim)];
+          const core::MutexLock lock(chosen.m);
+          if (chosen.q.empty()) continue;  // raced with the victim; rescan
+          unit = chosen.q.back();
+          chosen.q.pop_back();
           ++tele.steals;
           break;
         }
       }
       if (unit < 0) return;
 
-      // Admission: hold the claimed unit until it fits the live window.
-      // Waiting here (not before claiming) is what bounds memory - the
-      // unit's results do not exist yet.
-      {
-        std::unique_lock<std::mutex> lock(reduce_m);
-        if (unit >= cursor + window_units) {
-          const auto wait_start = std::chrono::steady_clock::now();
-          admission_cv.wait(lock, [&] {
-            return failed.load(std::memory_order_relaxed) || unit < cursor + window_units;
-          });
-          tele.idle_ns += static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - wait_start)
-                  .count());
-          if (failed.load(std::memory_order_relaxed)) return;
-        }
-        ++live_units;
-        peak_live_units = std::max(peak_live_units, live_units);
-      }
+      if (!reduction.Admit(unit, tele.idle_ns)) return;
 
       // Run every shard of the unit sequentially on this worker.
       UnitResult unit_result;
@@ -328,41 +452,12 @@ FleetResult RunFleet(const FleetConfig& config) {
           ++tele.shards_run;
         }
       } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(error_m);
-          if (!error) error = std::current_exception();
-        }
-        // The store must happen under reduce_m: a peer that just evaluated
-        // the admission predicate (saw failed==false) but has not yet
-        // blocked would otherwise miss this notify and sleep forever once
-        // this worker - the last possible notifier - exits.
-        {
-          const std::lock_guard<std::mutex> lock(reduce_m);
-          failed.store(true, std::memory_order_release);
-        }
-        admission_cv.notify_all();
+        reduction.Poison(std::current_exception());
         return;
       }
       ++tele.units_run;
 
-      // Park, then drain every consecutive ready unit starting at the
-      // cursor. Whichever worker completes the missing unit performs the
-      // whole run of merges; the fold order is the unit order (hence the
-      // server order), never the completion order.
-      {
-        const std::lock_guard<std::mutex> lock(reduce_m);
-        parked[static_cast<std::size_t>(unit % window_units)] = std::move(unit_result);
-        while (parked[static_cast<std::size_t>(cursor % window_units)].has_value()) {
-          UnitResult ready =
-              std::move(*parked[static_cast<std::size_t>(cursor % window_units)]);
-          parked[static_cast<std::size_t>(cursor % window_units)].reset();
-          absorb(std::move(ready));
-          ++cursor;
-          --live_units;
-          ++merged_units;
-        }
-        admission_cv.notify_all();
-      }
+      reduction.Commit(unit, std::move(unit_result));
     }
   };
 
@@ -374,18 +469,20 @@ FleetResult RunFleet(const FleetConfig& config) {
     for (int w = 0; w < workers; ++w) pool.emplace_back(worker_main, w);
     for (auto& t : pool) t.join();
   }
-  if (error) std::rethrow_exception(error);
-  GT_CHECK_EQ(merged_units, static_cast<std::uint64_t>(units))
+  reduction.RethrowIfFailed();
+  StreamingReduction::Harvest harvest = reduction.TakeResults();
+  GT_CHECK_EQ(harvest.merged_units, static_cast<std::uint64_t>(units))
       << "RunFleet: scheduler lost work units (internal bug)";
 
-  FleetResult result{.report = master->Finish(config.server.trace_duration),
-                     .shards = std::move(shard_outcomes),
-                     .total_players = std::move(*total_players),
-                     .total_packets = total_packets,
+  FleetResult result{.report = harvest.master->Finish(config.server.trace_duration),
+                     .shards = std::move(harvest.shard_outcomes),
+                     .total_players = std::move(*harvest.total_players),
+                     .total_packets = harvest.total_packets,
                      .threads_used = workers,
-                     .metrics = std::move(merged_metrics),
-                     .trace_log = std::move(merged_trace),
-                     .recorder = std::move(merged_recorder)};
+                     .metrics = std::move(harvest.metrics),
+                     .trace_log = std::move(harvest.trace),
+                     .recorder = std::move(harvest.recorder),
+                     .scheduler_metrics = {}};
   // Bounded-buffer trace loss would otherwise be invisible in the merged
   // registry: the per-shard drop counts only live inside the TraceLog.
   result.metrics.counter("obs.trace.dropped_events").Add(result.trace_log.dropped());
@@ -399,8 +496,8 @@ FleetResult RunFleet(const FleetConfig& config) {
   sched.gauge("fleet.scheduler.unit_size").Set(static_cast<double>(unit_size));
   sched.gauge("fleet.scheduler.window_units").Set(static_cast<double>(window_units));
   sched.gauge("fleet.scheduler.peak_live_units", obs::Gauge::MergeMode::kMax)
-      .Set(static_cast<double>(peak_live_units));
-  sched.counter("fleet.scheduler.merged_units").Add(merged_units);
+      .Set(static_cast<double>(harvest.peak_live_units));
+  sched.counter("fleet.scheduler.merged_units").Add(harvest.merged_units);
   for (int w = 0; w < workers; ++w) {
     const std::string prefix = "fleet.worker." + std::to_string(w);
     const WorkerTelemetry& tele = telemetry[static_cast<std::size_t>(w)];

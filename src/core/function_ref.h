@@ -14,6 +14,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "core/check.h"
+
 namespace gametrace::core {
 
 template <typename Signature>
@@ -27,6 +29,7 @@ class FunctionRef<R(Args...)> {
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                !std::is_function_v<std::remove_reference_t<F>> &&
                 std::is_invocable_r_v<R, F&, Args...>>>
   // NOLINTNEXTLINE(google-explicit-constructor)
   FunctionRef(F&& f) noexcept
@@ -35,6 +38,21 @@ class FunctionRef<R(Args...)> {
           return std::invoke(*static_cast<std::remove_reference_t<F>*>(obj),
                              std::forward<Args>(args)...);
         }) {}
+
+  // Free (or static member) functions take this overload: a function
+  // pointer cannot be static_cast to void*, so it is stored by value in
+  // the object word instead (reinterpret_cast between function and object
+  // pointers is conditionally-supported, and round-trips on every
+  // platform this project targets). Contract: the pointer must be
+  // non-null - a FunctionRef has no empty state.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  FunctionRef(R (*fn)(Args...))
+      : obj_(reinterpret_cast<void*>(fn)),
+        call_([](void* obj, Args... args) -> R {
+          return reinterpret_cast<R (*)(Args...)>(obj)(std::forward<Args>(args)...);
+        }) {
+    GT_CHECK(fn != nullptr) << "FunctionRef: null function pointer (no empty state)";
+  }
 
   R operator()(Args... args) const {
     return call_(obj_, std::forward<Args>(args)...);

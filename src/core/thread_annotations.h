@@ -1,0 +1,130 @@
+// Thread-safety capability annotations and the annotated sync primitives.
+//
+// The fleet engine's headline guarantee - bit-identical merged output at
+// any worker count - rests on every piece of cross-thread state being
+// reached only under its lock. TSan proves that *dynamically*, for the
+// interleavings a test run happens to produce; Clang's Thread Safety
+// Analysis (-Wthread-safety) proves the locking *contract* statically, at
+// every call site, on every build. This header is the bridge:
+//
+//  * GT_GUARDED_BY / GT_REQUIRES / GT_ACQUIRE / GT_RELEASE / GT_EXCLUDES
+//    macros that expand to Clang's capability attributes and compile away
+//    entirely on other compilers (GCC builds the same source unannotated).
+//  * core::Mutex / core::MutexLock / core::CondVar - drop-in wrappers over
+//    the std primitives that carry the capability attributes. std::mutex
+//    cannot be annotated, and std::lock_guard is invisible to the
+//    analysis, so first-party code must use these instead (enforced by
+//    tools/gt_lint.py rule `raw-mutex`, so the annotation layer cannot
+//    silently rot back to std types).
+//
+// The build is gated by the GAMETRACE_WTSA CMake option, which turns on
+// -Wthread-safety -Werror=thread-safety under Clang (the `wtsa` preset and
+// the thread-safety CI job); see DESIGN.md "Correctness tooling".
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// Clang's capability attributes; every other compiler sees empty macros.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define GT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef GT_THREAD_ANNOTATION
+#define GT_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+// On a class: instances are a capability ("mutex") trackable by the
+// analysis.
+#define GT_CAPABILITY(x) GT_THREAD_ANNOTATION(capability(x))
+// On a class: RAII object that acquires a capability in its constructor
+// and releases it in its destructor.
+#define GT_SCOPED_CAPABILITY GT_THREAD_ANNOTATION(scoped_lockable)
+// On a member: may only be read or written while holding `x`.
+#define GT_GUARDED_BY(x) GT_THREAD_ANNOTATION(guarded_by(x))
+// On a pointer member: the pointed-to data is guarded by `x`.
+#define GT_PT_GUARDED_BY(x) GT_THREAD_ANNOTATION(pt_guarded_by(x))
+// On a function: callers must hold the listed capabilities.
+#define GT_REQUIRES(...) GT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// On a function: acquires / releases the listed capabilities.
+#define GT_ACQUIRE(...) GT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GT_RELEASE(...) GT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// On a function: acquires the capability iff it returns `result`.
+#define GT_TRY_ACQUIRE(...) GT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// On a function: callers must NOT hold the listed capabilities (deadlock
+// documentation: the function acquires them itself).
+#define GT_EXCLUDES(...) GT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Escape hatch for code the analysis cannot model; every use must carry a
+// comment saying why the contract holds anyway.
+#define GT_NO_THREAD_SAFETY_ANALYSIS GT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace gametrace::core {
+
+// An annotated std::mutex. Lowercase lock()/unlock()/try_lock() keep the
+// BasicLockable spelling, so generic code still composes, but prefer
+// core::MutexLock - std's guards are invisible to the analysis.
+class GT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GT_ACQUIRE() { m_.lock(); }
+  void unlock() GT_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() GT_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+// RAII guard over core::Mutex, visible to the analysis as a scoped
+// capability (what std::lock_guard cannot be).
+class GT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() GT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable over core::Mutex. Wait() releases and reacquires the
+// mutex internally but is annotated GT_REQUIRES(mu): to the analysis the
+// capability is held across the call, which matches what the caller may
+// assume on both sides of it (the same convention as abseil's CondVar).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) GT_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait,
+    // then release the std guard so ownership stays with the caller.
+    std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  // Predicate form. NOTE: the analysis checks `pred`'s body as an
+  // unannotated function, so a lambda reading GT_GUARDED_BY state will
+  // warn - prefer an explicit `while (!cond) cv.Wait(mu);` loop inside a
+  // GT_REQUIRES-annotated method for guarded predicates.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) GT_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gametrace::core

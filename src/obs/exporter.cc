@@ -35,7 +35,8 @@ bool ParsePositiveSeconds(std::string_view text, double& value) {
 
 void EnvDefault(const char* name, std::string& value) {
   if (!value.empty()) return;
-  if (const char* env = std::getenv(name)) value = env;
+  // Env reads happen once, during single-threaded front-end startup.
+  if (const char* env = std::getenv(name)) value = env;  // NOLINT(concurrency-mt-unsafe)
 }
 
 }  // namespace
@@ -60,8 +61,10 @@ void ExportOptions::ApplyEnvDefaults() {
   EnvDefault("GAMETRACE_ALERTS_OUT", alerts_path);
   EnvDefault("GAMETRACE_PROM_OUT", prom_path);
   if (dump_path == ExportOptions{}.dump_path) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): startup-only, single-threaded
     if (const char* env = std::getenv("GAMETRACE_FLIGHT_DUMP")) dump_path = env;
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): startup-only, single-threaded
   if (const char* env = std::getenv("GAMETRACE_FLIGHT_SAMPLE")) {
     ParsePositiveSeconds(env, sample_period_seconds);
   }

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <utility>
 #include <vector>
 
 #include "core/check.h"
+#include "core/thread_annotations.h"
 #include "obs/exporter.h"
 #include "obs/obs.h"
 #include "obs/prof.h"
@@ -169,12 +169,15 @@ void WriteFlightDump(std::ostream& out, std::string_view reason, const FlightRec
 namespace {
 
 // ScopedFlightDump state. The contract handler is a plain function
-// pointer, so the guard parks its path here; one guard at a time.
-std::mutex g_dump_mutex;
-bool g_dump_active = false;
-std::string g_dump_path;                          // guarded by g_dump_mutex
-FlightDumpOptions g_dump_options;                 // guarded by g_dump_mutex
-ContractHandler g_previous_handler = nullptr;     // guarded by g_dump_mutex
+// pointer, so the guard parks its path here; one guard at a time. No
+// atomics on purpose: every access (install, dump, restore) funnels
+// through g_dump_mutex, and the only lock-free state is the thread_local
+// re-entrancy breaker, which no other thread can observe by construction.
+core::Mutex g_dump_mutex;
+bool g_dump_active GT_GUARDED_BY(g_dump_mutex) = false;
+std::string g_dump_path GT_GUARDED_BY(g_dump_mutex);
+FlightDumpOptions g_dump_options GT_GUARDED_BY(g_dump_mutex);
+ContractHandler g_previous_handler GT_GUARDED_BY(g_dump_mutex) = nullptr;
 thread_local bool t_writing_flight_dump = false;  // re-entrancy breaker
 
 bool WriteDumpForCurrentContext(const std::string& path, std::string_view reason,
@@ -190,7 +193,7 @@ bool WriteDumpForCurrentContext(const std::string& path, std::string_view reason
 [[noreturn]] void FlightDumpContractHandler(const ContractFailure& failure) {
   ContractHandler previous = nullptr;
   {
-    std::lock_guard<std::mutex> lock(g_dump_mutex);
+    const core::MutexLock lock(g_dump_mutex);
     previous = g_previous_handler;
     // Best-effort: a failure while dumping (or a dump that itself trips a
     // check) must not recurse into another dump.
@@ -210,7 +213,7 @@ bool WriteDumpForCurrentContext(const std::string& path, std::string_view reason
 ScopedFlightDump::ScopedFlightDump(std::string path, FlightDumpOptions options) {
   bool already_active = false;
   {
-    std::lock_guard<std::mutex> lock(g_dump_mutex);
+    const core::MutexLock lock(g_dump_mutex);
     already_active = g_dump_active;
     if (!already_active) {
       g_dump_active = true;
@@ -224,7 +227,7 @@ ScopedFlightDump::ScopedFlightDump(std::string path, FlightDumpOptions options) 
 }
 
 ScopedFlightDump::~ScopedFlightDump() {
-  std::lock_guard<std::mutex> lock(g_dump_mutex);
+  const core::MutexLock lock(g_dump_mutex);
   if (!g_dump_active) return;
   SetContractHandler(g_previous_handler);
   g_previous_handler = nullptr;
@@ -236,7 +239,7 @@ bool DumpFlightNow(std::string_view reason) {
   std::string path;
   FlightDumpOptions options;
   {
-    std::lock_guard<std::mutex> lock(g_dump_mutex);
+    const core::MutexLock lock(g_dump_mutex);
     if (!g_dump_active) return false;
     path = g_dump_path;
     options = g_dump_options;

@@ -1,8 +1,8 @@
 #include "obs/prof.h"
 
 #include <algorithm>
-#include <mutex>
 
+#include "core/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace gametrace::obs {
@@ -12,27 +12,36 @@ namespace {
 // Head of the intrusive list of sites that have ever fired. Sites are
 // function-local statics, so they live until process exit; the list only
 // ever grows (one node per GT_PROF_SCOPE site in the binary).
-std::mutex g_sites_mutex;
-ProfSite* g_sites_head = nullptr;
+core::Mutex g_sites_mutex;
+ProfSite* g_sites_head GT_GUARDED_BY(g_sites_mutex) = nullptr;
 
 }  // namespace
 
 void EnableProfiling(bool enabled) noexcept {
+  // relaxed: flipping the switch is documented as not a synchronization
+  // point (prof.h) - callers enable it strictly before the measured
+  // region, and a scope that reads a stale value merely skips or takes
+  // one extra sample.
   g_profiling_enabled.store(enabled, std::memory_order_relaxed);
 }
 
 void RegisterProfSite(ProfSite& site) {
-  const std::lock_guard<std::mutex> lock(g_sites_mutex);
+  const core::MutexLock lock(g_sites_mutex);
+  // relaxed: g_sites_mutex already orders this read against every other
+  // registration; the flag exists so the second check is cheap.
   if (site.registered.load(std::memory_order_relaxed)) return;
   site.next = g_sites_head;
   g_sites_head = &site;
+  // release: a thread whose relaxed fast-path load (ProfScope dtor) sees
+  // `true` must also see the site.next link above as written - it will
+  // never take g_sites_mutex again for this site.
   site.registered.store(true, std::memory_order_release);
 }
 
 std::vector<ProfSample> ProfilingSnapshot() {
   std::vector<ProfSample> samples;
   {
-    const std::lock_guard<std::mutex> lock(g_sites_mutex);
+    const core::MutexLock lock(g_sites_mutex);
     for (ProfSite* site = g_sites_head; site != nullptr; site = site->next) {
       samples.push_back(ProfSample{
           .name = site->name,
@@ -46,7 +55,7 @@ std::vector<ProfSample> ProfilingSnapshot() {
 }
 
 void ResetProfiling() noexcept {
-  const std::lock_guard<std::mutex> lock(g_sites_mutex);
+  const core::MutexLock lock(g_sites_mutex);
   for (ProfSite* site = g_sites_head; site != nullptr; site = site->next) {
     site->calls.store(0, std::memory_order_relaxed);
     site->nanos.store(0, std::memory_order_relaxed);

@@ -57,8 +57,15 @@ struct ProfSite {
   constexpr explicit ProfSite(const char* site_name) noexcept : name(site_name) {}
 
   const char* name;
+  // relaxed everywhere: calls/nanos are independent monotonic tallies with
+  // no cross-site invariant; readers (ProfilingSnapshot) tolerate tearing
+  // *between* sites and the registration mutex orders list traversal.
   std::atomic<std::uint64_t> calls{0};
   std::atomic<std::uint64_t> nanos{0};
+  // false -> true exactly once, release-published by RegisterProfSite
+  // after the `next` link is written; the relaxed fast-path load in
+  // ~ProfScope may observe a stale false, which only costs a redundant
+  // (mutex-serialized, idempotent) registration attempt.
   std::atomic<bool> registered{false};
   ProfSite* next = nullptr;  // written once under the registration lock
 };
@@ -84,6 +91,8 @@ class ProfScope {
         static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()),
         std::memory_order_relaxed);
+    // relaxed pre-check: a stale false just re-enters RegisterProfSite,
+    // which re-checks under its mutex (see the ProfSite field comments).
     if (!site_->registered.load(std::memory_order_relaxed)) RegisterProfSite(*site_);
   }
 

@@ -23,6 +23,7 @@ void SeqGapLossEstimator::OnPacket(const net::PacketRecord& record) {
 SeqGapLossEstimator::DirectionEstimate SeqGapLossEstimator::Estimate(
     net::Direction direction) const {
   DirectionEstimate estimate;
+  // gt-lint: allow(nondet-iteration) commutative integer sums; visit order cannot affect the fold
   for (const auto& [key, flow] : flows_) {
     if (static_cast<net::Direction>(key & 1) != direction) continue;
     ++estimate.flows;

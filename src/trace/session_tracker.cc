@@ -177,6 +177,7 @@ void SessionTracker::Merge(SessionTracker&& other) {
       mine.app_bytes_out += session.app_bytes_out;
     }
   }
+  // gt-lint: allow(nondet-iteration) key-addressed `+=` into a map; visit order cannot affect the result
   for (const auto& [ip, count] : other.unique_ips_) unique_ips_[ip] += count;
   other.keys_.clear();
   other.states_.clear();

@@ -168,8 +168,10 @@ void TraceSummary::Merge(const TraceSummary& other) {
   attempts_ += other.attempts_;
   established_ += other.established_;
   refused_ += other.refused_;
+  // gt-lint: allow(nondet-iteration) set-union insert; the resulting set is order-independent
   attempting_clients_.insert(other.attempting_clients_.begin(),
                              other.attempting_clients_.end());
+  // gt-lint: allow(nondet-iteration) set-union insert; the resulting set is order-independent
   establishing_clients_.insert(other.establishing_clients_.begin(),
                                other.establishing_clients_.end());
   if (other.first_time_ >= 0.0) {

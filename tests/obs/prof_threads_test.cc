@@ -1,0 +1,151 @@
+// Concurrency regression test for the profiling hooks (src/obs/prof.cc).
+//
+// The interesting races this pins down, with TSan as the oracle (the
+// thread-sanitizer CI preset runs this suite under -fsanitize=thread):
+//  - first-use registration: many threads hit a cold ProfSite at once and
+//    all race RegisterProfSite; the relaxed `registered` fast path plus
+//    the mutex-serialized re-check must yield exactly one list insertion
+//    and no data race on the `next` link.
+//  - tally vs. snapshot: relaxed fetch_adds on calls/nanos while another
+//    thread walks the site list in ProfilingSnapshot / ResetProfiling -
+//    tearing between sites is fine, a TSan report is not.
+//  - toggling: EnableProfiling flips mid-flight; scopes that started
+//    disabled stay no-ops, scopes that started enabled finish their
+//    tallies.
+// Numeric assertions are deliberately loose (counters only ever grow,
+// snapshots contain the hammered sites); the test's job is to generate
+// the schedules, the sanitizer's job is to judge them.
+#include "obs/prof.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gametrace::obs {
+namespace {
+
+std::uint64_t SnapshotCalls(const std::string& name) {
+  for (const ProfSample& sample : ProfilingSnapshot()) {
+    if (sample.name == name) return sample.calls;
+  }
+  return 0;
+}
+
+TEST(ProfThreads, ColdSiteRegistrationRace) {
+  EnableProfiling(true);
+  // A fresh site per run of this test binary: every thread's first scope
+  // races the initial registration.
+  static constinit ProfSite site{"prof_threads.cold_site"};
+  constexpr int kThreads = 8;
+  constexpr int kScopesPerThread = 200;
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kScopesPerThread; ++i) {
+        const ProfScope scope(site);
+        static_cast<void>(scope);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  EnableProfiling(false);
+
+  EXPECT_GE(SnapshotCalls("prof_threads.cold_site"),
+            static_cast<std::uint64_t>(kThreads) * kScopesPerThread);
+  // One registration: the site shows up exactly once in the snapshot.
+  int occurrences = 0;
+  for (const ProfSample& sample : ProfilingSnapshot()) {
+    occurrences += sample.name == "prof_threads.cold_site" ? 1 : 0;
+  }
+  EXPECT_EQ(occurrences, 1);
+}
+
+TEST(ProfThreads, TalliesRaceSnapshotsResetsAndToggles) {
+  EnableProfiling(true);
+  constexpr int kWriters = 4;
+  constexpr int kIterations = 400;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        GT_PROF_SCOPE("prof_threads.hammered");
+        // A second site in the same scope exercises multi-site traversal
+        // while the list is being read.
+        GT_PROF_SCOPE("prof_threads.hammered_sibling");
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::vector<ProfSample> snapshot = ProfilingSnapshot();
+      for (const ProfSample& sample : snapshot) {
+        EXPECT_FALSE(sample.name.empty());
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::thread toggler([&] {
+    for (int i = 0; i < 50; ++i) {
+      EnableProfiling(i % 2 == 0);
+      std::this_thread::yield();
+    }
+    EnableProfiling(true);
+  });
+  std::thread resetter([&] {
+    for (int i = 0; i < 20; ++i) {
+      ResetProfiling();
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& t : writers) t.join();
+  toggler.join();
+  resetter.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EnableProfiling(false);
+
+  // Post-quiescence sanity: both sites exist and the snapshot is stable.
+  const std::vector<ProfSample> snapshot = ProfilingSnapshot();
+  bool saw_hammered = false;
+  bool saw_sibling = false;
+  for (const ProfSample& sample : snapshot) {
+    saw_hammered |= sample.name == "prof_threads.hammered";
+    saw_sibling |= sample.name == "prof_threads.hammered_sibling";
+  }
+  EXPECT_TRUE(saw_hammered);
+  EXPECT_TRUE(saw_sibling);
+}
+
+TEST(ProfThreads, DisabledScopesStayNoOpsUnderContention) {
+  EnableProfiling(false);
+  ResetProfiling();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 500; ++i) {
+        GT_PROF_SCOPE("prof_threads.disabled_site");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // The site never fired enabled, so it never registered.
+  EXPECT_EQ(SnapshotCalls("prof_threads.disabled_site"), 0u);
+}
+
+}  // namespace
+}  // namespace gametrace::obs

@@ -1,0 +1,406 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/gt_lint.py: one synthetic violation per rule,
+plus the suppression and ratchet-baseline mechanics.
+
+Each test builds a miniature repo tree in a temp dir and runs the linter
+over it, so the tests prove every rule actually fires - a linter whose
+rules silently stopped matching would pass on the real tree for the
+wrong reason. Rule tests run once per available engine (the lex engine
+is always available; the libclang engine joins in when python3-clang and
+libclang are installed, as in CI).
+"""
+
+import importlib.util
+import os
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+_spec = importlib.util.spec_from_file_location(
+    "gt_lint", os.path.join(REPO_ROOT, "tools", "gt_lint.py"))
+gt_lint = importlib.util.module_from_spec(_spec)
+sys.modules["gt_lint"] = gt_lint
+_spec.loader.exec_module(gt_lint)
+
+
+def available_engines():
+    engines = ["lex"]
+    try:
+        gt_lint.LibclangEngine(REPO_ROOT)
+        engines.append("libclang")
+    except gt_lint.LibclangUnavailable:
+        pass
+    return engines
+
+
+ENGINES = available_engines()
+
+
+class MiniTree:
+    """Builds a throwaway src/ tree and lints it."""
+
+    def __init__(self):
+        self._dir = tempfile.TemporaryDirectory(prefix="gt_lint_test_")
+        self.root = self._dir.name
+
+    def write(self, relpath, text):
+        full = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return relpath
+
+    def lint(self, engine_kind, relpath):
+        if engine_kind == "lex":
+            engine = gt_lint.LexEngine(self.root)
+        else:
+            engine = gt_lint.LibclangEngine(self.root)
+        findings = engine.lint_file(relpath)
+        with open(os.path.join(self.root, relpath), encoding="utf-8") as fh:
+            allow = {relpath: gt_lint.collect_suppressions(fh.read())}
+        kept, bad = gt_lint.apply_suppressions(findings, allow)
+        return kept, bad
+
+    def cleanup(self):
+        self._dir.cleanup()
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+class RuleTests(unittest.TestCase):
+    """Every rule must fire on a synthetic violation, per engine."""
+
+    def setUp(self):
+        self.tree = MiniTree()
+        self.addCleanup(self.tree.cleanup)
+
+    def check_fires(self, relpath, text, rule, clean_variant=None):
+        rel = self.tree.write(relpath, text)
+        for engine in ENGINES:
+            with self.subTest(engine=engine):
+                kept, _ = self.tree.lint(engine, rel)
+                self.assertIn(rule, rules_of(kept),
+                              f"{rule} did not fire under {engine}: {kept}")
+        if clean_variant is not None:
+            rel2 = self.tree.write("clean_" + relpath.replace("/", "_"), "")
+            rel2 = self.tree.write(relpath, clean_variant)
+            for engine in ENGINES:
+                with self.subTest(engine=engine, variant="clean"):
+                    kept, _ = self.tree.lint(engine, rel2)
+                    self.assertNotIn(rule, rules_of(kept),
+                                     f"{rule} false positive under {engine}: {kept}")
+
+    def test_nondet_call_fires_in_emit_path(self):
+        self.check_fires(
+            "src/stats/report.cc",
+            """
+            struct Report {
+              int WriteSummary() {
+                return rand();
+              }
+            };
+            """,
+            "nondet-call",
+            clean_variant="""
+            struct Report {
+              int WriteSummary() { return 7; }
+              int Shuffle() { return rand(); }  // not an emit path
+            };
+            """)
+
+    def test_nondet_call_flags_wall_clock_type(self):
+        self.check_fires(
+            "src/core/emit.cc",
+            """
+            #include <chrono>
+            double EmitTimestamp() {
+              return std::chrono::duration<double>(
+                  std::chrono::system_clock::now().time_since_epoch()).count();
+            }
+            """,
+            "nondet-call")
+
+    def test_nondet_iteration_fires_on_range_for(self):
+        self.check_fires(
+            "src/trace/agg.cc",
+            """
+            #include <unordered_map>
+            struct Agg {
+              std::unordered_map<int, int> cells_;
+              int total = 0;
+              void MergeInto() {
+                for (const auto& [k, v] : cells_) total += v * k;
+              }
+            };
+            """,
+            "nondet-iteration",
+            clean_variant="""
+            #include <map>
+            struct Agg {
+              std::map<int, int> cells_;
+              int total = 0;
+              void MergeInto() {
+                for (const auto& [k, v] : cells_) total += v * k;
+              }
+            };
+            """)
+
+    def test_nondet_iteration_fires_on_begin_end(self):
+        self.check_fires(
+            "src/trace/agg2.cc",
+            """
+            #include <unordered_set>
+            #include <vector>
+            struct Agg {
+              std::unordered_set<int> seen_;
+              std::vector<int> ToSorted() {
+                return std::vector<int>(seen_.begin(), seen_.end());
+              }
+            };
+            """,
+            "nondet-iteration")
+
+    def test_nondet_iteration_sees_members_from_paired_header(self):
+        self.tree.write(
+            "src/trace/split.h",
+            """
+            #include <unordered_map>
+            struct Split {
+              void MergeCounts();
+              std::unordered_map<int, long> counts_;
+              long total_ = 0;
+            };
+            """)
+        self.check_fires(
+            "src/trace/split.cc",
+            """
+            #include "trace/split.h"
+            void Split::MergeCounts() {
+              for (const auto& [k, v] : counts_) total_ += v;
+            }
+            """,
+            "nondet-iteration")
+
+    def test_sink_tier_requires_onbatch_with_oncolumns(self):
+        self.check_fires(
+            "src/trace/sinks.h",
+            """
+            struct PacketRecord {};
+            struct PacketBatch {};
+            struct ColumnView {};
+            class CaptureSink {
+             public:
+              virtual ~CaptureSink() = default;
+              virtual void OnPacket(const PacketRecord&) = 0;
+              virtual void OnBatch(const PacketBatch&) {}
+              virtual void OnColumns(const ColumnView&) {}
+            };
+            class FastSink : public CaptureSink {
+             public:
+              void OnPacket(const PacketRecord&) override {}
+              void OnColumns(const ColumnView&) override {}
+            };
+            """,
+            "sink-tier",
+            clean_variant="""
+            struct PacketRecord {};
+            struct PacketBatch {};
+            struct ColumnView {};
+            class CaptureSink {
+             public:
+              virtual ~CaptureSink() = default;
+              virtual void OnPacket(const PacketRecord&) = 0;
+              virtual void OnBatch(const PacketBatch&) {}
+              virtual void OnColumns(const ColumnView&) {}
+            };
+            class FastSink : public CaptureSink {
+             public:
+              void OnPacket(const PacketRecord&) override {}
+              void OnBatch(const PacketBatch&) override {}
+              void OnColumns(const ColumnView&) override {}
+            };
+            """)
+
+    def test_sink_tier_requires_override_keyword(self):
+        self.check_fires(
+            "src/trace/hiding.h",
+            """
+            struct PacketRecord {};
+            class CaptureSink {
+             public:
+              virtual ~CaptureSink() = default;
+              virtual void OnPacket(const PacketRecord&) = 0;
+            };
+            class HidingSink : public CaptureSink {
+             public:
+              void OnPacket(const PacketRecord&) {}
+            };
+            """,
+            "sink-tier")
+
+    def test_raw_contract_fires_on_assert(self):
+        self.check_fires(
+            "src/core/math.cc",
+            """
+            #include <cassert>
+            int Half(int x) {
+              assert(x % 2 == 0);
+              return x / 2;
+            }
+            """,
+            "raw-contract",
+            clean_variant="""
+            static_assert(sizeof(int) == 4, "ILP32/LP64 expected");
+            int Half(int x) { return x / 2; }
+            """)
+
+    def test_raw_contract_fires_on_foreign_throw(self):
+        self.check_fires(
+            "src/core/oops.cc",
+            """
+            #include <stdexcept>
+            void Boom() { throw std::runtime_error("nope"); }
+            """,
+            "raw-contract",
+            clean_variant="""
+            namespace gametrace::net { struct PcapError { const char* what; }; }
+            void Boom() { throw gametrace::net::PcapError{"pcap_open failed"}; }
+            void Rethrow() { try { Boom(); } catch (...) { throw; } }
+            """)
+
+    def test_raw_mutex_fires_on_std_mutex_member(self):
+        self.check_fires(
+            "src/core/cache.h",
+            """
+            #include <mutex>
+            struct Cache {
+              std::mutex m_;
+              int hits_ = 0;
+            };
+            """,
+            "raw-mutex",
+            clean_variant="""
+            struct Cache {
+              int hits_ = 0;
+            };
+            """)
+
+    def test_raw_mutex_exempts_thread_annotations_header(self):
+        rel = self.tree.write(
+            "src/core/thread_annotations.h",
+            """
+            #include <mutex>
+            namespace gametrace::core { class Mutex { std::mutex m_; }; }
+            """)
+        for engine in ENGINES:
+            with self.subTest(engine=engine):
+                kept, _ = self.tree.lint(engine, rel)
+                self.assertNotIn("raw-mutex", rules_of(kept))
+
+
+class SuppressionTests(unittest.TestCase):
+    def setUp(self):
+        self.tree = MiniTree()
+        self.addCleanup(self.tree.cleanup)
+
+    def test_trailing_allow_suppresses(self):
+        rel = self.tree.write(
+            "src/core/cache.h",
+            "struct C {\n"
+            "  std::mutex m_;  // gt-lint: allow(raw-mutex) FFI handoff to a C callback\n"
+            "};\n")
+        kept, bad = self.tree.lint("lex", rel)
+        self.assertEqual(kept, [])
+        self.assertEqual(bad, [])
+
+    def test_standalone_allow_covers_wrapped_statement(self):
+        rel = self.tree.write(
+            "src/trace/agg.cc",
+            "#include <unordered_set>\n"
+            "#include <vector>\n"
+            "struct Agg {\n"
+            "  std::unordered_set<int> seen_;\n"
+            "  std::vector<int> ToVec() {\n"
+            "    // gt-lint: allow(nondet-iteration) consumed by a sorting caller\n"
+            "    return std::vector<int>(seen_.begin(),\n"
+            "                            seen_.end());\n"
+            "  }\n"
+            "};\n")
+        kept, bad = self.tree.lint("lex", rel)
+        self.assertEqual(kept, [])
+        self.assertEqual(bad, [])
+
+    def test_unjustified_allow_is_itself_a_finding(self):
+        rel = self.tree.write(
+            "src/core/cache.h",
+            "struct C {\n"
+            "  std::mutex m_;  // gt-lint: allow(raw-mutex)\n"
+            "};\n")
+        kept, bad = self.tree.lint("lex", rel)
+        self.assertEqual(kept, [])
+        self.assertEqual(len(bad), 1)
+        self.assertIn("justification", bad[0].message)
+
+    def test_allow_for_other_rule_does_not_suppress(self):
+        rel = self.tree.write(
+            "src/core/cache.h",
+            "struct C {\n"
+            "  std::mutex m_;  // gt-lint: allow(nondet-call) wrong rule named\n"
+            "};\n")
+        kept, _ = self.tree.lint("lex", rel)
+        self.assertEqual(rules_of(kept), ["raw-mutex"])
+
+
+class BaselineTests(unittest.TestCase):
+    """The baseline is a shrink-only ratchet."""
+
+    def setUp(self):
+        self.tree = MiniTree()
+        self.addCleanup(self.tree.cleanup)
+        self.baseline = os.path.join(self.tree.root, "tools", "gt_lint_baseline.txt")
+        os.makedirs(os.path.dirname(self.baseline), exist_ok=True)
+        self.rel = self.tree.write(
+            "src/core/cache.h",
+            "struct C {\n  std::mutex m_;\n};\n")
+
+    def run_lint(self, update=False):
+        return gt_lint.run(self.tree.root, "lex", self.baseline, [self.rel],
+                           update_baseline=update, report_path=None)
+
+    def test_new_finding_fails_without_baseline(self):
+        self.assertEqual(self.run_lint(), 1)
+
+    def test_baselined_finding_passes(self):
+        self.assertEqual(self.run_lint(update=True), 0)
+        self.assertEqual(self.run_lint(), 0)
+
+    def test_stale_baseline_entry_fails(self):
+        self.assertEqual(self.run_lint(update=True), 0)
+        self.tree.write(self.rel, "struct C {\n  int m_;\n};\n")
+        self.assertEqual(self.run_lint(), 1)  # ratchet: must shrink the file
+        self.assertEqual(self.run_lint(update=True), 0)
+        self.assertEqual(self.run_lint(), 0)
+
+    def test_baseline_does_not_mask_new_findings(self):
+        self.assertEqual(self.run_lint(update=True), 0)
+        self.tree.write(
+            self.rel,
+            "struct C {\n  std::mutex m_;\n  std::condition_variable cv_;\n};\n")
+        self.assertEqual(self.run_lint(), 1)
+
+
+class RepoTreeTest(unittest.TestCase):
+    def test_repo_tree_is_clean(self):
+        baseline = os.path.join(REPO_ROOT, "tools", "gt_lint_baseline.txt")
+        self.assertEqual(
+            gt_lint.run(REPO_ROOT, "auto", baseline, [], False, None), 0,
+            "gt_lint must pass on the committed tree")
+
+
+if __name__ == "__main__":
+    print(f"gt_lint_test: engines under test: {ENGINES}", file=sys.stderr)
+    unittest.main()

@@ -6,12 +6,17 @@
 #   cmake --build --preset tidy        # generated headers, if any
 #   tools/run_clang_tidy.sh [extra clang-tidy args...]
 #
-# Exits non-zero if clang-tidy reports any diagnostic escalated by
-# WarningsAsErrors in .clang-tidy.
+# Exits non-zero if clang-tidy emits ANY warning or error - not only the
+# diagnostics escalated by WarningsAsErrors in .clang-tidy - so a new
+# finding can never scroll past unnoticed in a CI log. A per-file finding
+# summary is printed at the end, and the full log is kept at
+# $GAMETRACE_TIDY_LOG (default: <build dir>/clang_tidy.log) for artifact
+# upload.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${GAMETRACE_TIDY_BUILD_DIR:-${repo_root}/build-tidy}"
+log_file="${GAMETRACE_TIDY_LOG:-${build_dir}/clang_tidy.log}"
 
 if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
   echo "error: ${build_dir}/compile_commands.json not found." >&2
@@ -31,8 +36,41 @@ cd "${repo_root}"
 mapfile -t sources < <(git ls-files 'src/*.cc' 'tests/*.cc' 'bench/*.cc' 'examples/*.cc')
 echo "clang-tidy over ${#sources[@]} translation units..."
 
+mkdir -p "$(dirname "${log_file}")"
+status=0
 if [[ -n "${runner}" ]]; then
-  "${runner}" -clang-tidy-binary "${tidy}" -p "${build_dir}" -quiet "$@" "${sources[@]}"
+  "${runner}" -clang-tidy-binary "${tidy}" -p "${build_dir}" -quiet "$@" "${sources[@]}" \
+    2>&1 | tee "${log_file}" || status=$?
 else
-  "${tidy}" -p "${build_dir}" --quiet "$@" "${sources[@]}"
+  "${tidy}" -p "${build_dir}" --quiet "$@" "${sources[@]}" \
+    2>&1 | tee "${log_file}" || status=$?
+fi
+
+# Findings are "path:line:col: warning|error: ...". The same header
+# diagnostic surfaces once per including TU, so dedupe before counting.
+finding_count="$(grep -E '^[^[:space:]].*:[0-9]+:[0-9]+: (warning|error):' "${log_file}" |
+  sort -u | wc -l | tr -d ' ')"
+
+echo
+echo "==== clang-tidy per-file finding summary ===="
+if [[ "${finding_count}" -eq 0 ]]; then
+  echo "no findings"
+else
+  grep -E '^[^[:space:]].*:[0-9]+:[0-9]+: (warning|error):' "${log_file}" |
+    sort -u |
+    sed -E "s|^${repo_root}/||" |
+    awk -F: '{counts[$1]++} END {for (f in counts) printf "%6d  %s\n", counts[f], f}' |
+    sort -rn
+  echo "---------------------------------------------"
+  echo "total: ${finding_count} unique finding(s)  (full log: ${log_file})"
+fi
+echo "============================================="
+
+if [[ "${status}" -ne 0 ]]; then
+  echo "clang-tidy exited with status ${status}" >&2
+  exit "${status}"
+fi
+if [[ "${finding_count}" -ne 0 ]]; then
+  echo "failing: clang-tidy emitted ${finding_count} finding(s) (warnings count)" >&2
+  exit 1
 fi
