@@ -84,6 +84,11 @@ void InstallFlightSampling(sim::Simulator& simulator, const obs::ObsContext& ctx
                    watchdog = ctx.watchdog, extra](double t) {
                     metrics->gauge("sim.queue.high_water", obs::Gauge::MergeMode::kMax)
                         .SetMax(static_cast<double>(simulator.queue_high_water()));
+                    // Align ring instruments on the sampling grid so shard
+                    // snapshots at the same t merge (TieredRing::Merge
+                    // requires lockstep advancement). Keep the sample
+                    // period a multiple of the server tick for this.
+                    metrics->AdvanceRingsTo(t);
                     obs::MetricsRegistry view = *metrics;
                     if (extra != nullptr) view.Merge(*extra);
                     recorder->Sample(t, std::move(view));
@@ -143,6 +148,11 @@ ServerTraceResult RunServerTrace(const game::GameConfig& config,
     ctx.metrics->counter("sim.events_executed").Add(simulator.events_executed());
     ctx.metrics->gauge("sim.queue.high_water", obs::Gauge::MergeMode::kMax)
         .SetMax(static_cast<double>(simulator.queue_high_water()));
+    // Canonical end-of-run grid position for every ring: the last tick
+    // fires at exactly trace_duration and may stamp packets up to one tick
+    // later, so advance one tick past the end. Identical across shards,
+    // which is what the fleet's registry merge requires.
+    ctx.metrics->AdvanceRingsTo(config.trace_duration + config.tick_interval);
   }
 
   ServerTraceResult result;
@@ -232,6 +242,7 @@ NatExperimentResult RunNatExperiment(const NatExperimentConfig& config) {
     ctx.metrics->counter("sim.events_executed").Add(simulator.events_executed());
     ctx.metrics->gauge("sim.queue.high_water", obs::Gauge::MergeMode::kMax)
         .SetMax(static_cast<double>(simulator.queue_high_water()));
+    ctx.metrics->AdvanceRingsTo(config.duration + config.game.tick_interval);
   }
 
   NatExperimentResult result{.device = nat.stats(),

@@ -82,6 +82,10 @@ struct ActiveClient {
   // Netchannel sequence counters (next value to assign, starting at 1).
   std::uint32_t seq_in = 1;   // client -> server channel
   std::uint32_t seq_out = 1;  // server -> client channel
+  // Downstream wire bytes accumulated since the last per-minute sample;
+  // the minute sampler turns this into one kbps observation in the
+  // "client.bandwidth.kbps" sketch and resets it.
+  std::uint64_t window_bytes_down = 0;
 };
 
 }  // namespace gametrace::game

@@ -17,7 +17,18 @@ CsServer::CsServer(sim::Simulator& simulator, GameConfig config, trace::CaptureS
       size_model_(config_.sizes),
       tick_engine_(simulator, config_.tick_interval, [this](double t) { OnTick(t); }),
       minute_sampler_(simulator, 60.0,
-                      [this](double t) { players_.Set(t, static_cast<double>(clients_.size())); }),
+                      [this](double t) {
+                        players_.Set(t, static_cast<double>(clients_.size()));
+                        // Close every client's per-minute bandwidth window:
+                        // one kbps observation apiece into the tail sketch.
+                        for (ActiveClient& c : clients_) {
+                          if (obs_.client_kbps != nullptr) {
+                            obs_.client_kbps->Add(
+                                static_cast<double>(c.window_bytes_down) * 8.0 / 1000.0 / 60.0);
+                          }
+                          c.window_bytes_down = 0;
+                        }
+                      }),
       map_rotation_(simulator, config_.maps, rng_.Split()),
       outages_(simulator, config_.outages,
                {.on_begin = [this](double t) { OnOutageBegin(t); },
@@ -36,7 +47,10 @@ CsServer::CsServer(sim::Simulator& simulator, GameConfig config, trace::CaptureS
                                      [&](const ActiveClient& c) {
                                        return c.ip == ip && c.port == port;
                                      });
-        if (it != clients_.end()) seq = it->seq_out++;
+        if (it != clients_.end()) {
+          seq = it->seq_out++;
+          it->window_bytes_down += net::WireBytes(bytes);
+        }
         Emit(simulator_->Now(), net::Direction::kServerToClient, net::PacketKind::kDownload,
              bytes, ip, port, seq);
       },
@@ -66,6 +80,11 @@ CsServer::CsServer(sim::Simulator& simulator, GameConfig config, trace::CaptureS
     obs_.maps_started = &m.counter("server.maps_started");
     obs_.rounds_started = &m.counter("server.rounds_started");
     obs_.peak_players = &m.gauge("server.peak_players", obs::Gauge::MergeMode::kMax);
+    obs_.client_kbps = &m.sketch("client.bandwidth.kbps");
+    stats::TieredRing::Options ring_options =
+        stats::TieredRing::Options::PaperSchedule(config_.tick_interval);
+    ring_options.track_hurst = true;
+    obs_.load_ring = &m.ring("server.load.pps", std::move(ring_options));
   }
 }
 
@@ -127,6 +146,7 @@ void CsServer::OnTick(double t) {
         Emit(when, net::Direction::kServerToClient,
              chat ? net::PacketKind::kChat : net::PacketKind::kGameUpdate, bytes, c.ip, c.port,
              c.seq_out++);
+        c.window_bytes_down += net::WireBytes(bytes);
       }
     }
   }
@@ -158,6 +178,10 @@ void CsServer::OnTick(double t) {
   if (!tick_batch_.empty()) {
     sink_->OnColumns(tick_batch_.View());
     tick_batch_.Clear();
+  }
+  if (obs_.load_ring != nullptr && tick_ring_count_ > 0) {
+    obs_.load_ring->Add(t, static_cast<double>(tick_ring_count_));
+    tick_ring_count_ = 0;
   }
 }
 
@@ -328,6 +352,17 @@ void CsServer::Emit(double t, net::Direction direction, net::PacketKind kind,
   if (obs_.bytes_emitted != nullptr) obs_.bytes_emitted->Add(wire_bytes);
   if (obs_.bytes_to_clients != nullptr && direction == net::Direction::kServerToClient) {
     obs_.bytes_to_clients->Add(wire_bytes);
+  }
+  if (obs_.load_ring != nullptr) {
+    if (batching_) {
+      // Tick-batched packets are counted and folded into the ring as one
+      // bulk Add at the tick timestamp (OnTick's flush): one ring walk per
+      // tick, same bin sums under kSum since every batched packet lands in
+      // the tick's base bin.
+      ++tick_ring_count_;
+    } else {
+      obs_.load_ring->Add(t);
+    }
   }
   if (batching_) {
     tick_batch_.PushRecord(record);

@@ -130,6 +130,10 @@ class CsServer {
   // reused across ticks.
   net::ColumnarBatch tick_batch_;
   bool batching_ = false;
+  // Packets emitted by the current tick, flushed into the load ring as one
+  // bulk Add at the tick timestamp (see OnTick) - under kSum reduction the
+  // bin sums match per-packet adds while costing one ring walk per tick.
+  std::uint64_t tick_ring_count_ = 0;
   std::vector<ServerEventListener*> listeners_;
   std::unordered_set<std::uint64_t> live_sessions_;
   std::unordered_map<std::size_t, int> retry_counts_;
@@ -171,6 +175,13 @@ class CsServer {
     obs::Counter* maps_started = nullptr;
     obs::Counter* rounds_started = nullptr;
     obs::Gauge* peak_players = nullptr;
+    // Per-client downstream kbps, one observation per client per minute -
+    // the tail (p99 vs the 56k modem) companion to bytes_to_clients.
+    stats::QuantileSketch* client_kbps = nullptr;
+    // Emitted packets per tick bin at tiered resolutions, with an online
+    // Hurst estimator riding the base tier - the streaming, bounded-memory
+    // version of the paper's load series (Figs 4-5).
+    stats::TieredRing* load_ring = nullptr;
   };
   Observability obs_;
   double outage_began_at_ = -1.0;

@@ -18,6 +18,15 @@
 //   --prom-out=<txt>        GAMETRACE_PROM_OUT      Prometheus text
 //   --flight-sample=<s>     GAMETRACE_FLIGHT_SAMPLE sampling period
 //   --flight-dump=<json>    GAMETRACE_FLIGHT_DUMP   black-box path
+//   --quantile-slo=<metric>,<q>,<limit>
+//                           GAMETRACE_QUANTILE_SLO  extra watchdog rule:
+//                           alert when quantile q of sketch <metric>
+//                           exceeds <limit> (e.g. client.bandwidth.kbps,
+//                           0.99,56)
+//   --hurst-slo=<metric>,<limit>
+//                           GAMETRACE_HURST_SLO     extra watchdog rule:
+//                           alert when the mid-scale Hurst of ring
+//                           <metric> exceeds <limit>
 //
 // A session with no output requested binds nothing and costs nothing -
 // benches without flags run exactly as before. An active session always
@@ -30,6 +39,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -49,6 +59,9 @@ struct ExportOptions {
   // the session is active.
   std::string dump_path = "flight_dump.json";
   double sample_period_seconds = 60.0;
+  // Extra watchdog rules parsed from --quantile-slo= / --hurst-slo= (or
+  // their environment fallbacks); appended after the builtin rule set.
+  std::vector<SloRule> extra_rules;
 
   // Consumes one "--<name>=<value>" observability flag; returns false (and
   // leaves the options untouched) for anything else, so front-ends can

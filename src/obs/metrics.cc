@@ -43,6 +43,32 @@ stats::Histogram& MetricsRegistry::histogram(std::string_view name, double lo, d
       .first->second;
 }
 
+stats::QuantileSketch& MetricsRegistry::sketch(std::string_view name, double alpha,
+                                               std::size_t max_buckets) {
+  const auto it = sketches_.find(name);
+  if (it != sketches_.end()) {
+    GT_CHECK(it->second.alpha() == alpha && it->second.max_buckets() == max_buckets)
+        << "MetricsRegistry::sketch: \"" << std::string(name)
+        << "\" re-registered with a different geometry";
+    return it->second;
+  }
+  return sketches_.emplace(std::string(name), stats::QuantileSketch(alpha, max_buckets))
+      .first->second;
+}
+
+stats::TieredRing& MetricsRegistry::ring(std::string_view name,
+                                         stats::TieredRing::Options options) {
+  const auto it = rings_.find(name);
+  if (it != rings_.end()) {
+    GT_CHECK(it->second.SameShape(stats::TieredRing(std::move(options))))
+        << "MetricsRegistry::ring: \"" << std::string(name)
+        << "\" re-registered with a different schedule";
+    return it->second;
+  }
+  return rings_.emplace(std::string(name), stats::TieredRing(std::move(options)))
+      .first->second;
+}
+
 std::uint64_t MetricsRegistry::counter_value(std::string_view name) const noexcept {
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
@@ -56,6 +82,20 @@ double MetricsRegistry::gauge_value(std::string_view name) const noexcept {
 const stats::Histogram* MetricsRegistry::find_histogram(std::string_view name) const noexcept {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const stats::QuantileSketch* MetricsRegistry::find_sketch(std::string_view name) const noexcept {
+  const auto it = sketches_.find(name);
+  return it == sketches_.end() ? nullptr : &it->second;
+}
+
+const stats::TieredRing* MetricsRegistry::find_ring(std::string_view name) const noexcept {
+  const auto it = rings_.find(name);
+  return it == rings_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::AdvanceRingsTo(double t) {
+  for (auto& [name, rg] : rings_) rg.AdvanceTo(t);
 }
 
 void MetricsRegistry::Merge(const MetricsRegistry& other) {
@@ -79,6 +119,22 @@ void MetricsRegistry::Merge(const MetricsRegistry& other) {
       histograms_.emplace(name, other_hist);
     } else {
       it->second.Merge(other_hist);
+    }
+  }
+  for (const auto& [name, other_sketch] : other.sketches_) {
+    const auto it = sketches_.find(name);
+    if (it == sketches_.end()) {
+      sketches_.emplace(name, other_sketch);
+    } else {
+      it->second.Merge(other_sketch);
+    }
+  }
+  for (const auto& [name, other_ring] : other.rings_) {
+    const auto it = rings_.find(name);
+    if (it == rings_.end()) {
+      rings_.emplace(name, other_ring);
+    } else {
+      it->second.Merge(other_ring);
     }
   }
 }
@@ -144,6 +200,100 @@ void AppendHistogramJson(std::string& out, const stats::Histogram& hist) {
   out += "]}";
 }
 
+void AppendSketchJson(std::string& out, const stats::QuantileSketch& sketch, bool full) {
+  out += "{";
+  if (full) {
+    out += "\"alpha\": ";
+    AppendJsonNumber(out, sketch.alpha());
+    out += ", \"max_buckets\": " + std::to_string(sketch.max_buckets());
+    out += ", ";
+  }
+  out += "\"count\": " + std::to_string(sketch.count());
+  out += ", \"zero_count\": " + std::to_string(sketch.zero_count());
+  out += ", \"min\": ";
+  AppendJsonNumber(out, sketch.min());
+  out += ", \"max\": ";
+  AppendJsonNumber(out, sketch.max());
+  out += ", \"sum\": ";
+  AppendJsonNumber(out, sketch.sum());
+  // Derived at serialization time from (merged) state, so the fleet
+  // bit-identity guarantee covers them too.
+  out += ", \"p50\": ";
+  AppendJsonNumber(out, sketch.Quantile(0.50));
+  out += ", \"p90\": ";
+  AppendJsonNumber(out, sketch.Quantile(0.90));
+  out += ", \"p99\": ";
+  AppendJsonNumber(out, sketch.Quantile(0.99));
+  if (full) {
+    out += ", \"min_key\": " + std::to_string(sketch.min_key());
+    out += ", \"buckets\": [";
+    for (std::size_t i = 0; i < sketch.bucket_count(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(sketch.bucket(i));
+    }
+    out += "]";
+  }
+  out += "}";
+}
+
+const char* ReductionName(stats::TieredRing::Reduction reduction) {
+  switch (reduction) {
+    case stats::TieredRing::Reduction::kSum:
+      return "sum";
+    case stats::TieredRing::Reduction::kMax:
+      return "max";
+    case stats::TieredRing::Reduction::kMean:
+      return "mean";
+  }
+  return "sum";
+}
+
+// Compact (flight) ring snapshots carry only this many trailing bins per
+// tier - enough for a sparkline, bounded per snapshot.
+constexpr std::size_t kCompactRingTail = 32;
+
+void AppendRingJson(std::string& out, const stats::TieredRing& ring, bool full) {
+  out += "{\"reduction\": \"";
+  out += ReductionName(ring.reduction());
+  out += "\", \"dropped_late\": " + std::to_string(ring.dropped_late());
+  out += ", \"hurst\": ";
+  if (const stats::OnlineHurst* hurst = ring.hurst()) {
+    out += "{\"samples\": " + std::to_string(hurst->samples());
+    out += ", \"estimate\": ";
+    // null until enough scales resolve (AppendJsonNumber maps NaN to null).
+    AppendJsonNumber(out, hurst->CanEstimate(0.050, 1800.0)
+                              ? hurst->HurstEstimate(0.050, 1800.0)
+                              : std::nan(""));
+    out += "}";
+  } else {
+    out += "null";
+  }
+  out += ", \"tiers\": [";
+  for (std::size_t tier = 0; tier < ring.tier_count(); ++tier) {
+    if (tier > 0) out += ", ";
+    out += "{\"interval\": ";
+    AppendJsonNumber(out, ring.tier_interval(tier));
+    if (full) out += ", \"capacity\": " + std::to_string(ring.tier_capacity(tier));
+    out += ", \"first\": " + std::to_string(ring.tier_first(tier));
+    out += ", \"held\": " + std::to_string(ring.tier_held(tier));
+    out += ", \"evicted\": " + std::to_string(ring.tier_evicted(tier));
+    const stats::TieredRing::TierStats tier_stats = ring.Stats(tier);
+    out += ", \"mean\": ";
+    AppendJsonNumber(out, tier_stats.mean);
+    out += ", \"peak\": ";
+    AppendJsonNumber(out, tier_stats.peak);
+    const std::vector<double> values =
+        ring.RecentValues(tier, full ? ring.tier_held(tier) : kCompactRingTail);
+    out += full ? ", \"values\": [" : ", \"recent\": [";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendJsonNumber(out, values[i]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+}
+
 }  // namespace
 
 std::string MetricsRegistry::ToJson() const {
@@ -179,6 +329,26 @@ std::string MetricsRegistry::ToJson() const {
     out += ": ";
     AppendHistogramJson(out, hist);
   }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"sketches\": {";
+  first = true;
+  for (const auto& [name, sk] : sketches_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": ";
+    AppendSketchJson(out, sk, /*full=*/true);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"rings\": {";
+  first = true;
+  for (const auto& [name, rg] : rings_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": ";
+    AppendRingJson(out, rg, /*full=*/true);
+  }
   out += first ? "}\n}\n" : "\n  }\n}\n";
   return out;
 }
@@ -198,6 +368,16 @@ void MetricsRegistry::ForEachGauge(
 void MetricsRegistry::ForEachHistogram(
     const std::function<void(std::string_view, const stats::Histogram&)>& fn) const {
   for (const auto& [name, hist] : histograms_) fn(name, hist);
+}
+
+void MetricsRegistry::ForEachSketch(
+    const std::function<void(std::string_view, const stats::QuantileSketch&)>& fn) const {
+  for (const auto& [name, sk] : sketches_) fn(name, sk);
+}
+
+void MetricsRegistry::ForEachRing(
+    const std::function<void(std::string_view, const stats::TieredRing&)>& fn) const {
+  for (const auto& [name, rg] : rings_) fn(name, rg);
 }
 
 void MetricsRegistry::AppendCompactJson(std::string& out) const {
@@ -229,6 +409,24 @@ void MetricsRegistry::AppendCompactJson(std::string& out) const {
     AppendJsonString(out, name);
     out += ": ";
     AppendHistogramJson(out, hist);
+  }
+  out += "}, \"sketches\": {";
+  first = true;
+  for (const auto& [name, sk] : sketches_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": ";
+    AppendSketchJson(out, sk, /*full=*/false);
+  }
+  out += "}, \"rings\": {";
+  first = true;
+  for (const auto& [name, rg] : rings_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": ";
+    AppendRingJson(out, rg, /*full=*/false);
   }
   out += "}}";
 }

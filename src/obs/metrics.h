@@ -13,6 +13,13 @@
 //    totals) or kMax (queue high-water marks). Both are order-independent.
 //  - Histograms are stats::Histogram (integer bin counts); merging requires
 //    identical geometry and is exact.
+//  - Sketches are stats::QuantileSketch (bounded relative-error quantile
+//    stores); merging adds bucket counts key-wise and is independent of
+//    merge order. Quantiles are derived at serialization time from merged
+//    state, never merged themselves.
+//  - Rings are stats::TieredRing (multi-resolution bounded time series,
+//    optionally carrying an OnlineHurst); merging requires identical
+//    schedule and advancement and adds bins component-wise.
 //  - Snapshots (WriteJson / ToJson) iterate name-sorted maps, so two
 //    registries with equal contents serialize byte-identically.
 //
@@ -29,6 +36,8 @@
 #include <string_view>
 
 #include "stats/histogram.h"
+#include "stats/quantile_sketch.h"
+#include "stats/tiered_ring.h"
 
 namespace gametrace::obs {
 
@@ -73,21 +82,36 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name, Gauge::MergeMode mode = Gauge::MergeMode::kSum);
   stats::Histogram& histogram(std::string_view name, double lo, double hi, std::size_t bins);
+  stats::QuantileSketch& sketch(std::string_view name, double alpha = 0.01,
+                                std::size_t max_buckets = 1024);
+  stats::TieredRing& ring(std::string_view name,
+                          stats::TieredRing::Options options =
+                              stats::TieredRing::Options::PaperSchedule());
 
   // Read-side conveniences for tests and thin accessors; a missing counter
   // reads as 0, a missing gauge as 0.0.
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const noexcept;
   [[nodiscard]] double gauge_value(std::string_view name) const noexcept;
   [[nodiscard]] const stats::Histogram* find_histogram(std::string_view name) const noexcept;
+  [[nodiscard]] const stats::QuantileSketch* find_sketch(std::string_view name) const noexcept;
+  [[nodiscard]] const stats::TieredRing* find_ring(std::string_view name) const noexcept;
 
   [[nodiscard]] std::size_t counter_count() const noexcept { return counters_.size(); }
   [[nodiscard]] std::size_t gauge_count() const noexcept { return gauges_.size(); }
   [[nodiscard]] std::size_t histogram_count() const noexcept { return histograms_.size(); }
+  [[nodiscard]] std::size_t sketch_count() const noexcept { return sketches_.size(); }
+  [[nodiscard]] std::size_t ring_count() const noexcept { return rings_.size(); }
+
+  // Advances every ring instrument to time t (see TieredRing::AdvanceTo).
+  // Shards call this on a common grid - at each flight sample and once at
+  // end of run - so their rings satisfy Merge's lockstep precondition.
+  void AdvanceRingsTo(double t);
 
   // Absorbs another registry: counters and kSum gauges add, kMax gauges
-  // take the max, histograms merge bin-wise. Instruments present on only
-  // one side are copied through. GT_CHECK fails on a gauge merge-mode or
-  // histogram geometry conflict - that is a naming bug, not data.
+  // take the max, histograms merge bin-wise, sketches bucket-wise and
+  // rings bin-wise. Instruments present on only one side are copied
+  // through. GT_CHECK fails on a gauge merge-mode or histogram / sketch /
+  // ring geometry conflict - that is a naming bug, not data.
   void Merge(const MetricsRegistry& other);
 
   // Name-ordered visitation, for exporters (Prometheus text, flight
@@ -96,10 +120,17 @@ class MetricsRegistry {
   void ForEachGauge(const std::function<void(std::string_view, const Gauge&)>& fn) const;
   void ForEachHistogram(
       const std::function<void(std::string_view, const stats::Histogram&)>& fn) const;
+  void ForEachSketch(
+      const std::function<void(std::string_view, const stats::QuantileSketch&)>& fn) const;
+  void ForEachRing(
+      const std::function<void(std::string_view, const stats::TieredRing&)>& fn) const;
 
-  // Deterministic JSON snapshot: name-sorted counters, gauges and
-  // histograms. Two registries with equal contents produce byte-identical
-  // output, which is what the fleet bit-identity tests compare.
+  // Deterministic JSON snapshot: name-sorted counters, gauges, histograms,
+  // sketches and rings. Two registries with equal contents produce
+  // byte-identical output, which is what the fleet bit-identity tests
+  // compare. Sketch sections carry derived p50/p90/p99 next to the raw
+  // bucket store; ring sections carry per-tier lifetime stats and the held
+  // window (full form) or a bounded recent tail (compact form).
   void WriteJson(std::ostream& out) const;
   [[nodiscard]] std::string ToJson() const;
 
@@ -111,6 +142,8 @@ class MetricsRegistry {
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, stats::Histogram, std::less<>> histograms_;
+  std::map<std::string, stats::QuantileSketch, std::less<>> sketches_;
+  std::map<std::string, stats::TieredRing, std::less<>> rings_;
 };
 
 // Formats a double for JSON output (shortest round-trip form; "0" for

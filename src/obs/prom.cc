@@ -89,6 +89,51 @@ std::string ToPrometheusText(const MetricsRegistry& registry) {
     out += '\n';
     out += prom + "_count " + std::to_string(hist.total()) + "\n";
   });
+  registry.ForEachSketch([&out](std::string_view name, const stats::QuantileSketch& sketch) {
+    const std::string prom = PrometheusMetricName(name);
+    AppendHeader(out, prom, name, "summary");
+    for (const double q : {0.5, 0.9, 0.99}) {
+      out += prom + "{quantile=\"";
+      AppendPromNumber(out, q);
+      out += "\"} ";
+      AppendPromNumber(out, sketch.Quantile(q));
+      out += '\n';
+    }
+    out += prom + "_sum ";
+    AppendPromNumber(out, sketch.sum());
+    out += '\n';
+    out += prom + "_count " + std::to_string(sketch.count()) + "\n";
+  });
+  registry.ForEachRing([&out](std::string_view name, const stats::TieredRing& ring) {
+    const std::string prom = PrometheusMetricName(name);
+    AppendHeader(out, prom + "_tier_mean", name, "gauge");
+    for (std::size_t tier = 0; tier < ring.tier_count(); ++tier) {
+      out += prom + "_tier_mean{interval=\"";
+      AppendPromNumber(out, ring.tier_interval(tier));
+      out += "\"} ";
+      AppendPromNumber(out, ring.Stats(tier).mean);
+      out += '\n';
+    }
+    AppendHeader(out, prom + "_tier_peak", name, "gauge");
+    for (std::size_t tier = 0; tier < ring.tier_count(); ++tier) {
+      out += prom + "_tier_peak{interval=\"";
+      AppendPromNumber(out, ring.tier_interval(tier));
+      out += "\"} ";
+      AppendPromNumber(out, ring.Stats(tier).peak);
+      out += '\n';
+    }
+    AppendHeader(out, prom + "_dropped_late", name, "counter");
+    out += prom + "_dropped_late " + std::to_string(ring.dropped_late()) + "\n";
+    if (const stats::OnlineHurst* hurst = ring.hurst()) {
+      AppendHeader(out, prom + "_hurst", name, "gauge");
+      out += prom + "_hurst ";
+      // NaN until enough scales resolve - idiomatic Prometheus "no data".
+      AppendPromNumber(out, hurst->CanEstimate(0.050, 1800.0)
+                                ? hurst->HurstEstimate(0.050, 1800.0)
+                                : std::nan(""));
+      out += '\n';
+    }
+  });
   return out;
 }
 

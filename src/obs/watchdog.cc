@@ -47,6 +47,28 @@ std::vector<SloRule> WatchdogEngine::BuiltinRules() {
       .description = "event-queue high-water mark grew by more than 1024 entries "
                      "in one sampling period",
   });
+  rules.push_back(SloRule{
+      .name = "client.bandwidth.p99",
+      .metric = "client.bandwidth.kbps",
+      .signal = SloRule::Signal::kSketchQuantile,
+      .direction = SloRule::Direction::kAbove,
+      .threshold = 56.0,
+      .quantile = 0.99,
+      .description = "p99 per-client downstream bandwidth (per-minute windows) "
+                     "above the 56 kbps modem ceiling (Fig 11) - the mean can sit "
+                     "at 33-40 kbps while the tail saturates",
+  });
+  rules.push_back(SloRule{
+      .name = "server.load.selfsimilar",
+      .metric = "server.load.pps",
+      .signal = SloRule::Signal::kRingHurstMid,
+      .direction = SloRule::Direction::kAbove,
+      .threshold = 0.9,
+      .description = "mid-scale Hurst estimate of the server packet-load ring "
+                     "above 0.9: long-range dependence stronger than the paper's "
+                     "trace, so mean-based provisioning will underestimate bursts "
+                     "(Fig 5)",
+  });
   return rules;
 }
 
@@ -79,6 +101,21 @@ void WatchdogEngine::Observe(const FlightRecorder::Snapshot* previous,
           if (dt <= 0.0) continue;  // no elapsed sim time: rate undefined
           value = delta / dt;
         }
+        break;
+      }
+      case SloRule::Signal::kSketchQuantile: {
+        const stats::QuantileSketch* sketch = current.metrics.find_sketch(rule.metric);
+        if (sketch == nullptr || sketch->empty()) continue;
+        value = sketch->Quantile(rule.quantile);
+        break;
+      }
+      case SloRule::Signal::kRingHurstMid: {
+        const stats::TieredRing* ring = current.metrics.find_ring(rule.metric);
+        const stats::OnlineHurst* hurst = ring != nullptr ? ring->hurst() : nullptr;
+        // Stay silent until enough scales have resolved; the 0.5 fallback
+        // would make a kBelow rule fire on an empty ring.
+        if (hurst == nullptr || !hurst->CanEstimate(0.050, 1800.0)) continue;
+        value = hurst->HurstEstimate(0.050, 1800.0);
         break;
       }
     }

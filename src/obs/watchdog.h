@@ -13,6 +13,12 @@
 //                                22-slot cap (Table III)
 //   sim.queue.growth             event-queue high-water growth, the
 //                                simulator's own "falling behind" signal
+//   client.bandwidth.p99         p99 of the per-client kbps sketch above
+//                                the 56 kbps ceiling - the tail version of
+//                                client.bandwidth.saturation (Fig 11)
+//   server.load.selfsimilar      mid-scale Hurst of the server load ring
+//                                above 0.9: burstier long-range dependence
+//                                than the paper's trace (Fig 5)
 //
 // Determinism: rules are pure functions of snapshot pairs, and the merged
 // fleet snapshot stream is bit-identical at any worker count, so the alert
@@ -36,10 +42,12 @@ class TraceLog;
 struct SloRule {
   // How the rule reads its metric from a snapshot pair.
   enum class Signal : std::uint8_t {
-    kGaugeValue = 0,           // current gauge level
-    kGaugeDelta = 1,           // gauge level change since previous snapshot
-    kCounterDelta = 2,         // counter increase since previous snapshot
-    kCounterRatePerSecond = 3  // counter increase / elapsed sim seconds
+    kGaugeValue = 0,            // current gauge level
+    kGaugeDelta = 1,            // gauge level change since previous snapshot
+    kCounterDelta = 2,          // counter increase since previous snapshot
+    kCounterRatePerSecond = 3,  // counter increase / elapsed sim seconds
+    kSketchQuantile = 4,        // quantile `quantile` of a sketch instrument
+    kRingHurstMid = 5           // mid-scale Hurst of a ring's online estimator
   };
   enum class Direction : std::uint8_t { kAbove = 0, kBelow = 1 };
 
@@ -48,6 +56,8 @@ struct SloRule {
   Signal signal = Signal::kGaugeValue;
   Direction direction = Direction::kAbove;
   double threshold = 0.0;
+  // Which quantile a kSketchQuantile rule reads; ignored by other signals.
+  double quantile = 0.99;
   // Applied to the signal before comparison (e.g. 8.0 turns a bytes/s rate
   // into bits/s).
   double scale = 1.0;

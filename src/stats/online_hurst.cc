@@ -1,0 +1,113 @@
+#include "stats/online_hurst.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace gametrace::stats {
+
+OnlineHurst::Options OnlineHurst::Options::LogSpaced(double base_interval,
+                                                     std::size_t num_scales) {
+  Options options;
+  options.base_interval = base_interval;
+  options.scales.reserve(num_scales);
+  std::size_t m = 1;
+  for (std::size_t i = 0; i < num_scales; ++i) {
+    options.scales.push_back(m);
+    m *= 2;
+  }
+  return options;
+}
+
+OnlineHurst::Options OnlineHurst::Options::MatchingBatch(double base_interval,
+                                                         std::size_t length,
+                                                         const VarianceTimeOptions& batch) {
+  GT_CHECK_GT(batch.ratio, 1.0) << "OnlineHurst: batch ratio must exceed 1";
+  Options options;
+  options.base_interval = base_interval;
+  options.min_blocks = batch.min_blocks;
+  std::size_t m = 1;
+  while (length / m >= batch.min_blocks) {
+    options.scales.push_back(m);
+    const auto next =
+        static_cast<std::size_t>(std::ceil(static_cast<double>(m) * batch.ratio));
+    m = next > m ? next : m + 1;
+  }
+  return options;
+}
+
+OnlineHurst::OnlineHurst(Options options) : options_(std::move(options)) {
+  GT_CHECK(!options_.scales.empty()) << "OnlineHurst: need at least one scale";
+  GT_CHECK_EQ(options_.scales.front(), 1u) << "OnlineHurst: scales must start at m = 1";
+  GT_CHECK_GT(options_.base_interval, 0.0) << "OnlineHurst: base interval must be positive";
+  scales_.reserve(options_.scales.size());
+  std::size_t previous = 0;
+  for (const std::size_t m : options_.scales) {
+    GT_CHECK_GT(m, previous) << "OnlineHurst: scales must be strictly ascending";
+    previous = m;
+    Scale scale;
+    scale.m = m;
+    scale.inv_m = 1.0 / static_cast<double>(m);
+    scales_.push_back(scale);
+  }
+  cascade_ = true;
+  for (std::size_t i = 1; i < scales_.size(); ++i) {
+    cascade_ = cascade_ && scales_[i].m == 2 * scales_[i - 1].m;
+  }
+}
+
+bool OnlineHurst::SameShape(const OnlineHurst& other) const noexcept {
+  return options_.scales == other.options_.scales &&
+         options_.base_interval == other.options_.base_interval &&
+         options_.min_blocks == other.options_.min_blocks;
+}
+
+void OnlineHurst::Merge(const OnlineHurst& other) {
+  GT_CHECK(SameShape(other)) << "OnlineHurst::Merge: scale schedule mismatch";
+  samples_ += other.samples_;
+  for (std::size_t i = 0; i < scales_.size(); ++i) {
+    // Pool completed-block statistics (Chan parallel variance, exact);
+    // the other side's open partial covers the same trailing window as
+    // ours when shards advance in lockstep and is dropped - see header.
+    scales_[i].block_means.Merge(other.scales_[i].block_means);
+  }
+}
+
+VarianceTimePlot OnlineHurst::EstimatePlot() const {
+  VarianceTimePlot plot;
+  plot.base_interval = options_.base_interval;
+  plot.base_variance = scales_.front().block_means.population_variance();
+  if (plot.base_variance <= 0.0) return plot;
+  for (const Scale& scale : scales_) {
+    if (scale.block_means.count() < options_.min_blocks) continue;
+    VariancePoint p;
+    p.m = scale.m;
+    p.interval_seconds = options_.base_interval * static_cast<double>(scale.m);
+    p.normalized_variance = scale.block_means.population_variance() / plot.base_variance;
+    p.log10_m = std::log10(static_cast<double>(scale.m));
+    // Match the batch estimator's clamp for zero variance at a scale.
+    p.log10_normalized_variance =
+        p.normalized_variance > 0.0 ? std::log10(p.normalized_variance) : -12.0;
+    plot.points.push_back(p);
+  }
+  return plot;
+}
+
+bool OnlineHurst::CanEstimate(double min_interval_seconds, double max_interval_seconds) const {
+  const VarianceTimePlot plot = EstimatePlot();
+  return plot.base_variance > 0.0 &&
+         plot.PointsInRegion(min_interval_seconds, max_interval_seconds) >= 2;
+}
+
+double OnlineHurst::HurstEstimate(double min_interval_seconds,
+                                  double max_interval_seconds) const {
+  if (!CanEstimate(min_interval_seconds, max_interval_seconds)) return 0.5;
+  return EstimatePlot().HurstEstimate(min_interval_seconds, max_interval_seconds);
+}
+
+std::size_t OnlineHurst::MemoryBytes() const noexcept {
+  return sizeof(*this) + scales_.capacity() * sizeof(Scale) +
+         options_.scales.capacity() * sizeof(std::size_t);
+}
+
+}  // namespace gametrace::stats

@@ -1,0 +1,93 @@
+// Relative-error streaming quantile sketch (DDSketch-style, Masson et al.).
+//
+// The paper's provisioning questions are tail questions - p99 per-client
+// bandwidth against the 56 kbps modem ceiling (Figure 11), delay tails
+// through the NAT device - and answering them live over an unbounded
+// packet stream needs bounded memory. The sketch buckets values
+// geometrically: bucket key k covers (gamma^(k-1), gamma^k] with
+// gamma = (1 + alpha) / (1 - alpha), so any reported quantile is within
+// relative error `alpha` of the exact sample quantile at the same rank.
+// The store is a dense bounded array; when the dynamic range would exceed
+// `max_buckets`, the lowest buckets collapse into one, preserving the
+// upper tail (the provisioning-relevant end) exactly.
+//
+// Determinism / merge contract: the sketch state is a pure function of the
+// *multiset* of samples. Merge() adds bucket counts key-wise and
+// re-collapses; the collapse boundary depends only on the highest key
+// present, so any merge order - and therefore any fleet worker count -
+// produces bit-identical state. This is strictly stronger than the
+// shard-order-fold guarantee the other accumulators provide.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gametrace::stats {
+
+// Quantile sketch over non-negative samples with relative accuracy
+// `alpha` and at most `max_buckets` geometric buckets.
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(double alpha = 0.01, std::size_t max_buckets = 1024);
+
+  // Records `weight` occurrences of `x`. x must be finite and >= 0; values
+  // below the indexable floor (1e-9) land in a dedicated zero bucket.
+  // O(1) amortized: one log, one bucket increment.
+  void Add(double x, std::uint64_t weight = 1);
+
+  // Absorbs another sketch of identical (alpha, max_buckets) geometry.
+  // Bucket counts add key-wise; see the header comment for why the result
+  // is independent of merge order. GT_CHECK fails on a geometry mismatch.
+  void Merge(const QuantileSketch& other);
+
+  // Value at quantile q in [0, 1], within relative error alpha of the
+  // exact sample quantile at the same rank (clamped to the observed
+  // [min, max]). Returns 0 for an empty sketch.
+  [[nodiscard]] double Quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::uint64_t zero_count() const noexcept { return zero_count_; }
+  [[nodiscard]] double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  // Exact running sum of samples (weighted); feeds Prometheus summary _sum.
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+  [[nodiscard]] std::size_t max_buckets() const noexcept { return max_buckets_; }
+
+  // Dense bucket store: bucket i holds key min_key() + i. Exposed for
+  // serialization (flight / metrics JSON) and the merge-determinism tests.
+  [[nodiscard]] std::int32_t min_key() const noexcept { return min_key_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept { return counts_[i]; }
+
+  // True when geometry (alpha, max_buckets) matches; the precondition for
+  // Merge and for re-registration under the same instrument name.
+  [[nodiscard]] bool SameShape(const QuantileSketch& other) const noexcept {
+    return alpha_ == other.alpha_ && max_buckets_ == other.max_buckets_;
+  }
+
+  // Heap + object footprint in bytes; the telemetry memory gate sums this.
+  [[nodiscard]] std::size_t MemoryBytes() const noexcept;
+
+ private:
+  [[nodiscard]] std::int32_t KeyFor(double x) const noexcept;
+  void AddKey(std::int32_t key, std::uint64_t weight);
+  void CollapseToBound();
+
+  double alpha_;
+  double gamma_;
+  double log_gamma_;
+  std::size_t max_buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t zero_count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  std::int32_t min_key_ = 0;  // key of counts_[0]; meaningless while empty
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace gametrace::stats

@@ -11,6 +11,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/prom.h"
 #include "obs/trace_log.h"
 #include "obs/watchdog.h"
 
@@ -39,6 +40,8 @@ struct ObservedFleet {
   std::string flight_jsonl;   // ambient recorder after the merge
   std::string merged_jsonl;   // FleetResult::recorder
   std::string alerts_jsonl;   // ambient watchdog over the merged stream
+  std::string prom_text;      // Prometheus exposition of the merged registry
+  std::string metrics_json;   // merged registry snapshot (sketches, rings, ...)
   std::uint64_t total_packets = 0;
 };
 
@@ -57,6 +60,8 @@ ObservedFleet RunObserved(int threads) {
                                       .heartbeat = false});
     const FleetResult result = RunFleet(SmallFleet(threads));
     observed.merged_jsonl = result.recorder.ToJsonl();
+    observed.prom_text = obs::ToPrometheusText(result.metrics);
+    observed.metrics_json = result.metrics.ToJson();
     observed.total_packets = result.total_packets;
   }
   observed.flight_jsonl = recorder.ToJsonl();
@@ -95,6 +100,29 @@ TEST(FlightFleet, SnapshotStreamIsByteIdenticalAcrossWorkerCounts) {
   EXPECT_EQ(timestamps, (std::vector<double>{60.0, 120.0, 180.0}));
   EXPECT_GT(previous_packets, 0.0);
   EXPECT_LE(previous_packets, static_cast<double>(one.total_packets));
+}
+
+// The sketch quantiles and ring/Hurst gauges are DERIVED at exposition
+// time from merged state, so the bit-identity guarantee extends to the
+// Prometheus text and the registry JSON wholesale - at any worker count.
+TEST(FlightFleet, PrometheusAndRegistryJsonAreByteIdenticalAcrossWorkerCounts) {
+  const ObservedFleet one = RunObserved(1);
+  const ObservedFleet two = RunObserved(2);
+  const ObservedFleet eight = RunObserved(8);
+
+  ASSERT_FALSE(one.prom_text.empty());
+  EXPECT_EQ(one.prom_text, two.prom_text);
+  EXPECT_EQ(one.prom_text, eight.prom_text);
+  ASSERT_FALSE(one.metrics_json.empty());
+  EXPECT_EQ(one.metrics_json, two.metrics_json);
+  EXPECT_EQ(one.metrics_json, eight.metrics_json);
+
+  // The new instruments actually made it into the exposition: the
+  // per-client bandwidth summary and the load ring with its Hurst gauge.
+  EXPECT_NE(one.prom_text.find("gametrace_client_bandwidth_kbps{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(one.prom_text.find("gametrace_server_load_pps_tier_mean"), std::string::npos);
+  EXPECT_NE(one.prom_text.find("gametrace_server_load_pps_hurst"), std::string::npos);
 }
 
 TEST(FlightFleet, AlertSequenceIsIdenticalAcrossWorkerCounts) {

@@ -157,7 +157,7 @@ TEST(Watchdog, CatchUpResumesPastEvictedSnapshots) {
 
 TEST(Watchdog, BuiltinRulesEncodeThePaperThresholds) {
   const auto rules = WatchdogEngine::BuiltinRules();
-  ASSERT_EQ(rules.size(), 4u);
+  ASSERT_EQ(rules.size(), 6u);
 
   auto find = [&rules](const std::string& name) -> const SloRule& {
     for (const auto& rule : rules) {
@@ -176,6 +176,17 @@ TEST(Watchdog, BuiltinRulesEncodeThePaperThresholds) {
   EXPECT_EQ(find("nat.meltdown").threshold, 850.0);  // Table IV
   EXPECT_EQ(find("server.refusals.spike").threshold, 0.25);
   EXPECT_EQ(find("sim.queue.growth").signal, SloRule::Signal::kGaugeDelta);
+
+  const SloRule& tail = find("client.bandwidth.p99");
+  EXPECT_EQ(tail.metric, "client.bandwidth.kbps");
+  EXPECT_EQ(tail.signal, SloRule::Signal::kSketchQuantile);
+  EXPECT_EQ(tail.threshold, 56.0);  // the modem ceiling, straight from Fig 11
+  EXPECT_EQ(tail.quantile, 0.99);
+
+  const SloRule& hurst = find("server.load.selfsimilar");
+  EXPECT_EQ(hurst.metric, "server.load.pps");
+  EXPECT_EQ(hurst.signal, SloRule::Signal::kRingHurstMid);
+  EXPECT_EQ(hurst.threshold, 0.9);
 }
 
 TEST(Watchdog, BuiltinMeltdownFiresOnSyntheticOverload) {

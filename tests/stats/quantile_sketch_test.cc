@@ -1,0 +1,161 @@
+// QuantileSketch: relative rank-error bound, bounded-store collapse, and
+// the merge contract the fleet leans on - sketch state is a pure function
+// of the sample multiset, so ANY merge order (and therefore any worker
+// count) produces bit-identical state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+#include "stats/quantile_sketch.h"
+
+#include "core/check.h"
+
+namespace gametrace::stats {
+namespace {
+
+std::vector<double> KbpsStream(std::uint64_t seed, std::size_t n) {
+  // Shaped like the per-client bandwidth windows the server records:
+  // mostly 4-64 kbps with a heavy-ish upper tail.
+  sim::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) {
+    const double u = rng.NextDouble();
+    x = 4.0 + 60.0 * u * u * u + 36.0 * rng.NextDouble();
+  }
+  return xs;
+}
+
+double ExactQuantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(xs.size() - 1));
+  return xs[rank];
+}
+
+// Serializes every observable bit of sketch state for identity checks.
+std::string StateFingerprint(const QuantileSketch& s) {
+  std::string out = std::to_string(s.count()) + "/" + std::to_string(s.zero_count()) + "/" +
+                    std::to_string(s.min_key()) + "/";
+  for (std::size_t i = 0; i < s.bucket_count(); ++i) out += std::to_string(s.bucket(i)) + ",";
+  out += "/" + std::to_string(s.min()) + "/" + std::to_string(s.max()) + "/" +
+         std::to_string(s.sum());
+  return out;
+}
+
+TEST(QuantileSketch, QuantilesStayWithinTheRelativeErrorBound) {
+  const double alpha = 0.01;
+  const auto xs = KbpsStream(11, 20000);
+  QuantileSketch sketch(alpha);
+  for (double x : xs) sketch.Add(x);
+
+  for (double q : {0.10, 0.50, 0.90, 0.99, 0.999}) {
+    const double exact = ExactQuantile(xs, q);
+    const double estimate = sketch.Quantile(q);
+    // The DDSketch guarantee: relative error alpha at the same rank; allow
+    // one extra alpha of slack for rank interpolation at the bucket edge.
+    EXPECT_NEAR(estimate, exact, 2.0 * alpha * exact) << "q = " << q;
+  }
+  EXPECT_EQ(sketch.count(), xs.size());
+  EXPECT_DOUBLE_EQ(sketch.max(), *std::max_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(sketch.min(), *std::min_element(xs.begin(), xs.end()));
+}
+
+TEST(QuantileSketch, MergeIsOrderIndependentAndBitIdentical) {
+  const auto xs = KbpsStream(23, 9000);
+
+  // Reference: one sketch over the whole stream.
+  QuantileSketch whole;
+  for (double x : xs) whole.Add(x);
+
+  // Eight shards, then three reduction shapes: sequential shard order,
+  // reversed order, and a pairwise tree (what 2 or 8 fleet workers
+  // produce). All must match the single-pass state bit for bit.
+  const auto shard = [&xs](std::size_t k) {
+    QuantileSketch s;
+    for (std::size_t i = k; i < xs.size(); i += 8) s.Add(xs[i]);
+    return s;
+  };
+
+  QuantileSketch forward = shard(0);
+  for (std::size_t k = 1; k < 8; ++k) forward.Merge(shard(k));
+
+  QuantileSketch backward = shard(7);
+  for (std::size_t k = 7; k-- > 0;) backward.Merge(shard(k));
+
+  std::vector<QuantileSketch> tree;
+  tree.reserve(8);
+  for (std::size_t k = 0; k < 8; ++k) tree.push_back(shard(k));
+  while (tree.size() > 1) {
+    std::vector<QuantileSketch> next;
+    for (std::size_t i = 0; i + 1 < tree.size(); i += 2) {
+      tree[i].Merge(tree[i + 1]);
+      next.push_back(tree[i]);
+    }
+    tree = std::move(next);
+  }
+
+  const std::string reference = StateFingerprint(whole);
+  EXPECT_EQ(StateFingerprint(forward), reference);
+  EXPECT_EQ(StateFingerprint(backward), reference);
+  EXPECT_EQ(StateFingerprint(tree.front()), reference);
+  EXPECT_DOUBLE_EQ(forward.Quantile(0.99), whole.Quantile(0.99));
+}
+
+TEST(QuantileSketch, CollapsePreservesTheUpperTailWithinBound) {
+  // A dynamic range far beyond max_buckets forces the lowest buckets to
+  // collapse; the upper tail - the provisioning end - must stay accurate.
+  const double alpha = 0.02;
+  QuantileSketch sketch(alpha, 64);
+  std::vector<double> xs;
+  sim::Rng rng(5);
+  for (int i = 0; i < 4000; ++i) {
+    xs.push_back(std::pow(10.0, 8.0 * rng.NextDouble() - 4.0));  // 1e-4 .. 1e4
+    sketch.Add(xs.back());
+  }
+  EXPECT_LE(sketch.bucket_count(), 64u);
+  const double exact = ExactQuantile(xs, 0.99);
+  EXPECT_NEAR(sketch.Quantile(0.99), exact, 2.0 * alpha * exact);
+  // Collapse happened (the full range needs far more than 64 buckets), yet
+  // the total count is intact.
+  EXPECT_EQ(sketch.count(), xs.size());
+}
+
+TEST(QuantileSketch, ZeroAndEmptyBehavior) {
+  QuantileSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.Quantile(0.5), 0.0);
+  sketch.Add(0.0);
+  sketch.Add(1e-12);  // below the indexable floor
+  EXPECT_EQ(sketch.zero_count(), 2u);
+  EXPECT_EQ(sketch.count(), 2u);
+  EXPECT_EQ(sketch.Quantile(0.5), 0.0);
+  sketch.Add(10.0);
+  // With {0, 0, 10} the p99 rank (0.99 * 2 = 1.98) still lands in the
+  // zero region; only the max rank reaches the positive sample.
+  EXPECT_EQ(sketch.Quantile(0.99), 0.0);
+  EXPECT_GT(sketch.Quantile(1.0), 0.0);
+}
+
+TEST(QuantileSketch, MergeRejectsGeometryMismatch) {
+  QuantileSketch a(0.01);
+  QuantileSketch b(0.02);
+  a.Add(1.0);
+  b.Add(1.0);
+  EXPECT_FALSE(a.SameShape(b));
+  EXPECT_THROW(a.Merge(b), gametrace::ContractViolation);
+}
+
+TEST(QuantileSketch, MemoryIsBoundedByTheStoreCap) {
+  QuantileSketch sketch(0.01, 128);
+  sim::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) sketch.Add(std::exp(10.0 * rng.NextDouble()));
+  const std::size_t after_1k = sketch.MemoryBytes();
+  for (int i = 0; i < 100000; ++i) sketch.Add(std::exp(10.0 * rng.NextDouble()));
+  EXPECT_LE(sketch.MemoryBytes(), after_1k + 128 * sizeof(std::uint64_t));
+  EXPECT_LE(sketch.bucket_count(), 128u);
+}
+
+}  // namespace
+}  // namespace gametrace::stats

@@ -84,5 +84,112 @@ TEST_P(P2Sweep, MatchesExactQuantileOnNormal) {
 
 INSTANTIATE_TEST_SUITE_P(Quantiles, P2Sweep, ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.95));
 
+// ---- Merge order-sensitivity audit ------------------------------------
+//
+// P2Quantile::Merge averages marker heights weighted by sample count.
+// Audit conclusions, pinned by the tests below:
+//   1. A single pairwise merge is SYMMETRIC to the last bit: IEEE
+//      addition and multiplication commute, so A.Merge(B) and B.Merge(A)
+//      compute identical heights (when both sides hold >= 5 samples; a
+//      smaller side is replayed exactly through Add, which is also
+//      symmetric in outcome).
+//   2. A chain of merges is NOT associative: the height averaging
+//      re-weights at each fold, so (A+B)+C and A+(B+C) can differ by
+//      more than rounding. All groupings stay within P2's estimation
+//      error of the true quantile, but they are distinct states.
+//   3. Therefore the fleet's byte-identity guarantee for P2 instruments
+//      rests on the reducer folding shards in FIXED shard order -
+//      which conclusion (1) plus determinism of Add makes reproducible.
+
+std::vector<double> MergeAuditStream(std::uint64_t seed, std::size_t n) {
+  sim::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = sim::Exponential(rng, 0.1);
+  return xs;
+}
+
+TEST(P2Quantile, MergeIsPairwiseSymmetric) {
+  const auto a_samples = MergeAuditStream(61, 400);
+  const auto b_samples = MergeAuditStream(67, 300);
+
+  P2Quantile ab(0.9);
+  P2Quantile ba(0.9);
+  {
+    P2Quantile a(0.9), b(0.9);
+    for (double x : a_samples) a.Add(x);
+    for (double x : b_samples) b.Add(x);
+    ab = a;
+    ab.Merge(b);
+    ba = b;
+    ba.Merge(a);
+  }
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_DOUBLE_EQ(ab.Value(), ba.Value());
+}
+
+TEST(P2Quantile, MergeSmallSideReplaysExactly) {
+  // A side with < 5 samples has no markers yet; Merge must fold it in as
+  // if its samples had been Added directly.
+  const auto big = MergeAuditStream(71, 200);
+  P2Quantile merged(0.5);
+  P2Quantile replayed(0.5);
+  for (double x : big) {
+    merged.Add(x);
+    replayed.Add(x);
+  }
+  P2Quantile tiny(0.5);
+  tiny.Add(42.0);
+  tiny.Add(7.0);
+  tiny.Add(13.0);
+  merged.Merge(tiny);
+  replayed.Add(42.0);
+  replayed.Add(7.0);
+  replayed.Add(13.0);
+  EXPECT_EQ(merged.count(), replayed.count());
+  EXPECT_DOUBLE_EQ(merged.Value(), replayed.Value());
+}
+
+TEST(P2Quantile, MergeFoldIsDeterministicButOrderSensitive) {
+  constexpr std::size_t kShards = 8;
+  const auto xs = MergeAuditStream(73, 8000);
+  const auto shard = [&xs](std::size_t k) {
+    P2Quantile q(0.9);
+    for (std::size_t i = k; i < xs.size(); i += kShards) q.Add(xs[i]);
+    return q;
+  };
+
+  // The fleet's fixed shard-order fold: repeating it reproduces the same
+  // bits every time (this is what the worker-count invariance rides on).
+  const auto fold_forward = [&] {
+    P2Quantile acc = shard(0);
+    for (std::size_t k = 1; k < kShards; ++k) acc.Merge(shard(k));
+    return acc;
+  };
+  const P2Quantile once = fold_forward();
+  const P2Quantile again = fold_forward();
+  EXPECT_EQ(once.count(), again.count());
+  EXPECT_DOUBLE_EQ(once.Value(), again.Value());
+
+  // A pairwise tree (a different grouping of the same shards) generally
+  // lands on a different - but still accurate - estimate. Bound both
+  // against the exact order statistic rather than against each other.
+  std::vector<P2Quantile> tree;
+  for (std::size_t k = 0; k < kShards; ++k) tree.push_back(shard(k));
+  while (tree.size() > 1) {
+    std::vector<P2Quantile> next;
+    for (std::size_t i = 0; i + 1 < tree.size(); i += 2) {
+      tree[i].Merge(tree[i + 1]);
+      next.push_back(tree[i]);
+    }
+    tree = std::move(next);
+  }
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const double exact = sorted[static_cast<std::size_t>(0.9 * (sorted.size() - 1))];
+  EXPECT_EQ(tree.front().count(), xs.size());
+  EXPECT_NEAR(once.Value(), exact, 0.15 * exact);
+  EXPECT_NEAR(tree.front().Value(), exact, 0.15 * exact);
+}
+
 }  // namespace
 }  // namespace gametrace::stats

@@ -164,6 +164,51 @@ class RuleTests(unittest.TestCase):
             """,
             "nondet-iteration")
 
+    def test_nondet_iteration_covers_sketch_and_ring_paths(self):
+        """The streaming-sketch verbs (Quantile/Collapse/Fold/Advance/Push/
+        Evict) are emit paths: hash-order iteration there reaches merged
+        snapshots exactly like it would from a Write or Merge."""
+        for verb in ("Quantile", "CollapseToBound", "FoldInto",
+                     "AdvanceTo", "PushSample", "EvictFront"):
+            self.assertTrue(
+                gt_lint.EMIT_FUNC_RE.match(verb),
+                f"{verb} must be classified as a report/merge/emit path")
+        self.check_fires(
+            "src/stats/sketchy.cc",
+            """
+            #include <unordered_map>
+            struct Sketchy {
+              std::unordered_map<int, double> buckets_;
+              double total = 0;
+              void AdvanceTo() {
+                for (const auto& [k, v] : buckets_) total += v;
+              }
+            };
+            """,
+            "nondet-iteration",
+            clean_variant="""
+            #include <map>
+            struct Sketchy {
+              std::map<int, double> buckets_;
+              double total = 0;
+              void AdvanceTo() {
+                for (const auto& [k, v] : buckets_) total += v;
+              }
+            };
+            """)
+
+    def test_nondet_call_covers_sketch_and_ring_paths(self):
+        self.check_fires(
+            "src/stats/ringy.cc",
+            """
+            #include <ctime>
+            struct Ringy {
+              long stamp = 0;
+              void PushSample() { stamp = time(nullptr); }
+            };
+            """,
+            "nondet-call")
+
     def test_nondet_iteration_sees_members_from_paired_header(self):
         self.tree.write(
             "src/trace/split.h",

@@ -21,7 +21,15 @@ comparison uses machine-independent quantities only:
     must stay under --obs-budget (default 2%) in absolute terms, and
   * the flight-recorder budget: sampling one registry snapshot per
     sim-minute must also stay under --obs-budget relative to the hot-path
-    cost of a paper-scale minute of traffic.
+    cost of a paper-scale minute of traffic,
+  * the streaming-telemetry budget: the active per-record cost of the
+    wired instruments (one tiered-ring point per packet plus the per-
+    client-minute sketch observation) must stay under --obs-budget of the
+    hot-path record budget, and
+  * the flat-memory contract: the telemetry footprint after a 10-hour
+    simulated workload must not exceed the 1-hour footprint - sketches
+    collapse and rings are capacity-pinned, so growth with sim length is
+    an unbounded-memory regression, not noise.
 
 The fleet scaling report (BENCH_fleet.json) is gated too:
 
@@ -264,6 +272,32 @@ def main():
         if not ok:
             failures.append(
                 f"flight sampling overhead {fraction:.4%} exceeds {args.obs_budget:.0%} budget")
+
+    telemetry = fresh.get("telemetry")
+    if telemetry is None:
+        failures.append("fresh run has no 'telemetry' section "
+                        "(sketch/ring overhead and memory unchecked)")
+    else:
+        fraction = telemetry["overhead_fraction"]
+        ok = fraction < args.obs_budget
+        print(f"  telemetry recording overhead: {fraction:.4%} "
+              f"(budget {args.obs_budget:.0%}) {'ok' if ok else 'OVER BUDGET'}")
+        print(f"  telemetry costs: sketch add {telemetry['sketch_add_ns']:.1f} ns, "
+              f"ring add {telemetry['ring_add_ns']:.1f} ns, "
+              f"hurst push {telemetry['hurst_push_ns']:.1f} ns")
+        if not ok:
+            failures.append(
+                f"active telemetry overhead {fraction:.4%} exceeds "
+                f"{args.obs_budget:.0%} budget")
+        mem_1x = telemetry["memory_bytes_1x"]
+        mem_10x = telemetry["memory_bytes_10x"]
+        flat = 0 < mem_10x <= mem_1x
+        print(f"  telemetry footprint: {mem_1x} B @1h sim, {mem_10x} B @10h sim "
+              f"{'ok (flat)' if flat else 'GREW WITH SIM LENGTH'}")
+        if not flat:
+            failures.append(
+                f"telemetry memory grew with sim length ({mem_1x} B @1h -> "
+                f"{mem_10x} B @10h); sketches/rings must be O(1) in packets")
 
     if failures:
         print("bench_compare: FAIL")

@@ -15,6 +15,15 @@ The derived per-minute signals mirror the WatchdogEngine's built-in rules
   nat_pps       d(nat.device.packets)/dt against ~850 pps (Table IV)
   refusals_ps   d(server.connections.refused)/dt against 0.25/s (Table III)
 
+Sketch instruments (quantile sketches in the "sketches" section) expose
+derived per-snapshot columns "<name>.p50" / ".p90" / ".p99"; the built-in
+"client.bandwidth.kbps.p99" column carries the same 56 kbps SLO marker as
+the watchdog's client.bandwidth.p99 rule. Ring instruments (tiered
+time-series in the "rings" section) expose "<name>.hurst" columns and are
+additionally rendered, from the newest snapshot, as one sparkline per ring
+with a '│' at each tier boundary (tiers fine to coarse, each tier
+normalized on its own scale).
+
 Usage:
     flight_view.py flight.jsonl                      # sparklines, key metrics
     flight_view.py flight.jsonl --metrics nat_pps    # one derived signal
@@ -37,16 +46,26 @@ THRESHOLDS = {
     "client_kbps": (56.0, "above"),
     "nat_pps": (850.0, "above"),
     "refusals_ps": (0.25, "above"),
+    "client.bandwidth.kbps.p99": (56.0, "above"),
 }
+
+# Delta-derived signals (everything in THRESHOLDS except sketch columns,
+# which read snapshot state directly).
+DERIVED = {"client_kbps", "nat_pps", "refusals_ps"}
 
 DEFAULT_METRICS = [
     "client_kbps",
+    "client.bandwidth.kbps.p99",
     "nat_pps",
     "refusals_ps",
     "server.active_players",
     "server.packets_emitted",
+    "server.load.pps.hurst",
     "sim.queue.high_water",
 ]
+
+# Sketch/ring column suffixes understood by raw_value().
+SKETCH_FIELDS = ("p50", "p90", "p99", "count", "min", "max")
 
 
 def read_stream(path):
@@ -99,12 +118,23 @@ def raw_value(snapshot, name):
     counters = snapshot["metrics"].get("counters", {})
     if name in counters:
         return float(counters[name])
+    base, _, field = name.rpartition(".")
+    if field in SKETCH_FIELDS:
+        entry = snapshot["metrics"].get("sketches", {}).get(base)
+        if entry is not None:
+            return float(entry.get(field) or 0.0)
+    if field == "hurst":
+        entry = snapshot["metrics"].get("rings", {}).get(base)
+        if entry is not None:
+            hurst = entry.get("hurst") or {}
+            # null until enough scales resolve; plot as 0 rather than a gap.
+            return float(hurst.get("estimate") or 0.0)
     return gauge(snapshot, name)
 
 
 def derive_series(snapshots, name):
     """Returns the per-snapshot values of `name` (raw or derived)."""
-    if name not in THRESHOLDS:
+    if name not in DERIVED:
         return [raw_value(s, name) for s in snapshots]
     values = []
     prev_t, prev = 0.0, None
@@ -138,6 +168,8 @@ def threshold_for(name):
 
 
 def sparkline(values):
+    if not values:
+        return ""
     lo, hi = min(values), max(values)
     if hi == lo:
         return BLOCKS[0] * len(values)
@@ -151,6 +183,57 @@ def overlay(values, threshold, direction):
         breached = v > threshold if direction == "above" else v < threshold
         marks.append("!" if breached else " ")
     return "".join(marks)
+
+
+def format_interval(seconds):
+    if seconds >= 3600:
+        return f"{seconds / 3600:g}h"
+    if seconds >= 60:
+        return f"{seconds / 60:g}m"
+    return f"{seconds:g}s"
+
+
+def print_instruments(snapshot):
+    """Renders the newest snapshot's sketches and rings.
+
+    Rings draw one sparkline per ring, tiers fine to coarse separated by
+    '│', each tier normalized on its own scale (a 50 ms bin and an hourly
+    bin share no meaningful y-axis).
+    """
+    sketches = snapshot["metrics"].get("sketches", {})
+    if sketches:
+        print("sketches (newest snapshot):")
+        width = max(len(n) for n in sketches)
+        for name in sorted(sketches):
+            entry = sketches[name]
+            print(f"  {name:<{width}}  "
+                  f"p50 {entry.get('p50', 0) or 0:g}  "
+                  f"p90 {entry.get('p90', 0) or 0:g}  "
+                  f"p99 {entry.get('p99', 0) or 0:g}  "
+                  f"n {int(entry.get('count', 0))}  "
+                  f"min {entry.get('min', 0) or 0:g}  "
+                  f"max {entry.get('max', 0) or 0:g}")
+    rings = snapshot["metrics"].get("rings", {})
+    if rings:
+        print("rings (newest snapshot, tiers fine→coarse, '│' = tier boundary):")
+        width = max(len(n) for n in rings)
+        for name in sorted(rings):
+            entry = rings[name]
+            segments = []
+            labels = []
+            for tier in entry.get("tiers", []):
+                values = tier.get("values") or tier.get("recent") or []
+                segments.append(sparkline(values))
+                labels.append(format_interval(tier.get("interval", 0)))
+            line = "│".join(s for s in segments if s)
+            stats = "tiers " + "/".join(labels)
+            hurst = (entry.get("hurst") or {}).get("estimate")
+            if hurst is not None:
+                stats += f"  hurst {hurst:.3f}"
+            dropped = entry.get("dropped_late", 0)
+            if dropped:
+                stats += f"  dropped_late {int(dropped)}"
+            print(f"  {name:<{width}}  {line}  {stats}")
 
 
 def print_sparklines(snapshots, names, alerts):
@@ -170,6 +253,7 @@ def print_sparklines(snapshots, names, alerts):
             marks = overlay(values, threshold, direction)
             if "!" in marks:
                 print(f"  {'':<{label_width}}  {marks}  breached samples")
+    print_instruments(snapshots[-1])
     if alerts:
         print(f"{len(alerts)} alert(s):")
         for alert in alerts:
@@ -201,8 +285,12 @@ def main():
     if args.metrics is not None:
         names = args.metrics
     else:
-        present = set(snapshots[-1]["metrics"].get("counters", {}))
-        present |= set(snapshots[-1]["metrics"].get("gauges", {}))
+        newest = snapshots[-1]["metrics"]
+        present = set(newest.get("counters", {}))
+        present |= set(newest.get("gauges", {}))
+        for name in newest.get("sketches", {}):
+            present |= {f"{name}.{field}" for field in SKETCH_FIELDS}
+        present |= {f"{name}.hurst" for name in newest.get("rings", {})}
         names = [n for n in DEFAULT_METRICS if n in present or n in THRESHOLDS]
     alerts = read_alerts(args.alerts) if args.alerts else []
 

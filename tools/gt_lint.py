@@ -69,10 +69,15 @@ RULES = ("nondet-call", "nondet-iteration", "sink-tier", "raw-contract", "raw-mu
 # Directories whose merge/emit paths must be deterministic.
 DETERMINISM_DIRS = ("src/core", "src/stats", "src/trace", "src/obs")
 
-# Function names that constitute report/merge/emit paths.
+# Function names that constitute report/merge/emit paths. The second
+# alternation row covers the streaming-sketch subsystem (quantile sketch
+# collapse, tiered-ring fold/advance, online-Hurst push): those paths feed
+# merged snapshots directly, so hash-order or wall-clock reads there break
+# worker-count invariance just as surely as in a Write/Merge.
 EMIT_FUNC_RE = re.compile(
     r"^(Merge\w*|Finish\w*|Estimate\w*|Report\w*|Write\w*|Append\w*|To[A-Z]\w*|"
-    r"Emit\w*|Dump\w*|Export\w*|Serialize\w*|Flush\w*)$"
+    r"Emit\w*|Dump\w*|Export\w*|Serialize\w*|Flush\w*|"
+    r"Quantile\w*|Collapse\w*|Fold\w*|Advance\w*|Push\w*|Evict\w*)$"
 )
 
 # Calls that read nondeterministic state. Matched as call expressions
