@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -851,6 +852,8 @@ void WriteFleetScalingJson(const std::string& path) {
   std::string baseline_metrics;
   bool deterministic = true;
   std::uint64_t total_packets = 0;
+  double wall_by_workers[4] = {0.0, 0.0, 0.0, 0.0};
+  int point = 0;
   for (const int workers : worker_counts) {
     // Best-of-reps: every repetition runs the identical deterministic
     // fleet, so the minimum wall time is the least-contended measurement
@@ -908,8 +911,74 @@ void WriteFleetScalingJson(const std::string& path) {
         << ", \"peak_live_units\": " << sched_peak_live << "}";
     std::cerr << "fleet scaling: " << workers << " worker(s) -> " << pps << " packets/s ("
               << speedup << "x, " << best_steals << " steals, best of " << reps << ")\n";
+    wall_by_workers[point++] = best_wall;
   }
+
+  // Price the scheduler timeline (FleetSchedule::trace) against the
+  // untraced sweep point at the same worker count: the overhead fraction
+  // is what bench_compare.py holds under the observability budget. The
+  // traced run's artifacts - the Perfetto-openable worker timeline and
+  // the critical-path report - are written next to the bench JSON, and
+  // its merged metrics join the cross-worker byte-compare so tracing is
+  // re-proven inert on every run.
+  int traced_workers = worker_counts[0];
+  double traced_wall_off = wall_by_workers[0];
+  for (int i = 0; i < point; ++i) {
+    if (worker_counts[i] <= std::max(1, available_cores)) {
+      traced_workers = worker_counts[i];
+      traced_wall_off = wall_by_workers[i];
+    }
+  }
+  double traced_wall = 0.0;
+  std::uint64_t timeline_events = 0;
+  std::uint64_t timeline_dropped = 0;
+  double max_component_error = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto config = core::FleetConfig::Scaled(servers, duration);
+    config.threads = traced_workers;
+    config.base_seed = kSeed;
+    config.schedule.trace = true;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = core::RunFleet(config);
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+    if (rep == 0 || wall.count() < traced_wall) traced_wall = wall.count();
+    if (result.metrics.ToJson() != baseline_metrics) deterministic = false;
+    timeline_events = result.sched_trace.size();
+    timeline_dropped = result.sched_trace.dropped();
+    for (const obs::SchedReport::Worker& w : result.sched_report.per_worker) {
+      const double span = static_cast<double>(w.span_ns);
+      const double sum = static_cast<double>(w.work_ns + w.steal_ns + w.stall_ns +
+                                             w.merge_ns + w.idle_ns);
+      if (span > 0.0) {
+        max_component_error = std::max(max_component_error, std::abs(sum - span) / span);
+      }
+    }
+    if (rep == 0) {
+      std::ofstream timeline("FLEET_timeline.json");
+      result.sched_trace.WriteJson(timeline);
+      std::ofstream report("FLEET_sched_report.json");
+      result.sched_report.WriteJson(report);
+      std::cerr << (timeline && report
+                        ? "wrote FLEET_timeline.json, FLEET_sched_report.json\n"
+                        : "error: could not write fleet timeline artifacts\n");
+    }
+  }
+  const double overhead = traced_wall_off > 0.0
+                              ? std::max(0.0, (traced_wall - traced_wall_off) / traced_wall_off)
+                              : 0.0;
+  std::cerr << "fleet sched-trace: " << traced_workers << " worker(s), off " << traced_wall_off
+            << " s vs on " << traced_wall << " s -> overhead " << overhead * 100.0 << "%\n";
+
   out << "\n  ],\n"
+      << "  \"sched_trace\": {\"workers\": " << traced_workers
+      << ", \"wall_seconds_off\": " << traced_wall_off
+      << ", \"wall_seconds_on\": " << traced_wall
+      << ", \"overhead_fraction\": " << overhead
+      << ", \"timeline_events\": " << timeline_events
+      << ", \"timeline_dropped\": " << timeline_dropped
+      << ", \"max_component_error\": " << max_component_error
+      << ", \"components_sum_ok\": " << (max_component_error <= 0.01 ? "true" : "false")
+      << "},\n"
       << "  \"packets_per_run\": " << total_packets << ",\n"
       << "  \"max_workers\": 8,\n"
       << "  \"speedup_at_max_workers\": " << last_speedup << ",\n"

@@ -6,11 +6,14 @@
 //   gtrace_tool sessions <trace.gtr|trace.pcap> [top_n]
 //   gtrace_tool hurst <trace.gtr|trace.pcap>
 //   gtrace_tool loss <trace.gtr|trace.pcap>
+//   gtrace_tool fleet <shards> [seconds] [workers] [seed]
 //
 // Any command additionally accepts the shared observability flags (see
 // src/obs/exporter.h): --metrics-out=<json>, --trace-out=<json>,
 // --flight-out=<jsonl>, --alerts-out=<jsonl>, --prom-out=<txt>,
-// --flight-sample=<seconds> and --flight-dump=<json>.
+// --sched-metrics-out=<json>, --sched-report-out=<json>,
+// --sched-trace-out=<json>, --flight-sample=<seconds> and
+// --flight-dump=<json>.
 //
 // Works on traces produced by this toolkit or any UDP/IPv4 pcap whose
 // server endpoint matches the default (192.168.0.10:27015).
@@ -22,6 +25,7 @@
 
 #include "core/characterizer.h"
 #include "core/experiment.h"
+#include "core/fleet.h"
 #include "core/report.h"
 #include "game/config.h"
 #include "net/pcap.h"
@@ -176,20 +180,59 @@ int Loss(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Runs a traced fleet and prints the critical-path summary; the sched
+// export flags (--sched-*-out) turn the run's diagnostic channel into
+// files fleet_view.py / Perfetto can open.
+int Fleet(const std::vector<std::string>& args, obs::ExportSession& session) {
+  const int shards = std::stoi(args.at(0));
+  const double seconds = args.size() > 1 ? std::stod(args[1]) : 120.0;
+  core::FleetConfig config = core::FleetConfig::Scaled(shards, seconds);
+  if (args.size() > 2) config.threads = std::stoi(args[2]);
+  if (args.size() > 3) config.base_seed = std::stoull(args[3]);
+  config.schedule.trace = true;
+  const core::FleetResult result = core::RunFleet(config);
+  session.RecordScheduler(result.scheduler_metrics, result.sched_report, result.sched_trace);
+
+  const obs::SchedReport& report = result.sched_report;
+  std::cout << "fleet: " << shards << " shards x " << core::FormatDouble(seconds, 0)
+            << " s on " << result.threads_used << " workers, "
+            << core::FormatCount(result.total_packets) << " packets\n"
+            << "  makespan   " << core::FormatDouble(report.makespan_ns * 1e-9, 3) << " s\n"
+            << "  imbalance  " << core::FormatDouble(report.imbalance_ratio, 3)
+            << "  admission-stall " << core::FormatDouble(report.admission_stall_fraction, 3)
+            << "\n";
+  for (const obs::SchedReport::Worker& w : report.per_worker) {
+    std::cout << "  worker " << w.worker << ": busy "
+              << core::FormatDouble(w.busy_ratio * 100.0, 1) << "%  units " << w.units
+              << "  shards " << w.shards << "  steals " << w.steals << "\n";
+  }
+  for (const obs::Alert& alert : report.alerts) {
+    std::cout << "  ALERT " << alert.rule << ": "
+              << core::FormatDouble(alert.value, 3) << " vs "
+              << core::FormatDouble(alert.threshold, 3) << "\n";
+  }
+  return 0;
+}
+
 void Usage() {
-  std::cerr << "usage: gtrace_tool <generate|summarize|convert|sessions|hurst|loss> <args>\n"
+  std::cerr << "usage: gtrace_tool <generate|summarize|convert|sessions|hurst|loss|fleet> "
+               "<args>\n"
                "  generate  <out.gtr|out.pcap> [seconds] [seed]\n"
                "  summarize <trace>\n"
                "  convert   <in> <out>\n"
                "  sessions  <trace> [top_n]\n"
                "  hurst     <trace>\n"
                "  loss      <trace>\n"
+               "  fleet     <shards> [seconds] [workers] [seed]\n"
                "options (any command):\n"
                "  --metrics-out=<json>    write a metrics + profiling snapshot\n"
                "  --trace-out=<json>      write sim-time spans (Chrome trace_event)\n"
                "  --flight-out=<jsonl>    write the flight-recorder snapshot stream\n"
                "  --alerts-out=<jsonl>    write watchdog SLO alerts\n"
                "  --prom-out=<txt>        write Prometheus text exposition\n"
+               "  --sched-metrics-out=<json>  write fleet scheduler metrics (fleet cmd)\n"
+               "  --sched-report-out=<json>   write the fleet critical-path report\n"
+               "  --sched-trace-out=<json>    write the fleet worker timeline\n"
                "  --flight-sample=<s>     sim-seconds between snapshots (default 60)\n"
                "  --flight-dump=<json>    black-box path (default flight_dump.json)\n";
 }
@@ -227,6 +270,8 @@ int main(int argc, char** argv) {
       status = Hurst(args);
     } else if (command == "loss") {
       status = Loss(args);
+    } else if (command == "fleet") {
+      status = Fleet(args, obs_session);
     } else {
       known = false;
     }

@@ -52,13 +52,32 @@ struct UnitResult {
 };
 
 // Per-worker scheduler telemetry, written by exactly one worker thread and
-// read after the join.
+// read after the join. The _ns components are disjoint slices of the
+// worker's lifetime (span_ns); BuildSchedReport derives the residual idle
+// term, so the decomposition always sums to the measured span exactly.
 struct WorkerTelemetry {
   std::uint64_t steals = 0;
-  std::uint64_t idle_ns = 0;
+  std::uint64_t work_ns = 0;   // executing unit shards
+  std::uint64_t steal_ns = 0;  // scanning peer queues (hit or miss)
+  std::uint64_t stall_ns = 0;  // blocked on the reduction admission window
+  std::uint64_t merge_ns = 0;  // inside Commit (parking + cursor folds)
+  std::uint64_t span_ns = 0;   // worker start to worker exit
   std::uint64_t shards_run = 0;
   std::uint64_t units_run = 0;
+  std::vector<std::uint64_t> steal_hits;     // per-victim successful steals
+  std::vector<obs::SchedUnitSample> units;   // one record per executed unit
 };
+
+// Wall-clock for the scheduler's diagnostic channel. steady_clock by
+// contract: spans must be monotone within a worker track, and the
+// diagnostic channel is exempt from the determinism lint that bans clocks
+// in merge paths (nothing here ever reaches a merged surface).
+using SchedClock = std::chrono::steady_clock;
+
+std::uint64_t NsBetween(SchedClock::time_point t0, SchedClock::time_point t1) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
 
 // One work-stealing deque. Units are dealt round-robin, so every queue
 // holds an ascending sequence and queue k's front is the lowest unclaimed
@@ -100,20 +119,17 @@ class StreamingReduction {
   // Admission: holds the *claimed* unit until it fits the live window.
   // Waiting here (not before claiming) is what bounds memory - the unit's
   // results do not exist yet. Returns false if the run failed while
-  // waiting; accumulates any blocked time into `idle_ns`.
-  [[nodiscard]] bool Admit(int unit, std::uint64_t& idle_ns) GT_EXCLUDES(m_) {
+  // waiting; accumulates any blocked time into `stall_ns`.
+  [[nodiscard]] bool Admit(int unit, std::uint64_t& stall_ns) GT_EXCLUDES(m_) {
     const core::MutexLock lock(m_);
     if (unit >= cursor_ + window_units_ && !failed_.load(std::memory_order_relaxed)) {
-      const auto wait_start = std::chrono::steady_clock::now();
+      const auto wait_start = SchedClock::now();
       // Guarded predicate spelled as an explicit loop: a wait lambda would
       // read cursor_ outside any annotated scope (see CondVar::Wait note).
       while (!failed_.load(std::memory_order_relaxed) && unit >= cursor_ + window_units_) {
         admission_cv_.Wait(m_);
       }
-      idle_ns += static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - wait_start)
-              .count());
+      stall_ns += NsBetween(wait_start, SchedClock::now());
     }
     if (failed_.load(std::memory_order_relaxed)) return false;
     ++live_units_;
@@ -124,10 +140,13 @@ class StreamingReduction {
   // Parks the completed unit, then drains every consecutive ready unit
   // starting at the cursor. Whichever worker completes the missing unit
   // performs the whole run of merges; the fold order is the unit order
-  // (hence the server order), never the completion order.
-  void Commit(int unit, UnitResult&& result) GT_EXCLUDES(m_) {
+  // (hence the server order), never the completion order. Returns how
+  // many units this call folded (0 = parked only), for the merge span's
+  // label and the reconciliation tests.
+  int Commit(int unit, UnitResult&& result) GT_EXCLUDES(m_) {
     const core::MutexLock lock(m_);
     parked_[static_cast<std::size_t>(unit % window_units_)] = std::move(result);
+    int folded = 0;
     while (parked_[static_cast<std::size_t>(cursor_ % window_units_)].has_value()) {
       UnitResult ready =
           std::move(*parked_[static_cast<std::size_t>(cursor_ % window_units_)]);
@@ -136,8 +155,10 @@ class StreamingReduction {
       ++cursor_;
       --live_units_;
       ++merged_units_;
+      ++folded;
     }
     admission_cv_.NotifyAll();
+    return folded;
   }
 
   // Records the first error and poisons the admission window.
@@ -349,6 +370,24 @@ FleetResult RunFleet(const FleetConfig& config) {
 
   std::vector<WorkerTelemetry> telemetry(static_cast<std::size_t>(workers));
 
+  // ---- Scheduler timeline (diagnostic channel) ---------------------------
+  // One bounded track per worker, pid = worker index. Each worker writes
+  // only its own track (no locking, like telemetry), and all spans share
+  // one epoch so the tracks line up on a common wall-clock axis. Nothing
+  // recorded here ever reaches the merged surfaces.
+  const bool sched_tracing = config.schedule.trace;
+  const SchedClock::time_point sched_epoch = SchedClock::now();
+  std::vector<obs::TraceLog> sched_tracks;
+  if (sched_tracing) {
+    sched_tracks.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      sched_tracks.emplace_back(/*pid=*/w, config.schedule.trace_max_events_per_worker);
+    }
+  }
+  const auto sched_s = [sched_epoch](SchedClock::time_point t) {
+    return std::chrono::duration<double>(t - sched_epoch).count();
+  };
+
   // ---- One shard, exactly as a standalone run would execute it -----------
   auto run_server = [&](int server) {
     ServerResult r;
@@ -394,9 +433,7 @@ FleetResult RunFleet(const FleetConfig& config) {
     return r;
   };
 
-  auto worker_main = [&](int w) {
-    if (config.schedule.pin_threads) PinThreadToCore(w);
-    WorkerTelemetry& tele = telemetry[static_cast<std::size_t>(w)];
+  auto worker_loop = [&](int w, WorkerTelemetry& tele, obs::TraceLog* track) {
     WorkerQueue& own = queues[static_cast<std::size_t>(w)];
     for (;;) {
       if (reduction.Failed()) return;
@@ -414,6 +451,8 @@ FleetResult RunFleet(const FleetConfig& config) {
       }
       if (unit < 0 && config.schedule.steal && workers > 1) {
         GT_PROF_SCOPE("core.fleet.steal");
+        const auto scan_start = SchedClock::now();
+        int victim_hit = -1;
         for (;;) {
           int victim = -1;
           std::size_t victim_backlog = 0;
@@ -433,17 +472,38 @@ FleetResult RunFleet(const FleetConfig& config) {
           unit = chosen.q.back();
           chosen.q.pop_back();
           ++tele.steals;
+          ++tele.steal_hits[static_cast<std::size_t>(victim)];
+          victim_hit = victim;
           break;
+        }
+        const auto scan_end = SchedClock::now();
+        tele.steal_ns += NsBetween(scan_start, scan_end);
+        if (track != nullptr) {
+          track->Complete(victim_hit >= 0 ? "steal hit w" + std::to_string(victim_hit)
+                                          : std::string("steal miss"),
+                          "steal", sched_s(scan_start), sched_s(scan_end));
         }
       }
       if (unit < 0) return;
 
-      if (!reduction.Admit(unit, tele.idle_ns)) return;
+      {
+        const auto admit_start = SchedClock::now();
+        const std::uint64_t stall_before = tele.stall_ns;
+        const bool admitted = reduction.Admit(unit, tele.stall_ns);
+        // Only a *blocked* admission gets a span; an uncontended Admit is
+        // a lock acquisition, not a schedulable interval.
+        if (track != nullptr && tele.stall_ns > stall_before) {
+          track->Complete("admit " + std::to_string(unit), "admit", sched_s(admit_start),
+                          sched_s(SchedClock::now()));
+        }
+        if (!admitted) return;
+      }
 
       // Run every shard of the unit sequentially on this worker.
       UnitResult unit_result;
       unit_result.first_server = unit * unit_size;
       const int last_server = std::min(servers, unit_result.first_server + unit_size);
+      const auto unit_start = SchedClock::now();
       try {
         unit_result.servers.reserve(
             static_cast<std::size_t>(last_server - unit_result.first_server));
@@ -455,9 +515,49 @@ FleetResult RunFleet(const FleetConfig& config) {
         reduction.Poison(std::current_exception());
         return;
       }
+      const auto unit_end = SchedClock::now();
+      const std::uint64_t unit_ns = NsBetween(unit_start, unit_end);
+      tele.work_ns += unit_ns;
       ++tele.units_run;
+      tele.units.push_back(obs::SchedUnitSample{
+          .unit = unit,
+          .worker = w,
+          .first_shard = unit_result.first_server,
+          .shard_count = last_server - unit_result.first_server,
+          .dur_ns = unit_ns,
+      });
+      if (track != nullptr) {
+        track->Complete("unit " + std::to_string(unit) + " [" +
+                            std::to_string(unit_result.first_server) + "," +
+                            std::to_string(last_server) + ")",
+                        "unit", sched_s(unit_start), sched_s(unit_end));
+      }
 
-      reduction.Commit(unit, std::move(unit_result));
+      const auto commit_start = SchedClock::now();
+      const int folded = reduction.Commit(unit, std::move(unit_result));
+      const auto commit_end = SchedClock::now();
+      tele.merge_ns += NsBetween(commit_start, commit_end);
+      if (track != nullptr) {
+        track->Complete("merge x" + std::to_string(folded), "merge", sched_s(commit_start),
+                        sched_s(commit_end));
+      }
+    }
+  };
+
+  auto worker_main = [&](int w) {
+    if (config.schedule.pin_threads) PinThreadToCore(w);
+    WorkerTelemetry& tele = telemetry[static_cast<std::size_t>(w)];
+    tele.steal_hits.assign(static_cast<std::size_t>(workers), 0);
+    obs::TraceLog* track =
+        sched_tracing ? &sched_tracks[static_cast<std::size_t>(w)] : nullptr;
+    const auto start = SchedClock::now();
+    worker_loop(w, tele, track);
+    const auto end = SchedClock::now();
+    tele.span_ns = NsBetween(start, end);
+    // The lifetime span is recorded last; a track saturated by inner spans
+    // would drop it, which the merged dropped count makes visible.
+    if (track != nullptr) {
+      track->Complete("worker " + std::to_string(w), "worker", sched_s(start), sched_s(end));
     }
   };
 
@@ -482,7 +582,9 @@ FleetResult RunFleet(const FleetConfig& config) {
                      .metrics = std::move(harvest.metrics),
                      .trace_log = std::move(harvest.trace),
                      .recorder = std::move(harvest.recorder),
-                     .scheduler_metrics = {}};
+                     .scheduler_metrics = {},
+                     .sched_report = {},
+                     .sched_trace = obs::TraceLog()};
   // Bounded-buffer trace loss would otherwise be invisible in the merged
   // registry: the per-shard drop counts only live inside the TraceLog.
   result.metrics.counter("obs.trace.dropped_events").Add(result.trace_log.dropped());
@@ -498,13 +600,56 @@ FleetResult RunFleet(const FleetConfig& config) {
   sched.gauge("fleet.scheduler.peak_live_units", obs::Gauge::MergeMode::kMax)
       .Set(static_cast<double>(harvest.peak_live_units));
   sched.counter("fleet.scheduler.merged_units").Add(harvest.merged_units);
-  for (int w = 0; w < workers; ++w) {
-    const std::string prefix = "fleet.worker." + std::to_string(w);
-    const WorkerTelemetry& tele = telemetry[static_cast<std::size_t>(w)];
-    sched.counter(prefix + ".steals").Add(tele.steals);
-    sched.counter(prefix + ".idle_ns").Add(tele.idle_ns);
-    sched.counter(prefix + ".shards_run").Add(tele.shards_run);
-    sched.counter(prefix + ".units_run").Add(tele.units_run);
+
+  // Critical-path attribution: fold the per-worker measurements and unit
+  // records into the report, then mirror them as fleet.worker.<w> counters
+  // (idle_ns is the report's residual term, so the per-worker counters sum
+  // to span_ns exactly).
+  std::vector<obs::SchedWorkerSample> worker_samples;
+  worker_samples.reserve(static_cast<std::size_t>(workers));
+  std::vector<obs::SchedUnitSample> unit_samples;
+  unit_samples.reserve(static_cast<std::size_t>(units));
+  for (const WorkerTelemetry& tele : telemetry) {
+    worker_samples.push_back(obs::SchedWorkerSample{
+        .span_ns = tele.span_ns,
+        .work_ns = tele.work_ns,
+        .steal_ns = tele.steal_ns,
+        .stall_ns = tele.stall_ns,
+        .merge_ns = tele.merge_ns,
+        .units = tele.units_run,
+        .shards = tele.shards_run,
+        .steals = tele.steals,
+        .steal_hits = tele.steal_hits,
+    });
+    unit_samples.insert(unit_samples.end(), tele.units.begin(), tele.units.end());
+  }
+  result.sched_report = obs::BuildSchedReport(worker_samples, unit_samples);
+  result.sched_report.DumpInto(sched);
+  for (const obs::SchedReport::Worker& w : result.sched_report.per_worker) {
+    const std::string prefix = "fleet.worker." + std::to_string(w.worker);
+    sched.counter(prefix + ".steals").Add(w.steals);
+    sched.counter(prefix + ".work_ns").Add(w.work_ns);
+    sched.counter(prefix + ".steal_ns").Add(w.steal_ns);
+    sched.counter(prefix + ".admission_stall_ns").Add(w.stall_ns);
+    sched.counter(prefix + ".merge_ns").Add(w.merge_ns);
+    sched.counter(prefix + ".idle_ns").Add(w.idle_ns);
+    sched.counter(prefix + ".span_ns").Add(w.span_ns);
+    sched.counter(prefix + ".shards_run").Add(w.shards);
+    sched.counter(prefix + ".units_run").Add(w.units);
+  }
+
+  // The worker timeline: per-worker tracks merged into one log, each
+  // event keeping its worker as the pid, so Perfetto renders one lane per
+  // worker. Bounded end to end - the merged cap is the sum of the
+  // per-worker caps, so Merge itself never drops.
+  if (sched_tracing) {
+    result.sched_trace = obs::TraceLog(
+        /*pid=*/0, config.schedule.trace_max_events_per_worker *
+                           static_cast<std::size_t>(workers) +
+                       static_cast<std::size_t>(workers));
+    for (obs::TraceLog& track : sched_tracks) {
+      result.sched_trace.Merge(std::move(track));
+    }
   }
 
   // Flow into the caller's ambient context too, so a bound --metrics-out /

@@ -37,6 +37,7 @@
 #include "game/config.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/sched_report.h"
 #include "obs/trace_log.h"
 
 namespace gametrace::core {
@@ -60,6 +61,18 @@ struct FleetSchedule {
   // Pin worker w to CPU w % hardware_concurrency (Linux only; elsewhere a
   // no-op). Off by default: helps dedicated boxes, hurts shared CI.
   bool pin_threads = false;
+  // Scheduler timeline tracing: record every unit execution (with its
+  // shard range), steal scan (victim + hit/miss), admission-window wait
+  // and merge-cursor fold as wall-clock spans, one TraceLog track per
+  // worker (FleetResult::sched_trace, pid = worker index) - a fleet run
+  // opens in Perfetto as a worker timeline. Diagnostic channel: spans are
+  // wall-clock- and worker-count-dependent and never touch the merged
+  // surfaces. Off by default; the per-worker counters and the
+  // critical-path report are measured either way.
+  bool trace = false;
+  // Per-worker event cap for the scheduler timeline; past it the track
+  // counts drops (TraceLog::dropped) instead of growing.
+  std::size_t trace_max_events_per_worker = 1u << 16;
 };
 
 struct FleetConfig {
@@ -121,12 +134,24 @@ struct FleetResult {
   // sampling grid every shard follows). Byte-identical JSONL at any worker
   // count, like `metrics`.
   obs::FlightRecorder recorder;
-  // Scheduler telemetry: fleet.worker.<i>.{steals,idle_ns,shards_run,
-  // units_run} counters plus fleet.scheduler.{units,unit_size,window,
-  // workers,merged_units,peak_live_units}. Worker-count-DEPENDENT by
-  // nature, so it lives here - never in `metrics`, the flight stream or
-  // the ambient context, which stay bit-identical across worker counts.
+  // Scheduler telemetry: fleet.worker.<i>.{steals,work_ns,steal_ns,
+  // admission_stall_ns,merge_ns,span_ns,idle_ns,shards_run,units_run}
+  // counters, fleet.scheduler.{units,unit_size,window,workers,
+  // merged_units,peak_live_units}, and the fleet.critpath.* gauges the
+  // sched report dumps. Worker-count-DEPENDENT by nature, so it lives
+  // here - never in `metrics`, the flight stream or the ambient context,
+  // which stay bit-identical across worker counts (the diagnostic-channel
+  // exemption DESIGN.md "Fleet scheduling" documents).
   obs::MetricsRegistry scheduler_metrics;
+  // Critical-path attribution built from the same measurements: per-worker
+  // work/steal/stall/merge/idle decomposition (components sum to each
+  // worker's span exactly), top-k straggler units, steal matrix,
+  // imbalance ratio and scheduler SLO alerts. Always populated.
+  obs::SchedReport sched_report;
+  // The worker timeline (empty unless schedule.trace): per-worker span
+  // tracks on the wall-clock axis, pid = worker index, Perfetto-openable
+  // via TraceLog::WriteJson. Same diagnostic channel as the above.
+  obs::TraceLog sched_trace;
 };
 
 // Runs every shard's RunServerTrace on the work-stealing worker pool and

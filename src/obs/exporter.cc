@@ -112,6 +112,9 @@ bool ExportOptions::TryParseFlag(std::string_view arg) {
   if (ParseStringFlag(arg, "--flight-out=", flight_path)) return true;
   if (ParseStringFlag(arg, "--alerts-out=", alerts_path)) return true;
   if (ParseStringFlag(arg, "--prom-out=", prom_path)) return true;
+  if (ParseStringFlag(arg, "--sched-metrics-out=", sched_metrics_path)) return true;
+  if (ParseStringFlag(arg, "--sched-report-out=", sched_report_path)) return true;
+  if (ParseStringFlag(arg, "--sched-trace-out=", sched_trace_path)) return true;
   if (ParseStringFlag(arg, "--flight-dump=", dump_path)) return true;
   if (arg.starts_with("--flight-sample=")) {
     return ParsePositiveSeconds(arg.substr(16), sample_period_seconds);
@@ -131,6 +134,9 @@ void ExportOptions::ApplyEnvDefaults() {
   EnvDefault("GAMETRACE_FLIGHT_OUT", flight_path);
   EnvDefault("GAMETRACE_ALERTS_OUT", alerts_path);
   EnvDefault("GAMETRACE_PROM_OUT", prom_path);
+  EnvDefault("GAMETRACE_SCHED_METRICS_OUT", sched_metrics_path);
+  EnvDefault("GAMETRACE_SCHED_REPORT_OUT", sched_report_path);
+  EnvDefault("GAMETRACE_SCHED_TRACE_OUT", sched_trace_path);
   if (dump_path == ExportOptions{}.dump_path) {
     // NOLINTNEXTLINE(concurrency-mt-unsafe): startup-only, single-threaded
     if (const char* env = std::getenv("GAMETRACE_FLIGHT_DUMP")) dump_path = env;
@@ -210,6 +216,15 @@ ExportSession::ExportSession(int argc, char** argv) : ExportSession(OptionsFromA
 
 ExportSession::~ExportSession() { Finish(); }
 
+void ExportSession::RecordScheduler(const MetricsRegistry& scheduler_metrics,
+                                    const SchedReport& report, const TraceLog& sched_trace) {
+  if (!binding_.has_value()) return;
+  has_scheduler_ = true;
+  sched_metrics_ = scheduler_metrics;
+  sched_report_ = report;
+  sched_trace_ = sched_trace;
+}
+
 int ExportSession::Finish() {
   if (!binding_.has_value() || finished_) return 0;
   finished_ = true;
@@ -253,8 +268,19 @@ int ExportSession::Finish() {
   write_file(options_.trace_path, trace_.ToJson(), "trace");
   write_file(options_.flight_path, recorder_.ToJsonl(), "flight snapshots");
   write_file(options_.alerts_path, watchdog_.ToJsonl(), "alerts");
-  // Last, so the text includes the profiling and alert counters.
-  write_file(options_.prom_path, ToPrometheusText(metrics_), "prometheus metrics");
+  // The scheduler diagnostic channel: written even when no fleet ran (an
+  // empty registry / report / trace), so a requested path never silently
+  // stays absent.
+  write_file(options_.sched_metrics_path, sched_metrics_.ToJson(), "scheduler metrics");
+  write_file(options_.sched_report_path, sched_report_.ToJson(), "scheduler report");
+  write_file(options_.sched_trace_path, sched_trace_.ToJson(), "scheduler timeline");
+  // Last, so the text includes the profiling and alert counters. The
+  // scheduler registry joins the exposition here (and only here): its
+  // fleet.worker.<w>.* names become gametrace_fleet_* families with a
+  // worker label, and the deterministic --metrics-out stays untouched.
+  std::string prom_text = ToPrometheusText(metrics_);
+  if (has_scheduler_) prom_text += ToPrometheusText(sched_metrics_);
+  write_file(options_.prom_path, prom_text, "prometheus metrics");
 
   dump_guard_.reset();
   return status;

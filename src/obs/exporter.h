@@ -18,6 +18,15 @@
 //   --prom-out=<txt>        GAMETRACE_PROM_OUT      Prometheus text
 //   --flight-sample=<s>     GAMETRACE_FLIGHT_SAMPLE sampling period
 //   --flight-dump=<json>    GAMETRACE_FLIGHT_DUMP   black-box path
+//   --sched-metrics-out=<json>
+//                           GAMETRACE_SCHED_METRICS_OUT
+//                           fleet scheduler metrics (diagnostic channel)
+//   --sched-report-out=<json>
+//                           GAMETRACE_SCHED_REPORT_OUT
+//                           fleet critical-path report
+//   --sched-trace-out=<json>
+//                           GAMETRACE_SCHED_TRACE_OUT
+//                           fleet worker timeline (Chrome trace_event)
 //   --quantile-slo=<metric>,<q>,<limit>
 //                           GAMETRACE_QUANTILE_SLO  extra watchdog rule:
 //                           alert when quantile q of sketch <metric>
@@ -44,6 +53,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/sched_report.h"
 #include "obs/trace_log.h"
 #include "obs/watchdog.h"
 
@@ -55,6 +65,13 @@ struct ExportOptions {
   std::string flight_path;
   std::string alerts_path;
   std::string prom_path;
+  // Scheduler diagnostic channel (FleetResult::scheduler_metrics /
+  // sched_report / sched_trace, handed over via RecordScheduler). Written
+  // as separate files: the channel is worker-count-dependent, so it never
+  // mixes into the byte-identical --metrics-out / --trace-out surfaces.
+  std::string sched_metrics_path;
+  std::string sched_report_path;
+  std::string sched_trace_path;
   // Where a GT_CHECK violation or DumpFlightNow writes the black box while
   // the session is active.
   std::string dump_path = "flight_dump.json";
@@ -72,11 +89,12 @@ struct ExportOptions {
   // variable. Call after the flag loop so flags win.
   void ApplyEnvDefaults();
 
-  // True when any of the five output files was requested (the dump path
-  // alone does not activate a session - it only matters once one is).
+  // True when any output file was requested (the dump path alone does not
+  // activate a session - it only matters once one is).
   [[nodiscard]] bool any_output() const noexcept {
     return !metrics_path.empty() || !trace_path.empty() || !flight_path.empty() ||
-           !alerts_path.empty() || !prom_path.empty();
+           !alerts_path.empty() || !prom_path.empty() || !sched_metrics_path.empty() ||
+           !sched_report_path.empty() || !sched_trace_path.empty();
   }
 };
 
@@ -106,11 +124,22 @@ class ExportSession {
   // not be written.
   int Finish();
 
+  // Hands a fleet run's diagnostic channel to the session: the scheduler
+  // metrics, critical-path report and worker timeline are written at
+  // Finish() to their requested paths, and the scheduler metrics join the
+  // Prometheus text as gametrace_fleet_* families with a worker label.
+  // Copies are taken, so the FleetResult may be destroyed afterwards; a
+  // later call replaces the earlier state (last fleet run wins). No-op on
+  // an inactive session.
+  void RecordScheduler(const MetricsRegistry& scheduler_metrics, const SchedReport& report,
+                       const TraceLog& sched_trace);
+
   [[nodiscard]] bool active() const noexcept { return binding_.has_value(); }
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] TraceLog& trace() noexcept { return trace_; }
   [[nodiscard]] FlightRecorder& recorder() noexcept { return recorder_; }
   [[nodiscard]] WatchdogEngine& watchdog() noexcept { return watchdog_; }
+  [[nodiscard]] bool has_scheduler() const noexcept { return has_scheduler_; }
 
  private:
   ExportOptions options_;
@@ -119,6 +148,10 @@ class ExportSession {
   TraceLog trace_;
   FlightRecorder recorder_;
   WatchdogEngine watchdog_;
+  bool has_scheduler_ = false;
+  MetricsRegistry sched_metrics_;
+  SchedReport sched_report_;
+  TraceLog sched_trace_;
   std::optional<ScopedFlightDump> dump_guard_;
   std::optional<ScopedObsBinding> binding_;
 };

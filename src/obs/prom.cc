@@ -1,9 +1,13 @@
 #include "obs/prom.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <map>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "stats/histogram.h"
@@ -35,6 +39,48 @@ void AppendHeader(std::string& out, const std::string& prom_name, std::string_vi
   out += '\n';
 }
 
+// "fleet.worker.<w>.<rest>" -> family "fleet.<rest>" plus a worker label,
+// so every worker's instrument lands in ONE gametrace_fleet_* family
+// (e.g. gametrace_fleet_steals{worker="3"}) instead of a per-worker
+// metric name, which is what Prometheus can aggregate across.
+bool SplitWorkerMetric(std::string_view name, int& worker, std::string& family) {
+  constexpr std::string_view kPrefix = "fleet.worker.";
+  if (!name.starts_with(kPrefix)) return false;
+  const std::string_view rest = name.substr(kPrefix.size());
+  const std::size_t dot = rest.find('.');
+  if (dot == 0 || dot == std::string_view::npos || dot + 1 >= rest.size()) return false;
+  const std::string_view index = rest.substr(0, dot);
+  int value = 0;
+  for (const char c : index) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  worker = value;
+  family = "fleet.";
+  family += rest.substr(dot + 1);
+  return true;
+}
+
+// One worker-labeled family, samples sorted by worker index (name-sorted
+// input interleaves "10" between "1" and "2").
+template <typename Value, typename AppendValue>
+void AppendWorkerFamilies(
+    std::string& out, const std::map<std::string, std::vector<std::pair<int, Value>>>& families,
+    const char* type, const AppendValue& append_value) {
+  for (const auto& [family, samples] : families) {
+    const std::string prom = PrometheusMetricName(family);
+    AppendHeader(out, prom, family, type);
+    std::vector<std::pair<int, Value>> sorted = samples;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [worker, value] : sorted) {
+      out += prom + "{worker=\"" + std::to_string(worker) + "\"} ";
+      append_value(out, value);
+      out += '\n';
+    }
+  }
+}
+
 }  // namespace
 
 std::string PrometheusMetricName(std::string_view name) {
@@ -50,18 +96,42 @@ std::string PrometheusMetricName(std::string_view name) {
 
 std::string ToPrometheusText(const MetricsRegistry& registry) {
   std::string out;
-  registry.ForEachCounter([&out](std::string_view name, const Counter& counter) {
+  // Worker-labeled samples are collected first and emitted per family
+  // after the plain instruments: the registry iterates name-sorted, which
+  // interleaves workers within a family, and the exposition format wants
+  // all samples of one metric contiguous.
+  std::map<std::string, std::vector<std::pair<int, std::uint64_t>>> worker_counters;
+  std::map<std::string, std::vector<std::pair<int, double>>> worker_gauges;
+  registry.ForEachCounter([&](std::string_view name, const Counter& counter) {
+    int worker = 0;
+    std::string family;
+    if (SplitWorkerMetric(name, worker, family)) {
+      worker_counters[family].emplace_back(worker, counter.value());
+      return;
+    }
     const std::string prom = PrometheusMetricName(name);
     AppendHeader(out, prom, name, "counter");
     out += prom + " " + std::to_string(counter.value()) + "\n";
   });
-  registry.ForEachGauge([&out](std::string_view name, const Gauge& gauge) {
+  AppendWorkerFamilies(out, worker_counters, "counter",
+                       [](std::string& text, std::uint64_t value) {
+                         text += std::to_string(value);
+                       });
+  registry.ForEachGauge([&](std::string_view name, const Gauge& gauge) {
+    int worker = 0;
+    std::string family;
+    if (SplitWorkerMetric(name, worker, family)) {
+      worker_gauges[family].emplace_back(worker, gauge.value());
+      return;
+    }
     const std::string prom = PrometheusMetricName(name);
     AppendHeader(out, prom, name, "gauge");
     out += prom + " ";
     AppendPromNumber(out, gauge.value());
     out += '\n';
   });
+  AppendWorkerFamilies(out, worker_gauges, "gauge",
+                       [](std::string& text, double value) { AppendPromNumber(text, value); });
   registry.ForEachHistogram([&out](std::string_view name, const stats::Histogram& hist) {
     const std::string prom = PrometheusMetricName(name);
     AppendHeader(out, prom, name, "histogram");

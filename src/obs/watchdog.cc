@@ -72,6 +72,31 @@ std::vector<SloRule> WatchdogEngine::BuiltinRules() {
   return rules;
 }
 
+std::vector<SloRule> WatchdogEngine::SchedulerRules() {
+  std::vector<SloRule> rules;
+  rules.push_back(SloRule{
+      .name = "fleet.worker.imbalance",
+      .metric = "fleet.critpath.imbalance_ratio",
+      .signal = SloRule::Signal::kGaugeValue,
+      .direction = SloRule::Direction::kAbove,
+      .threshold = 1.5,
+      .description = "peak worker busy-ratio more than 1.5x the fleet mean: the "
+                     "makespan is set by straggler units, not total work - retune "
+                     "FleetSchedule::unit_size or check shard skew",
+  });
+  rules.push_back(SloRule{
+      .name = "fleet.admission.stall",
+      .metric = "fleet.critpath.admission_stall_fraction",
+      .signal = SloRule::Signal::kGaugeValue,
+      .direction = SloRule::Direction::kAbove,
+      .threshold = 0.25,
+      .description = "more than 25% of summed worker wall-clock spent blocked on "
+                     "the reduction admission window - widen "
+                     "FleetSchedule::max_live_units_per_worker",
+  });
+  return rules;
+}
+
 void WatchdogEngine::Observe(const FlightRecorder::Snapshot* previous,
                              const FlightRecorder::Snapshot& current) {
   const double previous_t = previous != nullptr ? previous->t_seconds : 0.0;

@@ -88,6 +88,19 @@ class WatchdogEngine {
   // The paper-threshold rule set described in the header comment.
   [[nodiscard]] static std::vector<SloRule> BuiltinRules();
 
+  // Scheduler-health rules for the fleet's diagnostic channel. They read
+  // the fleet.critpath.* gauges a SchedReport dumps, so they only ever
+  // fire when evaluated against scheduler metrics (BuildSchedReport runs
+  // them; the deterministic flight stream never carries those gauges):
+  //
+  //   fleet.worker.imbalance   peak worker busy-ratio > 1.5x the mean -
+  //                            the makespan is set by stragglers, not by
+  //                            total work (retune unit_size)
+  //   fleet.admission.stall    > 25% of summed worker wall-clock blocked
+  //                            on the reduction admission window (widen
+  //                            max_live_units_per_worker)
+  [[nodiscard]] static std::vector<SloRule> SchedulerRules();
+
   // Evaluates every rule against one snapshot transition. A null
   // `previous` means "start of history": delta and rate signals use a
   // zero-valued registry at t = 0 as the baseline, which is exact for a

@@ -10,9 +10,12 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/sched_report.h"
+#include "obs/trace_log.h"
 
 #include "json_reader.h"
 
@@ -43,6 +46,9 @@ TEST(ExportOptions, TryParseFlagConsumesTheSharedFlags) {
   EXPECT_TRUE(options.TryParseFlag("--flight-out=f.jsonl"));
   EXPECT_TRUE(options.TryParseFlag("--alerts-out=a.jsonl"));
   EXPECT_TRUE(options.TryParseFlag("--prom-out=p.txt"));
+  EXPECT_TRUE(options.TryParseFlag("--sched-metrics-out=sm.json"));
+  EXPECT_TRUE(options.TryParseFlag("--sched-report-out=sr.json"));
+  EXPECT_TRUE(options.TryParseFlag("--sched-trace-out=st.json"));
   EXPECT_TRUE(options.TryParseFlag("--flight-dump=d.json"));
   EXPECT_TRUE(options.TryParseFlag("--flight-sample=30"));
 
@@ -51,8 +57,78 @@ TEST(ExportOptions, TryParseFlagConsumesTheSharedFlags) {
   EXPECT_EQ(options.flight_path, "f.jsonl");
   EXPECT_EQ(options.alerts_path, "a.jsonl");
   EXPECT_EQ(options.prom_path, "p.txt");
+  EXPECT_EQ(options.sched_metrics_path, "sm.json");
+  EXPECT_EQ(options.sched_report_path, "sr.json");
+  EXPECT_EQ(options.sched_trace_path, "st.json");
   EXPECT_EQ(options.dump_path, "d.json");
   EXPECT_EQ(options.sample_period_seconds, 30.0);
+}
+
+TEST(ExportOptions, SchedulerFlagsActivateAndEnvFills) {
+  ExportOptions options;
+  EXPECT_FALSE(options.TryParseFlag("--sched-metrics-out="));  // empty value rejected
+  EXPECT_FALSE(options.any_output());
+  ASSERT_TRUE(options.TryParseFlag("--sched-report-out=r.json"));
+  EXPECT_TRUE(options.any_output());  // a sched output alone activates the session
+
+  ::setenv("GAMETRACE_SCHED_METRICS_OUT", "env_sched_metrics.json", 1);
+  ::setenv("GAMETRACE_SCHED_TRACE_OUT", "env_sched_trace.json", 1);
+  ::setenv("GAMETRACE_SCHED_REPORT_OUT", "env_sched_report.json", 1);
+  options.ApplyEnvDefaults();
+  EXPECT_EQ(options.sched_metrics_path, "env_sched_metrics.json");
+  EXPECT_EQ(options.sched_trace_path, "env_sched_trace.json");
+  EXPECT_EQ(options.sched_report_path, "r.json");  // the flag wins over the env
+  ::unsetenv("GAMETRACE_SCHED_METRICS_OUT");
+  ::unsetenv("GAMETRACE_SCHED_TRACE_OUT");
+  ::unsetenv("GAMETRACE_SCHED_REPORT_OUT");
+}
+
+TEST(ExportSession, RecordSchedulerWritesTheDiagnosticChannel) {
+  const std::string dir = FreshDir("sched");
+  ExportOptions options;
+  options.sched_metrics_path = dir + "/sched_metrics.json";
+  options.sched_report_path = dir + "/sched_report.json";
+  options.sched_trace_path = dir + "/sched_trace.json";
+  options.prom_path = dir + "/metrics.prom";
+
+  ExportSession session(std::move(options));
+  ASSERT_TRUE(session.active());
+  EXPECT_FALSE(session.has_scheduler());
+
+  MetricsRegistry sched;
+  sched.counter("fleet.worker.0.steals").Add(4);
+  std::vector<SchedWorkerSample> samples(1);
+  samples[0].span_ns = 1000;
+  samples[0].work_ns = 900;
+  const SchedReport report = BuildSchedReport(samples, {});
+  TraceLog trace(/*pid=*/0);
+  trace.Complete("worker 0", "worker", 0.0, 1e-6);
+  session.RecordScheduler(sched, report, trace);
+  EXPECT_TRUE(session.has_scheduler());
+
+  EXPECT_EQ(session.Finish(), 0);
+  const auto metrics = JsonReader::Parse(ReadFile(dir + "/sched_metrics.json"));
+  EXPECT_EQ(metrics.at("counters").at("fleet.worker.0.steals").number, 4.0);
+  const auto parsed_report = JsonReader::Parse(ReadFile(dir + "/sched_report.json"));
+  EXPECT_EQ(parsed_report.at("workers").number, 1.0);
+  const auto timeline = JsonReader::Parse(ReadFile(dir + "/sched_trace.json"));
+  EXPECT_EQ(timeline.at("traceEvents").items.size(), 1u);
+
+  // The scheduler registry rides the Prometheus text as labeled families.
+  const std::string prom = ReadFile(dir + "/metrics.prom");
+  EXPECT_NE(prom.find("gametrace_fleet_steals{worker=\"0\"} 4"), std::string::npos) << prom;
+}
+
+TEST(ExportSession, SchedFilesAreWrittenEvenWithoutARecordCall) {
+  // A requested path is a promise: the file exists (empty surfaces) even
+  // when the workload never ran a fleet, so tooling can rely on it.
+  const std::string dir = FreshDir("sched_empty");
+  ExportOptions options;
+  options.sched_report_path = dir + "/sched_report.json";
+  ExportSession session(std::move(options));
+  ASSERT_TRUE(session.active());
+  EXPECT_EQ(session.Finish(), 0);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/sched_report.json"));
 }
 
 TEST(ExportOptions, TryParseFlagRejectsWhatItCannotUse) {

@@ -174,6 +174,44 @@ TEST(Prom, EmptyRegistryYieldsEmptyExposition) {
   EXPECT_EQ(ToPrometheusText(MetricsRegistry{}), "");
 }
 
+// Per-worker scheduler instruments collapse into one labeled family:
+// fleet.worker.<w>.<rest> renders as gametrace_fleet_<rest>{worker="<w>"}
+// with a single HELP/TYPE header per family and the samples sorted by
+// worker number (numeric, so worker 10 follows worker 2).
+TEST(Prom, WorkerMetricsBecomeLabeledFamilies) {
+  MetricsRegistry registry;
+  registry.counter("fleet.worker.0.steals").Add(3);
+  registry.counter("fleet.worker.2.steals").Add(5);
+  registry.counter("fleet.worker.10.steals").Add(7);
+  registry.gauge("fleet.worker.1.span_ns").Set(123.0);
+  registry.counter("fleet.scheduler.merged_units").Add(9);  // not per-worker
+
+  const std::string text = ToPrometheusText(registry);
+  PromDocument doc;
+  ParsePromTextInto(text, doc);
+
+  const auto steals = doc.All("gametrace_fleet_steals");
+  ASSERT_EQ(steals.size(), 3u);
+  EXPECT_EQ(steals[0].labels.at("worker"), "0");
+  EXPECT_EQ(steals[0].value, 3.0);
+  EXPECT_EQ(steals[1].labels.at("worker"), "2");
+  EXPECT_EQ(steals[2].labels.at("worker"), "10");
+  EXPECT_EQ(steals[2].value, 7.0);
+  EXPECT_EQ(doc.types.at("gametrace_fleet_steals"), "counter");
+  // Exactly one TYPE header for the whole family.
+  const std::string header = "# TYPE gametrace_fleet_steals counter";
+  EXPECT_EQ(text.find(header), text.rfind(header));
+
+  // Per-worker gauges use the same seam.
+  const auto span = doc.All("gametrace_fleet_span_ns");
+  ASSERT_EQ(span.size(), 1u);
+  EXPECT_EQ(span[0].labels.at("worker"), "1");
+  EXPECT_EQ(span[0].value, 123.0);
+
+  // Non-worker scheduler metrics keep their plain names and no label.
+  EXPECT_TRUE(doc.Only("gametrace_fleet_scheduler_merged_units").labels.empty());
+}
+
 TEST(Prom, OutputIsDeterministicAndNameSorted) {
   auto build = [] {
     MetricsRegistry registry;

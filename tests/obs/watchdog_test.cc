@@ -189,6 +189,46 @@ TEST(Watchdog, BuiltinRulesEncodeThePaperThresholds) {
   EXPECT_EQ(hurst.threshold, 0.9);
 }
 
+// The scheduler rule set is separate from the ambient builtins: its rules
+// read the fleet.critpath.* gauges the critical-path report exports, fire
+// on a bad run, stay quiet on a balanced one, and never join
+// BuiltinRules (their alerts would be worker-count-dependent and poison
+// the deterministic --alerts-out stream).
+TEST(Watchdog, SchedulerRulesGateTheCritpathGauges) {
+  const auto rules = WatchdogEngine::SchedulerRules();
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].name, "fleet.worker.imbalance");
+  EXPECT_EQ(rules[0].metric, "fleet.critpath.imbalance_ratio");
+  EXPECT_EQ(rules[0].threshold, 1.5);
+  EXPECT_EQ(rules[0].signal, SloRule::Signal::kGaugeValue);
+  EXPECT_EQ(rules[1].name, "fleet.admission.stall");
+  EXPECT_EQ(rules[1].metric, "fleet.critpath.admission_stall_fraction");
+  EXPECT_EQ(rules[1].threshold, 0.25);
+
+  for (const auto& builtin : WatchdogEngine::BuiltinRules()) {
+    EXPECT_NE(builtin.name, rules[0].name);
+    EXPECT_NE(builtin.name, rules[1].name);
+  }
+
+  WatchdogEngine engine(WatchdogEngine::SchedulerRules());
+  FlightRecorder::Snapshot bad;
+  bad.t_seconds = 1.0;
+  bad.metrics.gauge("fleet.critpath.imbalance_ratio").Set(2.0);
+  bad.metrics.gauge("fleet.critpath.admission_stall_fraction").Set(0.4);
+  engine.Observe(nullptr, bad);
+  ASSERT_EQ(engine.alerts().size(), 2u);
+  EXPECT_EQ(engine.alerts()[0].rule, "fleet.worker.imbalance");
+  EXPECT_EQ(engine.alerts()[1].rule, "fleet.admission.stall");
+
+  WatchdogEngine quiet(WatchdogEngine::SchedulerRules());
+  FlightRecorder::Snapshot good;
+  good.t_seconds = 1.0;
+  good.metrics.gauge("fleet.critpath.imbalance_ratio").Set(1.05);
+  good.metrics.gauge("fleet.critpath.admission_stall_fraction").Set(0.01);
+  quiet.Observe(nullptr, good);
+  EXPECT_TRUE(quiet.alerts().empty());
+}
+
 TEST(Watchdog, BuiltinMeltdownFiresOnSyntheticOverload) {
   WatchdogEngine engine(WatchdogEngine::BuiltinRules());
   FlightRecorder::Snapshot first;

@@ -50,7 +50,16 @@ The fleet scaling report (BENCH_fleet.json) is gated too:
     fresh run means the scaling floor was never exercised, which fails
     rather than passing vacuously, and
   * every fleet report must declare deterministic_across_workers: true -
-    the sweep byte-compares the merged metrics across worker counts.
+    the sweep byte-compares the merged metrics across worker counts (the
+    traced run's merged metrics are part of the same compare, so tracing
+    is re-proven inert on every sweep), and
+  * the fresh sweep must carry a "sched_trace" section pricing the
+    scheduler timeline: the traced-vs-untraced overhead fraction must
+    stay under --obs-budget, the per-worker critical-path components
+    must sum to each worker's span (components_sum_ok), and the traced
+    run must actually have produced timeline events. The committed
+    baseline may predate the section; when present there it is held to
+    the same budget.
 
 Exit status 0 when everything holds, 1 with a per-check report otherwise.
 
@@ -156,6 +165,42 @@ def check_fleet(doc, name, args, failures, require_scale, per_core):
     return gate_workers
 
 
+def check_sched_trace(doc, name, args, failures, required):
+    """Validates the scheduler-timeline pricing section of a fleet report.
+
+    `required` is True for the fresh sweep (perf_micro always emits the
+    section now); the committed baseline may predate it, in which case
+    its absence is noted but not failed.
+    """
+    section = doc.get("sched_trace")
+    if section is None:
+        if required:
+            failures.append(
+                f"{name}: no 'sched_trace' section (timeline overhead unchecked)")
+        else:
+            print(f"  {name}: no sched_trace section (predates timeline tracing), skipped")
+        return
+    overhead = section.get("overhead_fraction", 1.0)
+    ok = overhead < args.obs_budget
+    print(f"  {name}: sched-trace overhead {overhead:.4%} at "
+          f"{section.get('workers', '?')} workers (budget {args.obs_budget:.0%}) "
+          f"{'ok' if ok else 'OVER BUDGET'}")
+    if not ok:
+        failures.append(
+            f"{name}: scheduler timeline overhead {overhead:.4%} exceeds the "
+            f"{args.obs_budget:.0%} observability budget")
+    if section.get("components_sum_ok") is not True:
+        failures.append(
+            f"{name}: critical-path components do not sum to worker spans "
+            f"(max_component_error {section.get('max_component_error', '?')})")
+    events = section.get("timeline_events", 0)
+    print(f"  {name}: sched-trace timeline {events} events, "
+          f"{section.get('timeline_dropped', 0)} dropped, "
+          f"max component error {section.get('max_component_error', 0):.2e}")
+    if events <= 0:
+        failures.append(f"{name}: traced fleet run produced no timeline events")
+
+
 def load(path):
     try:
         with open(path, encoding="utf-8") as fh:
@@ -206,13 +251,19 @@ def main():
     # cannot express parallelism the fresh sweep (multi-core CI runner) must.
     gate_points = []
     if args.fleet_baseline:
+        fleet_baseline = load(args.fleet_baseline)
         gate_points.append(check_fleet(
-            load(args.fleet_baseline), "fleet baseline", args, failures,
+            fleet_baseline, "fleet baseline", args, failures,
             require_scale=True, per_core=args.fleet_per_core))
+        check_sched_trace(fleet_baseline, "fleet baseline", args, failures,
+                          required=False)
     if args.fleet_fresh:
+        fleet_fresh = load(args.fleet_fresh)
         gate_points.append(check_fleet(
-            load(args.fleet_fresh), "fleet fresh", args, failures,
+            fleet_fresh, "fleet fresh", args, failures,
             require_scale=False, per_core=args.fleet_per_core_fresh))
+        check_sched_trace(fleet_fresh, "fleet fresh", args, failures,
+                          required=True)
     if args.fleet_baseline and args.fleet_fresh and max(gate_points) < 2:
         failures.append(
             "fleet scaling floor was never exercised at >1 worker: neither the "

@@ -38,8 +38,7 @@ import csv
 import json
 import sys
 
-SPARK_CHARS = " .:-=+*#%@"
-BLOCKS = "▁▂▃▄▅▆▇█"
+from viz_common import format_interval, overlay, sparkline
 
 # Derived signals and their SLO thresholds (name, threshold, direction).
 THRESHOLDS = {
@@ -165,32 +164,6 @@ def threshold_for(name):
         # client_kbps renders in kbps; its rule threshold is 56000 bit/s.
         return value, direction
     return None, None
-
-
-def sparkline(values):
-    if not values:
-        return ""
-    lo, hi = min(values), max(values)
-    if hi == lo:
-        return BLOCKS[0] * len(values)
-    span = hi - lo
-    return "".join(BLOCKS[min(int((v - lo) / span * 8), 7)] for v in values)
-
-
-def overlay(values, threshold, direction):
-    marks = []
-    for v in values:
-        breached = v > threshold if direction == "above" else v < threshold
-        marks.append("!" if breached else " ")
-    return "".join(marks)
-
-
-def format_interval(seconds):
-    if seconds >= 3600:
-        return f"{seconds / 3600:g}h"
-    if seconds >= 60:
-        return f"{seconds / 60:g}m"
-    return f"{seconds:g}s"
 
 
 def print_instruments(snapshot):

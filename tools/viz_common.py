@@ -1,0 +1,98 @@
+"""Shared terminal-rendering helpers for the viewer tools (stdlib-only).
+
+flight_view.py (snapshot streams) and fleet_view.py (scheduler reports)
+both render unicode sparklines, threshold overlays and fraction bars;
+this module is the single copy of those primitives so the two stay
+pixel-compatible.
+"""
+
+SPARK_CHARS = " .:-=+*#%@"
+BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values):
+    """One block character per value, min..max normalized to 8 levels."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return BLOCKS[0] * len(values)
+    span = hi - lo
+    return "".join(BLOCKS[min(int((v - lo) / span * 8), 7)] for v in values)
+
+
+def overlay(values, threshold, direction):
+    """A '!' under each value on the wrong side of the threshold."""
+    marks = []
+    for v in values:
+        breached = v > threshold if direction == "above" else v < threshold
+        marks.append("!" if breached else " ")
+    return "".join(marks)
+
+
+def bar(fraction, width):
+    """A solid bar filling `fraction` of `width` cells (clamped to [0,1]).
+
+    Uses eighth-block characters for the fractional tail, so adjacent
+    bars differing by <1 cell still render distinguishably.
+    """
+    fraction = min(max(fraction, 0.0), 1.0)
+    eighths = round(fraction * width * 8)
+    full, rem = divmod(eighths, 8)
+    cells = BLOCKS[7] * full
+    if rem:
+        cells += BLOCKS[rem - 1]
+    return cells.ljust(width)
+
+
+def stacked_bar(fractions, chars, width):
+    """One bar of `width` cells split into len(fractions) segments.
+
+    Each segment i fills round(fractions[i] * width) cells drawn with
+    chars[i]; rounding drift lands on the largest segment so the bar
+    always spans exactly `width` cells.
+    """
+    if len(fractions) != len(chars):
+        raise ValueError("fractions and chars must align")
+    total = sum(fractions)
+    if total > 1.0 and total > 0:
+        fractions = [f / total for f in fractions]
+    cells = [round(f * width) for f in fractions]
+    drift = width - sum(cells)
+    if cells and drift != 0:
+        cells[cells.index(max(cells))] += drift
+    out = "".join(c * max(n, 0) for n, c in zip(cells, chars))
+    return out[:width].ljust(width)
+
+
+def format_interval(seconds):
+    """Compact 's'/'m'/'h' rendering of a tier interval."""
+    if seconds >= 3600:
+        return f"{seconds / 3600:g}h"
+    if seconds >= 60:
+        return f"{seconds / 60:g}m"
+    return f"{seconds:g}s"
+
+
+def format_ns(ns):
+    """Human wall-clock: ns -> 'x.y ms' / 'x.y s' as magnitude fits."""
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.1f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f} us"
+    return f"{ns:.0f} ns"
+
+
+def print_table(rows, out=None):
+    """Prints rows (lists of strings) with columns left-aligned."""
+    import sys
+
+    out = out or sys.stdout
+    if not rows:
+        return
+    widths = [max(len(str(row[i])) for row in rows) for i in range(len(rows[0]))]
+    for row in rows:
+        print("  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)).rstrip(),
+              file=out)
